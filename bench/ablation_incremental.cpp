@@ -1,0 +1,100 @@
+// Ablation: incremental SimChar maintenance (Section 4.2: "we would need
+// to update SimChar when the Unicode standard adds a new set of glyphs ...
+// Unicode 12.0 added 553 characters to version 11"). Compares a full
+// pairwise rebuild with the incremental update that compares only the new
+// characters against the repertoire.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "font/paper_font.hpp"
+#include "simchar/simchar.hpp"
+#include "unicode/idna_properties.hpp"
+
+int main() {
+  using namespace sham;
+  bench::header("Ablation: incremental update vs full rebuild (+553 chars)");
+
+  // "Unicode 11" font: the paper-scale font; "Unicode 12": the same plus
+  // 553 additional characters from a block the old font did not cover.
+  font::PaperFontConfig config;
+  const auto old_paper = font::make_paper_font(config);
+
+  font::SyntheticFontBuilder new_builder{config.seed, "synthetic+553"};
+  // Rebuild the same coverage... the cheap way: copy every old glyph.
+  // (Builder seeds are deterministic, so covering the same ranges yields
+  // identical glyphs; we reuse the old font and add a new block.)
+  std::vector<unicode::CodePoint> added;
+  {
+    // Myanmar block was not covered by the paper font: use it as the
+    // "newly encoded" repertoire.
+    const auto candidates = unicode::idna_permitted_in_range(0x1000, 0x109F);
+    for (const auto cp : candidates) {
+      if (added.size() >= 553) break;
+      added.push_back(cp);
+    }
+    // Extend with Khmer if the block alone is too small.
+    for (const auto cp : unicode::idna_permitted_in_range(0x1780, 0x17FF)) {
+      if (added.size() >= 553) break;
+      added.push_back(cp);
+    }
+  }
+
+  // Compose the new font: old glyphs + synthetic glyphs for the additions.
+  class CompositeFont final : public font::FontSource {
+   public:
+    CompositeFont(font::FontSourcePtr base, std::shared_ptr<font::SyntheticFont> extra)
+        : base_{std::move(base)}, extra_{std::move(extra)} {}
+    std::optional<font::GlyphBitmap> glyph(unicode::CodePoint cp) const override {
+      if (auto g = extra_->glyph(cp)) return g;
+      return base_->glyph(cp);
+    }
+    std::vector<unicode::CodePoint> coverage() const override {
+      auto out = base_->coverage();
+      const auto more = extra_->coverage();
+      out.insert(out.end(), more.begin(), more.end());
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+      return out;
+    }
+    std::string name() const override { return base_->name() + "+553"; }
+
+   private:
+    font::FontSourcePtr base_;
+    std::shared_ptr<font::SyntheticFont> extra_;
+  };
+
+  font::SyntheticFontBuilder extra_builder{config.seed ^ 0x553, "additions"};
+  for (const auto cp : added) extra_builder.cover_range(cp, cp);
+  const CompositeFont new_font{old_paper.font, extra_builder.build()};
+
+  const auto existing = simchar::SimCharDb::build(*old_paper.font);
+
+  simchar::BuildStats full_stats;
+  const auto full = simchar::SimCharDb::build(new_font, {}, &full_stats);
+
+  simchar::BuildStats update_stats;
+  const auto updated =
+      simchar::update_with_new_characters(existing, new_font, added, {}, &update_stats);
+
+  util::TextTable t{{"strategy", "comparisons", "pairwise s", "pairs"},
+                    {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight}};
+  t.add_row({"full rebuild", util::with_commas(full_stats.pairs_compared),
+             util::fixed(full_stats.compare_seconds, 3),
+             util::with_commas(full.pair_count())});
+  t.add_row({"incremental (+553 chars)", util::with_commas(update_stats.pairs_compared),
+             util::fixed(update_stats.compare_seconds, 3),
+             util::with_commas(updated.pair_count())});
+  std::printf("%s\n", t.str().c_str());
+
+  const auto d = simchar::diff(existing, updated);
+  std::printf("diff vs old database: %zu pairs added, %zu removed\n", d.added.size(),
+              d.removed.size());
+
+  bench::shape("incremental result identical to full rebuild",
+               updated.pairs() == full.pairs());
+  bench::shape("incremental does a fraction of the comparisons",
+               update_stats.pairs_compared * 5 < full_stats.pairs_compared);
+  bench::shape("no existing pairs lost", d.removed.empty());
+  return 0;
+}

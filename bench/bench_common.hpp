@@ -1,0 +1,64 @@
+// Shared scaffolding for the per-table bench binaries: standard experiment
+// environments and a renderer that prints the paper's numbers next to the
+// measured ones.
+//
+// Absolute counts differ from the paper by design — the substrate is a
+// synthetic font/internet at reduced scale (see DESIGN.md §2) — so every
+// binary prints the *shape criteria* it is expected to preserve.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "measure/charset_experiments.hpp"
+#include "measure/wild_experiments.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace sham::bench {
+
+/// Full-scale character-set environment (synthetic paper font, θ = 4).
+inline const measure::Environment& standard_env() {
+  static const auto env = [] {
+    util::Stopwatch watch;
+    measure::EnvironmentConfig config;
+    config.font_scale = 1.0;
+    auto e = measure::Environment::create(config);
+    std::printf("[setup] SimChar built: %zu glyphs, %zu pairs, %.2fs\n",
+                e.build_stats.glyphs_rendered, e.simchar.pair_count(),
+                watch.seconds());
+    return e;
+  }();
+  return env;
+}
+
+/// Wild-measurement context at paper attack scale (3,280 planted attacks)
+/// over a 500 K-domain backdrop.
+inline const measure::WildContext& standard_wild() {
+  static const auto ctx = [] {
+    util::Stopwatch watch;
+    internet::ScenarioConfig config;
+    config.total_domains = 500'000;
+    config.reference_count = 1'000;
+    config.attack_scale = 1.0;
+    auto c = measure::make_wild_context(standard_env(), config);
+    std::printf(
+        "[setup] scenario: %zu domains, %zu IDNs, %zu planted attacks, %.2fs\n",
+        c.scenario.domains.size(), c.idns.size(), c.scenario.attacks.size(),
+        watch.seconds());
+    return c;
+  }();
+  return ctx;
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void shape(const std::string& criterion, bool holds) {
+  std::printf("  shape: %-58s [%s]\n", criterion.c_str(), holds ? "OK" : "MISS");
+}
+
+}  // namespace sham::bench

@@ -1,0 +1,71 @@
+// Section 4.2: detection throughput. The paper matched the Alexa top-10K
+// references against 141 M .com domains (955 K IDNs) in 743.6 s — 0.07 s
+// per reference domain, "sufficiently fast to block a suspicious, newly
+// found IDN homograph attack in real time". This bench sweeps reference-
+// and IDN-list sizes and reports per-reference cost for both Algorithm 1
+// as printed (naive) and the length-bucket-indexed variant.
+#include "bench_common.hpp"
+#include "detect/detector.hpp"
+
+int main() {
+  using namespace sham;
+  bench::header("Section 4.2: homograph-detection throughput");
+  const auto& env = bench::standard_env();
+  const auto& ctx = bench::standard_wild();
+
+  const detect::HomographDetector detector{env.db_union};
+
+  util::TextTable t{{"refs", "IDNs", "variant", "seconds", "s/ref", "matches"},
+                    {util::Align::kRight, util::Align::kRight, util::Align::kLeft,
+                     util::Align::kRight, util::Align::kRight, util::Align::kRight}};
+
+  double naive_full = 0.0;
+  double indexed_full = 0.0;
+  for (const std::size_t ref_count : {100u, 300u, 1000u}) {
+    std::span<const std::string> refs{ctx.scenario.references.data(),
+                                      std::min(ref_count, ctx.scenario.references.size())};
+    detect::DetectionStats naive_stats;
+    const auto naive = detector.detect(refs, ctx.idns, &naive_stats);
+    detect::DetectionStats indexed_stats;
+    const auto indexed = detector.detect_indexed(refs, ctx.idns, &indexed_stats);
+    t.add_row({std::to_string(refs.size()), util::with_commas(ctx.idns.size()), "naive",
+               util::fixed(naive_stats.seconds, 4),
+               util::fixed(naive_stats.seconds / refs.size() * 1e3, 4) + " ms",
+               util::with_commas(naive.size())});
+    t.add_row({std::to_string(refs.size()), util::with_commas(ctx.idns.size()), "indexed",
+               util::fixed(indexed_stats.seconds, 4),
+               util::fixed(indexed_stats.seconds / refs.size() * 1e3, 4) + " ms",
+               util::with_commas(indexed.size())});
+    if (refs.size() == 1000u) {
+      naive_full = naive_stats.seconds;
+      indexed_full = indexed_stats.seconds;
+    }
+  }
+  // The UC-skeleton baseline (prior character-based work): fast hash
+  // matching, but blind to SimChar pairs and unable to pinpoint diffs.
+  {
+    detect::DetectionStats skel_stats;
+    const auto skel = detect::detect_by_skeleton(*env.uc, ctx.scenario.references,
+                                                 ctx.idns, &skel_stats);
+    t.add_row({std::to_string(ctx.scenario.references.size()),
+               util::with_commas(ctx.idns.size()), "UC-skeleton baseline",
+               util::fixed(skel_stats.seconds, 4),
+               util::fixed(skel_stats.seconds / ctx.scenario.references.size() * 1e3, 4) +
+                   " ms",
+               util::with_commas(skel.size())});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  const double per_ref = naive_full / 1000.0;
+  std::printf("paper: 10,000 refs x 955K IDNs in 743.6 s = 0.07 s/ref\n");
+  std::printf("ours:  per-ref cost %.4f ms over %zu IDNs; scaled to 955K IDNs "
+              "≈ %.3f s/ref\n",
+              per_ref * 1e3, ctx.idns.size(),
+              per_ref * 955512.0 / static_cast<double>(ctx.idns.size()));
+
+  bench::shape("per-reference cost is real-time (well under 0.07 s/ref scaled)",
+               per_ref * 955512.0 / static_cast<double>(ctx.idns.size()) < 0.07);
+  bench::shape("indexed variant is no slower than the printed Algorithm 1",
+               indexed_full <= naive_full * 1.2);
+  return 0;
+}

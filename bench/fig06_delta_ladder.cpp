@@ -1,0 +1,35 @@
+// Figure 6: homoglyph candidates of the letter 'e' at ∆ = 0..6 — the view
+// that motivates the θ = 4 threshold.
+#include "bench_common.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace sham;
+  bench::header("Figure 6: candidates of 'e' by exact pixel distance ∆");
+  const auto& env = bench::standard_env();
+  const auto rungs = measure::delta_ladder(env, 'e', 8);
+
+  util::TextTable t{{"∆", "#candidates", "examples", "SimChar?"},
+                    {util::Align::kRight, util::Align::kRight, util::Align::kLeft,
+                     util::Align::kLeft}};
+  for (const auto& rung : rungs) {
+    std::string examples;
+    for (const auto cp : rung.examples) {
+      if (!examples.empty()) examples += ' ';
+      examples += util::format_codepoint(cp);
+    }
+    t.add_row({std::to_string(rung.delta), std::to_string(rung.count), examples,
+               rung.delta <= 4 ? "yes (∆ ≤ 4)" : "no"});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  std::size_t at_or_below_4 = 0;
+  std::size_t above_4 = 0;
+  for (const auto& rung : rungs) {
+    (rung.delta <= 4 ? at_or_below_4 : above_4) += rung.count;
+  }
+  bench::shape("candidates exist on both sides of the θ = 4 threshold",
+               at_or_below_4 > 0 && above_4 > 0);
+  bench::shape("'e' has many homoglyphs at ∆ ≤ 4 (paper: 26)", at_or_below_4 >= 20);
+  return 0;
+}

@@ -1,0 +1,225 @@
+// Google-benchmark micro benches for the hot paths: the ∆ metric (the
+// inner loop of SimChar's 1.4-billion-pair Step II), Punycode transcoding,
+// homoglyph-DB lookups, Algorithm 1's per-pair matcher, and zone parsing.
+#include <benchmark/benchmark.h>
+
+#include "detect/detector.hpp"
+#include "dns/zone_file.hpp"
+#include "font/metrics.hpp"
+#include "font/paper_font.hpp"
+#include "idna/idna.hpp"
+#include "idna/punycode.hpp"
+#include "measure/environment.hpp"
+#include "simchar/simchar.hpp"
+#include "unicode/utf8.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sham;
+
+const measure::Environment& env() {
+  static const auto instance = [] {
+    measure::EnvironmentConfig config;
+    config.font_scale = 0.25;
+    return measure::Environment::create(config);
+  }();
+  return instance;
+}
+
+font::GlyphBitmap random_glyph(std::uint64_t seed) {
+  util::Rng rng{seed};
+  font::GlyphBitmap g;
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      if (rng.bernoulli(0.22)) g.set(x, y);
+    }
+  }
+  return g;
+}
+
+void BM_DeltaExact(benchmark::State& state) {
+  const auto a = random_glyph(1);
+  const auto b = random_glyph(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(font::delta(a, b));
+  }
+}
+BENCHMARK(BM_DeltaExact);
+
+void BM_DeltaBoundedFarPair(benchmark::State& state) {
+  const auto a = random_glyph(1);
+  const auto b = random_glyph(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(font::delta_bounded(a, b, 4));
+  }
+}
+BENCHMARK(BM_DeltaBoundedFarPair);
+
+void BM_DeltaBoundedNearPair(benchmark::State& state) {
+  const auto a = random_glyph(1);
+  auto b = a;
+  b.flip(3, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(font::delta_bounded(a, b, 4));
+  }
+}
+BENCHMARK(BM_DeltaBoundedNearPair);
+
+void BM_Ssim(benchmark::State& state) {
+  const auto a = random_glyph(1);
+  const auto b = random_glyph(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(font::ssim(a, b));
+  }
+}
+BENCHMARK(BM_Ssim);
+
+void BM_SimCharBuild(benchmark::State& state) {
+  font::PaperFontConfig config;
+  config.scale = static_cast<double>(state.range(0)) / 100.0;
+  const auto paper = font::make_paper_font(config);
+  simchar::BuildOptions options;
+  options.use_bucket_pruning = state.range(1) != 0;
+  std::size_t glyphs = 0;
+  for (auto _ : state) {
+    simchar::BuildStats stats;
+    benchmark::DoNotOptimize(simchar::SimCharDb::build(*paper.font, options, &stats));
+    glyphs = stats.glyphs_rendered;
+  }
+  state.counters["glyphs"] = static_cast<double>(glyphs);
+}
+BENCHMARK(BM_SimCharBuild)
+    ->Args({10, 1})
+    ->Args({25, 1})
+    ->Args({50, 1})
+    ->Args({25, 0})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PunycodeEncode(benchmark::State& state) {
+  const unicode::U32String label{0x963F, 0x91CC, 0x5DF4, 0x5DF4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idna::punycode_encode(label));
+  }
+}
+BENCHMARK(BM_PunycodeEncode);
+
+void BM_PunycodeDecode(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idna::punycode_decode("tsta8290bfzd"));
+  }
+}
+BENCHMARK(BM_PunycodeDecode);
+
+void BM_DbLookup(benchmark::State& state) {
+  const auto& db = env().db_union;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.are_homoglyphs('o', 0x00F6));
+    benchmark::DoNotOptimize(db.are_homoglyphs('o', 0x4E00));
+  }
+}
+BENCHMARK(BM_DbLookup);
+
+void BM_MatchPair(benchmark::State& state) {
+  const detect::HomographDetector detector{env().db_union};
+  const unicode::U32String idn{'g', 0x043E, 0x043E, 'g', 'l', 'e'};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.match_pair("google", idn));
+  }
+}
+BENCHMARK(BM_MatchPair);
+
+void BM_ExtractIdnPredicate(benchmark::State& state) {
+  const std::string ace = "xn--ggle-55da.com";
+  const std::string plain = "example.com";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idna::is_idn(ace));
+    benchmark::DoNotOptimize(idna::is_idn(plain));
+  }
+}
+BENCHMARK(BM_ExtractIdnPredicate);
+
+void BM_DetectUnicodeRefs(benchmark::State& state) {
+  const detect::HomographDetector detector{env().db_union};
+  std::vector<unicode::U32String> refs;
+  util::Rng rng{9};
+  for (int i = 0; i < 100; ++i) {
+    unicode::U32String label;
+    for (int j = 0; j < 6; ++j) {
+      label.push_back(0x0430 + static_cast<unicode::CodePoint>(rng.below(32)));
+    }
+    refs.push_back(label);
+  }
+  std::vector<detect::IdnEntry> idns;
+  for (int i = 0; i < 500; ++i) {
+    auto label = refs[rng.below(refs.size())];
+    label[rng.below(label.size())] = 'a' + static_cast<unicode::CodePoint>(rng.below(26));
+    idns.push_back({idna::to_a_label(label), label});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect_unicode(refs, idns));
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_DetectUnicodeRefs)->Unit(benchmark::kMicrosecond);
+
+void BM_IncrementalUpdate(benchmark::State& state) {
+  font::PaperFontConfig config;
+  config.scale = 0.25;
+  const auto paper = font::make_paper_font(config);
+  const auto existing = simchar::SimCharDb::build(*paper.font);
+  // "New" characters: a slice of the covered repertoire re-checked.
+  std::vector<unicode::CodePoint> added;
+  const auto coverage = paper.font->coverage();
+  for (std::size_t i = 0; i < coverage.size() && added.size() < 500; i += 7) {
+    added.push_back(coverage[i]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simchar::update_with_new_characters(existing, *paper.font, added));
+  }
+  state.counters["added"] = static_cast<double>(added.size());
+}
+BENCHMARK(BM_IncrementalUpdate)->Unit(benchmark::kMillisecond);
+
+void BM_RevertToAscii(benchmark::State& state) {
+  const auto& db = env().db_union;
+  const unicode::U32String label{'g', 0x043E, 0x043E, 'g', 'l', 0x0435};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.revert_to_ascii(label));
+  }
+}
+BENCHMARK(BM_RevertToAscii);
+
+void BM_SkeletonBaseline(benchmark::State& state) {
+  const auto& uc = unicode::ConfusablesDb::embedded();
+  const unicode::U32String label{'g', 0x043E, 0x043E, 'g', 'l', 0x0435};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uc.skeleton(label));
+  }
+}
+BENCHMARK(BM_SkeletonBaseline);
+
+void BM_ZoneParse(benchmark::State& state) {
+  std::string zone = "$ORIGIN com.\n$TTL 86400\n";
+  for (int i = 0; i < 1000; ++i) {
+    zone += "domain-" + std::to_string(i) + " IN NS ns1.hoster.net.\n";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::parse_zone(zone));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ZoneParse)->Unit(benchmark::kMillisecond);
+
+void BM_Utf8Decode(benchmark::State& state) {
+  const std::string text = "g\xD0\xBE\xD0\xBEgle-\xE4\xB8\xAD\xE6\x96\x87";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unicode::decode_utf8(text));
+  }
+}
+BENCHMARK(BM_Utf8Decode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+// Section 6.4: revert malicious homographs to their original domains and
+// count those targeting non-popular sites (paper: 91 malicious IDNs whose
+// originals are outside the Alexa top-1K).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sham;
+  bench::header("Section 6.4: reverting malicious IDNs to original domains");
+  const auto& env = bench::standard_env();
+  const auto& ctx = bench::standard_wild();
+  const auto result = measure::revert_analysis(env, ctx, 100);
+
+  std::printf("malicious (blacklisted) homographs : %zu\n", result.malicious);
+  std::printf("reverted to an ASCII original      : %zu\n", result.reverted);
+  std::printf("originals outside the top-100 refs : %zu (paper: 91 outside top-1K)\n",
+              result.non_popular_targets);
+  std::printf("\nexamples:\n");
+  for (const auto& e : result.examples) std::printf("  %s\n", e.c_str());
+  std::printf("\n");
+
+  bench::shape("every malicious homograph reverts (char-level DB advantage)",
+               result.reverted == result.malicious);
+  bench::shape("a non-negligible share targets non-popular domains",
+               result.non_popular_targets > 0);
+  return 0;
+}

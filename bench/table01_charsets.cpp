@@ -1,0 +1,34 @@
+// Table 1: number of characters / homoglyph pairs in each character set
+// (IDNA2008, UC, UC∩IDNA, SimChar, SimChar∩UC, union).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sham;
+  bench::header("Table 1: character sets and homoglyph pairs");
+  const auto& env = bench::standard_env();
+  const auto s = measure::charset_sizes(env);
+
+  util::TextTable t{{"Set", "paper #chars", "ours #chars", "paper #pairs", "ours #pairs"},
+                    {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight}};
+  t.add_row({"IDNA", "123,006", util::with_commas(s.idna_chars), "n/a", "n/a"});
+  t.add_row({"UC", "9,605", util::with_commas(s.uc_chars), "6,296",
+             util::with_commas(s.uc_pairs)});
+  t.add_row({"UC ∩ IDNA", "980", util::with_commas(s.uc_idna_chars), "627",
+             util::with_commas(s.uc_idna_pairs)});
+  t.add_row({"SimChar", "12,686", util::with_commas(s.simchar_chars), "13,208",
+             util::with_commas(s.simchar_pairs)});
+  t.add_row({"SimChar ∩ UC", "233", util::with_commas(s.simchar_uc_chars), "127", "n/a"});
+  t.add_row({"SimChar ∪ (UC ∩ IDNA)", "13,210", util::with_commas(s.union_chars),
+             "13,708", util::with_commas(s.union_pairs)});
+  std::printf("%s\n", t.str().c_str());
+
+  bench::shape("UC ∩ IDNA is a minority of UC (paper: 980 of 9,605)",
+               s.uc_idna_chars * 2 < s.uc_chars);
+  bench::shape("SimChar ≫ UC ∩ IDNA (new homoglyphs found)",
+               s.simchar_chars > 3 * s.uc_idna_chars);
+  bench::shape("SimChar ∩ UC small but nonempty (complementary DBs)",
+               s.simchar_uc_chars > 0 && s.simchar_uc_chars * 4 < s.simchar_chars);
+  bench::shape("union adds UC pairs on top of SimChar", s.union_pairs > s.simchar_pairs);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Table 2: intersection of the character sets with the font's coverage
+// (paper: GNU Unifont 12; here: the synthetic paper-scale font).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sham;
+  bench::header("Table 2: character sets ∩ font coverage");
+  const auto& env = bench::standard_env();
+  const auto s = measure::charset_sizes(env);
+
+  util::TextTable t{{"Set", "paper #chars", "ours #chars"},
+                    {util::Align::kLeft, util::Align::kRight, util::Align::kRight}};
+  t.add_row({"IDNA ∩ font", "52,457", util::with_commas(s.idna_font_chars)});
+  t.add_row({"UC ∩ font", "5,080", util::with_commas(s.uc_font_chars)});
+  t.add_row({"SimChar", "12,686", util::with_commas(s.simchar_chars)});
+  std::printf("%s\n", t.str().c_str());
+  std::printf("font: %s, %zu glyphs total\n", env.paper.font->name().c_str(),
+              s.font_glyphs);
+
+  bench::shape("font covers a large IDNA subset", s.idna_font_chars > 10'000);
+  bench::shape("SimChar ⊆ IDNA ∩ font", s.simchar_chars <= s.idna_font_chars);
+  bench::shape("SimChar is a minority of rendered glyphs (most glyphs unique)",
+               s.simchar_chars * 2 < s.idna_font_chars);
+  return 0;
+}

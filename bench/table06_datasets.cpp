@@ -1,0 +1,44 @@
+// Table 6: registered-domain sources and their IDN counts
+// (paper: zone file 140.9 M / 952 K IDNs; domainlists.io 139.7 M / 953 K;
+// union 141.2 M / 955 K = 0.67%).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sham;
+  bench::header("Table 6: domain-name lists and IDN counts");
+  const auto& env = bench::standard_env();
+
+  // List-only scenario at a larger backdrop with a benign-IDN majority.
+  internet::ScenarioConfig config;
+  config.total_domains = 2'000'000;
+  config.reference_count = 1'000;
+  config.attack_scale = 0.3;
+  config.build_world = false;
+  util::Stopwatch watch;
+  const auto scenario = internet::generate_scenario(env.db_union, config);
+  std::printf("[setup] generated %zu domains in %.2fs\n", scenario.domains.size(),
+              watch.seconds());
+
+  const auto rows = measure::dataset_statistics(scenario);
+  util::TextTable t{{"Data", "#domains", "#IDNs", "IDN fraction"},
+                    {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight}};
+  for (const auto& row : rows) {
+    t.add_row({row.source, util::with_commas(row.domains), util::with_commas(row.idns),
+               util::percent(static_cast<double>(row.idns) / row.domains, 2)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("paper: 140,900,279 / 952,352 (0.67%%); 139,667,014 / 953,209 (0.73%%); "
+              "union 141,212,035 / 955,512 (0.67%%)\n");
+
+  const double union_fraction =
+      static_cast<double>(rows[2].idns) / static_cast<double>(rows[2].domains);
+  bench::shape("union ≥ each source", rows[2].domains >= rows[0].domains &&
+                                          rows[2].domains >= rows[1].domains);
+  bench::shape("sources overlap heavily (each ≈ 99% of union)",
+               rows[0].domains > rows[2].domains * 95 / 100 &&
+                   rows[1].domains > rows[2].domains * 95 / 100);
+  bench::shape("IDN fraction ≈ 0.67%",
+               union_fraction > 0.005 && union_fraction < 0.009);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Table 14: blacklisted IDN homographs per homoglyph database and feed
+// (paper: UC 28/2/1, SimChar 222/12/7, union 242/13/8 across
+// hpHosts / Google Safe Browsing / Symantec DeepSight).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sham;
+  bench::header("Table 14: malicious (blacklisted) IDN homographs");
+  const auto& ctx = bench::standard_wild();
+  const auto rows = measure::blacklist_counts(ctx);
+
+  util::TextTable t{{"Homoglyph DB", "hpHosts (paper)", "hpHosts", "GSB (paper)", "GSB",
+                     "Symantec (paper)", "Symantec"},
+                    {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight}};
+  const char* paper[3][3] = {{"28", "2", "1"}, {"222", "12", "7"}, {"242", "13", "8"}};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    t.add_row({rows[i].db, paper[i][0], std::to_string(rows[i].hphosts), paper[i][1],
+               std::to_string(rows[i].gsb), paper[i][2],
+               std::to_string(rows[i].symantec)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  bench::shape("SimChar multiplies the malicious yield over UC alone",
+               rows[1].hphosts > 4 * rows[0].hphosts);
+  bench::shape("union ≥ each sub-database on every feed",
+               rows[2].hphosts >= rows[0].hphosts && rows[2].hphosts >= rows[1].hphosts &&
+                   rows[2].gsb >= rows[1].gsb && rows[2].symantec >= rows[1].symantec);
+  bench::shape("community feed ≫ curated commercial feeds",
+               rows[2].hphosts > 5 * rows[2].gsb && rows[2].gsb >= rows[2].symantec);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Glyph explorer: visualize how SimChar sees characters — render glyph
+// bitmaps as ASCII art, show the ∆ metric between pairs, and print the
+// ∆-ladder of a letter (the Figure 6 view: homoglyph candidates of 'e'
+// at ∆ = 0..6).
+//
+//   $ ./examples/glyph_explorer [letter]
+#include <algorithm>
+#include <cstdio>
+
+#include "font/freetype_font.hpp"
+#include "font/metrics.hpp"
+#include "font/paper_font.hpp"
+#include "unicode/idna_properties.hpp"
+#include "unicode/utf8.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sham;
+  const char letter = argc > 1 ? argv[1][0] : 'e';
+
+  font::FontSourcePtr font = font::FreeTypeFont::open_system_font();
+  if (font == nullptr) font = font::make_paper_font({}).font;
+  std::printf("font: %s\n\n", font->name().c_str());
+
+  const auto base = font->glyph(static_cast<unicode::CodePoint>(letter));
+  if (!base) {
+    std::fprintf(stderr, "font lacks '%c'\n", letter);
+    return 1;
+  }
+
+  // Side-by-side: the letter vs its closest homoglyph candidates.
+  struct Rung {
+    unicode::CodePoint cp;
+    int delta;
+  };
+  std::vector<Rung> ladder;
+  for (const auto cp : font->coverage()) {
+    if (cp == static_cast<unicode::CodePoint>(letter)) continue;
+    if (!unicode::is_idna_permitted(cp)) continue;
+    const auto g = font->glyph(cp);
+    if (!g) continue;
+    const int d = font::delta_bounded(*base, *g, 6);
+    if (d <= 6) ladder.push_back({cp, d});
+  }
+  std::sort(ladder.begin(), ladder.end(),
+            [](const Rung& a, const Rung& b) { return a.delta < b.delta; });
+
+  std::printf("'%c' and its nearest IDNA-permitted glyphs (delta <= 6, Figure 6 view):\n",
+              letter);
+  for (const auto& r : ladder) {
+    std::printf("  delta=%d  %s  '%s'  PSNR=%.1f dB  SSIM=%.3f%s\n", r.delta,
+                util::format_codepoint(r.cp).c_str(), unicode::to_utf8(r.cp).c_str(),
+                font::psnr(*base, *font->glyph(r.cp)),
+                font::ssim(*base, *font->glyph(r.cp)),
+                r.delta <= 4 ? "  [SimChar homoglyph]" : "");
+  }
+  if (ladder.empty()) std::printf("  (none in this font)\n");
+
+  // Render the letter and its closest candidate side by side.
+  if (!ladder.empty()) {
+    const auto other = *font->glyph(ladder.front().cp);
+    std::printf("\n'%c' (left) vs %s (right), differing pixels marked 'x':\n", letter,
+                util::format_codepoint(ladder.front().cp).c_str());
+    for (int y = 0; y < font::GlyphBitmap::kSize; ++y) {
+      std::string left, right;
+      for (int x = 0; x < font::GlyphBitmap::kSize; ++x) {
+        left += base->get(x, y) ? '#' : '.';
+        const bool differs = base->get(x, y) != other.get(x, y);
+        right += differs ? 'x' : (other.get(x, y) ? '#' : '.');
+      }
+      std::printf("%s   %s\n", left.c_str(), right.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,187 @@
+// shamfinder_cli — a command-line front end over the whole framework.
+//
+//   check <domain> --refs name1,name2,...   detect + explain a homograph
+//   candidates <brand> [max]                registerable homographs
+//   revert <domain>                         recover the original (Section 6.4)
+//   inspect <utf8-char-or-U+XXXX>           character dossier + homoglyphs
+//   policy <domain>                         browser display-policy decisions
+//
+// The homoglyph database is built once per invocation from the system font
+// (or the synthetic font without FreeType).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/browser_policy.hpp"
+#include "core/shamfinder.hpp"
+#include "core/warning.hpp"
+#include "detect/candidates.hpp"
+#include "font/freetype_font.hpp"
+#include "font/paper_font.hpp"
+#include "idna/idna.hpp"
+#include "unicode/blocks.hpp"
+#include "unicode/idna_properties.hpp"
+#include "unicode/utf8.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace sham;
+
+core::ShamFinder make_finder() {
+  font::FontSourcePtr font = font::FreeTypeFont::open_system_font();
+  if (font == nullptr) font = font::make_paper_font({}).font;
+  std::fprintf(stderr, "[db] building from %s ...\n", font->name().c_str());
+  return core::ShamFinder::build_from_font(*font);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: shamfinder_cli <command> ...\n"
+               "  check <domain> --refs a,b,c    detect homograph vs references\n"
+               "  candidates <brand> [max]       enumerate registerable homographs\n"
+               "  revert <domain>                recover the spoofed original\n"
+               "  inspect <char|U+XXXX>          character dossier\n"
+               "  policy <domain>                browser display decisions\n");
+  return 2;
+}
+
+std::optional<unicode::U32String> label_of(const std::string& domain) {
+  // Accept either wire form (xn--) or UTF-8; use the SLD label.
+  const auto dot = domain.find('.');
+  const std::string label = dot == std::string::npos ? domain : domain.substr(0, dot);
+  if (idna::is_a_label(label)) return idna::to_u_label(label);
+  return unicode::decode_utf8(label);
+}
+
+int cmd_check(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  std::vector<std::string> refs;
+  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+    if (args[i] == "--refs") {
+      for (const auto part : util::split(args[i + 1], ',')) {
+        refs.emplace_back(part);
+      }
+    }
+  }
+  if (refs.empty()) {
+    std::fprintf(stderr, "check: need --refs name1,name2,...\n");
+    return 2;
+  }
+  const auto label = label_of(args[0]);
+  if (!label) {
+    std::fprintf(stderr, "check: cannot decode %s\n", args[0].c_str());
+    return 2;
+  }
+  const auto finder = make_finder();
+  std::vector<detect::IdnEntry> idns{{idna::to_a_label(*label), *label}};
+  const auto matches = finder.find_homographs(refs, idns);
+  if (matches.empty()) {
+    std::printf("%s: no homograph of the given references detected\n",
+                args[0].c_str());
+    return 0;
+  }
+  for (const auto& match : matches) {
+    const auto warning =
+        core::make_warning(match, refs[match.reference_index], idns[0]);
+    std::printf("%s\n", warning.render().c_str());
+  }
+  return 1;  // homograph found
+}
+
+int cmd_candidates(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::size_t max = args.size() > 1 ? std::stoul(args[1]) : 40;
+  const auto finder = make_finder();
+  detect::CandidateOptions options;
+  options.max_candidates = max;
+  const auto candidates = detect::generate_candidates(finder.db(), args[0], options);
+  std::printf("%zu candidates for \"%s\":\n", candidates.size(), args[0].c_str());
+  for (const auto& c : candidates) {
+    std::printf("  %-20s %s\n", unicode::to_utf8(c.unicode).c_str(), c.ace.c_str());
+  }
+  return 0;
+}
+
+int cmd_revert(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto label = label_of(args[0]);
+  if (!label) {
+    std::fprintf(stderr, "revert: cannot decode %s\n", args[0].c_str());
+    return 2;
+  }
+  const auto finder = make_finder();
+  const auto original = finder.revert(*label);
+  if (!original) {
+    std::printf("%s: no full ASCII original under this database\n", args[0].c_str());
+    return 1;
+  }
+  std::printf("%s -> %s\n", unicode::to_utf8(*label).c_str(), original->c_str());
+  return 0;
+}
+
+int cmd_inspect(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  unicode::CodePoint cp = 0;
+  if (util::starts_with(args[0], "U+") || util::starts_with(args[0], "u+")) {
+    cp = util::parse_hex_codepoint(args[0]);
+  } else {
+    const auto decoded = unicode::decode_utf8(args[0]);
+    if (!decoded || decoded->empty()) {
+      std::fprintf(stderr, "inspect: cannot decode argument\n");
+      return 2;
+    }
+    cp = decoded->front();
+  }
+  std::printf("%s '%s'\n", util::format_codepoint(cp).c_str(),
+              unicode::to_utf8(cp).c_str());
+  std::printf("  block   : %s\n", std::string{unicode::block_name(cp)}.c_str());
+  std::printf("  idna    : %s\n",
+              std::string{unicode::idna_property_name(unicode::idna_property(cp))}.c_str());
+  const auto finder = make_finder();
+  const auto homoglyphs = finder.db().homoglyphs_of(cp);
+  std::printf("  homoglyphs (%zu):", homoglyphs.size());
+  for (const auto h : homoglyphs) {
+    std::printf(" %s'%s'", util::format_codepoint(h).c_str(),
+                unicode::to_utf8(h).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_policy(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto label = label_of(args[0]);
+  if (!label) {
+    std::fprintf(stderr, "policy: cannot decode %s\n", args[0].c_str());
+    return 2;
+  }
+  const auto finder = make_finder();
+  const auto report = [&](const char* name, const core::PolicyResult& r) {
+    std::printf("  %-24s %-9s (%s)\n", name,
+                r.decision == core::DisplayDecision::kUnicode ? "Unicode" : "Punycode",
+                r.reason.c_str());
+  };
+  std::printf("display decisions for %s:\n", unicode::to_utf8(*label).c_str());
+  report("legacy", core::legacy_policy(*label));
+  report("mixed-script", core::mixed_script_policy(*label));
+  report("whole-script-confusable", core::whole_script_policy(*label, &finder.db()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+  if (command == "check") return cmd_check(args);
+  if (command == "candidates") return cmd_candidates(args);
+  if (command == "revert") return cmd_revert(args);
+  if (command == "inspect") return cmd_inspect(args);
+  if (command == "policy") return cmd_policy(args);
+  return usage();
+}

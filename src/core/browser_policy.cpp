@@ -1,0 +1,65 @@
+#include "core/browser_policy.hpp"
+
+#include <algorithm>
+
+#include "unicode/script.hpp"
+
+namespace sham::core {
+
+namespace {
+
+using unicode::Script;
+
+bool is_cjk_family(Script s) {
+  return s == Script::kHan || s == Script::kHiragana || s == Script::kKatakana ||
+         s == Script::kHangul || s == Script::kBopomofo;
+}
+
+}  // namespace
+
+PolicyResult legacy_policy(const unicode::U32String&) {
+  return {DisplayDecision::kUnicode, "legacy: always Unicode"};
+}
+
+PolicyResult mixed_script_policy(const unicode::U32String& label) {
+  const auto scripts = unicode::scripts_in(label);
+  if (scripts.size() <= 1) {
+    return {DisplayDecision::kUnicode, "single script"};
+  }
+  // CJK carve-out: Han may combine with kana/Hangul/Bopomofo and Latin
+  // (Japanese and Korean names legitimately mix these).
+  const bool all_cjk_or_latin =
+      std::all_of(scripts.begin(), scripts.end(), [](Script s) {
+        return is_cjk_family(s) || s == Script::kLatin;
+      });
+  const bool has_cjk = std::any_of(scripts.begin(), scripts.end(), is_cjk_family);
+  if (all_cjk_or_latin && has_cjk) {
+    return {DisplayDecision::kUnicode, "CJK combination carve-out"};
+  }
+  return {DisplayDecision::kPunycode, "mixed scripts"};
+}
+
+PolicyResult whole_script_policy(const unicode::U32String& label,
+                                 const homoglyph::HomoglyphDb* db) {
+  auto result = mixed_script_policy(label);
+  if (result.decision == DisplayDecision::kPunycode || db == nullptr) return result;
+
+  // Whole-script confusable: every non-ASCII character is spoofing a Basic
+  // Latin letter. Requires at least one non-ASCII character (otherwise the
+  // label simply is ASCII).
+  bool any_non_ascii = false;
+  for (const auto cp : label) {
+    if (unicode::is_ascii(cp)) continue;
+    any_non_ascii = true;
+    const auto homoglyphs = db->homoglyphs_of(cp);
+    const bool has_latin = std::any_of(homoglyphs.begin(), homoglyphs.end(),
+                                       [](unicode::CodePoint h) { return unicode::is_ldh(h); });
+    if (!has_latin) return result;  // an honest native character: allow
+  }
+  if (any_non_ascii) {
+    return {DisplayDecision::kPunycode, "whole-script confusable"};
+  }
+  return result;
+}
+
+}  // namespace sham::core

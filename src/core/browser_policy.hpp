@@ -1,0 +1,48 @@
+// Emulation of browser IDN display policies (Section 2.2 of the paper).
+//
+// After the 2017 homograph disclosures, Chrome and Firefox render an IDN
+// in Unicode only when it passes script-mixing checks; otherwise the
+// Punycode form is shown. The paper's point: this punishes legitimate
+// IDNs (Punycode is user-hostile) while *missing* single-script homographs
+// (whole-script Cyrillic spoofs, CJK-vs-Katakana lookalikes). This module
+// reproduces the policy so experiments can compare its catch rate with
+// ShamFinder's database-driven detection.
+#pragma once
+
+#include <string>
+
+#include "homoglyph/homoglyph_db.hpp"
+#include "unicode/codepoint.hpp"
+
+namespace sham::core {
+
+enum class DisplayDecision {
+  kUnicode,   // label rendered in Unicode (user sees the lookalike)
+  kPunycode,  // label forced to "xn--..." form
+};
+
+struct PolicyResult {
+  DisplayDecision decision = DisplayDecision::kUnicode;
+  std::string reason;  // which rule fired
+};
+
+/// Baseline policy of pre-2017 browsers: always display Unicode.
+[[nodiscard]] PolicyResult legacy_policy(const unicode::U32String& label);
+
+/// Mixed-script policy in the spirit of Firefox/Chrome (Section 2.2):
+///  * single-script labels display as Unicode;
+///  * scripts may mix with Common/Inherited only;
+///  * CJK combinations (Han + Hiragana/Katakana/Hangul/Bopomofo, plus
+///    Latin) are allowed, mirroring the carve-out the paper highlights —
+///    which is exactly why the 工業大学 / エ業大学 attack still displays;
+///  * any other mix forces Punycode.
+[[nodiscard]] PolicyResult mixed_script_policy(const unicode::U32String& label);
+
+/// Mixed-script policy plus a whole-script-confusable check: a label whose
+/// every non-ASCII character has a Basic Latin homoglyph in `db` is forced
+/// to Punycode even when single-script (the hardening Chrome later
+/// shipped). Pass nullptr to disable the confusable check.
+[[nodiscard]] PolicyResult whole_script_policy(const unicode::U32String& label,
+                                               const homoglyph::HomoglyphDb* db);
+
+}  // namespace sham::core

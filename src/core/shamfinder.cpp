@@ -1,0 +1,50 @@
+#include "core/shamfinder.hpp"
+
+#include "idna/idna.hpp"
+#include "util/strings.hpp"
+
+namespace sham::core {
+
+ShamFinder ShamFinder::build_from_font(const font::FontSource& font,
+                                       const ShamFinderConfig& config,
+                                       simchar::BuildStats* stats) {
+  auto simchar_db = simchar::SimCharDb::build(font, config.build, stats);
+  return ShamFinder{std::move(simchar_db), unicode::ConfusablesDb::embedded(), config.db};
+}
+
+ShamFinder::ShamFinder(simchar::SimCharDb simchar_db, const unicode::ConfusablesDb& uc,
+                       const homoglyph::DbConfig& config)
+    : simchar_{std::move(simchar_db)}, db_{simchar_, uc, config} {}
+
+std::vector<detect::IdnEntry> ShamFinder::extract_idns(
+    std::span<const std::string> domains, std::string_view tld) {
+  std::vector<detect::IdnEntry> out;
+  const std::string suffix = "." + std::string{tld};
+  for (const auto& domain : domains) {
+    if (!util::ends_with(domain, suffix)) continue;
+    const std::string_view sld{domain.data(), domain.size() - suffix.size()};
+    if (!idna::is_a_label(sld)) continue;
+    auto decoded = idna::to_u_label(sld);
+    if (!decoded) continue;
+    out.push_back({std::string{sld}, *std::move(decoded)});
+  }
+  return out;
+}
+
+std::vector<detect::Match> ShamFinder::find_homographs(
+    std::span<const std::string> references, std::span<const detect::IdnEntry> idns,
+    detect::DetectionStats* stats) const {
+  const detect::HomographDetector detector{db_};
+  return detector.detect_indexed(references, idns, stats);
+}
+
+std::optional<std::string> ShamFinder::revert(const unicode::U32String& label) const {
+  const auto reverted = db_.revert_to_ascii(label);
+  if (!reverted) return std::nullopt;
+  std::string out;
+  out.reserve(reverted->size());
+  for (const auto cp : *reverted) out += static_cast<char>(cp);
+  return out;
+}
+
+}  // namespace sham::core

@@ -1,0 +1,61 @@
+#include "core/warning.hpp"
+
+#include "unicode/blocks.hpp"
+#include "unicode/script.hpp"
+#include "unicode/utf8.hpp"
+#include "util/strings.hpp"
+
+namespace sham::core {
+
+std::string describe_codepoint(unicode::CodePoint cp) {
+  std::string out = util::format_codepoint(cp);
+  out += " (";
+  out += unicode::block_name(cp);
+  const auto script = unicode::script_of(cp);
+  if (script != unicode::Script::kCommon && script != unicode::Script::kUnknown) {
+    out += ", ";
+    out += unicode::script_name(script);
+    out += " script";
+  }
+  out += ")";
+  return out;
+}
+
+HomographWarning make_warning(const detect::Match& match, const std::string& reference,
+                              const detect::IdnEntry& idn, std::string tld) {
+  HomographWarning warning;
+  warning.idn_display = unicode::to_utf8(idn.unicode);
+  warning.original = reference;
+  warning.tld = std::move(tld);
+  for (const auto& diff : match.diffs) {
+    CharExplanation e;
+    e.index = diff.index;
+    e.idn_char_utf8 = unicode::to_utf8(diff.idn_char);
+    e.ref_char_utf8 = unicode::to_utf8(diff.ref_char);
+    e.idn_char_desc = describe_codepoint(diff.idn_char);
+    e.ref_char_desc = describe_codepoint(diff.ref_char);
+    switch (diff.source) {
+      case homoglyph::Source::kUc: e.source = "UC"; break;
+      case homoglyph::Source::kSimChar: e.source = "SimChar"; break;
+      case homoglyph::Source::kBoth: e.source = "UC+SimChar"; break;
+    }
+    warning.diffs.push_back(std::move(e));
+  }
+  return warning;
+}
+
+std::string HomographWarning::render() const {
+  std::string out;
+  out += "WARNING: use of homoglyph detected.\n";
+  out += "You are accessing  " + idn_display + "." + tld + "\n";
+  out += "Did you mean       " + original + "." + tld + " ?\n";
+  for (const auto& d : diffs) {
+    out += "  position " + std::to_string(d.index + 1) + ": '" + d.idn_char_utf8 +
+           "' " + d.idn_char_desc + "\n";
+    out += "    looks like '" + d.ref_char_utf8 + "' " + d.ref_char_desc +
+           "  [flagged by " + d.source + "]\n";
+  }
+  return out;
+}
+
+}  // namespace sham::core

@@ -1,0 +1,42 @@
+// The countermeasure UI of Section 7.2 / Figure 12: instead of forcing
+// Punycode display, show the IDN in Unicode and pinpoint exactly which
+// characters were substituted and what they look like — possible only
+// because the homoglyph database is character-based.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detect/detector.hpp"
+
+namespace sham::core {
+
+struct CharExplanation {
+  std::size_t index = 0;
+  std::string idn_char_utf8;
+  std::string ref_char_utf8;
+  std::string idn_char_desc;  // "U+0F00 (Tibetan)"
+  std::string ref_char_desc;  // "U+006F (Basic Latin)"
+  std::string source;         // which DB flagged the pair ("UC", "SimChar", ...)
+};
+
+struct HomographWarning {
+  std::string idn_display;  // UTF-8 rendering of the IDN label
+  std::string original;     // the reference label
+  std::string tld;          // e.g. "com"
+  std::vector<CharExplanation> diffs;
+
+  /// Multi-line warning text in the spirit of Figure 12.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Build a warning from a detector match.
+[[nodiscard]] HomographWarning make_warning(const detect::Match& match,
+                                            const std::string& reference,
+                                            const detect::IdnEntry& idn,
+                                            std::string tld = "com");
+
+/// "U+XXXX (<block>, <script>)" description for a code point.
+[[nodiscard]] std::string describe_codepoint(unicode::CodePoint cp);
+
+}  // namespace sham::core

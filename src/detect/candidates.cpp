@@ -1,0 +1,70 @@
+#include "detect/candidates.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "idna/idna.hpp"
+#include "unicode/idna_properties.hpp"
+
+namespace sham::detect {
+
+namespace {
+
+void extend(const homoglyph::HomoglyphDb& db, const CandidateOptions& options,
+            const unicode::U32String& base, unicode::U32String& current,
+            std::size_t position, std::size_t substitutions,
+            std::vector<Candidate>& out) {
+  if (out.size() >= options.max_candidates) return;
+  if (substitutions > 0) {
+    Candidate c;
+    c.unicode = current;
+    try {
+      c.ace = idna::to_a_label(current);
+    } catch (const std::invalid_argument&) {
+      c.ace.clear();  // over-long ACE forms are unreachable as domains
+    }
+    c.substitutions = substitutions;
+    if (!c.ace.empty()) out.push_back(std::move(c));
+  }
+  if (substitutions == options.max_substitutions) return;
+  for (std::size_t i = position; i < base.size(); ++i) {
+    for (const auto h : db.homoglyphs_of(base[i])) {
+      if (h == base[i]) continue;
+      if (options.idna_only && !unicode::is_idna_permitted(h)) continue;
+      if (options.tld_policy != nullptr && !options.tld_policy->permits(h)) continue;
+      current[i] = h;
+      extend(db, options, base, current, i + 1, substitutions + 1, out);
+      current[i] = base[i];
+      if (out.size() >= options.max_candidates) return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Candidate> generate_candidates(const homoglyph::HomoglyphDb& db,
+                                           std::string_view ascii_label,
+                                           const CandidateOptions& options) {
+  if (ascii_label.empty()) {
+    throw std::invalid_argument{"generate_candidates: empty label"};
+  }
+  unicode::U32String base;
+  base.reserve(ascii_label.size());
+  for (const char c : ascii_label) {
+    const auto b = static_cast<unsigned char>(c);
+    if (b >= 0x80) {
+      throw std::invalid_argument{"generate_candidates: label must be ASCII"};
+    }
+    base.push_back(b);
+  }
+  std::vector<Candidate> out;
+  unicode::U32String current = base;
+  extend(db, options, base, current, 0, 0, out);
+  // Depth-first emission interleaves substitution counts; normalize order.
+  std::stable_sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    return a.substitutions < b.substitutions;
+  });
+  return out;
+}
+
+}  // namespace sham::detect

@@ -1,0 +1,43 @@
+// Homograph candidate generation — the defensive/brand-protection use of
+// the homoglyph database: enumerate the IDN homographs an attacker could
+// register against a given name (bounded), so owners can register or
+// monitor them (Section 6.2 observes such defensive registrations).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "homoglyph/homoglyph_db.hpp"
+#include "idna/tld_policy.hpp"
+
+namespace sham::detect {
+
+struct Candidate {
+  unicode::U32String unicode;  // the homograph label
+  std::string ace;             // its "xn--" form
+  std::size_t substitutions = 0;
+};
+
+struct CandidateOptions {
+  /// Maximum simultaneous character substitutions (1 = classic attacks).
+  std::size_t max_substitutions = 1;
+  /// Hard cap on generated candidates (generation is combinatorial).
+  std::size_t max_candidates = 10000;
+  /// Only emit candidates whose every character is IDNA-PVALID.
+  bool idna_only = true;
+  /// When set, only emit candidates registrable under this TLD's
+  /// inclusion-based IDN table (Section 2.1) — e.g. under .jp, no Latin
+  /// lookalikes survive. Must outlive the call.
+  const idna::TldPolicy* tld_policy = nullptr;
+};
+
+/// Enumerate homograph candidates of an ASCII label (no TLD, no dots).
+/// Candidates are produced in deterministic order: fewer substitutions
+/// first, then by position, then by code point.
+[[nodiscard]] std::vector<Candidate> generate_candidates(
+    const homoglyph::HomoglyphDb& db, std::string_view ascii_label,
+    const CandidateOptions& options = {});
+
+}  // namespace sham::detect

@@ -1,0 +1,175 @@
+#include "detect/detector.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/stopwatch.hpp"
+
+namespace sham::detect {
+
+namespace {
+
+template <typename RefString>
+bool match_impl(const homoglyph::HomoglyphDb& db, const RefString& reference,
+                const unicode::U32String& idn, std::vector<DiffChar>* diffs) {
+  if (reference.size() != idn.size()) return false;
+  if (diffs != nullptr) diffs->clear();
+  bool any_diff = false;
+  for (std::size_t i = 0; i < idn.size(); ++i) {
+    const auto ref_char = static_cast<unicode::CodePoint>(
+        static_cast<std::make_unsigned_t<typename RefString::value_type>>(reference[i]));
+    const auto idn_char = idn[i];
+    if (ref_char == idn_char) continue;
+    const auto source = db.source_of(idn_char, ref_char);
+    if (!source) return false;
+    any_diff = true;
+    if (diffs != nullptr) diffs->push_back({i, idn_char, ref_char, *source});
+  }
+  return any_diff;
+}
+
+}  // namespace
+
+bool HomographDetector::match_pair(std::string_view reference,
+                                   const unicode::U32String& idn,
+                                   std::vector<DiffChar>* diffs) const {
+  return match_impl(*db_, reference, idn, diffs);
+}
+
+bool HomographDetector::match_pair(const unicode::U32String& reference,
+                                   const unicode::U32String& idn,
+                                   std::vector<DiffChar>* diffs) const {
+  return match_impl(*db_, reference, idn, diffs);
+}
+
+std::vector<Match> HomographDetector::detect_unicode(
+    std::span<const unicode::U32String> references, std::span<const IdnEntry> idns,
+    DetectionStats* stats) const {
+  util::Stopwatch watch;
+  DetectionStats local;
+
+  std::unordered_map<std::size_t, std::vector<std::size_t>> by_length;
+  for (std::size_t x = 0; x < idns.size(); ++x) {
+    by_length[idns[x].unicode.size()].push_back(x);
+  }
+
+  std::vector<Match> matches;
+  std::vector<DiffChar> diffs;
+  for (std::size_t r = 0; r < references.size(); ++r) {
+    const auto& ref = references[r];
+    const auto bucket = by_length.find(ref.size());
+    if (bucket == by_length.end()) continue;
+    for (const auto x : bucket->second) {
+      ++local.length_bucket_hits;
+      local.char_comparisons += ref.size();
+      if (match_pair(ref, idns[x].unicode, &diffs)) {
+        matches.push_back({r, x, diffs});
+      }
+    }
+  }
+  local.seconds = watch.seconds();
+  if (stats != nullptr) *stats = local;
+  return matches;
+}
+
+std::vector<Match> HomographDetector::detect(std::span<const std::string> references,
+                                             std::span<const IdnEntry> idns,
+                                             DetectionStats* stats) const {
+  util::Stopwatch watch;
+  DetectionStats local;
+  std::vector<Match> matches;
+  std::vector<DiffChar> diffs;
+
+  for (std::size_t r = 0; r < references.size(); ++r) {
+    const auto& ref = references[r];
+    for (std::size_t x = 0; x < idns.size(); ++x) {
+      const auto& idn = idns[x].unicode;
+      if (idn.size() != ref.size()) continue;
+      ++local.length_bucket_hits;
+      local.char_comparisons += idn.size();
+      if (match_pair(ref, idn, &diffs)) {
+        matches.push_back({r, x, diffs});
+      }
+    }
+  }
+  local.seconds = watch.seconds();
+  if (stats != nullptr) *stats = local;
+  return matches;
+}
+
+std::vector<Match> HomographDetector::detect_indexed(
+    std::span<const std::string> references, std::span<const IdnEntry> idns,
+    DetectionStats* stats) const {
+  util::Stopwatch watch;
+  DetectionStats local;
+
+  std::unordered_map<std::size_t, std::vector<std::size_t>> by_length;
+  for (std::size_t x = 0; x < idns.size(); ++x) {
+    by_length[idns[x].unicode.size()].push_back(x);
+  }
+
+  std::vector<Match> matches;
+  std::vector<DiffChar> diffs;
+  for (std::size_t r = 0; r < references.size(); ++r) {
+    const auto& ref = references[r];
+    const auto bucket = by_length.find(ref.size());
+    if (bucket == by_length.end()) continue;
+    for (const auto x : bucket->second) {
+      ++local.length_bucket_hits;
+      local.char_comparisons += ref.size();
+      if (match_pair(ref, idns[x].unicode, &diffs)) {
+        matches.push_back({r, x, diffs});
+      }
+    }
+  }
+  local.seconds = watch.seconds();
+  if (stats != nullptr) *stats = local;
+  return matches;
+}
+
+std::vector<Match> detect_by_skeleton(const unicode::ConfusablesDb& uc,
+                                      std::span<const std::string> references,
+                                      std::span<const IdnEntry> idns,
+                                      DetectionStats* stats) {
+  util::Stopwatch watch;
+  DetectionStats local;
+
+  std::unordered_map<std::string, std::vector<std::size_t>> ref_by_skeleton;
+  for (std::size_t r = 0; r < references.size(); ++r) {
+    unicode::U32String u;
+    u.reserve(references[r].size());
+    for (const char c : references[r]) {
+      u.push_back(static_cast<unsigned char>(c));
+    }
+    const auto skel = uc.skeleton(u);
+    std::string k;
+    for (const auto cp : skel) {
+      k += std::to_string(cp);
+      k += ',';
+    }
+    ref_by_skeleton[k].push_back(r);
+  }
+
+  std::vector<Match> matches;
+  for (std::size_t x = 0; x < idns.size(); ++x) {
+    const auto skel = uc.skeleton(idns[x].unicode);
+    std::string k;
+    for (const auto cp : skel) {
+      k += std::to_string(cp);
+      k += ',';
+    }
+    const auto it = ref_by_skeleton.find(k);
+    if (it == ref_by_skeleton.end()) continue;
+    for (const auto r : it->second) {
+      // Skip identical strings (a registered ASCII name is not an IDN, but
+      // guard against caller-supplied duplicates).
+      ++local.length_bucket_hits;
+      matches.push_back({r, x, {}});
+    }
+  }
+  local.seconds = watch.seconds();
+  if (stats != nullptr) *stats = local;
+  return matches;
+}
+
+}  // namespace sham::detect

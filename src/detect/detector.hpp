@@ -1,0 +1,95 @@
+// IDN homograph detection (Section 3.1, Algorithm 1 and Figure 2).
+//
+// Given a reference list of popular domain names and the registered IDNs
+// of a TLD (both with the TLD part removed), mark an IDN as a homograph of
+// a reference name when the two strings have equal length and every
+// character position either matches exactly or is a pair in the homoglyph
+// database. Unlike image- or OCR-based approaches, the output pinpoints
+// the differential characters, enabling the countermeasure UI of
+// Section 7.2.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "homoglyph/homoglyph_db.hpp"
+#include "unicode/codepoint.hpp"
+
+namespace sham::detect {
+
+/// One registered IDN, in both wire (ACE) and decoded forms, TLD removed.
+struct IdnEntry {
+  std::string ace;                 // e.g. "xn--ggle-0nda"
+  unicode::U32String unicode;      // decoded U-label sequence
+};
+
+/// A character position where the IDN differs from the reference.
+struct DiffChar {
+  std::size_t index = 0;
+  unicode::CodePoint idn_char = 0;
+  unicode::CodePoint ref_char = 0;
+  homoglyph::Source source = homoglyph::Source::kUc;
+};
+
+struct Match {
+  std::size_t reference_index = 0;  // into the reference list
+  std::size_t idn_index = 0;        // into the IDN list
+  std::vector<DiffChar> diffs;      // nonempty (all-equal strings are not IDNs)
+};
+
+struct DetectionStats {
+  std::uint64_t length_bucket_hits = 0;  // candidate (ref, IDN) pairs examined
+  std::uint64_t char_comparisons = 0;
+  double seconds = 0.0;
+};
+
+class HomographDetector {
+ public:
+  /// The database must outlive the detector.
+  explicit HomographDetector(const homoglyph::HomoglyphDb& db) : db_{&db} {}
+
+  /// Algorithm 1 as printed: outer loop over references, restricted to
+  /// same-length IDNs.
+  [[nodiscard]] std::vector<Match> detect(std::span<const std::string> references,
+                                          std::span<const IdnEntry> idns,
+                                          DetectionStats* stats = nullptr) const;
+
+  /// Same results via a length-bucketed index over the IDN set (builds the
+  /// same-length candidate sets once instead of per reference).
+  [[nodiscard]] std::vector<Match> detect_indexed(
+      std::span<const std::string> references, std::span<const IdnEntry> idns,
+      DetectionStats* stats = nullptr) const;
+
+  /// Match a single (reference, IDN) pair; empty diffs => no match
+  /// (returns true only for genuine homograph matches with ≥1 diff).
+  [[nodiscard]] bool match_pair(std::string_view reference,
+                                const unicode::U32String& idn,
+                                std::vector<DiffChar>* diffs = nullptr) const;
+
+  /// Non-Latin references (Sections 2.2 and 7.1: "an attacker can create
+  /// an IDN homograph of a non-Latin IDN", e.g. エ業大学 spoofing
+  /// 工業大学). Same algorithm with a Unicode reference string.
+  [[nodiscard]] bool match_pair(const unicode::U32String& reference,
+                                const unicode::U32String& idn,
+                                std::vector<DiffChar>* diffs = nullptr) const;
+
+  /// Detect against Unicode reference labels (length-bucketed).
+  [[nodiscard]] std::vector<Match> detect_unicode(
+      std::span<const unicode::U32String> references, std::span<const IdnEntry> idns,
+      DetectionStats* stats = nullptr) const;
+
+ private:
+  const homoglyph::HomoglyphDb* db_;
+};
+
+/// Baseline: UC-skeleton matching in the style of prior character-based
+/// work (Quinkert et al.) — an IDN is a homograph when its UTS #39
+/// skeleton equals the reference string. Does not pinpoint differential
+/// characters and cannot use SimChar pairs.
+[[nodiscard]] std::vector<Match> detect_by_skeleton(
+    const unicode::ConfusablesDb& uc, std::span<const std::string> references,
+    std::span<const IdnEntry> idns, DetectionStats* stats = nullptr);
+
+}  // namespace sham::detect

@@ -1,0 +1,48 @@
+#include "detect/ranking.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "font/metrics.hpp"
+
+namespace sham::detect {
+
+std::optional<int> visual_distance(const font::FontSource& font,
+                                   std::string_view reference,
+                                   const unicode::U32String& idn) {
+  if (reference.size() != idn.size()) return std::nullopt;
+  int total = 0;
+  for (std::size_t i = 0; i < idn.size(); ++i) {
+    const auto ref_char = static_cast<unicode::CodePoint>(
+        static_cast<unsigned char>(reference[i]));
+    if (ref_char == idn[i]) continue;
+    const auto a = font.glyph(ref_char);
+    const auto b = font.glyph(idn[i]);
+    if (!a || !b) return std::nullopt;
+    total += font::delta(*a, *b);
+  }
+  return total;
+}
+
+std::vector<RankedMatch> rank_matches(const font::FontSource& font,
+                                      std::span<const Match> matches,
+                                      std::span<const std::string> references,
+                                      std::span<const IdnEntry> idns) {
+  std::vector<RankedMatch> ranked;
+  ranked.reserve(matches.size());
+  for (const auto& match : matches) {
+    RankedMatch r;
+    r.match = match;
+    const auto d = visual_distance(font, references[match.reference_index],
+                                   idns[match.idn_index].unicode);
+    r.total_visual_delta = d.value_or(std::numeric_limits<int>::max());
+    ranked.push_back(std::move(r));
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedMatch& a, const RankedMatch& b) {
+                     return a.total_visual_delta < b.total_visual_delta;
+                   });
+  return ranked;
+}
+
+}  // namespace sham::detect

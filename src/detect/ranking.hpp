@@ -1,0 +1,35 @@
+// Visual triage of detector output: rank matches by total pixel distance
+// between the IDN and the reference, so analysts see the most deceptive
+// homographs first (a ∆ = 0 whole-glyph clone above an accented variant).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "font/font_source.hpp"
+
+namespace sham::detect {
+
+struct RankedMatch {
+  Match match;
+  /// Sum of glyph ∆ over the differing positions; 0 means every
+  /// substituted character renders pixel-identically to the original.
+  int total_visual_delta = 0;
+};
+
+/// Total glyph distance between an IDN and a same-length reference at the
+/// differing positions; std::nullopt when the font lacks a needed glyph.
+[[nodiscard]] std::optional<int> visual_distance(const font::FontSource& font,
+                                                 std::string_view reference,
+                                                 const unicode::U32String& idn);
+
+/// Rank `matches` most-deceptive (smallest total ∆) first. Matches whose
+/// glyphs the font cannot render sort last, keeping their relative order.
+[[nodiscard]] std::vector<RankedMatch> rank_matches(
+    const font::FontSource& font, std::span<const Match> matches,
+    std::span<const std::string> references, std::span<const IdnEntry> idns);
+
+}  // namespace sham::detect

@@ -1,0 +1,64 @@
+#include "dns/domain.hpp"
+
+#include <stdexcept>
+
+#include "idna/idna.hpp"
+#include "util/strings.hpp"
+
+namespace sham::dns {
+
+namespace {
+
+bool valid_label(std::string_view label) {
+  if (label.empty() || label.size() > 63) return false;
+  for (const char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-' ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return label.front() != '-' && label.back() != '-';
+}
+
+}  // namespace
+
+std::optional<DomainName> DomainName::parse(std::string_view text) {
+  if (!text.empty() && text.back() == '.') text.remove_suffix(1);  // FQDN dot
+  if (text.empty() || text.size() > 253) return std::nullopt;
+  const std::string lowered = util::to_lower_ascii(text);
+  for (const auto label : util::split(lowered, '.')) {
+    if (!valid_label(label)) return std::nullopt;
+  }
+  return DomainName{lowered};
+}
+
+DomainName DomainName::parse_or_throw(std::string_view text) {
+  auto d = parse(text);
+  if (!d) throw std::invalid_argument{"DomainName: invalid name: '" + std::string{text} + "'"};
+  return *std::move(d);
+}
+
+std::vector<std::string_view> DomainName::labels() const {
+  return util::split(name_, '.');
+}
+
+std::string_view DomainName::tld() const {
+  const auto dot = name_.rfind('.');
+  if (dot == std::string::npos) return {};
+  return std::string_view{name_}.substr(dot + 1);
+}
+
+std::string_view DomainName::sld() const {
+  const auto parts = labels();
+  if (parts.size() == 1) return parts[0];
+  return parts[parts.size() - 2];
+}
+
+std::string_view DomainName::without_tld() const {
+  const auto dot = name_.rfind('.');
+  if (dot == std::string::npos) return std::string_view{name_};
+  return std::string_view{name_}.substr(0, dot);
+}
+
+bool DomainName::is_idn() const { return idna::is_idn(name_); }
+
+}  // namespace sham::dns

@@ -1,0 +1,101 @@
+#include "dns/langid.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "unicode/script.hpp"
+
+namespace sham::dns {
+
+std::string_view language_name(Language lang) noexcept {
+  switch (lang) {
+    case Language::kChinese: return "Chinese";
+    case Language::kKorean: return "Korean";
+    case Language::kJapanese: return "Japanese";
+    case Language::kGerman: return "German";
+    case Language::kTurkish: return "Turkish";
+    case Language::kFrench: return "French";
+    case Language::kSpanish: return "Spanish";
+    case Language::kPortuguese: return "Portuguese";
+    case Language::kPolish: return "Polish";
+    case Language::kCzech: return "Czech";
+    case Language::kVietnamese: return "Vietnamese";
+    case Language::kNordic: return "Nordic";
+    case Language::kRussian: return "Russian";
+    case Language::kArabic: return "Arabic";
+    case Language::kThai: return "Thai";
+    case Language::kGreek: return "Greek";
+    case Language::kHebrew: return "Hebrew";
+    case Language::kHindi: return "Hindi";
+    case Language::kTamil: return "Tamil";
+    case Language::kEnglishAscii: return "English/ASCII";
+    case Language::kOther: return "Other";
+  }
+  return "??";
+}
+
+namespace {
+
+bool contains_any(const unicode::U32String& text,
+                  std::initializer_list<unicode::CodePoint> set) {
+  return std::any_of(text.begin(), text.end(), [&](unicode::CodePoint cp) {
+    return std::find(set.begin(), set.end(), cp) != set.end();
+  });
+}
+
+Language classify_latin(const unicode::U32String& label) {
+  // Characteristic letters, checked in specificity order.
+  if (contains_any(label, {0x0131, 0x011F, 0x015F, 0x0130})) return Language::kTurkish;   // ı ğ ş İ
+  if (contains_any(label, {0x00DF, 0x00E4, 0x00F6, 0x00FC})) return Language::kGerman;    // ß ä ö ü
+  if (contains_any(label, {0x0105, 0x0119, 0x0142, 0x017C, 0x017A})) return Language::kPolish;
+  if (contains_any(label, {0x011B, 0x0159, 0x016F, 0x010D, 0x0161})) return Language::kCzech;
+  if (contains_any(label, {0x01A1, 0x01B0, 0x0111, 0x1EA1, 0x1EBF})) return Language::kVietnamese;
+  if (contains_any(label, {0x00E5, 0x00F8, 0x00E6})) return Language::kNordic;            // å ø æ
+  if (contains_any(label, {0x00E3, 0x00F5})) return Language::kPortuguese;                // ã õ
+  if (contains_any(label, {0x00F1, 0x00ED, 0x00F3, 0x00FA})) return Language::kSpanish;   // ñ í ó ú
+  if (contains_any(label, {0x00E9, 0x00E8, 0x00EA, 0x00E7, 0x00E0})) return Language::kFrench;
+  bool ascii_only = std::all_of(label.begin(), label.end(), unicode::is_ascii);
+  return ascii_only ? Language::kEnglishAscii : Language::kOther;
+}
+
+}  // namespace
+
+Language classify_language(const unicode::U32String& label) {
+  using unicode::Script;
+  bool has_han = false;
+  bool has_kana = false;
+  bool has_hangul = false;
+  bool has_latin = false;
+  Script other = Script::kCommon;
+
+  for (const auto cp : label) {
+    switch (unicode::script_of(cp)) {
+      case Script::kHan: has_han = true; break;
+      case Script::kHiragana:
+      case Script::kKatakana: has_kana = true; break;
+      case Script::kHangul: has_hangul = true; break;
+      case Script::kLatin: has_latin = true; break;
+      case Script::kCommon:
+      case Script::kInherited: break;
+      default: other = unicode::script_of(cp); break;
+    }
+  }
+
+  if (has_kana) return Language::kJapanese;
+  if (has_hangul) return Language::kKorean;
+  if (has_han) return Language::kChinese;
+  switch (other) {
+    case Script::kCyrillic: return Language::kRussian;
+    case Script::kArabic: return Language::kArabic;
+    case Script::kThai: return Language::kThai;
+    case Script::kGreek: return Language::kGreek;
+    case Script::kHebrew: return Language::kHebrew;
+    case Script::kDevanagari: return Language::kHindi;
+    case Script::kTamil: return Language::kTamil;
+    default: break;
+  }
+  if (has_latin || !label.empty()) return classify_latin(label);
+  return Language::kOther;
+}
+
+}  // namespace sham::dns

@@ -1,0 +1,24 @@
+// Language identification for IDN labels (Table 7 of the paper used the
+// langid.py module). This stand-in classifies by script composition plus
+// characteristic-character evidence for Latin-script languages — the level
+// of signal short domain labels actually carry.
+#pragma once
+
+#include <string_view>
+
+#include "unicode/codepoint.hpp"
+
+namespace sham::dns {
+
+enum class Language : std::uint8_t {
+  kChinese, kKorean, kJapanese, kGerman, kTurkish, kFrench, kSpanish,
+  kPortuguese, kPolish, kCzech, kVietnamese, kNordic, kRussian, kArabic,
+  kThai, kGreek, kHebrew, kHindi, kTamil, kEnglishAscii, kOther,
+};
+
+[[nodiscard]] std::string_view language_name(Language lang) noexcept;
+
+/// Classify the most plausible language of a decoded IDN label.
+[[nodiscard]] Language classify_language(const unicode::U32String& label);
+
+}  // namespace sham::dns

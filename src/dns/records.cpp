@@ -1,0 +1,62 @@
+#include "dns/records.hpp"
+
+#include "util/strings.hpp"
+
+namespace sham::dns {
+
+std::string_view record_type_name(RecordType type) noexcept {
+  switch (type) {
+    case RecordType::kNs: return "NS";
+    case RecordType::kA: return "A";
+    case RecordType::kAaaa: return "AAAA";
+    case RecordType::kMx: return "MX";
+    case RecordType::kCname: return "CNAME";
+    case RecordType::kTxt: return "TXT";
+  }
+  return "??";
+}
+
+std::optional<RecordType> parse_record_type(std::string_view text) noexcept {
+  if (text == "NS") return RecordType::kNs;
+  if (text == "A") return RecordType::kA;
+  if (text == "AAAA") return RecordType::kAaaa;
+  if (text == "MX") return RecordType::kMx;
+  if (text == "CNAME") return RecordType::kCname;
+  if (text == "TXT") return RecordType::kTxt;
+  return std::nullopt;
+}
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    std::uint64_t octet = 0;
+    for (const char c : part) {
+      if (c < '0' || c > '9') return std::nullopt;
+      octet = octet * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (octet > 255) return std::nullopt;
+    value = (value << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return Ipv4{value};
+}
+
+std::string Ipv4::str() const {
+  return std::to_string((value >> 24) & 0xFF) + '.' + std::to_string((value >> 16) & 0xFF) +
+         '.' + std::to_string((value >> 8) & 0xFF) + '.' + std::to_string(value & 0xFF);
+}
+
+std::string ResourceRecord::rdata_str() const {
+  switch (type) {
+    case RecordType::kA:
+      return address.str();
+    case RecordType::kMx:
+      return std::to_string(priority) + " " + target;
+    default:
+      return target;
+  }
+}
+
+}  // namespace sham::dns

@@ -1,0 +1,57 @@
+// DNS master-file (zone file) reader/writer — the format registries like
+// Verisign publish for .com, which is Step 1's input (Section 3.1, 5.2).
+// Supports the subset registry zones use: $ORIGIN/$TTL directives,
+// owner-relative names, NS/A/AAAA/MX/CNAME/TXT records, ';' comments,
+// and blank owner continuation (repeat previous owner).
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/records.hpp"
+
+namespace sham::dns {
+
+struct Zone {
+  DomainName origin;
+  std::uint32_t default_ttl = 86400;
+  std::vector<ResourceRecord> records;
+
+  /// Distinct owner names (ascending) — the registered-domain list Step 1
+  /// extracts from a zone.
+  [[nodiscard]] std::vector<DomainName> owners() const;
+};
+
+class ZoneParseError : public std::runtime_error {
+ public:
+  ZoneParseError(std::size_t line, const std::string& message)
+      : std::runtime_error{"zone line " + std::to_string(line) + ": " + message},
+        line_{line} {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parse zone text; throws ZoneParseError on malformed input.
+[[nodiscard]] Zone parse_zone(std::string_view text);
+
+/// Streaming variant: invoke `sink` per record without materialising the
+/// zone (registry zones are tens of GB in the paper's setting).
+void parse_zone_stream(std::string_view text,
+                       const std::function<void(const ResourceRecord&)>& sink);
+
+/// Serialize back to master-file text (round-trips with parse_zone).
+[[nodiscard]] std::string serialize_zone(const Zone& zone);
+
+/// Stream a zone file from disk line-by-line without loading it into
+/// memory (registry zones run to tens of GB; Section 5.2). Throws
+/// std::runtime_error if the file cannot be opened, ZoneParseError on
+/// malformed records. Returns the number of records delivered to `sink`.
+std::size_t parse_zone_file(const std::string& path,
+                            const std::function<void(const ResourceRecord&)>& sink);
+
+}  // namespace sham::dns

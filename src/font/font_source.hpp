@@ -1,0 +1,35 @@
+// Abstract glyph source. SimChar construction is font-agnostic (Section
+// 3.3: "the following procedure can easily be extended to other font
+// sets") — it consumes any FontSource.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "font/glyph.hpp"
+#include "unicode/codepoint.hpp"
+
+namespace sham::font {
+
+class FontSource {
+ public:
+  virtual ~FontSource() = default;
+
+  /// Render the glyph of `cp` as a 32x32 binary bitmap, or nullopt if the
+  /// font does not cover `cp`.
+  [[nodiscard]] virtual std::optional<GlyphBitmap> glyph(unicode::CodePoint cp) const = 0;
+
+  /// All code points this font covers, ascending.
+  [[nodiscard]] virtual std::vector<unicode::CodePoint> coverage() const = 0;
+
+  /// Human-readable name (reported in experiment output).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] bool covers(unicode::CodePoint cp) const { return glyph(cp).has_value(); }
+};
+
+using FontSourcePtr = std::shared_ptr<const FontSource>;
+
+}  // namespace sham::font

@@ -1,0 +1,138 @@
+#include "font/freetype_font.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#ifdef SHAM_HAVE_FREETYPE
+#include <ft2build.h>
+#include FT_FREETYPE_H
+#endif
+
+namespace sham::font {
+
+bool freetype_available() noexcept {
+#ifdef SHAM_HAVE_FREETYPE
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::vector<std::string> default_font_paths() {
+  return {
+      "/usr/share/fonts/truetype/unifont/unifont.ttf",
+      "/usr/share/fonts/truetype/dejavu/DejaVuSans.ttf",
+      "/usr/share/fonts/truetype/dejavu/DejaVuSansMono.ttf",
+      "/usr/share/fonts/truetype/noto/NotoSans-Regular.ttf",
+  };
+}
+
+#ifdef SHAM_HAVE_FREETYPE
+
+struct FreeTypeFont::Impl {
+  FT_Library library = nullptr;
+  FT_Face face = nullptr;
+  // FreeType faces are not thread-safe; glyph() serializes on this.
+  mutable std::mutex mutex;
+};
+
+FreeTypeFont::FreeTypeFont(const std::string& path) : impl_{new Impl} {
+  if (FT_Init_FreeType(&impl_->library) != 0) {
+    delete impl_;
+    impl_ = nullptr;
+    throw std::runtime_error{"FreeTypeFont: FT_Init_FreeType failed"};
+  }
+  if (FT_New_Face(impl_->library, path.c_str(), 0, &impl_->face) != 0) {
+    FT_Done_FreeType(impl_->library);
+    delete impl_;
+    impl_ = nullptr;
+    throw std::runtime_error{"FreeTypeFont: cannot open face: " + path};
+  }
+  // Render slightly under the cell so ascenders/descenders fit after the
+  // glyph is centred into the 32x32 cell.
+  FT_Set_Pixel_Sizes(impl_->face, 0, 24);
+  name_ = "freetype:" + path;
+}
+
+FreeTypeFont::~FreeTypeFont() {
+  if (impl_ != nullptr) {
+    if (impl_->face != nullptr) FT_Done_Face(impl_->face);
+    if (impl_->library != nullptr) FT_Done_FreeType(impl_->library);
+    delete impl_;
+  }
+}
+
+std::optional<GlyphBitmap> FreeTypeFont::glyph(unicode::CodePoint cp) const {
+  std::lock_guard lock{impl_->mutex};
+  const FT_UInt index = FT_Get_Char_Index(impl_->face, cp);
+  if (index == 0) return std::nullopt;
+  if (FT_Load_Glyph(impl_->face, index, FT_LOAD_RENDER | FT_LOAD_TARGET_MONO) != 0) {
+    return std::nullopt;
+  }
+  const FT_Bitmap& bm = impl_->face->glyph->bitmap;
+  if (bm.width == 0 || bm.rows == 0) return GlyphBitmap{};  // blank (e.g. space)
+  if (bm.width > 32 || bm.rows > 32) return std::nullopt;   // does not fit the cell
+
+  GlyphBitmap out;
+  // Horizontally centre; vertically place on a common baseline (y = 26)
+  // using bitmap_top so that 'o' and 'ó' land on the same rows.
+  const int x0 = (32 - static_cast<int>(bm.width)) / 2;
+  constexpr int kBaseline = 26;
+  int y0 = kBaseline - impl_->face->glyph->bitmap_top;
+  if (y0 < 0) y0 = 0;
+  if (y0 + static_cast<int>(bm.rows) > 32) y0 = 32 - static_cast<int>(bm.rows);
+
+  for (unsigned y = 0; y < bm.rows; ++y) {
+    const unsigned char* row = bm.buffer + static_cast<std::size_t>(y) * bm.pitch;
+    for (unsigned x = 0; x < bm.width; ++x) {
+      if ((row[x >> 3] >> (7 - (x & 7))) & 1) {
+        out.set(x0 + static_cast<int>(x), y0 + static_cast<int>(y));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<unicode::CodePoint> FreeTypeFont::coverage() const {
+  std::lock_guard lock{impl_->mutex};
+  std::vector<unicode::CodePoint> out;
+  FT_UInt gindex = 0;
+  FT_ULong cp = FT_Get_First_Char(impl_->face, &gindex);
+  while (gindex != 0) {
+    if (cp <= unicode::kMaxCodePoint) out.push_back(static_cast<unicode::CodePoint>(cp));
+    cp = FT_Get_Next_Char(impl_->face, cp, &gindex);
+  }
+  return out;
+}
+
+#else  // !SHAM_HAVE_FREETYPE
+
+struct FreeTypeFont::Impl {};
+
+FreeTypeFont::FreeTypeFont(const std::string&) {
+  throw std::runtime_error{"FreeTypeFont: built without FreeType support"};
+}
+
+FreeTypeFont::~FreeTypeFont() = default;
+
+std::optional<GlyphBitmap> FreeTypeFont::glyph(unicode::CodePoint) const {
+  return std::nullopt;
+}
+
+std::vector<unicode::CodePoint> FreeTypeFont::coverage() const { return {}; }
+
+#endif
+
+FontSourcePtr FreeTypeFont::open_system_font() {
+  if (!freetype_available()) return nullptr;
+  for (const auto& path : default_font_paths()) {
+    try {
+      return std::make_shared<FreeTypeFont>(path);
+    } catch (const std::exception&) {
+      continue;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace sham::font

@@ -1,0 +1,47 @@
+// FreeType-backed glyph source: rasterizes a real scalable font (e.g. the
+// system DejaVu Sans) into the 32x32 binary bitmaps that SimChar consumes.
+// This is the "other font sets" extension the paper names as future work
+// (Section 7.1), and doubles as our stand-in for GNU Unifont when the
+// Unifont .hex data file is not available (see DESIGN.md section 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "font/font_source.hpp"
+
+namespace sham::font {
+
+/// True if this build has FreeType support compiled in.
+[[nodiscard]] bool freetype_available() noexcept;
+
+/// Well-known system font paths to probe, most-preferred first.
+[[nodiscard]] std::vector<std::string> default_font_paths();
+
+class FreeTypeFont final : public FontSource {
+ public:
+  /// Open `path` and prepare to render at a 32px nominal size. Throws
+  /// std::runtime_error if FreeType is unavailable or the face fails to
+  /// load.
+  explicit FreeTypeFont(const std::string& path);
+  ~FreeTypeFont() override;
+
+  FreeTypeFont(const FreeTypeFont&) = delete;
+  FreeTypeFont& operator=(const FreeTypeFont&) = delete;
+
+  /// Load the first available font from default_font_paths(); returns
+  /// nullptr when none can be opened (callers fall back to SyntheticFont).
+  static FontSourcePtr open_system_font();
+
+  // FontSource:
+  [[nodiscard]] std::optional<GlyphBitmap> glyph(unicode::CodePoint cp) const override;
+  [[nodiscard]] std::vector<unicode::CodePoint> coverage() const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+  std::string name_;
+};
+
+}  // namespace sham::font

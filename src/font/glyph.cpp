@@ -1,0 +1,23 @@
+#include "font/glyph.hpp"
+
+#include <bit>
+
+namespace sham::font {
+
+int GlyphBitmap::popcount() const noexcept {
+  int sum = 0;
+  for (const auto w : words_) sum += std::popcount(w);
+  return sum;
+}
+
+std::string GlyphBitmap::ascii_art() const {
+  std::string out;
+  out.reserve((kSize + 1) * kSize);
+  for (int y = 0; y < kSize; ++y) {
+    for (int x = 0; x < kSize; ++x) out += get(x, y) ? '#' : '.';
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sham::font

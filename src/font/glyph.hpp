@@ -1,0 +1,82 @@
+// Binary glyph bitmaps. The SimChar pipeline represents every character as
+// a 32x32 black-and-white image (Section 3.3, Step I) and compares pairs
+// with the pixel-difference metric ∆ (Step II).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "unicode/codepoint.hpp"
+
+namespace sham::font {
+
+/// A 32x32 binary image, one bit per pixel, packed row-major into sixteen
+/// 64-bit words (two rows per word). Value semantics; trivially copyable.
+class GlyphBitmap {
+ public:
+  static constexpr int kSize = 32;
+  static constexpr int kWords = kSize * kSize / 64;
+
+  constexpr GlyphBitmap() = default;
+
+  [[nodiscard]] constexpr bool get(int x, int y) const noexcept {
+    const int bit = y * kSize + x;
+    return (words_[bit >> 6] >> (bit & 63)) & 1U;
+  }
+
+  constexpr void set(int x, int y, bool on = true) noexcept {
+    const int bit = y * kSize + x;
+    const std::uint64_t mask = 1ULL << (bit & 63);
+    if (on) {
+      words_[bit >> 6] |= mask;
+    } else {
+      words_[bit >> 6] &= ~mask;
+    }
+  }
+
+  constexpr void flip(int x, int y) noexcept {
+    const int bit = y * kSize + x;
+    words_[bit >> 6] ^= 1ULL << (bit & 63);
+  }
+
+  /// Number of black pixels. Sparse glyphs (<10 black pixels) are dropped
+  /// by SimChar Step III.
+  [[nodiscard]] int popcount() const noexcept;
+
+  [[nodiscard]] const std::array<std::uint64_t, kWords>& words() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] std::array<std::uint64_t, kWords>& words() noexcept { return words_; }
+
+  [[nodiscard]] bool operator==(const GlyphBitmap&) const = default;
+
+  /// Multi-line ASCII rendering ('#' = black, '.' = white) for demos/tests.
+  [[nodiscard]] std::string ascii_art() const;
+
+  /// Nearest-neighbour upscale of a WxH sub-grid bitmap into 32x32
+  /// (how 8x16 / 16x16 Unifont cells become 32x32 images, Step I).
+  /// `src_get(x, y)` reads the source pixel. Throws std::invalid_argument
+  /// if 32 is not divisible by w or h.
+  template <typename GetPixel>
+  static GlyphBitmap upscale(int w, int h, GetPixel src_get) {
+    GlyphBitmap out;
+    if (w <= 0 || h <= 0 || kSize % w != 0 || kSize % h != 0) {
+      throw std::invalid_argument{"GlyphBitmap::upscale: bad source size"};
+    }
+    const int sx = kSize / w;
+    const int sy = kSize / h;
+    for (int y = 0; y < kSize; ++y) {
+      for (int x = 0; x < kSize; ++x) {
+        if (src_get(x / sx, y / sy)) out.set(x, y);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::uint64_t, kWords> words_{};
+};
+
+}  // namespace sham::font

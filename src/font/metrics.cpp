@@ -1,0 +1,60 @@
+#include "font/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace sham::font {
+
+int delta(const GlyphBitmap& a, const GlyphBitmap& b) noexcept {
+  int sum = 0;
+  for (int w = 0; w < GlyphBitmap::kWords; ++w) {
+    sum += std::popcount(a.words()[w] ^ b.words()[w]);
+  }
+  return sum;
+}
+
+int delta_bounded(const GlyphBitmap& a, const GlyphBitmap& b, int limit) noexcept {
+  int sum = 0;
+  for (int w = 0; w < GlyphBitmap::kWords; ++w) {
+    sum += std::popcount(a.words()[w] ^ b.words()[w]);
+    if (sum > limit) return sum;
+  }
+  return sum;
+}
+
+double mse(const GlyphBitmap& a, const GlyphBitmap& b) noexcept {
+  constexpr double n2 = GlyphBitmap::kSize * GlyphBitmap::kSize;
+  return delta(a, b) / n2;
+}
+
+double psnr(const GlyphBitmap& a, const GlyphBitmap& b) noexcept {
+  const int d = delta(a, b);
+  if (d == 0) return std::numeric_limits<double>::infinity();
+  return 20.0 * std::log10(GlyphBitmap::kSize) - 10.0 * std::log10(static_cast<double>(d));
+}
+
+double ssim(const GlyphBitmap& a, const GlyphBitmap& b) noexcept {
+  constexpr double n = GlyphBitmap::kSize * GlyphBitmap::kSize;
+  constexpr double c1 = 0.01 * 0.01;  // (k1·L)², L = 1 for binary images
+  constexpr double c2 = 0.03 * 0.03;
+
+  const double pa = a.popcount();
+  const double pb = b.popcount();
+  const double mu_a = pa / n;
+  const double mu_b = pb / n;
+  // For 0/1 pixels: E[x²] = E[x], so var = μ(1-μ); covariance from the
+  // overlap count (pixels black in both).
+  int both = 0;
+  for (int w = 0; w < GlyphBitmap::kWords; ++w) {
+    both += std::popcount(a.words()[w] & b.words()[w]);
+  }
+  const double var_a = mu_a * (1.0 - mu_a);
+  const double var_b = mu_b * (1.0 - mu_b);
+  const double cov = both / n - mu_a * mu_b;
+
+  return ((2 * mu_a * mu_b + c1) * (2 * cov + c2)) /
+         ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2));
+}
+
+}  // namespace sham::font

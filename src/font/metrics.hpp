@@ -1,0 +1,29 @@
+// Image-similarity metrics between glyph bitmaps (Section 3.3):
+// ∆ (pixel difference count), MSE, PSNR, and SSIM for comparison.
+#pragma once
+
+#include "font/glyph.hpp"
+
+namespace sham::font {
+
+/// ∆ = Σ |I1(i,j) − I2(i,j)| — the number of differing pixels.
+[[nodiscard]] int delta(const GlyphBitmap& a, const GlyphBitmap& b) noexcept;
+
+/// ∆ with early exit: returns some value > `limit` as soon as the partial
+/// sum exceeds `limit` (the exact value is unspecified beyond the limit).
+[[nodiscard]] int delta_bounded(const GlyphBitmap& a, const GlyphBitmap& b,
+                                int limit) noexcept;
+
+/// MSE = ∆ / N²  (binary pixels, Section 3.3).
+[[nodiscard]] double mse(const GlyphBitmap& a, const GlyphBitmap& b) noexcept;
+
+/// PSNR = 20·log10(N) − 10·log10(∆); +inf when ∆ = 0.
+[[nodiscard]] double psnr(const GlyphBitmap& a, const GlyphBitmap& b) noexcept;
+
+/// Structural similarity index over the binary images (global statistics
+/// variant with the standard k1=0.01, k2=0.03 stabilisers, dynamic range 1).
+/// Provided for parity with the paper's discussion of SSIM; SimChar itself
+/// uses ∆.
+[[nodiscard]] double ssim(const GlyphBitmap& a, const GlyphBitmap& b) noexcept;
+
+}  // namespace sham::font

@@ -1,0 +1,216 @@
+#include "font/paper_font.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "unicode/category.hpp"
+#include "unicode/confusables.hpp"
+#include "unicode/idna_properties.hpp"
+
+namespace sham::font {
+
+namespace {
+
+// Lowercase donor pool: IDNA-permitted lowercase letters from the scripts
+// that realistic Latin homoglyphs come from (accented Latin, IPA, Greek,
+// Cyrillic, Armenian, Georgian, Cherokee small letters, Latin Ext C/D/E).
+std::vector<unicode::CodePoint> lowercase_donor_pool() {
+  static const std::vector<std::pair<unicode::CodePoint, unicode::CodePoint>> ranges{
+      {0x00E0, 0x00FF}, {0x0100, 0x017F}, {0x0180, 0x024F}, {0x0250, 0x02AF},
+      {0x03AC, 0x03CE}, {0x0430, 0x045F}, {0x0460, 0x0481}, {0x048A, 0x04FF},
+      {0x0500, 0x052F}, {0x0561, 0x0586}, {0x10D0, 0x10FA}, {0x13F8, 0x13FD},
+      {0x1E00, 0x1EFF}, {0x2C61, 0x2C7B}, {0xA723, 0xA78C}, {0xA791, 0xA7BF},
+      {0xAB30, 0xAB5A}, {0xAB70, 0xABBF},
+  };
+  std::vector<unicode::CodePoint> pool;
+  for (const auto& [first, last] : ranges) {
+    for (unicode::CodePoint cp = first; cp <= last; ++cp) {
+      if (unicode::general_category(cp) == unicode::GeneralCategory::kLl &&
+          unicode::is_idna_permitted(cp)) {
+        pool.push_back(cp);
+      }
+    }
+  }
+  return pool;
+}
+
+struct BlockClusterSpec {
+  unicode::CodePoint range_start;
+  unicode::CodePoint stride;  // spacing between consecutive cluster bases
+  int clusters;
+  int members_per_cluster;
+};
+
+}  // namespace
+
+const std::vector<std::pair<char, int>>& table3_simchar_counts() {
+  // Paper Table 3, SimChar column: homoglyph counts per lowercase letter.
+  static const std::vector<std::pair<char, int>> counts{
+      {'o', 40}, {'e', 26}, {'n', 24}, {'w', 20}, {'c', 19}, {'l', 18},
+      {'u', 18}, {'h', 17}, {'i', 16}, {'s', 14}, {'r', 14}, {'a', 14},
+      {'k', 13}, {'t', 13}, {'z', 12}, {'d', 10}, {'y', 9},  {'b', 8},
+      {'f', 8},  {'m', 8},  {'g', 7},  {'j', 7},  {'p', 7},  {'x', 6},
+      {'q', 2},  {'v', 1},
+  };
+  return counts;
+}
+
+PaperFont make_paper_font(const PaperFontConfig& config) {
+  if (config.scale <= 0.0) throw std::invalid_argument{"make_paper_font: scale <= 0"};
+  SyntheticFontBuilder builder{config.seed, "synthetic-paper-scale"};
+
+  // --- Filler coverage: broad PVALID ranges, capped per block to keep the
+  // default build interactive. Proportions follow Unifont's BMP coverage
+  // (CJK/Hangul dominate).
+  const auto cap = [&](double base) {
+    return static_cast<std::size_t>(base * config.scale);
+  };
+  builder.cover_range(0x0020, 0x024F);                 // Latin repertoire
+  builder.cover_range(0x0250, 0x02AF);                 // IPA
+  builder.cover_range(0x0370, 0x03FF);                 // Greek
+  builder.cover_range(0x0400, 0x052F);                 // Cyrillic
+  builder.cover_range(0x0530, 0x058F);                 // Armenian
+  builder.cover_range(0x05D0, 0x05EA);                 // Hebrew
+  builder.cover_range(0x0620, 0x06FF, cap(260));       // Arabic
+  builder.cover_range(0x0900, 0x0DFF, cap(600));       // Indic blocks
+  builder.cover_range(0x0E01, 0x0EFF, cap(140));       // Thai/Lao
+  builder.cover_range(0x10D0, 0x10FA);                 // Georgian
+  builder.cover_range(0x1200, 0x137F, cap(320));       // Ethiopic
+  builder.cover_range(0x13A0, 0x13FD, cap(90));        // Cherokee
+  builder.cover_range(0x1400, 0x167F, cap(500));       // Canadian Aboriginal
+  builder.cover_range(0x1780, 0x17B3, cap(60));        // Khmer
+  builder.cover_range(0x1E00, 0x1FFF, cap(300));       // Latin Add./Greek Ext.
+  builder.cover_range(0x3041, 0x30FE, cap(180));       // Hiragana/Katakana
+  builder.cover_range(0x3400, 0x4DBF, cap(900));       // CJK Ext A
+  builder.cover_range(0x4E00, 0x9FFF, cap(2600));      // CJK Unified
+  builder.cover_range(0xA000, 0xA48F, cap(380));       // Yi
+  builder.cover_range(0xA4D0, 0xA4F7);                 // Lisu
+  builder.cover_range(0xA500, 0xA63F, cap(200));       // Vai
+  builder.cover_range(0xAC00, 0xD7A3, cap(5200));      // Hangul Syllables
+  builder.cover_range(0x1E900, 0x1E943, cap(40));      // Adlam (SMP presence)
+
+  // --- Table 3: per-letter homoglyph members with ∆ ≤ 4, plus a ∆ = 5..8
+  // ladder per letter for the threshold experiments.
+  auto pool = lowercase_donor_pool();
+  // Letters themselves cannot be donors.
+  std::erase_if(pool, [](unicode::CodePoint cp) { return cp < 0x80; });
+  std::size_t next_donor = 0;
+  auto take_donor = [&]() {
+    if (next_donor >= pool.size()) {
+      throw std::runtime_error{"make_paper_font: donor pool exhausted"};
+    }
+    return pool[next_donor++];
+  };
+
+  // Pinned donors: characters that named experiments rely on. The Table 11
+  // case-study homographs (gmaıl, döviz, yàhoo, ...) need these specific
+  // accented characters to be SimChar homoglyphs of their base letters,
+  // and a few UC members are pinned so SimChar ∩ UC is nonempty (Table 1).
+  static const std::unordered_map<char, std::vector<unicode::CodePoint>> kPinned{
+      {'a', {0x00E0, 0x00E4, 0x0430}},  // à ä + Cyrillic а (UC overlap)
+      {'e', {0x00EA, 0x00E9}},          // ê é
+      {'i', {0x0131, 0x0456}},          // dotless ı + Cyrillic і (UC overlap)
+      {'l', {0x013A}},                  // ĺ
+      {'o', {0x00F6, 0x00F3, 0x03BF}},  // ö ó + Greek ο (UC overlap)
+      {'u', {0x00FA}},                  // ú
+      {'g', {0x0261}},                  // ɡ (UC overlap)
+  };
+  std::unordered_set<unicode::CodePoint> pinned_set;
+  for (const auto& [letter, cps] : kPinned) {
+    pinned_set.insert(cps.begin(), cps.end());
+  }
+
+  // UC's Latin-lookalike characters are genuinely confusable but, per the
+  // paper's Figure 10/11 finding, *less* confusable than SimChar pairs on
+  // average. Render them just above the SimChar threshold (∆ = 5-6) so
+  // they stay out of SimChar while remaining visually close — except the
+  // pinned overlap members above, which land in both databases.
+  std::unordered_map<char, std::vector<unicode::CodePoint>> uc_members;
+  {
+    int alt = 0;
+    for (const auto& [source, proto] : unicode::ConfusablesDb::embedded()
+                                           .single_char_pairs()) {
+      if (proto < 'a' || proto > 'z') continue;
+      if (!unicode::is_idna_permitted(source)) continue;
+      if (pinned_set.contains(source)) continue;
+      uc_members[static_cast<char>(proto)].push_back(source);
+      pinned_set.insert(source);  // reserve: not reusable as a generic donor
+      (void)alt;
+    }
+  }
+  std::erase_if(pool, [&](unicode::CodePoint cp) { return pinned_set.contains(cp); });
+
+  // ∆ assignment cycle for the ≤4 members: conservative-threshold-heavy,
+  // with some exact duplicates (∆ = 0) as Unifont genuinely has.
+  static constexpr int kDeltaCycle[] = {4, 3, 4, 2, 4, 3, 1, 4, 2, 3, 4, 0};
+  for (const auto& [letter, count] : table3_simchar_counts()) {
+    std::vector<PlantedMember> members;
+    members.reserve(static_cast<std::size_t>(count) + 4u * config.ladder_members_per_delta);
+    int planted_count = 0;
+    if (const auto pin = kPinned.find(letter); pin != kPinned.end()) {
+      for (const auto cp : pin->second) {
+        members.push_back({cp, 1 + planted_count % 4});
+        ++planted_count;
+      }
+    }
+    for (int i = planted_count; i < count; ++i) {
+      members.push_back({take_donor(), kDeltaCycle[i % std::size(kDeltaCycle)]});
+    }
+    if (const auto uc_it = uc_members.find(letter); uc_it != uc_members.end()) {
+      int alt = 0;
+      for (const auto cp : uc_it->second) {
+        members.push_back({cp, 5 + (alt++ % 2)});
+      }
+    }
+    for (int d = 5; d <= 8; ++d) {
+      for (int i = 0; i < config.ladder_members_per_delta; ++i) {
+        members.push_back({take_donor(), d});
+      }
+    }
+    builder.plant_cluster(static_cast<unicode::CodePoint>(letter), members);
+  }
+
+  // --- Block-level clusters (Table 4 shape: Hangul >> CJK ~ CA > Vai >
+  // Arabic). Bases are spaced by `stride` so clusters never overlap.
+  const BlockClusterSpec block_specs[] = {
+      {0xAC10, 11, static_cast<int>(330 * config.scale) + 60, 2},  // Hangul
+      {0x4E50, 23, static_cast<int>(22 * config.scale) + 2, 2},   // CJK
+      {0x1410, 9, static_cast<int>(20 * config.scale) + 2, 2},    // Canadian Aboriginal
+      {0xA510, 7, static_cast<int>(7 * config.scale) + 1, 2},     // Vai
+      {0x0621, 5, static_cast<int>(5 * config.scale) + 1, 2},     // Arabic
+  };
+  for (const auto& spec : block_specs) {
+    unicode::CodePoint cp = spec.range_start;
+    for (int c = 0; c < spec.clusters; ++c, cp += spec.stride) {
+      // Skip forward to a PVALID base so the cluster survives the IDNA
+      // intersection in the SimChar builder.
+      while (!unicode::is_idna_permitted(cp)) ++cp;
+      std::vector<PlantedMember> members;
+      for (int m = 1; m <= spec.members_per_cluster; ++m) {
+        unicode::CodePoint mcp = cp + static_cast<unicode::CodePoint>(m);
+        while (!unicode::is_idna_permitted(mcp)) ++mcp;
+        members.push_back({mcp, 1 + (m + c) % 4});
+      }
+      builder.plant_cluster(cp, members);
+    }
+  }
+
+  // --- Sparse characters (Figure 7 examples plus combining-mark ranges).
+  for (const unicode::CodePoint cp :
+       {0x1BE7u, 0x2DF5u, 0xA953u, 0xABECu, 0x0E47u, 0x0E48u, 0x0E49u, 0x1DC0u,
+        0x1DC1u, 0x1DC2u, 0x0ECAu, 0x0302u, 0x0303u, 0x0FB5u}) {
+    if (unicode::is_idna_permitted(cp)) {
+      builder.plant_sparse(cp, 4 + static_cast<int>(cp % 5));
+    }
+  }
+
+  PaperFont result;
+  result.font = builder.build();
+  result.clusters = builder.planted();
+  result.sparse = builder.sparse_planted();
+  return result;
+}
+
+}  // namespace sham::font

@@ -1,0 +1,39 @@
+// The "paper-scale" synthetic font: a SyntheticFont workload whose planted
+// homoglyph structure mirrors the shape of the paper's SimChar findings —
+// per-Latin-letter homoglyph counts following Table 3, block composition
+// following Table 4 (Hangul >> CJK ~ Canadian Aboriginal > Vai > Arabic),
+// a ∆ = 0..8 ladder per letter for the threshold study (Figures 6 and 9),
+// and sparse characters for Step III (Figure 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "font/synthetic_font.hpp"
+
+namespace sham::font {
+
+struct PaperFontConfig {
+  std::uint64_t seed = 42;
+  /// Scales the filler coverage (total characters rendered) — the paper's
+  /// full repertoire is 52,457 characters; scale 1.0 targets ~12,000 for
+  /// sub-minute experiment turnaround. Cost benches sweep this upward.
+  double scale = 1.0;
+  /// Members planted per exact ∆ in {5..8} per letter, feeding Figure 9's
+  /// above-threshold samples.
+  int ladder_members_per_delta = 3;
+};
+
+struct PaperFont {
+  FontSourcePtr font;
+  std::vector<PlantedCluster> clusters;       // ground truth
+  std::vector<unicode::CodePoint> sparse;     // planted sparse characters
+};
+
+/// Number of SimChar homoglyphs of each Basic Latin lowercase letter that
+/// the plan plants with ∆ ≤ 4 (the paper's Table 3, SimChar column).
+[[nodiscard]] const std::vector<std::pair<char, int>>& table3_simchar_counts();
+
+[[nodiscard]] PaperFont make_paper_font(const PaperFontConfig& config = {});
+
+}  // namespace sham::font

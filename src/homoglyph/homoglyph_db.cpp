@@ -1,0 +1,158 @@
+#include "homoglyph/homoglyph_db.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "unicode/idna_properties.hpp"
+#include "util/strings.hpp"
+
+namespace sham::homoglyph {
+
+std::uint64_t HomoglyphDb::key(unicode::CodePoint a, unicode::CodePoint b) noexcept {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+void HomoglyphDb::add_pair(unicode::CodePoint a, unicode::CodePoint b, Source source) {
+  if (a == b) return;
+  auto [it, inserted] = pair_source_.try_emplace(key(a, b), source);
+  if (!inserted) {
+    it->second = static_cast<Source>(static_cast<std::uint8_t>(it->second) |
+                                     static_cast<std::uint8_t>(source));
+    return;
+  }
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+}
+
+HomoglyphDb::HomoglyphDb(const simchar::SimCharDb& simchar_db,
+                         const unicode::ConfusablesDb& uc_db, const DbConfig& config) {
+  const auto permitted = [&](unicode::CodePoint cp) {
+    return !config.idna_only || unicode::is_idna_permitted(cp);
+  };
+  if (config.use_uc) {
+    for (const auto& [source, proto] : uc_db.single_char_pairs()) {
+      if (permitted(source) && permitted(proto)) add_pair(source, proto, Source::kUc);
+    }
+  }
+  if (config.use_simchar) {
+    for (const auto& p : simchar_db.pairs()) {
+      // SimChar is built from the PVALID repertoire already; the check is
+      // kept for externally loaded databases.
+      if (permitted(p.a) && permitted(p.b)) add_pair(p.a, p.b, Source::kSimChar);
+    }
+  }
+  for (auto& [cp, neighbours] : adjacency_) {
+    std::sort(neighbours.begin(), neighbours.end());
+  }
+}
+
+bool HomoglyphDb::are_homoglyphs(unicode::CodePoint a, unicode::CodePoint b) const {
+  return a != b && pair_source_.contains(key(a, b));
+}
+
+std::optional<Source> HomoglyphDb::source_of(unicode::CodePoint a,
+                                             unicode::CodePoint b) const {
+  if (a == b) return std::nullopt;
+  const auto it = pair_source_.find(key(a, b));
+  if (it == pair_source_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<unicode::CodePoint> HomoglyphDb::homoglyphs_of(unicode::CodePoint cp) const {
+  const auto it = adjacency_.find(cp);
+  if (it == adjacency_.end()) return {};
+  return it->second;
+}
+
+std::size_t HomoglyphDb::pair_count(Source source) const {
+  // A pair counts toward `source` when its provenance includes every bit of
+  // `source`: kUc/kSimChar mean "listed in that database (possibly both)",
+  // kBoth means "listed in both".
+  const auto want = static_cast<std::uint8_t>(source);
+  std::size_t n = 0;
+  for (const auto& [k, s] : pair_source_) {
+    if ((static_cast<std::uint8_t>(s) & want) == want) ++n;
+  }
+  return n;
+}
+
+std::string HomoglyphDb::serialize() const {
+  // Deterministic order: sort by key.
+  std::vector<std::pair<std::uint64_t, Source>> items{pair_source_.begin(),
+                                                      pair_source_.end()};
+  std::sort(items.begin(), items.end());
+  std::string out;
+  out.reserve(items.size() * 24);
+  for (const auto& [k, source] : items) {
+    out += util::format_codepoint(static_cast<unicode::CodePoint>(k >> 32));
+    out += ' ';
+    out += util::format_codepoint(static_cast<unicode::CodePoint>(k & 0xFFFFFFFF));
+    out += ' ';
+    switch (source) {
+      case Source::kUc: out += "UC"; break;
+      case Source::kSimChar: out += "SimChar"; break;
+      case Source::kBoth: out += "both"; break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+HomoglyphDb HomoglyphDb::parse(std::string_view text) {
+  HomoglyphDb db;
+  std::size_t line_no = 0;
+  for (const auto line : util::split(text, '\n')) {
+    ++line_no;
+    const auto body = util::trim(line);
+    if (body.empty() || body.front() == '#') continue;
+    const auto fields = util::split_ws(body);
+    if (fields.size() != 3) {
+      throw std::invalid_argument{"HomoglyphDb::parse: line " +
+                                  std::to_string(line_no) + ": expected 3 fields"};
+    }
+    const auto a = util::parse_hex_codepoint(fields[0]);
+    const auto b = util::parse_hex_codepoint(fields[1]);
+    Source source;
+    if (fields[2] == "UC") {
+      source = Source::kUc;
+    } else if (fields[2] == "SimChar") {
+      source = Source::kSimChar;
+    } else if (fields[2] == "both") {
+      source = Source::kBoth;
+    } else {
+      throw std::invalid_argument{"HomoglyphDb::parse: line " +
+                                  std::to_string(line_no) + ": bad source tag"};
+    }
+    db.add_pair(a, b, source);
+  }
+  for (auto& [cp, neighbours] : db.adjacency_) {
+    std::sort(neighbours.begin(), neighbours.end());
+  }
+  return db;
+}
+
+std::optional<unicode::U32String> HomoglyphDb::revert_to_ascii(
+    const unicode::U32String& text) const {
+  unicode::U32String out;
+  out.reserve(text.size());
+  for (const auto cp : text) {
+    if (unicode::is_ascii(cp)) {
+      out.push_back(cp);
+      continue;
+    }
+    unicode::CodePoint best = 0;
+    for (const auto h : homoglyphs_of(cp)) {
+      if (unicode::is_ldh(h)) {
+        best = h;
+        break;  // adjacency is sorted: first LDH hit is the smallest
+      }
+    }
+    if (best == 0) return std::nullopt;
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace sham::homoglyph

@@ -1,0 +1,79 @@
+// The homoglyph database used by the detector: the union of UC
+// (confusables.txt) and SimChar, with per-pair provenance (Figure 2 of the
+// paper shows both sub-databases feeding the matcher). Also implements the
+// "reverting to original domains" analysis of Section 6.4.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "simchar/simchar.hpp"
+#include "unicode/confusables.hpp"
+
+namespace sham::homoglyph {
+
+enum class Source : std::uint8_t {
+  kUc = 1,
+  kSimChar = 2,
+  kBoth = 3,
+};
+
+/// Which sub-databases to consult — the measurement study compares UC-only
+/// (the prior approach of Quinkert et al.), SimChar-only, and the union
+/// (Tables 8 and 14).
+struct DbConfig {
+  bool use_uc = true;
+  bool use_simchar = true;
+  /// Keep only pairs whose characters are all IDNA-PVALID (UC lists many
+  /// characters that cannot appear in registered IDNs).
+  bool idna_only = true;
+};
+
+class HomoglyphDb {
+ public:
+  HomoglyphDb() = default;
+
+  /// Compose from a SimChar database and a confusables database.
+  HomoglyphDb(const simchar::SimCharDb& simchar_db,
+              const unicode::ConfusablesDb& uc_db, const DbConfig& config = {});
+
+  /// True if {a, b} are listed as homoglyphs (symmetric, irreflexive).
+  [[nodiscard]] bool are_homoglyphs(unicode::CodePoint a, unicode::CodePoint b) const;
+
+  /// Provenance of the pair, if listed.
+  [[nodiscard]] std::optional<Source> source_of(unicode::CodePoint a,
+                                                unicode::CodePoint b) const;
+
+  [[nodiscard]] std::vector<unicode::CodePoint> homoglyphs_of(unicode::CodePoint cp) const;
+
+  /// Pair counts by provenance (for Table 1-style set arithmetic).
+  [[nodiscard]] std::size_t pair_count() const noexcept { return pair_source_.size(); }
+  [[nodiscard]] std::size_t pair_count(Source source) const;
+  [[nodiscard]] std::size_t character_count() const noexcept { return adjacency_.size(); }
+
+  /// Replace every non-ASCII character that has a Basic Latin (LDH)
+  /// homoglyph with that homoglyph. Returns std::nullopt if any non-ASCII
+  /// character has no LDH homoglyph — i.e. the string cannot be an IDN
+  /// homograph of an ASCII domain under this database.
+  [[nodiscard]] std::optional<unicode::U32String> revert_to_ascii(
+      const unicode::U32String& text) const;
+
+  /// Text serialization with provenance ("U+XXXX U+YYYY UC|SimChar|both"
+  /// per line) — the portable artifact Section 7.2 proposes embedding in
+  /// clients (browser extensions, mail filters). Round-trips with parse().
+  [[nodiscard]] std::string serialize() const;
+  static HomoglyphDb parse(std::string_view text);
+
+ private:
+  static std::uint64_t key(unicode::CodePoint a, unicode::CodePoint b) noexcept;
+  void add_pair(unicode::CodePoint a, unicode::CodePoint b, Source source);
+
+  std::unordered_map<std::uint64_t, Source> pair_source_;
+  std::unordered_map<unicode::CodePoint, std::vector<unicode::CodePoint>> adjacency_;
+};
+
+}  // namespace sham::homoglyph

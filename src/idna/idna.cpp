@@ -1,0 +1,147 @@
+#include "idna/idna.hpp"
+
+#include <stdexcept>
+
+#include "idna/punycode.hpp"
+#include "unicode/idna_properties.hpp"
+#include "unicode/utf8.hpp"
+#include "util/strings.hpp"
+
+namespace sham::idna {
+
+namespace {
+
+constexpr std::size_t kMaxLabelOctets = 63;
+
+bool all_ascii(const unicode::U32String& label) {
+  for (const auto cp : label) {
+    if (!unicode::is_ascii(cp)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_a_label(std::string_view label) {
+  if (label.size() < kAcePrefix.size()) return false;
+  for (std::size_t i = 0; i < kAcePrefix.size(); ++i) {
+    char c = label[i];
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    if (c != kAcePrefix[i]) return false;
+  }
+  return true;
+}
+
+bool is_idn(std::string_view domain) {
+  for (const auto label : util::split(domain, '.')) {
+    if (is_a_label(label)) return true;
+  }
+  return false;
+}
+
+std::string to_a_label(const unicode::U32String& label) {
+  if (label.empty()) throw std::invalid_argument{"to_a_label: empty label"};
+  std::string out;
+  if (all_ascii(label)) {
+    out.reserve(label.size());
+    for (const auto cp : label) {
+      char c = static_cast<char>(cp);
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      out += c;
+    }
+  } else {
+    // Lowercase ASCII subset first (IDNA maps before encoding).
+    unicode::U32String mapped = label;
+    for (auto& cp : mapped) {
+      if (cp >= 'A' && cp <= 'Z') cp = cp - 'A' + 'a';
+    }
+    out = std::string{kAcePrefix} + punycode_encode(mapped);
+  }
+  if (out.size() > kMaxLabelOctets) {
+    throw std::invalid_argument{"to_a_label: label exceeds 63 octets: " + out};
+  }
+  return out;
+}
+
+std::optional<unicode::U32String> to_u_label(std::string_view label) {
+  if (is_a_label(label)) {
+    auto decoded = punycode_decode(label.substr(kAcePrefix.size()));
+    if (!decoded) return std::nullopt;
+    // Round-trip check: an A-label must re-encode to itself (catches
+    // non-canonical encodings such as encoded pure-ASCII labels).
+    for (const auto cp : *decoded) {
+      if (!unicode::is_scalar_value(cp)) return std::nullopt;
+    }
+    return decoded;
+  }
+  unicode::U32String out;
+  out.reserve(label.size());
+  for (const char c : label) {
+    const auto b = static_cast<unsigned char>(c);
+    if (b >= 0x80) return std::nullopt;  // raw non-ASCII in wire-format name
+    out.push_back(b >= 'A' && b <= 'Z' ? b - 'A' + 'a' : b);
+  }
+  return out;
+}
+
+std::string domain_to_ascii(const unicode::U32String& domain) {
+  std::vector<std::string> labels;
+  unicode::U32String current;
+  auto flush = [&] {
+    labels.push_back(to_a_label(current));
+    current.clear();
+  };
+  for (const auto cp : domain) {
+    if (cp == '.') {
+      flush();
+    } else {
+      current.push_back(cp);
+    }
+  }
+  flush();
+  return util::join(labels, ".");
+}
+
+std::string domain_to_ascii_utf8(std::string_view domain_utf8) {
+  const auto decoded = unicode::decode_utf8(domain_utf8);
+  if (!decoded) throw std::invalid_argument{"domain_to_ascii_utf8: invalid UTF-8"};
+  return domain_to_ascii(*decoded);
+}
+
+std::optional<unicode::U32String> domain_to_unicode(std::string_view domain) {
+  unicode::U32String out;
+  bool first = true;
+  for (const auto label : util::split(domain, '.')) {
+    if (!first) out.push_back('.');
+    first = false;
+    const auto u = to_u_label(label);
+    if (!u) return std::nullopt;
+    out.insert(out.end(), u->begin(), u->end());
+  }
+  return out;
+}
+
+std::string domain_display(std::string_view domain) {
+  const auto u = domain_to_unicode(domain);
+  if (!u) return std::string{domain};
+  return unicode::to_utf8(*u);
+}
+
+bool is_valid_u_label(const unicode::U32String& label) {
+  if (label.empty()) return false;
+  if (label.front() == '-' || label.back() == '-') return false;
+  if (label.size() >= 4 && label[2] == '-' && label[3] == '-') {
+    // "??--" is reserved for ACE-style prefixes.
+    return false;
+  }
+  for (const auto cp : label) {
+    if (!unicode::is_idna_permitted(cp)) return false;
+  }
+  try {
+    return to_a_label(label).size() <= kMaxLabelOctets;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace sham::idna

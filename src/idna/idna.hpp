@@ -1,0 +1,52 @@
+// IDNA label and domain conversion between U-label (Unicode) and A-label
+// ("xn--" + Punycode) forms, plus the IDN-extraction predicate that Step 2
+// of the ShamFinder pipeline uses (domains starting with "xn--").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "unicode/codepoint.hpp"
+
+namespace sham::idna {
+
+inline constexpr std::string_view kAcePrefix = "xn--";
+
+/// True if the (single) label carries the ACE prefix.
+[[nodiscard]] bool is_a_label(std::string_view label);
+
+/// True if any label of the dot-separated domain name is an A-label.
+/// This is the paper's "extract IDNs" predicate (Section 3.1, Step 2).
+[[nodiscard]] bool is_idn(std::string_view domain);
+
+/// Convert one Unicode label to its A-label. Pure-ASCII labels pass
+/// through unchanged (lowercased). Throws std::invalid_argument for empty
+/// labels or labels that would exceed the 63-octet LDH limit.
+[[nodiscard]] std::string to_a_label(const unicode::U32String& label);
+
+/// Decode one label: A-labels are Punycode-decoded; plain labels decode as
+/// ASCII. Returns std::nullopt for malformed A-labels.
+[[nodiscard]] std::optional<unicode::U32String> to_u_label(std::string_view label);
+
+/// Convert a whole Unicode domain (code points, '.' separated via U+002E)
+/// to its ASCII form; each label is converted independently.
+[[nodiscard]] std::string domain_to_ascii(const unicode::U32String& domain);
+
+/// UTF-8 convenience overload.
+[[nodiscard]] std::string domain_to_ascii_utf8(std::string_view domain_utf8);
+
+/// Decode a (possibly ACE-encoded) ASCII domain to code points; malformed
+/// A-labels yield std::nullopt.
+[[nodiscard]] std::optional<unicode::U32String> domain_to_unicode(std::string_view domain);
+
+/// Render a decoded domain as UTF-8 for display.
+[[nodiscard]] std::string domain_display(std::string_view domain);
+
+/// Validate a single U-label against IDNA2008 lexical rules used here:
+/// nonempty, ≤63 octets in ACE form, all code points PVALID (or LDH),
+/// no leading/trailing hyphen, no "--" in positions 3-4 unless ACE.
+[[nodiscard]] bool is_valid_u_label(const unicode::U32String& label);
+
+}  // namespace sham::idna

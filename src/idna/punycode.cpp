@@ -1,0 +1,141 @@
+#include "idna/punycode.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace sham::idna {
+
+namespace {
+
+// RFC 3492 section 5: parameter values for IDNA's Bootstring instance.
+constexpr std::uint32_t kBase = 36;
+constexpr std::uint32_t kTMin = 1;
+constexpr std::uint32_t kTMax = 26;
+constexpr std::uint32_t kSkew = 38;
+constexpr std::uint32_t kDamp = 700;
+constexpr std::uint32_t kInitialBias = 72;
+constexpr std::uint32_t kInitialN = 128;
+constexpr char kDelimiter = '-';
+
+constexpr std::uint32_t kMaxUint = std::numeric_limits<std::uint32_t>::max();
+
+// RFC 3492 section 6.1.
+std::uint32_t adapt(std::uint32_t delta, std::uint32_t num_points, bool first_time) {
+  delta = first_time ? delta / kDamp : delta / 2;
+  delta += delta / num_points;
+  std::uint32_t k = 0;
+  while (delta > ((kBase - kTMin) * kTMax) / 2) {
+    delta /= kBase - kTMin;
+    k += kBase;
+  }
+  return k + (((kBase - kTMin + 1) * delta) / (delta + kSkew));
+}
+
+char encode_digit(std::uint32_t d) {
+  // 0..25 -> 'a'..'z', 26..35 -> '0'..'9'
+  return d < 26 ? static_cast<char>('a' + d) : static_cast<char>('0' + d - 26);
+}
+
+std::optional<std::uint32_t> decode_digit(char c) {
+  if (c >= 'a' && c <= 'z') return static_cast<std::uint32_t>(c - 'a');
+  if (c >= 'A' && c <= 'Z') return static_cast<std::uint32_t>(c - 'A');
+  if (c >= '0' && c <= '9') return static_cast<std::uint32_t>(c - '0' + 26);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string punycode_encode(const unicode::U32String& input) {
+  std::string output;
+  for (const auto cp : input) {
+    if (!unicode::is_scalar_value(cp)) {
+      throw std::invalid_argument{"punycode_encode: non-scalar input"};
+    }
+    if (cp < 0x80) output += static_cast<char>(cp);
+  }
+  const std::uint32_t basic_count = static_cast<std::uint32_t>(output.size());
+  std::uint32_t handled = basic_count;
+  if (basic_count > 0) output += kDelimiter;
+
+  std::uint32_t n = kInitialN;
+  std::uint32_t delta = 0;
+  std::uint32_t bias = kInitialBias;
+
+  while (handled < input.size()) {
+    // Find the smallest code point >= n among the unhandled ones.
+    std::uint32_t m = kMaxUint;
+    for (const auto cp : input) {
+      if (cp >= n && cp < m) m = cp;
+    }
+    if (m - n > (kMaxUint - delta) / (handled + 1)) {
+      throw std::overflow_error{"punycode_encode: overflow"};
+    }
+    delta += (m - n) * (handled + 1);
+    n = m;
+
+    for (const auto cp : input) {
+      if (cp < n && ++delta == 0) throw std::overflow_error{"punycode_encode: overflow"};
+      if (cp == n) {
+        std::uint32_t q = delta;
+        for (std::uint32_t k = kBase;; k += kBase) {
+          const std::uint32_t t = k <= bias ? kTMin : (k >= bias + kTMax ? kTMax : k - bias);
+          if (q < t) break;
+          output += encode_digit(t + (q - t) % (kBase - t));
+          q = (q - t) / (kBase - t);
+        }
+        output += encode_digit(q);
+        bias = adapt(delta, handled + 1, handled == basic_count);
+        delta = 0;
+        ++handled;
+      }
+    }
+    ++delta;
+    ++n;
+  }
+  return output;
+}
+
+std::optional<unicode::U32String> punycode_decode(std::string_view input) {
+  unicode::U32String output;
+
+  // Basic code points precede the last delimiter (if any).
+  std::size_t basic_end = input.rfind(kDelimiter);
+  if (basic_end == std::string_view::npos) basic_end = 0;
+  for (std::size_t i = 0; i < basic_end; ++i) {
+    const auto c = static_cast<unsigned char>(input[i]);
+    if (c >= 0x80) return std::nullopt;
+    output.push_back(c);
+  }
+
+  std::size_t in = basic_end > 0 ? basic_end + 1 : 0;
+  std::uint32_t n = kInitialN;
+  std::uint32_t i = 0;
+  std::uint32_t bias = kInitialBias;
+
+  while (in < input.size()) {
+    const std::uint32_t old_i = i;
+    std::uint32_t w = 1;
+    for (std::uint32_t k = kBase;; k += kBase) {
+      if (in >= input.size()) return std::nullopt;  // truncated
+      const auto digit = decode_digit(input[in++]);
+      if (!digit) return std::nullopt;
+      if (*digit > (kMaxUint - i) / w) return std::nullopt;  // overflow
+      i += *digit * w;
+      const std::uint32_t t = k <= bias ? kTMin : (k >= bias + kTMax ? kTMax : k - bias);
+      if (*digit < t) break;
+      if (w > kMaxUint / (kBase - t)) return std::nullopt;  // overflow
+      w *= kBase - t;
+    }
+    const auto out_size = static_cast<std::uint32_t>(output.size());
+    bias = adapt(i - old_i, out_size + 1, old_i == 0);
+    if (i / (out_size + 1) > kMaxUint - n) return std::nullopt;  // overflow
+    n += i / (out_size + 1);
+    i %= out_size + 1;
+    if (!unicode::is_scalar_value(n)) return std::nullopt;
+    output.insert(output.begin() + i, n);
+    ++i;
+  }
+  return output;
+}
+
+}  // namespace sham::idna

@@ -1,0 +1,23 @@
+// Punycode (RFC 3492): the Bootstring encoding that represents a Unicode
+// label as LDH ASCII for the DNS wire format. IDN labels carry the ACE
+// prefix "xn--" in front of the Punycode output (RFC 5890).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "unicode/codepoint.hpp"
+
+namespace sham::idna {
+
+/// Encode code points to Punycode (without the "xn--" prefix).
+/// Throws std::invalid_argument on non-scalar input, std::overflow_error if
+/// the input would overflow the delta arithmetic (RFC 3492 section 6.4).
+[[nodiscard]] std::string punycode_encode(const unicode::U32String& input);
+
+/// Decode Punycode (without prefix). Returns std::nullopt on malformed
+/// input (bad digit, overflow, out-of-range code point).
+[[nodiscard]] std::optional<unicode::U32String> punycode_decode(std::string_view input);
+
+}  // namespace sham::idna

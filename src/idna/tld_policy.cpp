@@ -1,0 +1,104 @@
+#include "idna/tld_policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "idna/idna.hpp"
+
+namespace sham::idna {
+
+TldPolicy::TldPolicy(std::string tld, std::vector<Range> permitted)
+    : tld_{std::move(tld)}, permitted_{std::move(permitted)} {
+  std::sort(permitted_.begin(), permitted_.end(),
+            [](const Range& a, const Range& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i < permitted_.size(); ++i) {
+    if (permitted_[i].first > permitted_[i].last) {
+      throw std::invalid_argument{"TldPolicy: inverted range"};
+    }
+    if (i > 0 && permitted_[i].first <= permitted_[i - 1].last) {
+      throw std::invalid_argument{"TldPolicy: overlapping ranges"};
+    }
+  }
+}
+
+bool TldPolicy::permits(unicode::CodePoint cp) const {
+  if (unicode::is_ldh(cp)) return true;  // LDH is universal
+  const auto it = std::lower_bound(
+      permitted_.begin(), permitted_.end(), cp,
+      [](const Range& r, unicode::CodePoint value) { return r.last < value; });
+  return it != permitted_.end() && cp >= it->first;
+}
+
+bool TldPolicy::is_registrable(const unicode::U32String& label) const {
+  if (!is_valid_u_label(label)) return false;
+  return std::all_of(label.begin(), label.end(),
+                     [&](unicode::CodePoint cp) { return permits(cp); });
+}
+
+const TldPolicy& TldPolicy::com() {
+  static const TldPolicy policy{
+      "com",
+      {
+          {0x00C0, 0x024F},  // accented Latin, Extended A/B
+          {0x0250, 0x02AF},  // IPA
+          {0x0370, 0x03FF},  // Greek
+          {0x0400, 0x052F},  // Cyrillic + supplement
+          {0x0530, 0x058F},  // Armenian
+          {0x0590, 0x05FF},  // Hebrew
+          {0x0600, 0x06FF},  // Arabic
+          {0x0900, 0x0DFF},  // Indic blocks
+          {0x0E00, 0x0EFF},  // Thai, Lao
+          {0x0F00, 0x0FFF},  // Tibetan
+          {0x10A0, 0x10FF},  // Georgian
+          {0x1100, 0x11FF},  // Hangul Jamo (registry table; IDNA still rejects)
+          {0x1200, 0x137F},  // Ethiopic
+          {0x13A0, 0x13FD},  // Cherokee
+          {0x1400, 0x167F},  // Canadian Aboriginal
+          {0x1780, 0x17FF},  // Khmer
+          {0x1E00, 0x1FFF},  // Latin Additional, Greek Extended
+          {0x3005, 0x3007},  // ideographic iteration/zero
+          {0x3040, 0x30FF},  // Hiragana, Katakana
+          {0x3105, 0x312F},  // Bopomofo
+          {0x3400, 0x4DBF},  // CJK Ext A
+          {0x4E00, 0x9FFF},  // CJK Unified
+          {0xA000, 0xA4CF},  // Yi
+          {0xA4D0, 0xA4FF},  // Lisu
+          {0xA500, 0xA63F},  // Vai
+          {0xAC00, 0xD7A3},  // Hangul Syllables
+      }};
+  return policy;
+}
+
+const TldPolicy& TldPolicy::jp() {
+  static const TldPolicy policy{
+      "jp",
+      {
+          {0x3005, 0x3007},  // 々, 〆, 〇
+          {0x3041, 0x3096},  // Hiragana
+          {0x30A1, 0x30FA},  // Katakana
+          {0x30FC, 0x30FC},  // prolonged sound mark
+          {0x3400, 0x4DBF},  // CJK Ext A (subset in reality)
+          {0x4E00, 0x9FFF},  // CJK Unified (subset in reality)
+      }};
+  return policy;
+}
+
+const TldPolicy& TldPolicy::de() {
+  static const TldPolicy policy{
+      "de",
+      {
+          {0x00DF, 0x00F6},  // ß, à..ö
+          {0x00F8, 0x00FF},  // ø..ÿ
+          {0x0101, 0x017F},  // Latin Extended-A lowercase
+      }};
+  return policy;
+}
+
+const TldPolicy* TldPolicy::find(std::string_view tld) {
+  if (tld == "com") return &com();
+  if (tld == "jp") return &jp();
+  if (tld == "de") return &de();
+  return nullptr;
+}
+
+}  // namespace sham::idna

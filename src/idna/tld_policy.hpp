@@ -1,0 +1,57 @@
+// Per-TLD IDN registration policies (Section 2.1 of the paper).
+//
+// The 2003 ICANN guideline requires registries to be "inclusion-based":
+// each TLD publishes an IDN table of the code points it accepts (kept by
+// IANA). The paper's examples: .com permits characters from 97 Unicode
+// blocks, while .jp permits only LDH + Hiragana + Katakana + a CJK subset
+// — so the Latin homograph "ácm.jp" is not registrable, but .com-style
+// policies leave the whole homoglyph space open.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "unicode/codepoint.hpp"
+
+namespace sham::idna {
+
+/// An inclusion-based registration policy: a label is registrable iff it
+/// is IDNA-valid and every code point falls in a permitted range.
+class TldPolicy {
+ public:
+  struct Range {
+    unicode::CodePoint first = 0;
+    unicode::CodePoint last = 0;
+  };
+
+  TldPolicy(std::string tld, std::vector<Range> permitted);
+
+  [[nodiscard]] const std::string& tld() const noexcept { return tld_; }
+
+  /// True iff every character of the label is permitted by this TLD's IDN
+  /// table (LDH is always permitted) and the label is a valid U-label.
+  [[nodiscard]] bool is_registrable(const unicode::U32String& label) const;
+
+  [[nodiscard]] bool permits(unicode::CodePoint cp) const;
+
+  /// Built-in policies modelled on IANA's IDN tables:
+  /// ".com"  — broad multi-block policy (Latin/Greek/Cyrillic/Arabic/
+  ///           Hebrew/CJK/Hangul/kana/Indic/...; the paper counts 97
+  ///           blocks);
+  /// ".jp"   — LDH + Hiragana + Katakana + CJK subset (no Latin-lookalike
+  ///           homoglyphs);
+  /// ".de"   — LDH + Latin letters with diacritics only.
+  static const TldPolicy& com();
+  static const TldPolicy& jp();
+  static const TldPolicy& de();
+
+  /// Look up a built-in policy by TLD string; nullptr when unknown.
+  static const TldPolicy* find(std::string_view tld);
+
+ private:
+  std::string tld_;
+  std::vector<Range> permitted_;  // sorted, disjoint
+};
+
+}  // namespace sham::idna

@@ -1,0 +1,166 @@
+#include "internet/idn_corpus.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "idna/idna.hpp"
+
+namespace sham::internet {
+
+namespace {
+
+using unicode::CodePoint;
+using unicode::U32String;
+
+CodePoint pick_in(util::Rng& rng, CodePoint first, CodePoint last) {
+  return first + static_cast<CodePoint>(rng.below(last - first + 1));
+}
+
+U32String chinese_label(util::Rng& rng) {
+  // Common-use ideographs cluster in the lower CJK Unified range.
+  const int n = 2 + static_cast<int>(rng.below(3));
+  U32String out;
+  for (int i = 0; i < n; ++i) out.push_back(pick_in(rng, 0x4E00, 0x62FF));
+  return out;
+}
+
+U32String korean_label(util::Rng& rng) {
+  const int n = 2 + static_cast<int>(rng.below(4));
+  U32String out;
+  for (int i = 0; i < n; ++i) out.push_back(pick_in(rng, 0xAC00, 0xD7A3));
+  return out;
+}
+
+U32String japanese_label(util::Rng& rng) {
+  const int n = 3 + static_cast<int>(rng.below(4));
+  U32String out;
+  for (int i = 0; i < n; ++i) {
+    switch (rng.below(3)) {
+      case 0: out.push_back(pick_in(rng, 0x3042, 0x3093)); break;  // Hiragana
+      case 1: out.push_back(pick_in(rng, 0x30A2, 0x30F3)); break;  // Katakana
+      default: out.push_back(pick_in(rng, 0x4E00, 0x57FF)); break; // Kanji
+    }
+  }
+  return out;
+}
+
+U32String latin_with(util::Rng& rng, std::initializer_list<CodePoint> special) {
+  const int n = 4 + static_cast<int>(rng.below(7));
+  const std::size_t special_at = rng.below(static_cast<std::uint64_t>(n));
+  U32String out;
+  for (int i = 0; i < n; ++i) {
+    if (static_cast<std::size_t>(i) == special_at) {
+      out.push_back(*(special.begin() + rng.below(special.size())));
+    } else {
+      out.push_back('a' + static_cast<CodePoint>(rng.below(26)));
+    }
+  }
+  return out;
+}
+
+U32String russian_label(util::Rng& rng) {
+  const int n = 4 + static_cast<int>(rng.below(6));
+  U32String out;
+  for (int i = 0; i < n; ++i) out.push_back(pick_in(rng, 0x0430, 0x044F));
+  return out;
+}
+
+U32String arabic_label(util::Rng& rng) {
+  const int n = 3 + static_cast<int>(rng.below(5));
+  U32String out;
+  for (int i = 0; i < n; ++i) out.push_back(pick_in(rng, 0x0627, 0x064A));
+  return out;
+}
+
+U32String thai_label(util::Rng& rng) {
+  const int n = 3 + static_cast<int>(rng.below(5));
+  U32String out;
+  for (int i = 0; i < n; ++i) out.push_back(pick_in(rng, 0x0E01, 0x0E2E));
+  return out;
+}
+
+U32String greek_label(util::Rng& rng) {
+  const int n = 4 + static_cast<int>(rng.below(5));
+  U32String out;
+  for (int i = 0; i < n; ++i) out.push_back(pick_in(rng, 0x03B1, 0x03C9));
+  return out;
+}
+
+struct LanguageSpec {
+  dns::Language language;
+  double weight;
+  U32String (*make)(util::Rng&);
+};
+
+}  // namespace
+
+std::vector<IdnSample> make_idn_corpus(std::size_t count, std::uint64_t seed,
+                                       const LanguageMix& mix) {
+  const double used =
+      mix.chinese + mix.korean + mix.japanese + mix.german + mix.turkish;
+  if (used > 1.0) throw std::invalid_argument{"make_idn_corpus: weights exceed 1"};
+  const double rest = (1.0 - used) / 6.0;
+
+  static const auto german = +[](util::Rng& rng) {
+    return latin_with(rng, {0x00E4u, 0x00F6u, 0x00FCu, 0x00DFu});
+  };
+  static const auto turkish = +[](util::Rng& rng) {
+    return latin_with(rng, {0x0131u, 0x011Fu, 0x015Fu});
+  };
+  static const auto french = +[](util::Rng& rng) {
+    return latin_with(rng, {0x00E9u, 0x00E8u, 0x00EAu, 0x00E7u});
+  };
+  static const auto spanish = +[](util::Rng& rng) {
+    return latin_with(rng, {0x00F1u, 0x00EDu, 0x00F3u});
+  };
+
+  const LanguageSpec specs[] = {
+      {dns::Language::kChinese, mix.chinese, &chinese_label},
+      {dns::Language::kKorean, mix.korean, &korean_label},
+      {dns::Language::kJapanese, mix.japanese, &japanese_label},
+      {dns::Language::kGerman, mix.german, german},
+      {dns::Language::kTurkish, mix.turkish, turkish},
+      {dns::Language::kFrench, rest, french},
+      {dns::Language::kSpanish, rest, spanish},
+      {dns::Language::kRussian, rest, &russian_label},
+      {dns::Language::kArabic, rest, &arabic_label},
+      {dns::Language::kThai, rest, &thai_label},
+      {dns::Language::kGreek, rest, &greek_label},
+  };
+
+  util::Rng rng{seed};
+  std::vector<IdnSample> out;
+  out.reserve(count);
+  std::unordered_set<std::string> seen;
+  std::size_t guard = 0;
+
+  while (out.size() < count) {
+    // Sample a language by weight.
+    double u = rng.uniform();
+    const LanguageSpec* chosen = &specs[std::size(specs) - 1];
+    for (const auto& spec : specs) {
+      if (u < spec.weight) {
+        chosen = &spec;
+        break;
+      }
+      u -= spec.weight;
+    }
+    IdnSample sample;
+    sample.language = chosen->language;
+    sample.label = chosen->make(rng);
+    try {
+      sample.ace = idna::to_a_label(sample.label);
+    } catch (const std::invalid_argument&) {
+      continue;  // over-long label; resample
+    }
+    if (seen.insert(sample.ace).second) {
+      out.push_back(std::move(sample));
+      guard = 0;
+    } else if (++guard > 10000) {
+      throw std::runtime_error{"make_idn_corpus: label space exhausted"};
+    }
+  }
+  return out;
+}
+
+}  // namespace sham::internet

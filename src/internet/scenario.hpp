@@ -1,0 +1,113 @@
+// Scenario generation: a seeded synthetic .com ecosystem whose composition
+// mirrors the paper's measurement setting (Section 5 and 6):
+//
+//  * two overlapping registered-domain sources (registry zone file +
+//    domainlists.io) whose union is the full population (Table 6);
+//  * benign IDNs in the Table 7 language mix;
+//  * planted IDN homograph attacks with controlled database provenance
+//    (UC-only / SimChar-only / both) and per-domain host state matching
+//    the funnels of Tables 8-14 (NS -> A -> port scan -> classification,
+//    blacklist membership, passive-DNS popularity);
+//  * the named case-study homographs of Table 11 (gmaıl.com etc.).
+//
+// Everything is deterministic in the seed; planted ground truth is
+// returned so experiments can score detector output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/zone_file.hpp"
+#include "homoglyph/homoglyph_db.hpp"
+#include "internet/idn_corpus.hpp"
+#include "internet/world.hpp"
+
+namespace sham::internet {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 2019;
+
+  /// Size of the registered-domain population (the paper's union list has
+  /// 141.2 M names; the default scales that by ~1/470).
+  std::size_t total_domains = 300'000;
+
+  /// Fraction of the population that is IDNs (paper: 0.67%). Planted
+  /// attacks count toward this budget; the remainder is benign IDNs.
+  double idn_fraction = 0.0067;
+
+  /// Reference list length (paper: Alexa top-10K .com names).
+  std::size_t reference_count = 1'000;
+
+  /// Scales the planted-attack tables. 1.0 plants the paper's absolute
+  /// numbers (3,280 homographs, Tables 8-14); smaller values shrink every
+  /// row proportionally.
+  double attack_scale = 1.0;
+
+  /// Fractions of the union each source covers (Table 6: 140.9 M and
+  /// 139.67 M of 141.2 M).
+  double zone_coverage = 0.9978;
+  double domainlists_coverage = 0.9891;
+
+  /// Skip building per-domain host state (world); list-only scenarios are
+  /// much cheaper for dataset-size experiments.
+  bool build_world = true;
+};
+
+struct PlantedAttack {
+  std::string ace;                 // registered label, e.g. "xn--ggle-55da"
+  unicode::U32String unicode;      // decoded homograph label
+  std::string target;              // targeted reference label
+  homoglyph::Source provenance = homoglyph::Source::kSimChar;
+  std::size_t substitutions = 1;
+};
+
+struct Scenario {
+  ScenarioConfig config;
+
+  /// Union population, SLD labels with ".com" appended.
+  std::vector<std::string> domains;
+  /// Indices into `domains` for each source list.
+  std::vector<std::uint32_t> zone_index;
+  std::vector<std::uint32_t> domainlists_index;
+
+  std::vector<std::string> references;  // ranked reference labels (no TLD)
+  std::vector<IdnSample> benign_idns;
+  std::vector<PlantedAttack> attacks;
+
+  SimulatedInternet world;  // empty when !config.build_world
+};
+
+/// Generate a scenario. The homoglyph database is used to choose attack
+/// substitution characters with the requested provenance; it must be built
+/// from the same SimChar/UC databases the detector under test will use.
+[[nodiscard]] Scenario generate_scenario(const homoglyph::HomoglyphDb& db,
+                                         const ScenarioConfig& config = {});
+
+/// Render one source list of the scenario as a registry zone (master-file
+/// records), with NS/A/MX records taken from the world state — the actual
+/// artifact Step 1 of the pipeline consumes (Section 5.2). `which` selects
+/// the source: 0 = zone-file list, 1 = domainlists list, 2 = union.
+/// Requires config.build_world (for delegation data); domains without
+/// world state get a generic NS delegation, as registries list every
+/// registered name.
+[[nodiscard]] dns::Zone scenario_to_zone(const Scenario& scenario, int which = 0);
+
+/// The Table 11 case-study homographs planted by every scenario (when the
+/// needed homoglyph pairs exist in the database).
+struct CaseStudySpec {
+  std::string target;            // reference label
+  unicode::CodePoint from = 0;   // character replaced
+  unicode::CodePoint to = 0;     // replacement homoglyph
+  std::size_t position = 0;      // index in the target label
+  std::string category;          // Table 11 "Category" column
+  std::uint64_t resolutions = 0;
+  bool mx_now = false;
+  bool mx_past = false;
+  bool web_link = false;
+  bool sns_link = false;
+};
+
+[[nodiscard]] const std::vector<CaseStudySpec>& table11_case_studies();
+
+}  // namespace sham::internet

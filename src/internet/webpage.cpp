@@ -1,0 +1,101 @@
+#include "internet/webpage.hpp"
+
+#include <algorithm>
+
+namespace sham::internet {
+
+std::optional<HttpResponse> WebServer::fetch(const dns::DomainName& domain,
+                                             bool https) const {
+  const auto* host = world_->lookup(domain);
+  if (host == nullptr || !host->has_ns || !host->has_a) return std::nullopt;
+  if (https ? !host->port443_open : !host->port80_open) return std::nullopt;
+
+  // Synthesize the page the ground-truth site kind would serve.
+  HttpResponse r;
+  switch (host->website) {
+    case WebsiteKind::kParking:
+      r.status = 200;
+      r.title = domain.str() + " - this domain is parked";
+      r.body_bytes = 18000;
+      r.body_signature = "parking-template/" + host->ns_host;
+      break;
+    case WebsiteKind::kForSale:
+      r.status = 200;
+      r.title = domain.str() + " is for sale!";
+      r.body_bytes = 9000;
+      r.body_signature = "sale-lander";
+      break;
+    case WebsiteKind::kRedirect:
+      r.status = 301;
+      r.location = "https://" + host->redirect_target + "/";
+      r.body_bytes = 0;
+      r.body_signature = "redirect";
+      break;
+    case WebsiteKind::kNormal:
+      r.status = 200;
+      r.title = domain.str();
+      r.body_bytes = 120000;
+      r.body_signature = "site/" + domain.str();
+      break;
+    case WebsiteKind::kEmpty:
+      r.status = 200;
+      r.title.clear();
+      r.body_bytes = 0;
+      r.body_signature = "blank";
+      break;
+    case WebsiteKind::kError:
+      r.status = 0;  // connection resets / timeouts at content level
+      break;
+  }
+  return r;
+}
+
+ClassifiedSite classify_from_evidence(const std::string& ns_host,
+                                      const std::optional<HttpResponse>& http,
+                                      const std::optional<HttpResponse>& https) {
+  ClassifiedSite out;
+
+  // NS-based parking detection runs first (Section 6.2's methodology).
+  const auto& parking = WebClassifier::parking_nameservers();
+  if (std::find(parking.begin(), parking.end(), ns_host) != parking.end()) {
+    out.kind = WebsiteKind::kParking;
+    return out;
+  }
+
+  const HttpResponse* r = nullptr;
+  if (http && http->status != 0) r = &*http;
+  if (r == nullptr && https && https->status != 0) r = &*https;
+  if (r == nullptr) {
+    out.kind = WebsiteKind::kError;  // reachable port, no usable response
+    return out;
+  }
+
+  if (r->status >= 300 && r->status < 400 && !r->location.empty()) {
+    out.kind = WebsiteKind::kRedirect;
+    // Strip scheme and trailing slash from the Location header.
+    auto target = r->location;
+    if (const auto scheme = target.find("://"); scheme != std::string::npos) {
+      target = target.substr(scheme + 3);
+    }
+    if (!target.empty() && target.back() == '/') target.pop_back();
+    out.redirect_target = target;
+    return out;
+  }
+  if (r->body_signature.rfind("parking-template", 0) == 0 ||
+      r->title.find("domain is parked") != std::string::npos) {
+    out.kind = WebsiteKind::kParking;
+    return out;
+  }
+  if (r->title.find("for sale") != std::string::npos) {
+    out.kind = WebsiteKind::kForSale;
+    return out;
+  }
+  if (r->body_bytes == 0) {
+    out.kind = WebsiteKind::kEmpty;
+    return out;
+  }
+  out.kind = WebsiteKind::kNormal;
+  return out;
+}
+
+}  // namespace sham::internet

@@ -1,0 +1,45 @@
+// Simulated web serving: what a headless browser (puppeteer in the paper,
+// Section 6.2) observes when it visits a domain. The world holds ground
+// truth; WebServer synthesizes the observable HTTP evidence from it; the
+// classifier then infers the category *from the evidence only* — so the
+// classification experiments exercise a real inference path, and tests can
+// check inference against the planted truth.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "internet/world.hpp"
+
+namespace sham::internet {
+
+/// Observable response to fetching http(s)://<domain>/.
+struct HttpResponse {
+  int status = 0;              // 0 = connection failure / timeout
+  std::string location;        // Location header for 3xx
+  std::string title;           // <title> text of the rendered page
+  std::size_t body_bytes = 0;  // rendered content size
+  std::string body_signature;  // stand-in for a screenshot perceptual hash
+};
+
+class WebServer {
+ public:
+  explicit WebServer(const SimulatedInternet& world) : world_{&world} {}
+
+  /// Fetch the front page over TCP/80 (https=false) or TCP/443. Returns
+  /// std::nullopt when the name does not resolve or the port is closed.
+  [[nodiscard]] std::optional<HttpResponse> fetch(const dns::DomainName& domain,
+                                                  bool https) const;
+
+ private:
+  const SimulatedInternet* world_;
+};
+
+/// Infer a site category from observable evidence: the delegated
+/// nameserver (parking operators), then the response (redirects, for-sale
+/// markers, parking templates, empty bodies, failures).
+[[nodiscard]] ClassifiedSite classify_from_evidence(
+    const std::string& ns_host, const std::optional<HttpResponse>& http,
+    const std::optional<HttpResponse>& https);
+
+}  // namespace sham::internet

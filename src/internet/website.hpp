@@ -1,0 +1,42 @@
+// Website/host taxonomy used by the measurement pipeline: the active-site
+// classification of Table 12, the redirect breakdown of Table 13, and the
+// blacklist sources of Table 14.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sham::internet {
+
+/// What serving a domain's website looks like to the classifier
+/// (puppeteer screenshots + HTTP responses in the paper).
+enum class WebsiteKind : std::uint8_t {
+  kParking,   // monetized parking page ("Domain parking")
+  kForSale,   // "this domain is for sale"
+  kRedirect,  // redirects to a different domain
+  kNormal,    // renders a legitimate-looking site
+  kEmpty,     // serves nothing visible
+  kError,     // timeout / connection failure at content level
+};
+
+[[nodiscard]] std::string_view website_kind_name(WebsiteKind kind) noexcept;
+
+/// Why a homograph redirects (Table 13).
+enum class RedirectKind : std::uint8_t {
+  kBrandProtection,  // owner of the original registered the homograph
+  kLegitimate,       // unrelated but benign site
+  kMalicious,        // phishing / malware landing
+};
+
+[[nodiscard]] std::string_view redirect_kind_name(RedirectKind kind) noexcept;
+
+/// Blacklist feeds (Table 14), usable as a bitmask.
+enum class BlacklistFeed : std::uint8_t {
+  kHpHosts = 1,
+  kGsb = 2,       // Google Safe Browsing
+  kSymantec = 4,  // Symantec DeepSight
+};
+
+[[nodiscard]] std::string_view blacklist_feed_name(BlacklistFeed feed) noexcept;
+
+}  // namespace sham::internet

@@ -1,0 +1,336 @@
+#include "measure/charset_experiments.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "font/metrics.hpp"
+#include "unicode/blocks.hpp"
+#include "unicode/idna_properties.hpp"
+
+namespace sham::measure {
+
+namespace {
+
+using unicode::CodePoint;
+
+std::vector<std::pair<CodePoint, CodePoint>> uc_idna_pairs(const Environment& env) {
+  std::vector<std::pair<CodePoint, CodePoint>> out;
+  for (const auto& [a, b] : env.uc->single_char_pairs()) {
+    if (unicode::is_idna_permitted(a) && unicode::is_idna_permitted(b)) {
+      out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CharsetSizes charset_sizes(const Environment& env) {
+  CharsetSizes s;
+  s.idna_chars = unicode::idna_permitted_count();
+
+  const auto uc_chars = env.uc->all_characters();
+  s.uc_chars = uc_chars.size();
+  s.uc_pairs = env.uc->single_char_pairs().size();
+
+  std::unordered_set<CodePoint> uc_idna_set;
+  for (const auto cp : uc_chars) {
+    if (unicode::is_idna_permitted(cp)) uc_idna_set.insert(cp);
+  }
+  s.uc_idna_chars = uc_idna_set.size();
+  s.uc_idna_pairs = uc_idna_pairs(env).size();
+
+  const auto sim_chars = env.simchar.characters();
+  s.simchar_chars = sim_chars.size();
+  s.simchar_pairs = env.simchar.pair_count();
+
+  std::size_t overlap = 0;
+  std::unordered_set<CodePoint> uc_all{uc_chars.begin(), uc_chars.end()};
+  for (const auto cp : sim_chars) {
+    if (uc_all.contains(cp)) ++overlap;
+  }
+  s.simchar_uc_chars = overlap;
+
+  std::unordered_set<CodePoint> union_chars{sim_chars.begin(), sim_chars.end()};
+  union_chars.insert(uc_idna_set.begin(), uc_idna_set.end());
+  s.union_chars = union_chars.size();
+  s.union_pairs = env.db_union.pair_count();
+
+  // Table 2: font intersections.
+  const auto coverage = env.paper.font->coverage();
+  s.font_glyphs = coverage.size();
+  std::unordered_set<CodePoint> covered{coverage.begin(), coverage.end()};
+  for (const auto cp : coverage) {
+    if (unicode::is_idna_permitted(cp)) ++s.idna_font_chars;
+  }
+  for (const auto cp : uc_chars) {
+    if (covered.contains(cp)) ++s.uc_font_chars;
+  }
+  return s;
+}
+
+std::vector<LatinHomoglyphRow> latin_homoglyph_counts(const Environment& env) {
+  std::vector<LatinHomoglyphRow> rows;
+  rows.reserve(26);
+  const auto pairs = uc_idna_pairs(env);
+  for (char letter = 'a'; letter <= 'z'; ++letter) {
+    LatinHomoglyphRow row;
+    row.letter = letter;
+    row.simchar_count = env.simchar.homoglyphs_of(static_cast<CodePoint>(letter)).size();
+    for (const auto& [a, b] : pairs) {
+      if (b == static_cast<CodePoint>(letter) || a == static_cast<CodePoint>(letter)) {
+        ++row.uc_idna_count;
+      }
+    }
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& x, const auto& y) {
+    return x.simchar_count > y.simchar_count;
+  });
+  return rows;
+}
+
+namespace {
+
+std::vector<BlockCount> top_blocks(const std::vector<CodePoint>& chars,
+                                   std::size_t top_n) {
+  std::map<std::string, std::size_t> counts;
+  for (const auto cp : chars) {
+    counts[std::string{unicode::block_name(cp)}]++;
+  }
+  std::vector<BlockCount> out;
+  out.reserve(counts.size());
+  for (auto& [name, count] : counts) out.push_back({name, count});
+  std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    return x.count != y.count ? x.count > y.count : x.block < y.block;
+  });
+  if (out.size() > top_n) out.resize(top_n);
+  return out;
+}
+
+}  // namespace
+
+std::vector<BlockCount> top_blocks_simchar(const Environment& env, std::size_t top_n) {
+  return top_blocks(env.simchar.characters(), top_n);
+}
+
+std::vector<BlockCount> top_blocks_uc_idna(const Environment& env, std::size_t top_n) {
+  // Character-level intersection (the paper's Table 4 counts UC characters
+  // that are IDNA-permitted; their confusable partner may itself lie
+  // outside IDNA, e.g. a Kangxi radical whose ideograph prototype is the
+  // permitted one).
+  std::vector<CodePoint> chars;
+  for (const auto cp : env.uc->all_characters()) {
+    if (unicode::is_idna_permitted(cp)) chars.push_back(cp);
+  }
+  return top_blocks(chars, top_n);
+}
+
+std::vector<DeltaLadderRung> delta_ladder(const Environment& env, char letter,
+                                          int max_delta, std::size_t max_examples) {
+  const auto& font = *env.paper.font;
+  const auto base = font.glyph(static_cast<CodePoint>(letter));
+  if (!base) throw std::invalid_argument{"delta_ladder: font lacks the base letter"};
+
+  std::vector<DeltaLadderRung> rungs(static_cast<std::size_t>(max_delta) + 1);
+  for (int d = 0; d <= max_delta; ++d) rungs[static_cast<std::size_t>(d)].delta = d;
+
+  for (const auto cp : font.coverage()) {
+    if (cp == static_cast<CodePoint>(letter)) continue;
+    if (!unicode::is_idna_permitted(cp)) continue;
+    const auto g = font.glyph(cp);
+    if (!g) continue;
+    const int d = font::delta_bounded(*base, *g, max_delta);
+    if (d > max_delta) continue;
+    auto& rung = rungs[static_cast<std::size_t>(d)];
+    ++rung.count;
+    if (rung.examples.size() < max_examples) rung.examples.push_back(cp);
+  }
+  return rungs;
+}
+
+namespace {
+
+/// Gather (letter, other) pairs whose glyph distance is exactly `delta`.
+std::vector<perception::Stimulus> pairs_at_delta(const Environment& env, int delta,
+                                                 std::size_t limit,
+                                                 const std::string& tag) {
+  std::vector<perception::Stimulus> out;
+  const auto& font = *env.paper.font;
+  for (char letter = 'a'; letter <= 'z' && out.size() < limit; ++letter) {
+    const auto base = font.glyph(static_cast<CodePoint>(letter));
+    if (!base) continue;
+    // Planted clusters record the candidates; verify ∆ against the font.
+    for (const auto& cluster : env.paper.clusters) {
+      if (cluster.base != static_cast<CodePoint>(letter)) continue;
+      for (const auto& member : cluster.members) {
+        if (out.size() >= limit) break;
+        const auto g = font.glyph(member.cp);
+        if (!g) continue;
+        const int d = font::delta(*base, *g);
+        if (d != delta) continue;
+        out.push_back({static_cast<CodePoint>(letter), member.cp,
+                       static_cast<double>(d), false, tag});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<perception::Stimulus> dummy_stimuli(const Environment& env,
+                                                std::size_t count, std::uint64_t seed) {
+  // Two random covered characters; by construction of the synthetic font
+  // their distance is large (hundreds of pixels).
+  util::Rng rng{seed};
+  const auto coverage = env.paper.font->coverage();
+  std::vector<perception::Stimulus> out;
+  std::size_t guard = 0;
+  while (out.size() < count && guard++ < count * 100 + 100) {
+    const auto a = coverage[rng.below(coverage.size())];
+    const auto b = coverage[rng.below(coverage.size())];
+    if (a == b) continue;
+    const auto ga = env.paper.font->glyph(a);
+    const auto gb = env.paper.font->glyph(b);
+    if (!ga || !gb) continue;
+    const int d = font::delta(*ga, *gb);
+    if (d < 60) continue;  // must be clearly distinct
+    out.push_back({a, b, static_cast<double>(d), true, "dummy"});
+  }
+  return out;
+}
+
+}  // namespace
+
+ThresholdStudyResult threshold_study(const Environment& env, std::uint64_t seed,
+                                     std::size_t pairs_per_delta,
+                                     std::size_t dummy_pairs, std::size_t workers) {
+  std::vector<perception::Stimulus> stimuli;
+  for (int d = 0; d <= 8; ++d) {
+    const auto tag = "delta=" + std::to_string(d);
+    auto pairs = pairs_at_delta(env, d, pairs_per_delta, tag);
+    stimuli.insert(stimuli.end(), pairs.begin(), pairs.end());
+  }
+  const auto dummies = dummy_stimuli(env, dummy_pairs, seed ^ 0xD00D);
+  stimuli.insert(stimuli.end(), dummies.begin(), dummies.end());
+
+  perception::StudyConfig config;
+  config.seed = seed;
+  config.workers = workers;
+  const auto outcome = perception::run_study(stimuli, config);
+
+  ThresholdStudyResult result;
+  result.workers_recruited = outcome.workers_recruited;
+  result.workers_kept = outcome.workers_kept;
+  for (int d = 0; d <= 8; ++d) {
+    const auto scores =
+        outcome.scores_for_tag(stimuli, "delta=" + std::to_string(d));
+    result.effective_responses += scores.size();
+    result.per_delta[static_cast<std::size_t>(d)] =
+        perception::summarize_scores(scores);
+  }
+  result.dummies = perception::summarize_scores(outcome.scores_for_tag(stimuli, "dummy"));
+  return result;
+}
+
+WordContextResult word_context_study(const Environment& env, std::uint64_t seed,
+                                     std::size_t pairs_per_group, std::size_t workers) {
+  // Build label stimuli: pick reference words of the two length classes
+  // and substitute one character with a SimChar homoglyph; the stimulus
+  // distance is the per-character ∆ scaled down by label length (a proxy
+  // for how diluted the difference is across the whole word image).
+  util::Rng rng{seed};
+  static const std::vector<std::string> kShort{"go", "ebay", "zoom", "uber",
+                                               "bing", "apple", "yahoo", "gmail"};
+  static const std::vector<std::string> kLong{
+      "myetherwallet", "stackoverflow", "bankofamerica", "institutional",
+      "encyclopedia", "international"};
+
+  std::vector<perception::Stimulus> stimuli;
+  const auto add_group = [&](const std::vector<std::string>& words,
+                             const std::string& tag) {
+    std::size_t added = 0;
+    std::size_t guard = 0;
+    while (added < pairs_per_group && guard++ < pairs_per_group * 50) {
+      const auto& word = words[rng.below(words.size())];
+      const std::size_t pos = rng.below(word.size());
+      const auto base = static_cast<unicode::CodePoint>(word[pos]);
+      const auto homoglyphs = env.simchar.homoglyphs_of(base);
+      if (homoglyphs.empty()) continue;
+      const auto sub = homoglyphs[rng.below(homoglyphs.size())];
+      const auto d = env.simchar.delta_of(base, sub);
+      if (!d) continue;
+      perception::Stimulus s;
+      s.a = base;
+      s.b = sub;
+      // Context dilution: perceived distance shrinks with word length
+      // (one changed letter in a 13-char word is harder to spot).
+      s.visual_delta = static_cast<double>(*d) * 6.0 / static_cast<double>(word.size());
+      s.tag = tag;
+      stimuli.push_back(s);
+      ++added;
+    }
+  };
+  add_group(kShort, "short");
+  add_group(kLong, "long");
+
+  perception::StudyConfig config;
+  config.seed = seed;
+  config.workers = workers;
+  const auto outcome = perception::run_study(stimuli, config);
+
+  WordContextResult result;
+  result.workers_kept = outcome.workers_kept;
+  result.short_labels = perception::summarize_scores(outcome.scores_for_tag(stimuli, "short"));
+  result.long_labels = perception::summarize_scores(outcome.scores_for_tag(stimuli, "long"));
+  return result;
+}
+
+ConfusabilityStudyResult confusability_study(const Environment& env, std::uint64_t seed,
+                                             std::size_t uc_pairs,
+                                             std::size_t simchar_pairs,
+                                             std::size_t dummy_pairs,
+                                             std::size_t workers) {
+  std::vector<perception::Stimulus> stimuli;
+  const auto& font = *env.paper.font;
+
+  // UC sample: homoglyphs of Basic Latin lowercase letters listed in
+  // UC ∩ IDNA, with their true visual distance in this font.
+  for (const auto& [a, b] : env.uc->single_char_pairs()) {
+    if (stimuli.size() >= uc_pairs) break;
+    if (b < 'a' || b > 'z') continue;
+    if (!unicode::is_idna_permitted(a)) continue;
+    const auto ga = font.glyph(a);
+    const auto gb = font.glyph(b);
+    if (!ga || !gb) continue;
+    stimuli.push_back({a, b, static_cast<double>(font::delta(*ga, *gb)), false, "UC"});
+  }
+
+  // SimChar sample: pairs detected with ∆ ≤ 4 involving a Latin letter.
+  std::size_t sim_count = 0;
+  for (const auto& pair : env.simchar.pairs()) {
+    if (sim_count >= simchar_pairs) break;
+    const bool latin = (pair.a >= 'a' && pair.a <= 'z') || (pair.b >= 'a' && pair.b <= 'z');
+    if (!latin) continue;
+    stimuli.push_back({pair.a, pair.b, static_cast<double>(pair.delta), false, "SimChar"});
+    ++sim_count;
+  }
+
+  const auto dummies = dummy_stimuli(env, dummy_pairs, seed ^ 0xDD);
+  stimuli.insert(stimuli.end(), dummies.begin(), dummies.end());
+
+  perception::StudyConfig config;
+  config.seed = seed;
+  config.workers = workers;
+  const auto outcome = perception::run_study(stimuli, config);
+
+  ConfusabilityStudyResult result;
+  result.workers_kept = outcome.workers_kept;
+  result.random = perception::summarize_scores(outcome.scores_for_tag(stimuli, "dummy"));
+  result.simchar = perception::summarize_scores(outcome.scores_for_tag(stimuli, "SimChar"));
+  result.uc = perception::summarize_scores(outcome.scores_for_tag(stimuli, "UC"));
+  return result;
+}
+
+}  // namespace sham::measure

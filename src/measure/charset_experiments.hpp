@@ -1,0 +1,115 @@
+// Experiment drivers for the character-set and perception results:
+// Tables 1-5, Figure 6 (∆ ladder), Figure 9 (threshold study), and
+// Figure 10 (UC vs SimChar confusability). Each driver returns structured
+// rows; the bench binaries render them next to the paper's numbers.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "measure/environment.hpp"
+#include "perception/crowd_study.hpp"
+
+namespace sham::measure {
+
+/// Table 1 / Table 2: character-set sizes and pair counts.
+struct CharsetSizes {
+  std::size_t idna_chars = 0;          // PVALID repertoire (planes 0-1)
+  std::size_t uc_chars = 0;            // all UC characters
+  std::size_t uc_pairs = 0;
+  std::size_t uc_idna_chars = 0;       // UC ∩ IDNA
+  std::size_t uc_idna_pairs = 0;
+  std::size_t simchar_chars = 0;
+  std::size_t simchar_pairs = 0;
+  std::size_t simchar_uc_chars = 0;    // SimChar ∩ UC (characters)
+  std::size_t union_chars = 0;         // SimChar ∪ (UC ∩ IDNA)
+  std::size_t union_pairs = 0;
+  // Table 2 (font intersections):
+  std::size_t font_glyphs = 0;             // glyphs the font covers
+  std::size_t idna_font_chars = 0;         // IDNA ∩ font
+  std::size_t uc_font_chars = 0;           // UC ∩ font
+};
+
+[[nodiscard]] CharsetSizes charset_sizes(const Environment& env);
+
+/// Table 3: homoglyph counts of Basic Latin lowercase letters.
+struct LatinHomoglyphRow {
+  char letter = 0;
+  std::size_t simchar_count = 0;   // SimChar homoglyphs of the letter
+  std::size_t uc_idna_count = 0;   // UC ∩ IDNA homoglyphs of the letter
+};
+
+[[nodiscard]] std::vector<LatinHomoglyphRow> latin_homoglyph_counts(
+    const Environment& env);
+
+/// Table 4: top Unicode blocks by character count in each database.
+struct BlockCount {
+  std::string block;
+  std::size_t count = 0;
+};
+
+[[nodiscard]] std::vector<BlockCount> top_blocks_simchar(const Environment& env,
+                                                         std::size_t top_n = 5);
+[[nodiscard]] std::vector<BlockCount> top_blocks_uc_idna(const Environment& env,
+                                                         std::size_t top_n = 5);
+
+/// Figure 6: characters at each exact ∆ from a base letter.
+struct DeltaLadderRung {
+  int delta = 0;
+  std::size_t count = 0;                         // characters at this exact ∆
+  std::vector<unicode::CodePoint> examples;      // up to a few
+};
+
+[[nodiscard]] std::vector<DeltaLadderRung> delta_ladder(const Environment& env,
+                                                        char letter, int max_delta = 8,
+                                                        std::size_t max_examples = 4);
+
+/// Figure 9: confusability vs threshold. One summary per ∆ in [0, 8].
+struct ThresholdStudyResult {
+  std::array<perception::LikertSummary, 9> per_delta;
+  perception::LikertSummary dummies;
+  std::size_t workers_recruited = 0;
+  std::size_t workers_kept = 0;
+  std::size_t effective_responses = 0;
+};
+
+[[nodiscard]] ThresholdStudyResult threshold_study(const Environment& env,
+                                                   std::uint64_t seed = 7,
+                                                   std::size_t pairs_per_delta = 20,
+                                                   std::size_t dummy_pairs = 30,
+                                                   std::size_t workers = 12);
+
+/// Figure 10: Random vs SimChar vs UC confusability.
+struct ConfusabilityStudyResult {
+  perception::LikertSummary random;
+  perception::LikertSummary simchar;
+  perception::LikertSummary uc;
+  std::size_t workers_kept = 0;
+};
+
+[[nodiscard]] ConfusabilityStudyResult confusability_study(const Environment& env,
+                                                           std::uint64_t seed = 11,
+                                                           std::size_t uc_pairs = 30,
+                                                           std::size_t simchar_pairs = 100,
+                                                           std::size_t dummy_pairs = 30,
+                                                           std::size_t workers = 31);
+
+/// Word-context confusability (Section 7.1 names this as future work: "we
+/// may also need to study the confusability of homoglyphs by using
+/// words"). Stimuli are whole domain-label pairs (reference vs homograph);
+/// the visual distance is the summed glyph ∆ over the label. Compares
+/// single-substitution homographs of short vs long labels: the same
+/// character-level ∆ is diluted in a longer word.
+struct WordContextResult {
+  perception::LikertSummary short_labels;  // ≤ 6 characters
+  perception::LikertSummary long_labels;   // ≥ 9 characters
+  std::size_t workers_kept = 0;
+};
+
+[[nodiscard]] WordContextResult word_context_study(const Environment& env,
+                                                   std::uint64_t seed = 13,
+                                                   std::size_t pairs_per_group = 40,
+                                                   std::size_t workers = 24);
+
+}  // namespace sham::measure

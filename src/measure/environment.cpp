@@ -1,0 +1,32 @@
+#include "measure/environment.hpp"
+
+namespace sham::measure {
+
+Environment Environment::create(const EnvironmentConfig& config) {
+  Environment env;
+  env.config = config;
+
+  font::PaperFontConfig font_config;
+  font_config.seed = config.seed;
+  font_config.scale = config.font_scale;
+  env.paper = font::make_paper_font(font_config);
+
+  env.simchar = simchar::SimCharDb::build(*env.paper.font, config.build,
+                                          &env.build_stats);
+  env.uc = &unicode::ConfusablesDb::embedded();
+
+  homoglyph::DbConfig both;
+  env.db_union = homoglyph::HomoglyphDb{env.simchar, *env.uc, both};
+
+  homoglyph::DbConfig uc_only;
+  uc_only.use_simchar = false;
+  env.db_uc = homoglyph::HomoglyphDb{env.simchar, *env.uc, uc_only};
+
+  homoglyph::DbConfig sim_only;
+  sim_only.use_uc = false;
+  env.db_sim = homoglyph::HomoglyphDb{env.simchar, *env.uc, sim_only};
+
+  return env;
+}
+
+}  // namespace sham::measure

@@ -1,0 +1,37 @@
+// Shared experiment environment: the paper-scale font, the SimChar build
+// over it, the embedded UC database, and the three homoglyph-database
+// configurations the measurement study compares (UC-only = prior work,
+// SimChar-only, and the union ShamFinder uses).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "font/paper_font.hpp"
+#include "homoglyph/homoglyph_db.hpp"
+#include "simchar/simchar.hpp"
+#include "unicode/confusables.hpp"
+
+namespace sham::measure {
+
+struct EnvironmentConfig {
+  std::uint64_t seed = 42;
+  double font_scale = 1.0;       // scales synthetic font coverage
+  simchar::BuildOptions build;   // θ = 4, sparse < 10, parallel
+};
+
+struct Environment {
+  EnvironmentConfig config;
+  font::PaperFont paper;           // font + planted ground truth
+  simchar::SimCharDb simchar;
+  simchar::BuildStats build_stats;
+  const unicode::ConfusablesDb* uc = nullptr;  // embedded database
+
+  homoglyph::HomoglyphDb db_union;   // UC ∪ SimChar
+  homoglyph::HomoglyphDb db_uc;      // UC only (Quinkert et al. baseline)
+  homoglyph::HomoglyphDb db_sim;     // SimChar only
+
+  static Environment create(const EnvironmentConfig& config = {});
+};
+
+}  // namespace sham::measure

@@ -1,0 +1,158 @@
+#include "measure/report.hpp"
+
+#include "util/table.hpp"
+
+namespace sham::measure {
+
+namespace {
+
+void heading(std::string& out, const std::string& title) {
+  out += "\n## " + title + "\n\n";
+}
+
+void md_row(std::string& out, const std::vector<std::string>& cells) {
+  out += "|";
+  for (const auto& c : cells) {
+    out += " " + c + " |";
+  }
+  out += "\n";
+}
+
+void md_header(std::string& out, const std::vector<std::string>& cells) {
+  md_row(out, cells);
+  out += "|";
+  for (std::size_t i = 0; i < cells.size(); ++i) out += "---|";
+  out += "\n";
+}
+
+std::string num(std::size_t v) { return util::with_commas(v); }
+
+}  // namespace
+
+std::string generate_report(const ReportConfig& config) {
+  std::string out;
+  out += "# ShamFinder reproduction report\n\n";
+  out += "Deterministic run: environment seed " +
+         std::to_string(config.environment.seed) + ", scenario seed " +
+         std::to_string(config.scenario.seed) + ".\n";
+
+  const auto env = Environment::create(config.environment);
+  out += "\nSimChar build: " + num(env.build_stats.glyphs_rendered) + " glyphs, " +
+         num(env.build_stats.pairs_compared) + " comparisons, " +
+         num(env.simchar.pair_count()) + " pairs (θ = " +
+         std::to_string(config.environment.build.threshold) + ").\n";
+
+  // --- Character sets.
+  heading(out, "Character sets (paper Table 1)");
+  const auto sizes = charset_sizes(env);
+  md_header(out, {"Set", "paper chars", "measured chars"});
+  md_row(out, {"IDNA", "123,006", num(sizes.idna_chars)});
+  md_row(out, {"UC", "9,605", num(sizes.uc_chars)});
+  md_row(out, {"UC ∩ IDNA", "980", num(sizes.uc_idna_chars)});
+  md_row(out, {"SimChar", "12,686", num(sizes.simchar_chars)});
+  md_row(out, {"SimChar ∩ UC", "233", num(sizes.simchar_uc_chars)});
+  md_row(out, {"union", "13,210", num(sizes.union_chars)});
+
+  heading(out, "Latin-letter homoglyphs (paper Table 3)");
+  md_header(out, {"letter", "SimChar", "UC ∩ IDNA"});
+  std::size_t shown = 0;
+  for (const auto& row : latin_homoglyph_counts(env)) {
+    if (shown++ == 8) break;
+    md_row(out, {std::string(1, row.letter), num(row.simchar_count),
+                 num(row.uc_idna_count)});
+  }
+
+  heading(out, "Top Unicode blocks (paper Table 4)");
+  md_header(out, {"SimChar block", "chars"});
+  for (const auto& b : top_blocks_simchar(env)) md_row(out, {b.block, num(b.count)});
+
+  // --- Perception.
+  if (config.include_perception) {
+    heading(out, "Confusability vs threshold (paper Figure 9)");
+    const auto threshold = threshold_study(env);
+    md_header(out, {"∆", "mean", "median"});
+    for (int d = 0; d <= 8; ++d) {
+      const auto& s = threshold.per_delta[static_cast<std::size_t>(d)];
+      md_row(out, {std::to_string(d), util::fixed(s.mean, 2),
+                   util::fixed(s.median, 1)});
+    }
+    heading(out, "Random / SimChar / UC (paper Figure 10)");
+    const auto conf = confusability_study(env);
+    md_header(out, {"set", "n", "mean", "median"});
+    md_row(out, {"Random", num(conf.random.n), util::fixed(conf.random.mean, 2),
+                 util::fixed(conf.random.median, 1)});
+    md_row(out, {"SimChar", num(conf.simchar.n), util::fixed(conf.simchar.mean, 2),
+                 util::fixed(conf.simchar.median, 1)});
+    md_row(out, {"UC", num(conf.uc.n), util::fixed(conf.uc.mean, 2),
+                 util::fixed(conf.uc.median, 1)});
+  }
+
+  // --- Wild measurement.
+  const auto ctx = make_wild_context(env, config.scenario);
+
+  heading(out, "Datasets (paper Table 6)");
+  md_header(out, {"source", "domains", "IDNs"});
+  for (const auto& row : dataset_statistics(ctx.scenario)) {
+    md_row(out, {row.source, num(row.domains), num(row.idns)});
+  }
+
+  heading(out, "IDN languages (paper Table 7)");
+  md_header(out, {"language", "count", "fraction"});
+  for (const auto& row : idn_languages(ctx)) {
+    md_row(out, {row.language, num(row.count), util::percent(row.fraction)});
+  }
+
+  heading(out, "Detection (paper Table 8: UC 436 / SimChar 3,110 / union 3,280)");
+  const auto counts = detection_counts(ctx);
+  md_header(out, {"database", "detected"});
+  md_row(out, {"UC", num(counts.uc)});
+  md_row(out, {"SimChar", num(counts.simchar)});
+  md_row(out, {"UC ∪ SimChar", num(counts.union_all)});
+  out += "\nGround truth: " + num(counts.planted) + " planted, " +
+         num(counts.true_positives) + " found, " + num(counts.false_negatives) +
+         " missed, " + num(counts.extra_detections) + " extra.\n";
+
+  heading(out, "Top targets (paper Table 9)");
+  md_header(out, {"reference", "homographs"});
+  for (const auto& row : top_targets(ctx)) {
+    md_row(out, {row.reference, num(row.homographs)});
+  }
+
+  heading(out, "Liveness funnel (paper Table 10)");
+  const auto funnel = port_scan_funnel(ctx);
+  md_header(out, {"stage", "count"});
+  md_row(out, {"detected", num(funnel.detected)});
+  md_row(out, {"with NS", num(funnel.with_ns)});
+  md_row(out, {"with A", num(funnel.with_a)});
+  md_row(out, {"TCP/80", num(funnel.open_80)});
+  md_row(out, {"TCP/443", num(funnel.open_443)});
+  md_row(out, {"reachable", num(funnel.active)});
+
+  heading(out, "Active-site classification (paper Table 12)");
+  md_header(out, {"category", "count"});
+  for (const auto& row : classify_active(ctx)) {
+    md_row(out, {row.category, num(row.count)});
+  }
+
+  heading(out, "Redirect purposes (paper Table 13)");
+  md_header(out, {"category", "count"});
+  for (const auto& row : classify_redirects(ctx)) {
+    md_row(out, {row.category, num(row.count)});
+  }
+
+  heading(out, "Blacklisted homographs (paper Table 14)");
+  md_header(out, {"database", "hpHosts", "GSB", "Symantec"});
+  for (const auto& row : blacklist_counts(ctx)) {
+    md_row(out, {row.db, num(row.hphosts), num(row.gsb), num(row.symantec)});
+  }
+
+  heading(out, "Reverting malicious IDNs (paper Section 6.4)");
+  const auto revert = revert_analysis(env, ctx);
+  out += num(revert.malicious) + " malicious homographs; " + num(revert.reverted) +
+         " reverted to an ASCII original; " + num(revert.non_popular_targets) +
+         " target domains outside the top references.\n";
+
+  return out;
+}
+
+}  // namespace sham::measure

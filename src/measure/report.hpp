@@ -1,0 +1,23 @@
+// Markdown report generation: runs every experiment against an
+// environment + scenario and renders one self-contained document — the
+// artifact a reproduction run hands to a reviewer.
+#pragma once
+
+#include <string>
+
+#include "measure/charset_experiments.hpp"
+#include "measure/wild_experiments.hpp"
+
+namespace sham::measure {
+
+struct ReportConfig {
+  EnvironmentConfig environment;
+  internet::ScenarioConfig scenario;
+  bool include_perception = true;  // crowd-study simulations (slowest part)
+};
+
+/// Run the full experiment suite and render a markdown report with
+/// paper-vs-measured tables. Deterministic in the config seeds.
+[[nodiscard]] std::string generate_report(const ReportConfig& config = {});
+
+}  // namespace sham::measure

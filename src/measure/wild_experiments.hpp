@@ -1,0 +1,129 @@
+// Experiment drivers for the in-the-wild measurement study (Sections 5-6):
+// dataset statistics (Table 6), IDN languages (Table 7), homograph
+// detection per database (Table 8), top targets (Table 9), the liveness
+// funnel (Table 10), passive-DNS case studies (Table 11), active-site
+// classification (Tables 12-13), blacklists (Table 14), and the
+// revert-to-original analysis (Section 6.4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "internet/scenario.hpp"
+#include "measure/environment.hpp"
+
+namespace sham::measure {
+
+/// Detection context shared by Tables 8-14: extracted IDNs plus the
+/// detected homograph sets under each database configuration.
+struct WildContext {
+  internet::Scenario scenario;
+  std::vector<detect::IdnEntry> idns;      // Step 2 output
+  std::vector<std::size_t> detected_uc;    // IDN indices, UC database
+  std::vector<std::size_t> detected_sim;   // SimChar database
+  std::vector<std::size_t> detected_union; // UC ∪ SimChar
+  std::vector<detect::Match> union_matches;
+
+  [[nodiscard]] dns::DomainName idn_domain(std::size_t idn_index) const;
+};
+
+[[nodiscard]] WildContext make_wild_context(const Environment& env,
+                                            const internet::ScenarioConfig& config);
+
+/// Table 6: per-source dataset sizes.
+struct DatasetRow {
+  std::string source;
+  std::size_t domains = 0;
+  std::size_t idns = 0;
+};
+[[nodiscard]] std::vector<DatasetRow> dataset_statistics(const internet::Scenario& s);
+
+/// Table 7: top languages among registered IDNs.
+struct LanguageRow {
+  std::string language;
+  std::size_t count = 0;
+  double fraction = 0.0;
+};
+[[nodiscard]] std::vector<LanguageRow> idn_languages(const WildContext& ctx,
+                                                     std::size_t top_n = 5);
+
+/// Table 8: detected homographs per database configuration.
+struct DetectionCounts {
+  std::size_t uc = 0;
+  std::size_t simchar = 0;
+  std::size_t union_all = 0;
+  /// Ground-truth scoring against the planted attacks:
+  std::size_t planted = 0;
+  std::size_t true_positives = 0;   // detected ∩ planted (union DB)
+  std::size_t false_negatives = 0;
+  std::size_t extra_detections = 0; // detected but not planted (benign IDN
+                                    // that happens to be a homograph)
+};
+[[nodiscard]] DetectionCounts detection_counts(const WildContext& ctx);
+
+/// Table 9: references with the most homographs.
+struct TargetRow {
+  std::string reference;
+  std::size_t homographs = 0;
+};
+[[nodiscard]] std::vector<TargetRow> top_targets(const WildContext& ctx,
+                                                 std::size_t top_n = 5);
+
+/// Table 10: NS / A / port-scan funnel over detected homographs.
+struct PortScanFunnel {
+  std::size_t detected = 0;
+  std::size_t with_ns = 0;
+  std::size_t with_a = 0;
+  std::size_t open_80 = 0;
+  std::size_t open_443 = 0;
+  std::size_t open_both = 0;
+  std::size_t active = 0;  // unique reachable (80 or 443)
+};
+[[nodiscard]] PortScanFunnel port_scan_funnel(const WildContext& ctx);
+
+/// Table 11: top active homographs by passive-DNS resolutions.
+struct PopularIdnRow {
+  std::string display;      // Unicode rendering
+  std::string ace;
+  std::string category;     // site label
+  std::uint64_t resolutions = 0;
+  bool mx_now = false;
+  bool mx_past = false;
+  bool web_link = false;
+  bool sns_link = false;
+};
+[[nodiscard]] std::vector<PopularIdnRow> popular_active_idns(const WildContext& ctx,
+                                                             std::size_t top_n = 10);
+
+/// Table 12: classification of active homographs.
+struct ClassificationRow {
+  std::string category;
+  std::size_t count = 0;
+};
+[[nodiscard]] std::vector<ClassificationRow> classify_active(const WildContext& ctx);
+
+/// Table 13: redirect breakdown.
+[[nodiscard]] std::vector<ClassificationRow> classify_redirects(const WildContext& ctx);
+
+/// Table 14: blacklisted homographs per database configuration and feed.
+struct BlacklistRow {
+  std::string db;          // "UC", "SimChar", "UC ∪ SimChar"
+  std::size_t hphosts = 0;
+  std::size_t gsb = 0;
+  std::size_t symantec = 0;
+};
+[[nodiscard]] std::vector<BlacklistRow> blacklist_counts(const WildContext& ctx);
+
+/// Section 6.4: revert malicious homographs to their original domains;
+/// count those whose original is NOT in the top `alexa_cutoff` references.
+struct RevertResult {
+  std::size_t malicious = 0;          // blacklisted homographs
+  std::size_t reverted = 0;           // successfully reverted to ASCII
+  std::size_t non_popular_targets = 0;
+  std::vector<std::string> examples;  // "xn--... -> original"
+};
+[[nodiscard]] RevertResult revert_analysis(const Environment& env, const WildContext& ctx,
+                                           std::size_t alexa_cutoff = 100);
+
+}  // namespace sham::measure

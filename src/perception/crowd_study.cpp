@@ -1,0 +1,97 @@
+#include "perception/crowd_study.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sham::perception {
+
+double expected_score(double visual_delta, const ResponseModelParams& params) {
+  return 1.0 + 4.0 / (1.0 + std::exp((visual_delta - params.midpoint) / params.steepness));
+}
+
+int sample_response(double visual_delta, const WorkerProfile& worker,
+                    const ResponseModelParams& params, util::Rng& rng) {
+  if (!worker.attentive) {
+    return 1 + static_cast<int>(rng.below(5));  // random clicker
+  }
+  const double mean = expected_score(visual_delta, params) + worker.bias;
+  const double raw = rng.normal(mean, params.worker_noise);
+  const int score = static_cast<int>(std::lround(raw));
+  return std::clamp(score, 1, 5);
+}
+
+LikertSummary summarize_scores(std::vector<int> scores) {
+  LikertSummary s;
+  s.n = scores.size();
+  if (scores.empty()) return s;
+  std::sort(scores.begin(), scores.end());
+
+  double sum = 0.0;
+  for (const int v : scores) {
+    if (v < 1 || v > 5) throw std::invalid_argument{"summarize_scores: score out of range"};
+    sum += v;
+    ++s.histogram[static_cast<std::size_t>(v - 1)];
+  }
+  s.mean = sum / static_cast<double>(scores.size());
+
+  const auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(scores.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, scores.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return scores[lo] * (1.0 - frac) + scores[hi] * frac;
+  };
+  s.median = quantile(0.5);
+  s.q1 = quantile(0.25);
+  s.q3 = quantile(0.75);
+  const double iqr = s.q3 - s.q1;
+  s.whisker_low = std::max<double>(scores.front(), s.q1 - 1.5 * iqr);
+  s.whisker_high = std::min<double>(scores.back(), s.q3 + 1.5 * iqr);
+  return s;
+}
+
+std::vector<int> StudyOutcome::scores_for_tag(const std::vector<Stimulus>& stimuli,
+                                              const std::string& tag) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < stimuli.size() && i < responses.size(); ++i) {
+    if (stimuli[i].tag != tag) continue;
+    out.insert(out.end(), responses[i].begin(), responses[i].end());
+  }
+  return out;
+}
+
+StudyOutcome run_study(const std::vector<Stimulus>& stimuli, const StudyConfig& config) {
+  if (config.workers == 0) throw std::invalid_argument{"run_study: no workers"};
+  util::Rng rng{config.seed};
+
+  StudyOutcome outcome;
+  outcome.workers_recruited = config.workers;
+  outcome.responses.assign(stimuli.size(), {});
+
+  for (std::size_t w = 0; w < config.workers; ++w) {
+    WorkerProfile worker;
+    worker.bias = rng.normal(0.0, config.model.worker_bias_sd);
+    worker.attentive = !rng.bernoulli(config.model.inattentive_rate);
+
+    std::vector<int> answers(stimuli.size());
+    bool keep = true;
+    for (std::size_t i = 0; i < stimuli.size(); ++i) {
+      answers[i] = sample_response(stimuli[i].visual_delta, worker, config.model, rng);
+      // Filtering rule 1: judged a dummy as confusing.
+      if (stimuli[i].is_dummy && answers[i] >= 4) keep = false;
+      // Filtering rule 2: judged a pixel-identical pair as distinct.
+      if (!stimuli[i].is_dummy && stimuli[i].visual_delta == 0.0 && answers[i] <= 2) {
+        keep = false;
+      }
+    }
+    if (!keep) continue;
+    ++outcome.workers_kept;
+    for (std::size_t i = 0; i < stimuli.size(); ++i) {
+      outcome.responses[i].push_back(answers[i]);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace sham::perception

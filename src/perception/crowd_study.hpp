@@ -1,0 +1,97 @@
+// Simulated crowd-sourced confusability study (Section 4.1).
+//
+// The paper ran MTurk tasks: workers rate a pair of characters on a
+// 5-point Likert scale ("1: very distinct" .. "5: very confusing"), with
+// dummy trap pairs inserted; workers who rate a dummy as confusing (>= 4)
+// or a pixel-identical pair (∆ = 0) as distinct (<= 2) have all responses
+// removed.
+//
+// We reproduce the protocol end-to-end — stimulus design, per-worker
+// attentiveness and bias, trap insertion, the exact filtering rules, and
+// box-plot aggregation — with a response model in place of live humans: a
+// worker's expected score is a logistic function of the pair's visual
+// distance ∆, calibrated to the paper's summary statistics (∆ = 4 →
+// mean 3.57 / median 4; ∆ = 5 → mean 2.57 / median 2; see DESIGN.md §2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "unicode/codepoint.hpp"
+#include "util/rng.hpp"
+
+namespace sham::perception {
+
+/// One image shown to workers: a pair of characters.
+struct Stimulus {
+  unicode::CodePoint a = 0;
+  unicode::CodePoint b = 0;
+  double visual_delta = 0.0;  // pixel distance between the glyphs
+  bool is_dummy = false;      // trap: two random, clearly distinct chars
+  std::string tag;            // experiment grouping key (e.g. "delta=4", "UC")
+};
+
+/// Logistic response model: E[score] = 1 + 4 / (1 + exp((∆ − m) / s)).
+/// Defaults calibrated to the paper's reported means.
+struct ResponseModelParams {
+  double midpoint = 4.573;
+  double steepness = 0.978;
+  double worker_noise = 0.9;        // per-response Gaussian noise (scores)
+  double worker_bias_sd = 0.25;     // per-worker systematic shift
+  double inattentive_rate = 0.08;   // probability a worker is a random clicker
+};
+
+struct WorkerProfile {
+  double bias = 0.0;
+  bool attentive = true;
+};
+
+/// Expected (pre-noise) score for a visual distance under the model.
+[[nodiscard]] double expected_score(double visual_delta,
+                                    const ResponseModelParams& params = {});
+
+/// Sample one Likert response (1..5).
+[[nodiscard]] int sample_response(double visual_delta, const WorkerProfile& worker,
+                                  const ResponseModelParams& params, util::Rng& rng);
+
+/// Five-number summary + mean of a Likert sample (box-plot statistics used
+/// by Figures 9 and 10; whiskers at 1.5 IQR clamped to observed range).
+struct LikertSummary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double q1 = 0.0;
+  double q3 = 0.0;
+  double whisker_low = 0.0;
+  double whisker_high = 0.0;
+  std::array<std::size_t, 5> histogram{};  // counts of scores 1..5
+};
+
+[[nodiscard]] LikertSummary summarize_scores(std::vector<int> scores);
+
+struct StudyConfig {
+  std::uint64_t seed = 1;
+  std::size_t workers = 12;  // recruited; some are filtered out
+  ResponseModelParams model;
+};
+
+struct StudyOutcome {
+  std::size_t workers_recruited = 0;
+  std::size_t workers_kept = 0;
+  /// Effective (post-filter) responses, parallel per stimulus index.
+  std::vector<std::vector<int>> responses;
+
+  /// Pool all effective responses whose stimulus tag matches.
+  [[nodiscard]] std::vector<int> scores_for_tag(const std::vector<Stimulus>& stimuli,
+                                                const std::string& tag) const;
+};
+
+/// Run the study: every recruited worker rates every stimulus; the paper's
+/// two filtering rules are then applied.
+[[nodiscard]] StudyOutcome run_study(const std::vector<Stimulus>& stimuli,
+                                     const StudyConfig& config);
+
+}  // namespace sham::perception

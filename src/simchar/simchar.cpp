@@ -1,0 +1,379 @@
+#include "simchar/simchar.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "font/metrics.hpp"
+#include "unicode/idna_properties.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sham::simchar {
+
+namespace {
+
+struct Rendered {
+  unicode::CodePoint cp = 0;
+  font::GlyphBitmap glyph;
+  int popcount = 0;
+};
+
+}  // namespace
+
+SimCharDb SimCharDb::build(const font::FontSource& font, const BuildOptions& options,
+                           BuildStats* stats) {
+  if (options.threshold < 0) throw std::invalid_argument{"SimCharDb: threshold < 0"};
+  BuildStats local_stats;
+  util::ThreadPool pool{options.threads};
+
+  // --- Step I: render the repertoire.
+  util::Stopwatch watch;
+  const auto coverage = font.coverage();
+  std::vector<unicode::CodePoint> repertoire;
+  repertoire.reserve(coverage.size());
+  for (const auto cp : coverage) {
+    if (!options.idna_only || unicode::is_idna_permitted(cp)) repertoire.push_back(cp);
+  }
+  local_stats.repertoire_size = repertoire.size();
+
+  std::vector<Rendered> rendered(repertoire.size());
+  std::vector<char> covered(repertoire.size(), 0);
+  pool.parallel_for(0, repertoire.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto g = font.glyph(repertoire[i]);
+      if (!g) continue;
+      rendered[i] = Rendered{repertoire[i], *g, g->popcount()};
+      covered[i] = 1;
+    }
+  });
+  std::vector<Rendered> glyphs;
+  glyphs.reserve(rendered.size());
+  for (std::size_t i = 0; i < rendered.size(); ++i) {
+    if (covered[i]) glyphs.push_back(rendered[i]);
+  }
+  local_stats.glyphs_rendered = glyphs.size();
+  local_stats.render_seconds = watch.seconds();
+
+  // --- Step II: pairwise ∆ ≤ θ.
+  watch.reset();
+  const int threshold = options.threshold;
+  std::vector<HomoglyphPair> pairs;
+  std::mutex pairs_mutex;
+  std::atomic<std::uint64_t> compared{0};
+
+  if (options.use_bucket_pruning) {
+    // Sort by ink count; a pair can satisfy ∆ ≤ θ only when the counts
+    // differ by ≤ θ, so each glyph is compared only against the run of
+    // glyphs ahead of it within that margin.
+    std::sort(glyphs.begin(), glyphs.end(), [](const Rendered& x, const Rendered& y) {
+      return x.popcount != y.popcount ? x.popcount < y.popcount : x.cp < y.cp;
+    });
+    pool.parallel_for(0, glyphs.size(), [&](std::size_t begin, std::size_t end) {
+      std::vector<HomoglyphPair> found;
+      std::uint64_t n_compared = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        for (std::size_t j = i + 1; j < glyphs.size(); ++j) {
+          if (glyphs[j].popcount - glyphs[i].popcount > threshold) break;
+          ++n_compared;
+          const int d = font::delta_bounded(glyphs[i].glyph, glyphs[j].glyph, threshold);
+          if (d <= threshold) {
+            auto [a, b] = std::minmax(glyphs[i].cp, glyphs[j].cp);
+            found.push_back({a, b, d});
+          }
+        }
+      }
+      compared += n_compared;
+      std::lock_guard lock{pairs_mutex};
+      pairs.insert(pairs.end(), found.begin(), found.end());
+    });
+  } else {
+    pool.parallel_for(0, glyphs.size(), [&](std::size_t begin, std::size_t end) {
+      std::vector<HomoglyphPair> found;
+      std::uint64_t n_compared = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        for (std::size_t j = i + 1; j < glyphs.size(); ++j) {
+          ++n_compared;
+          const int d = font::delta_bounded(glyphs[i].glyph, glyphs[j].glyph, threshold);
+          if (d <= threshold) {
+            auto [a, b] = std::minmax(glyphs[i].cp, glyphs[j].cp);
+            found.push_back({a, b, d});
+          }
+        }
+      }
+      compared += n_compared;
+      std::lock_guard lock{pairs_mutex};
+      pairs.insert(pairs.end(), found.begin(), found.end());
+    });
+  }
+  local_stats.pairs_compared = compared.load();
+  local_stats.pairs_found = pairs.size();
+  local_stats.compare_seconds = watch.seconds();
+
+  // --- Step III: eliminate sparse characters from the extracted pairs.
+  watch.reset();
+  std::unordered_set<unicode::CodePoint> sparse;
+  for (const auto& g : glyphs) {
+    if (g.popcount < options.min_black_pixels) sparse.insert(g.cp);
+  }
+  std::size_t eliminated_chars = 0;
+  {
+    std::unordered_set<unicode::CodePoint> touched;
+    for (const auto& p : pairs) {
+      if (sparse.contains(p.a)) touched.insert(p.a);
+      if (sparse.contains(p.b)) touched.insert(p.b);
+    }
+    eliminated_chars = touched.size();
+  }
+  std::erase_if(pairs, [&](const HomoglyphPair& p) {
+    return sparse.contains(p.a) || sparse.contains(p.b);
+  });
+  local_stats.sparse_eliminated = eliminated_chars;
+  local_stats.pairs_after_sparse = pairs.size();
+  local_stats.sparse_seconds = watch.seconds();
+
+  if (stats != nullptr) *stats = local_stats;
+  return SimCharDb{std::move(pairs)};
+}
+
+SimCharDb::SimCharDb(std::vector<HomoglyphPair> pairs) : pairs_{std::move(pairs)} {
+  for (auto& p : pairs_) {
+    if (p.a == p.b) throw std::invalid_argument{"SimCharDb: reflexive pair"};
+    if (p.a > p.b) std::swap(p.a, p.b);
+  }
+  std::sort(pairs_.begin(), pairs_.end());
+  pairs_.erase(std::unique(pairs_.begin(), pairs_.end(),
+                           [](const HomoglyphPair& x, const HomoglyphPair& y) {
+                             return x.a == y.a && x.b == y.b;
+                           }),
+               pairs_.end());
+  index();
+}
+
+void SimCharDb::index() {
+  by_char_.clear();
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    by_char_[pairs_[i].a].push_back(i);
+    by_char_[pairs_[i].b].push_back(i);
+  }
+}
+
+bool SimCharDb::are_homoglyphs(unicode::CodePoint a, unicode::CodePoint b) const {
+  return delta_of(a, b).has_value();
+}
+
+std::optional<int> SimCharDb::delta_of(unicode::CodePoint a, unicode::CodePoint b) const {
+  if (a == b) return std::nullopt;
+  if (a > b) std::swap(a, b);
+  const auto it = by_char_.find(a);
+  if (it == by_char_.end()) return std::nullopt;
+  for (const auto idx : it->second) {
+    if (pairs_[idx].a == a && pairs_[idx].b == b) return pairs_[idx].delta;
+  }
+  return std::nullopt;
+}
+
+std::vector<unicode::CodePoint> SimCharDb::homoglyphs_of(unicode::CodePoint cp) const {
+  std::vector<unicode::CodePoint> out;
+  const auto it = by_char_.find(cp);
+  if (it == by_char_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto idx : it->second) {
+    out.push_back(pairs_[idx].a == cp ? pairs_[idx].b : pairs_[idx].a);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<unicode::CodePoint> SimCharDb::characters() const {
+  std::vector<unicode::CodePoint> out;
+  out.reserve(by_char_.size());
+  for (const auto& [cp, idxs] : by_char_) out.push_back(cp);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t SimCharDb::character_count() const { return by_char_.size(); }
+
+std::string SimCharDb::serialize() const {
+  std::string out;
+  out.reserve(pairs_.size() * 20);
+  for (const auto& p : pairs_) {
+    out += util::format_codepoint(p.a);
+    out += ' ';
+    out += util::format_codepoint(p.b);
+    out += ' ';
+    out += std::to_string(p.delta);
+    out += '\n';
+  }
+  return out;
+}
+
+SimCharDb SimCharDb::merge(const SimCharDb& a, const SimCharDb& b) {
+  std::vector<HomoglyphPair> pairs = a.pairs_;
+  pairs.insert(pairs.end(), b.pairs_.begin(), b.pairs_.end());
+  // The constructor sorts by (a, b, delta) and keeps the first of each
+  // (a, b) — i.e. the smaller recorded ∆ wins on conflict.
+  return SimCharDb{std::move(pairs)};
+}
+
+SimCharDb update_with_new_characters(const SimCharDb& existing,
+                                     const font::FontSource& font,
+                                     const std::vector<unicode::CodePoint>& added,
+                                     const BuildOptions& options, BuildStats* stats) {
+  if (options.threshold < 0) {
+    throw std::invalid_argument{"update_with_new_characters: threshold < 0"};
+  }
+  BuildStats local_stats;
+  util::ThreadPool pool{options.threads};
+  util::Stopwatch watch;
+
+  // Render the full (old ∪ new) repertoire — the font is the repertoire
+  // authority, exactly as in the full build.
+  const auto coverage = font.coverage();
+  std::vector<unicode::CodePoint> repertoire;
+  repertoire.reserve(coverage.size());
+  for (const auto cp : coverage) {
+    if (!options.idna_only || unicode::is_idna_permitted(cp)) repertoire.push_back(cp);
+  }
+  local_stats.repertoire_size = repertoire.size();
+
+  std::vector<Rendered> rendered(repertoire.size());
+  std::vector<char> covered(repertoire.size(), 0);
+  pool.parallel_for(0, repertoire.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto g = font.glyph(repertoire[i]);
+      if (!g) continue;
+      rendered[i] = Rendered{repertoire[i], *g, g->popcount()};
+      covered[i] = 1;
+    }
+  });
+  std::vector<Rendered> glyphs;
+  glyphs.reserve(rendered.size());
+  for (std::size_t i = 0; i < rendered.size(); ++i) {
+    if (covered[i]) glyphs.push_back(rendered[i]);
+  }
+  local_stats.glyphs_rendered = glyphs.size();
+  local_stats.render_seconds = watch.seconds();
+
+  std::unordered_set<unicode::CodePoint> added_set;
+  for (const auto cp : added) added_set.insert(cp);
+
+  // Compare each added glyph against the whole repertoire, pruned by ink
+  // count when enabled. Sort by popcount so the candidate window is a
+  // contiguous run.
+  watch.reset();
+  std::sort(glyphs.begin(), glyphs.end(), [](const Rendered& x, const Rendered& y) {
+    return x.popcount != y.popcount ? x.popcount < y.popcount : x.cp < y.cp;
+  });
+  std::vector<std::size_t> added_indices;
+  for (std::size_t i = 0; i < glyphs.size(); ++i) {
+    if (added_set.contains(glyphs[i].cp)) added_indices.push_back(i);
+  }
+
+  const int threshold = options.threshold;
+  std::vector<HomoglyphPair> new_pairs;
+  std::mutex pairs_mutex;
+  std::atomic<std::uint64_t> compared{0};
+
+  pool.parallel_for(0, added_indices.size(), [&](std::size_t begin, std::size_t end) {
+    std::vector<HomoglyphPair> found;
+    std::uint64_t n_compared = 0;
+    for (std::size_t k = begin; k < end; ++k) {
+      const auto& a = glyphs[added_indices[k]];
+      std::size_t lo = 0;
+      std::size_t hi = glyphs.size();
+      if (options.use_bucket_pruning) {
+        lo = static_cast<std::size_t>(
+            std::lower_bound(glyphs.begin(), glyphs.end(), a.popcount - threshold,
+                             [](const Rendered& g, int value) {
+                               return g.popcount < value;
+                             }) -
+            glyphs.begin());
+        hi = static_cast<std::size_t>(
+            std::upper_bound(glyphs.begin(), glyphs.end(), a.popcount + threshold,
+                             [](int value, const Rendered& g) {
+                               return value < g.popcount;
+                             }) -
+            glyphs.begin());
+      }
+      for (std::size_t j = lo; j < hi; ++j) {
+        const auto& b = glyphs[j];
+        if (b.cp == a.cp) continue;
+        ++n_compared;
+        const int d = font::delta_bounded(a.glyph, b.glyph, threshold);
+        if (d <= threshold) {
+          auto [x, y] = std::minmax(a.cp, b.cp);
+          found.push_back({x, y, d});
+        }
+      }
+    }
+    compared += n_compared;
+    std::lock_guard lock{pairs_mutex};
+    new_pairs.insert(new_pairs.end(), found.begin(), found.end());
+  });
+  local_stats.pairs_compared = compared.load();
+  local_stats.pairs_found = new_pairs.size();
+  local_stats.compare_seconds = watch.seconds();
+
+  // Step III over the new pairs.
+  watch.reset();
+  std::unordered_map<unicode::CodePoint, int> popcount_of;
+  for (const auto& g : glyphs) popcount_of[g.cp] = g.popcount;
+  std::erase_if(new_pairs, [&](const HomoglyphPair& p) {
+    return popcount_of[p.a] < options.min_black_pixels ||
+           popcount_of[p.b] < options.min_black_pixels;
+  });
+  local_stats.pairs_after_sparse = new_pairs.size();
+  local_stats.sparse_seconds = watch.seconds();
+
+  if (stats != nullptr) *stats = local_stats;
+  return SimCharDb::merge(existing, SimCharDb{std::move(new_pairs)});
+}
+
+DbDiff diff(const SimCharDb& before, const SimCharDb& after) {
+  const auto key = [](const HomoglyphPair& p) {
+    return (static_cast<std::uint64_t>(p.a) << 32) | p.b;
+  };
+  std::unordered_set<std::uint64_t> before_keys;
+  for (const auto& p : before.pairs()) before_keys.insert(key(p));
+  std::unordered_set<std::uint64_t> after_keys;
+  for (const auto& p : after.pairs()) after_keys.insert(key(p));
+
+  DbDiff out;
+  for (const auto& p : after.pairs()) {
+    if (!before_keys.contains(key(p))) out.added.push_back(p);
+  }
+  for (const auto& p : before.pairs()) {
+    if (!after_keys.contains(key(p))) out.removed.push_back(p);
+  }
+  return out;
+}
+
+SimCharDb SimCharDb::parse(std::string_view text) {
+  std::vector<HomoglyphPair> pairs;
+  std::size_t line_no = 0;
+  for (const auto line : util::split(text, '\n')) {
+    ++line_no;
+    const auto body = util::trim(line);
+    if (body.empty() || body.front() == '#') continue;
+    const auto fields = util::split_ws(body);
+    if (fields.size() != 3) {
+      throw std::invalid_argument{"SimCharDb::parse: line " + std::to_string(line_no) +
+                                  ": expected 3 fields"};
+    }
+    HomoglyphPair p;
+    p.a = util::parse_hex_codepoint(fields[0]);
+    p.b = util::parse_hex_codepoint(fields[1]);
+    p.delta = static_cast<int>(util::parse_u64(fields[2]));
+    pairs.push_back(p);
+  }
+  return SimCharDb{std::move(pairs)};
+}
+
+}  // namespace sham::simchar

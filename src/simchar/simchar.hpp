@@ -1,0 +1,127 @@
+// SimChar: the automatically constructed homoglyph database (Section 3.3).
+//
+// Pipeline:
+//   Step I    render every IDNA-permitted code point the font covers as a
+//             32x32 binary bitmap;
+//   Step II   compute the pixel-difference metric ∆ for every pairwise
+//             combination and keep pairs with ∆ ≤ θ (paper: θ = 4);
+//   Step III  eliminate sparse characters (< 10 black pixels).
+//
+// The quadratic Step II is exact but is accelerated by an optional
+// pixel-count bucket prune: ∆(a, b) ≥ |popcount(a) − popcount(b)|, so only
+// glyph pairs whose ink counts differ by ≤ θ ever need a full comparison.
+// Tests cross-check the pruned build against the naive build.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "font/font_source.hpp"
+#include "unicode/codepoint.hpp"
+
+namespace sham::simchar {
+
+struct HomoglyphPair {
+  unicode::CodePoint a = 0;  // canonical: a < b
+  unicode::CodePoint b = 0;
+  int delta = 0;
+
+  [[nodiscard]] auto operator<=>(const HomoglyphPair&) const = default;
+};
+
+struct BuildOptions {
+  int threshold = 4;           // keep pairs with ∆ ≤ threshold (Step II)
+  int min_black_pixels = 10;   // sparse-character cutoff (Step III)
+  std::size_t threads = 0;     // 0 = hardware concurrency
+  bool use_bucket_pruning = true;
+  bool idna_only = true;       // intersect repertoire with IDNA-PVALID
+};
+
+struct BuildStats {
+  std::size_t repertoire_size = 0;    // code points considered
+  std::size_t glyphs_rendered = 0;    // glyphs the font actually covers
+  std::uint64_t pairs_compared = 0;   // full ∆ evaluations performed
+  std::size_t pairs_found = 0;        // pairs with ∆ ≤ θ before Step III
+  std::size_t sparse_eliminated = 0;  // characters dropped by Step III
+  std::size_t pairs_after_sparse = 0;
+  double render_seconds = 0.0;        // Table 5 row 1
+  double compare_seconds = 0.0;       // Table 5 row 2
+  double sparse_seconds = 0.0;        // Table 5 row 3
+};
+
+/// The built homoglyph database (value type; cheap queries).
+class SimCharDb {
+ public:
+  /// Run the three-step construction against `font`.
+  static SimCharDb build(const font::FontSource& font, const BuildOptions& options = {},
+                         BuildStats* stats = nullptr);
+
+  SimCharDb() = default;
+  explicit SimCharDb(std::vector<HomoglyphPair> pairs);
+
+  /// True if {a, b} is listed (order-insensitive; reflexive pairs are not
+  /// stored, so are_homoglyphs(x, x) is false).
+  [[nodiscard]] bool are_homoglyphs(unicode::CodePoint a, unicode::CodePoint b) const;
+
+  /// The ∆ recorded for {a, b}, if listed.
+  [[nodiscard]] std::optional<int> delta_of(unicode::CodePoint a,
+                                            unicode::CodePoint b) const;
+
+  /// All homoglyphs of `cp`, ascending.
+  [[nodiscard]] std::vector<unicode::CodePoint> homoglyphs_of(unicode::CodePoint cp) const;
+
+  /// All pairs, canonical order.
+  [[nodiscard]] const std::vector<HomoglyphPair>& pairs() const noexcept { return pairs_; }
+
+  /// Every character participating in at least one pair ("# characters"
+  /// in the paper's Table 1).
+  [[nodiscard]] std::vector<unicode::CodePoint> characters() const;
+
+  [[nodiscard]] std::size_t pair_count() const noexcept { return pairs_.size(); }
+  [[nodiscard]] std::size_t character_count() const;
+
+  /// Text serialization: one "U+XXXX U+YYYY <delta>" line per pair.
+  [[nodiscard]] std::string serialize() const;
+  static SimCharDb parse(std::string_view text);
+
+  /// Merge two databases (union of pairs; on conflict the smaller ∆ wins).
+  [[nodiscard]] static SimCharDb merge(const SimCharDb& a, const SimCharDb& b);
+
+ private:
+  void index();
+
+  std::vector<HomoglyphPair> pairs_;
+  std::unordered_map<unicode::CodePoint, std::vector<std::size_t>> by_char_;
+};
+
+/// Incremental maintenance (Section 4.2 of the paper: "we would need to
+/// update SimChar when the Unicode standard adds a new set of glyphs" —
+/// e.g. Unicode 12 added 553 characters over version 11).
+///
+/// Instead of redoing the full O(n²/2) pairwise pass, compare only the
+/// `added` characters against the whole (old ∪ added) repertoire:
+/// O(|added|·n) — plus the pairs among the added characters themselves.
+/// The result merged with `existing` is exactly what a full rebuild over
+/// the union repertoire would produce (property-tested).
+///
+/// `existing` must have been built from `font` with the same `options`;
+/// characters in `added` that the font does not cover are ignored.
+[[nodiscard]] SimCharDb update_with_new_characters(
+    const SimCharDb& existing, const font::FontSource& font,
+    const std::vector<unicode::CodePoint>& added, const BuildOptions& options = {},
+    BuildStats* stats = nullptr);
+
+/// Difference between two database versions: pairs only in `after`
+/// (added) and only in `before` (removed).
+struct DbDiff {
+  std::vector<HomoglyphPair> added;
+  std::vector<HomoglyphPair> removed;
+};
+
+[[nodiscard]] DbDiff diff(const SimCharDb& before, const SimCharDb& after);
+
+}  // namespace sham::simchar

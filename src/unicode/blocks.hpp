@@ -1,0 +1,37 @@
+// Unicode block table (contiguous code-point ranges, Chapter 3 of TUS).
+// Used for the block-level breakdowns of the homoglyph databases (Table 4)
+// and for plane classification (BMP vs SMP, Figures 3-4 discussion).
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "unicode/codepoint.hpp"
+
+namespace sham::unicode {
+
+struct Block {
+  std::string_view name;
+  CodePoint first;
+  CodePoint last;
+};
+
+/// Name of the block containing `cp`, or "No_Block".
+[[nodiscard]] std::string_view block_name(CodePoint cp) noexcept;
+
+/// The block containing `cp`, if any.
+[[nodiscard]] std::optional<Block> block_of(CodePoint cp) noexcept;
+
+/// All known blocks, ordered by first code point.
+[[nodiscard]] const std::vector<Block>& all_blocks();
+
+enum class Plane { kBmp, kSmp, kOther };
+
+[[nodiscard]] constexpr Plane plane_of(CodePoint cp) noexcept {
+  if (cp <= 0xFFFF) return Plane::kBmp;
+  if (cp <= 0x1FFFF) return Plane::kSmp;
+  return Plane::kOther;
+}
+
+}  // namespace sham::unicode

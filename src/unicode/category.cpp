@@ -1,0 +1,97 @@
+#include "unicode/category.hpp"
+
+#include <algorithm>
+#include <array>
+#include <iterator>
+
+namespace sham::unicode {
+
+namespace {
+
+struct CategoryRange {
+  std::uint32_t first;
+  std::uint32_t last;
+  GeneralCategory category;
+};
+
+constexpr CategoryRange kCategoryRanges[] = {
+#include "unicode/data/category_ranges.inc"
+};
+
+}  // namespace
+
+GeneralCategory general_category(CodePoint cp) noexcept {
+  const auto* end = std::end(kCategoryRanges);
+  // First range with last >= cp.
+  const auto* it = std::lower_bound(
+      std::begin(kCategoryRanges), end, cp,
+      [](const CategoryRange& r, CodePoint value) { return r.last < value; });
+  if (it == end || cp < it->first) return GeneralCategory::kCn;
+  return it->category;
+}
+
+std::string_view category_name(GeneralCategory cat) noexcept {
+  switch (cat) {
+    case GeneralCategory::kCc: return "Cc";
+    case GeneralCategory::kCf: return "Cf";
+    case GeneralCategory::kCn: return "Cn";
+    case GeneralCategory::kCo: return "Co";
+    case GeneralCategory::kCs: return "Cs";
+    case GeneralCategory::kLl: return "Ll";
+    case GeneralCategory::kLm: return "Lm";
+    case GeneralCategory::kLo: return "Lo";
+    case GeneralCategory::kLt: return "Lt";
+    case GeneralCategory::kLu: return "Lu";
+    case GeneralCategory::kMc: return "Mc";
+    case GeneralCategory::kMe: return "Me";
+    case GeneralCategory::kMn: return "Mn";
+    case GeneralCategory::kNd: return "Nd";
+    case GeneralCategory::kNl: return "Nl";
+    case GeneralCategory::kNo: return "No";
+    case GeneralCategory::kPc: return "Pc";
+    case GeneralCategory::kPd: return "Pd";
+    case GeneralCategory::kPe: return "Pe";
+    case GeneralCategory::kPf: return "Pf";
+    case GeneralCategory::kPi: return "Pi";
+    case GeneralCategory::kPo: return "Po";
+    case GeneralCategory::kPs: return "Ps";
+    case GeneralCategory::kSc: return "Sc";
+    case GeneralCategory::kSk: return "Sk";
+    case GeneralCategory::kSm: return "Sm";
+    case GeneralCategory::kSo: return "So";
+    case GeneralCategory::kZl: return "Zl";
+    case GeneralCategory::kZp: return "Zp";
+    case GeneralCategory::kZs: return "Zs";
+  }
+  return "??";
+}
+
+bool is_letter(GeneralCategory cat) noexcept {
+  switch (cat) {
+    case GeneralCategory::kLl:
+    case GeneralCategory::kLm:
+    case GeneralCategory::kLo:
+    case GeneralCategory::kLt:
+    case GeneralCategory::kLu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_mark(GeneralCategory cat) noexcept {
+  return cat == GeneralCategory::kMc || cat == GeneralCategory::kMe ||
+         cat == GeneralCategory::kMn;
+}
+
+bool is_decimal_number(GeneralCategory cat) noexcept {
+  return cat == GeneralCategory::kNd;
+}
+
+bool is_noncharacter(CodePoint cp) noexcept {
+  if (cp >= 0xFDD0 && cp <= 0xFDEF) return true;
+  const CodePoint low = cp & 0xFFFF;
+  return low == 0xFFFE || low == 0xFFFF;
+}
+
+}  // namespace sham::unicode

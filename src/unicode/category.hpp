@@ -1,0 +1,35 @@
+// Unicode general-category lookup, backed by a table generated from the
+// Unicode Character Database (see tools/gen_unicode_tables.py).
+#pragma once
+
+#include <string_view>
+
+#include "unicode/codepoint.hpp"
+
+namespace sham::unicode {
+
+enum class GeneralCategory : std::uint8_t {
+  kCc, kCf, kCn, kCo, kCs,              // other
+  kLl, kLm, kLo, kLt, kLu,              // letters
+  kMc, kMe, kMn,                        // marks
+  kNd, kNl, kNo,                        // numbers
+  kPc, kPd, kPe, kPf, kPi, kPo, kPs,    // punctuation
+  kSc, kSk, kSm, kSo,                   // symbols
+  kZl, kZp, kZs,                        // separators
+};
+
+/// General category of `cp`; code points outside the generated table range
+/// (planes ≥ 2) report kCn (unassigned) — everything this project touches
+/// lives in planes 0–1.
+[[nodiscard]] GeneralCategory general_category(CodePoint cp) noexcept;
+
+[[nodiscard]] std::string_view category_name(GeneralCategory cat) noexcept;
+
+[[nodiscard]] bool is_letter(GeneralCategory cat) noexcept;
+[[nodiscard]] bool is_mark(GeneralCategory cat) noexcept;
+[[nodiscard]] bool is_decimal_number(GeneralCategory cat) noexcept;
+
+/// True if `cp` is one of Unicode's 66 noncharacters.
+[[nodiscard]] bool is_noncharacter(CodePoint cp) noexcept;
+
+}  // namespace sham::unicode

@@ -1,0 +1,38 @@
+// Core code-point type and a few classification helpers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sham::unicode {
+
+/// A Unicode scalar value. We use a plain 32-bit integer rather than
+/// char32_t so arithmetic and hashing stay unsurprising.
+using CodePoint = std::uint32_t;
+
+inline constexpr CodePoint kMaxCodePoint = 0x10FFFF;
+inline constexpr CodePoint kReplacementChar = 0xFFFD;
+
+/// A string of code points (decoded form of a U-label / domain name).
+using U32String = std::vector<CodePoint>;
+
+constexpr bool is_scalar_value(CodePoint cp) noexcept {
+  return cp <= kMaxCodePoint && !(cp >= 0xD800 && cp <= 0xDFFF);
+}
+
+constexpr bool is_ascii(CodePoint cp) noexcept { return cp < 0x80; }
+
+constexpr bool is_ascii_letter(CodePoint cp) noexcept {
+  return (cp >= 'a' && cp <= 'z') || (cp >= 'A' && cp <= 'Z');
+}
+
+constexpr bool is_ascii_digit(CodePoint cp) noexcept { return cp >= '0' && cp <= '9'; }
+
+/// LDH: the letter-digit-hyphen repertoire that plain (non-IDN) DNS labels
+/// use at the protocol level.
+constexpr bool is_ldh(CodePoint cp) noexcept {
+  return is_ascii_letter(cp) || is_ascii_digit(cp) || cp == '-';
+}
+
+}  // namespace sham::unicode

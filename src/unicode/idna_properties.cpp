@@ -1,0 +1,180 @@
+#include "unicode/idna_properties.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "unicode/category.hpp"
+
+namespace sham::unicode {
+
+namespace {
+
+struct Range {
+  std::uint32_t first;
+  std::uint32_t last;
+};
+
+// RFC 5892 rule B ("Unstable"): cp != NFKC(casefold(NFKC(cp))).
+// Generated from Unicode 14.0 (tools/gen_unicode_tables.py).
+constexpr Range kUnstableRanges[] = {
+#include "unicode/data/unstable_ranges.inc"
+};
+
+bool in_ranges(CodePoint cp, const Range* begin, const Range* end) noexcept {
+  const auto* it = std::lower_bound(
+      begin, end, cp, [](const Range& r, CodePoint value) { return r.last < value; });
+  return it != end && cp >= it->first;
+}
+
+bool is_unstable(CodePoint cp) noexcept {
+  return in_ranges(cp, std::begin(kUnstableRanges), std::end(kUnstableRanges));
+}
+
+// RFC 5892 Section 2.6 "Exceptions".
+bool exception_lookup(CodePoint cp, IdnaProperty& out) noexcept {
+  switch (cp) {
+    // PVALID exceptions.
+    case 0x00DF:  // LATIN SMALL LETTER SHARP S
+    case 0x03C2:  // GREEK SMALL LETTER FINAL SIGMA
+    case 0x06FD:  // ARABIC SIGN SINDHI AMPERSAND
+    case 0x06FE:  // ARABIC SIGN SINDHI POSTPOSITION MEN
+    case 0x0F0B:  // TIBETAN MARK INTERSYLLABIC TSHEG
+    case 0x3007:  // IDEOGRAPHIC NUMBER ZERO
+      out = IdnaProperty::kPvalid;
+      return true;
+    // CONTEXTO exceptions.
+    case 0x00B7:  // MIDDLE DOT
+    case 0x0375:  // GREEK LOWER NUMERAL SIGN
+    case 0x05F3:  // HEBREW PUNCTUATION GERESH
+    case 0x05F4:  // HEBREW PUNCTUATION GERSHAYIM
+    case 0x30FB:  // KATAKANA MIDDLE DOT
+      out = IdnaProperty::kContextO;
+      return true;
+    // DISALLOWED exceptions.
+    case 0x0640:  // ARABIC TATWEEL
+    case 0x07FA:  // NKO LAJANYALAN
+    case 0x302E:  // HANGUL SINGLE DOT TONE MARK
+    case 0x302F:  // HANGUL DOUBLE DOT TONE MARK
+    case 0x3031:  // VERTICAL KANA REPEAT MARK
+    case 0x3032:
+    case 0x3033:
+    case 0x3034:
+    case 0x3035:
+    case 0x303B:  // VERTICAL IDEOGRAPHIC ITERATION MARK
+      out = IdnaProperty::kDisallowed;
+      return true;
+    default:
+      break;
+  }
+  // Arabic-Indic and extended Arabic-Indic digits: CONTEXTO.
+  if ((cp >= 0x0660 && cp <= 0x0669) || (cp >= 0x06F0 && cp <= 0x06F9)) {
+    out = IdnaProperty::kContextO;
+    return true;
+  }
+  return false;
+}
+
+// Rule I: conjoining Old Hangul Jamo are DISALLOWED (modern precomposed
+// Hangul syllables remain PVALID).
+bool is_old_hangul_jamo(CodePoint cp) noexcept {
+  return (cp >= 0x1100 && cp <= 0x11FF) || (cp >= 0xA960 && cp <= 0xA97F) ||
+         (cp >= 0xD7B0 && cp <= 0xD7FF);
+}
+
+// Rule L ("IgnorableBlocks"): blocks intended for symbol annotation.
+bool in_ignorable_block(CodePoint cp) noexcept {
+  return (cp >= 0x20D0 && cp <= 0x20FF) ||      // Combining Marks for Symbols
+         (cp >= 0x1D100 && cp <= 0x1D1FF) ||    // Musical Symbols
+         (cp >= 0x1D200 && cp <= 0x1D24F);      // Ancient Greek Musical Notation
+}
+
+// Rule K ("IgnorableProperties"): default-ignorable, white space,
+// noncharacter. We approximate default-ignorable with Cf plus the
+// variation-selector and fill blocks; whitespace with the Z categories plus
+// the ASCII controls that are White_Space.
+bool has_ignorable_property(CodePoint cp, GeneralCategory cat) noexcept {
+  if (is_noncharacter(cp)) return true;
+  if (cat == GeneralCategory::kZs || cat == GeneralCategory::kZl ||
+      cat == GeneralCategory::kZp) {
+    return true;
+  }
+  if (cat == GeneralCategory::kCf) return true;
+  if (cp >= 0xFE00 && cp <= 0xFE0F) return true;    // variation selectors
+  if (cp == 0x3164 || cp == 0xFFA0) return true;    // Hangul fillers
+  return false;
+}
+
+}  // namespace
+
+IdnaProperty idna_property(CodePoint cp) noexcept {
+  if (!is_scalar_value(cp)) return IdnaProperty::kDisallowed;
+
+  IdnaProperty exception{};
+  if (exception_lookup(cp, exception)) return exception;  // rule F
+
+  const GeneralCategory cat = general_category(cp);
+  if (cat == GeneralCategory::kCn) return IdnaProperty::kUnassigned;  // rule J
+
+  // Rule: LDH (lowercase ASCII letters, digits, hyphen) is PVALID.
+  if (cp == '-' || (cp >= '0' && cp <= '9') || (cp >= 'a' && cp <= 'z')) {
+    return IdnaProperty::kPvalid;
+  }
+
+  if (cp == 0x200C || cp == 0x200D) return IdnaProperty::kContextJ;  // rule H
+
+  if (is_unstable(cp)) return IdnaProperty::kDisallowed;               // rule B
+  if (has_ignorable_property(cp, cat)) return IdnaProperty::kDisallowed;  // rule K
+  if (in_ignorable_block(cp)) return IdnaProperty::kDisallowed;        // rule L
+  if (is_old_hangul_jamo(cp)) return IdnaProperty::kDisallowed;        // rule I
+
+  // Rule A ("LetterDigits"): Ll, Lu, Lo, Nd, Lm, Mn, Mc. (Lu/Lt are already
+  // gone: uppercase is unstable under casefolding.)
+  switch (cat) {
+    case GeneralCategory::kLl:
+    case GeneralCategory::kLu:
+    case GeneralCategory::kLo:
+    case GeneralCategory::kNd:
+    case GeneralCategory::kLm:
+    case GeneralCategory::kMn:
+    case GeneralCategory::kMc:
+      return IdnaProperty::kPvalid;
+    default:
+      return IdnaProperty::kDisallowed;
+  }
+}
+
+std::string_view idna_property_name(IdnaProperty p) noexcept {
+  switch (p) {
+    case IdnaProperty::kPvalid: return "PVALID";
+    case IdnaProperty::kContextJ: return "CONTEXTJ";
+    case IdnaProperty::kContextO: return "CONTEXTO";
+    case IdnaProperty::kDisallowed: return "DISALLOWED";
+    case IdnaProperty::kUnassigned: return "UNASSIGNED";
+  }
+  return "??";
+}
+
+bool is_idna_permitted(CodePoint cp) noexcept {
+  return idna_property(cp) == IdnaProperty::kPvalid;
+}
+
+std::vector<CodePoint> idna_permitted_in_range(CodePoint first, CodePoint last) {
+  std::vector<CodePoint> out;
+  for (CodePoint cp = first; cp <= last && cp >= first; ++cp) {
+    if (is_idna_permitted(cp)) out.push_back(cp);
+  }
+  return out;
+}
+
+std::size_t idna_permitted_count() {
+  static const std::size_t count = [] {
+    std::size_t n = 0;
+    for (CodePoint cp = 0; cp < 0x20000; ++cp) {
+      if (is_idna_permitted(cp)) ++n;
+    }
+    return n;
+  }();
+  return count;
+}
+
+}  // namespace sham::unicode

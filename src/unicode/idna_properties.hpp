@@ -1,0 +1,41 @@
+// IDNA2008 derived property (RFC 5892). Determines which code points are
+// permitted in IDN U-labels ("PVALID"); the paper's character repertoire
+// for SimChar is exactly the PVALID set intersected with the font's
+// coverage (Sections 3.2-3.3, Figures 3-4).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "unicode/codepoint.hpp"
+
+namespace sham::unicode {
+
+enum class IdnaProperty : std::uint8_t {
+  kPvalid,      // permitted for general use in IDNs
+  kContextJ,    // joiner characters needing contextual rules
+  kContextO,    // other characters needing contextual rules
+  kDisallowed,
+  kUnassigned,
+};
+
+/// Derived property per RFC 5892's rule cascade (Exceptions →
+/// BackwardCompatible → Unassigned → LDH → JoinControl → Unstable →
+/// IgnorableProperties → IgnorableBlocks → OldHangulJamo → LetterDigits →
+/// DISALLOWED), evaluated against Unicode 14.0 category data.
+[[nodiscard]] IdnaProperty idna_property(CodePoint cp) noexcept;
+
+[[nodiscard]] std::string_view idna_property_name(IdnaProperty p) noexcept;
+
+/// True iff `cp` may appear in a U-label. CONTEXTJ/CONTEXTO code points are
+/// conservatively excluded (matching the paper, which uses the PVALID set).
+[[nodiscard]] bool is_idna_permitted(CodePoint cp) noexcept;
+
+/// All PVALID code points in [first, last].
+[[nodiscard]] std::vector<CodePoint> idna_permitted_in_range(CodePoint first,
+                                                             CodePoint last);
+
+/// Count of PVALID code points in planes 0-1 (the "IDNA" set of Table 1).
+[[nodiscard]] std::size_t idna_permitted_count();
+
+}  // namespace sham::unicode

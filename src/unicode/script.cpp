@@ -1,0 +1,171 @@
+#include "unicode/script.hpp"
+
+#include <algorithm>
+
+namespace sham::unicode {
+
+namespace {
+
+struct ScriptRange {
+  CodePoint first;
+  CodePoint last;
+  Script script;
+};
+
+// Coarse script ranges. This is intentionally block-granular: it is used
+// for browser-policy emulation and language guessing, not for spec-exact
+// Script property queries.
+constexpr ScriptRange kScriptRanges[] = {
+    {0x0000, 0x0040, Script::kCommon},
+    {0x0041, 0x005A, Script::kLatin},
+    {0x005B, 0x0060, Script::kCommon},
+    {0x0061, 0x007A, Script::kLatin},
+    {0x007B, 0x00BF, Script::kCommon},
+    {0x00C0, 0x024F, Script::kLatin},       // Latin-1 letters .. Extended-B
+    {0x0250, 0x02AF, Script::kLatin},       // IPA
+    {0x02B0, 0x02FF, Script::kCommon},
+    {0x0300, 0x036F, Script::kInherited},   // combining marks
+    {0x0370, 0x03FF, Script::kGreek},
+    {0x0400, 0x052F, Script::kCyrillic},
+    {0x0530, 0x058F, Script::kArmenian},
+    {0x0590, 0x05FF, Script::kHebrew},
+    {0x0600, 0x06FF, Script::kArabic},
+    {0x0750, 0x077F, Script::kArabic},
+    {0x08A0, 0x08FF, Script::kArabic},
+    {0x0900, 0x097F, Script::kDevanagari},
+    {0x0980, 0x09FF, Script::kBengali},
+    {0x0A00, 0x0A7F, Script::kGurmukhi},
+    {0x0A80, 0x0AFF, Script::kGujarati},
+    {0x0B00, 0x0B7F, Script::kOriya},
+    {0x0B80, 0x0BFF, Script::kTamil},
+    {0x0C00, 0x0C7F, Script::kTelugu},
+    {0x0C80, 0x0CFF, Script::kKannada},
+    {0x0D00, 0x0D7F, Script::kMalayalam},
+    {0x0D80, 0x0DFF, Script::kSinhala},
+    {0x0E00, 0x0E7F, Script::kThai},
+    {0x0E80, 0x0EFF, Script::kLao},
+    {0x0F00, 0x0FFF, Script::kTibetan},
+    {0x1000, 0x109F, Script::kMyanmar},
+    {0x10A0, 0x10FF, Script::kGeorgian},
+    {0x1100, 0x11FF, Script::kHangul},
+    {0x1200, 0x139F, Script::kEthiopic},
+    {0x13A0, 0x13FF, Script::kCherokee},
+    {0x1400, 0x167F, Script::kCanadianAboriginal},
+    {0x1780, 0x17FF, Script::kKhmer},
+    {0x1800, 0x18AF, Script::kMongolian},
+    {0x18B0, 0x18FF, Script::kCanadianAboriginal},
+    {0x1C80, 0x1C8F, Script::kCyrillic},
+    {0x1C90, 0x1CBF, Script::kGeorgian},
+    {0x1D00, 0x1DBF, Script::kLatin},       // phonetic extensions (mostly)
+    {0x1DC0, 0x1DFF, Script::kInherited},
+    {0x1E00, 0x1EFF, Script::kLatin},
+    {0x1F00, 0x1FFF, Script::kGreek},
+    {0x2000, 0x20CF, Script::kCommon},
+    {0x20D0, 0x20FF, Script::kInherited},
+    {0x2100, 0x2BFF, Script::kCommon},      // symbols, arrows, math
+    {0x2C60, 0x2C7F, Script::kLatin},
+    {0x2D00, 0x2D2F, Script::kGeorgian},
+    {0x2D80, 0x2DDF, Script::kEthiopic},
+    {0x2DE0, 0x2DFF, Script::kCyrillic},
+    {0x2E80, 0x2FFF, Script::kHan},         // radicals
+    {0x3000, 0x303F, Script::kCommon},
+    {0x3040, 0x309F, Script::kHiragana},
+    {0x30A0, 0x30FF, Script::kKatakana},
+    {0x3100, 0x312F, Script::kBopomofo},
+    {0x3130, 0x318F, Script::kHangul},
+    {0x31A0, 0x31BF, Script::kBopomofo},
+    {0x31F0, 0x31FF, Script::kKatakana},
+    {0x3400, 0x4DBF, Script::kHan},
+    {0x4E00, 0x9FFF, Script::kHan},
+    {0xA000, 0xA4CF, Script::kYi},
+    {0xA4D0, 0xA4FF, Script::kLisu},
+    {0xA500, 0xA63F, Script::kVai},
+    {0xA640, 0xA69F, Script::kCyrillic},
+    {0xA720, 0xA7FF, Script::kLatin},
+    {0xA960, 0xA97F, Script::kHangul},
+    {0xAA00, 0xAA5F, Script::kCham},
+    {0xAB30, 0xAB6F, Script::kLatin},
+    {0xAB70, 0xABBF, Script::kCherokee},
+    {0xAC00, 0xD7FF, Script::kHangul},
+    {0xF900, 0xFAFF, Script::kHan},
+    {0xFB00, 0xFB4F, Script::kLatin},       // alphabetic presentation (approx.)
+    {0xFB50, 0xFDFF, Script::kArabic},
+    {0xFE70, 0xFEFF, Script::kArabic},
+    {0xFF00, 0xFF20, Script::kCommon},
+    {0xFF21, 0xFF5A, Script::kLatin},       // fullwidth letters
+    {0xFF5B, 0xFF65, Script::kCommon},
+    {0xFF66, 0xFF9F, Script::kKatakana},    // halfwidth katakana
+    {0xFFA0, 0xFFDC, Script::kHangul},
+    {0x118A0, 0x118FF, Script::kWarangCiti},
+    {0x1D400, 0x1D7FF, Script::kCommon},    // mathematical alphanumerics
+};
+
+}  // namespace
+
+Script script_of(CodePoint cp) noexcept {
+  const auto* end = std::end(kScriptRanges);
+  const auto* it = std::lower_bound(
+      std::begin(kScriptRanges), end, cp,
+      [](const ScriptRange& r, CodePoint value) { return r.last < value; });
+  if (it == end || cp < it->first) return Script::kUnknown;
+  return it->script;
+}
+
+std::string_view script_name(Script script) noexcept {
+  switch (script) {
+    case Script::kCommon: return "Common";
+    case Script::kInherited: return "Inherited";
+    case Script::kLatin: return "Latin";
+    case Script::kGreek: return "Greek";
+    case Script::kCyrillic: return "Cyrillic";
+    case Script::kArmenian: return "Armenian";
+    case Script::kHebrew: return "Hebrew";
+    case Script::kArabic: return "Arabic";
+    case Script::kDevanagari: return "Devanagari";
+    case Script::kBengali: return "Bengali";
+    case Script::kGurmukhi: return "Gurmukhi";
+    case Script::kGujarati: return "Gujarati";
+    case Script::kOriya: return "Oriya";
+    case Script::kTamil: return "Tamil";
+    case Script::kTelugu: return "Telugu";
+    case Script::kKannada: return "Kannada";
+    case Script::kMalayalam: return "Malayalam";
+    case Script::kSinhala: return "Sinhala";
+    case Script::kThai: return "Thai";
+    case Script::kLao: return "Lao";
+    case Script::kTibetan: return "Tibetan";
+    case Script::kMyanmar: return "Myanmar";
+    case Script::kGeorgian: return "Georgian";
+    case Script::kHangul: return "Hangul";
+    case Script::kEthiopic: return "Ethiopic";
+    case Script::kCherokee: return "Cherokee";
+    case Script::kCanadianAboriginal: return "Canadian Aboriginal";
+    case Script::kKhmer: return "Khmer";
+    case Script::kMongolian: return "Mongolian";
+    case Script::kHan: return "Han";
+    case Script::kHiragana: return "Hiragana";
+    case Script::kKatakana: return "Katakana";
+    case Script::kBopomofo: return "Bopomofo";
+    case Script::kYi: return "Yi";
+    case Script::kLisu: return "Lisu";
+    case Script::kVai: return "Vai";
+    case Script::kCham: return "Cham";
+    case Script::kWarangCiti: return "Warang Citi";
+    case Script::kUnknown: return "Unknown";
+  }
+  return "??";
+}
+
+std::vector<Script> scripts_in(const U32String& text) {
+  std::vector<Script> out;
+  for (const CodePoint cp : text) {
+    const Script s = script_of(cp);
+    if (s == Script::kCommon || s == Script::kInherited) continue;
+    if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+  }
+  return out;
+}
+
+bool is_mixed_script(const U32String& text) { return scripts_in(text).size() >= 2; }
+
+}  // namespace sham::unicode

@@ -1,0 +1,31 @@
+// Coarse script classification. Browsers' IDN display policies and our
+// language identifier (Table 7) both reason about scripts, not blocks.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "unicode/codepoint.hpp"
+
+namespace sham::unicode {
+
+enum class Script : std::uint8_t {
+  kCommon, kInherited, kLatin, kGreek, kCyrillic, kArmenian, kHebrew, kArabic,
+  kDevanagari, kBengali, kGurmukhi, kGujarati, kOriya, kTamil, kTelugu,
+  kKannada, kMalayalam, kSinhala, kThai, kLao, kTibetan, kMyanmar, kGeorgian,
+  kHangul, kEthiopic, kCherokee, kCanadianAboriginal, kKhmer, kMongolian,
+  kHan, kHiragana, kKatakana, kBopomofo, kYi, kLisu, kVai, kCham, kWarangCiti,
+  kUnknown,
+};
+
+[[nodiscard]] Script script_of(CodePoint cp) noexcept;
+[[nodiscard]] std::string_view script_name(Script script) noexcept;
+
+/// Distinct non-Common/Inherited scripts appearing in `text`.
+[[nodiscard]] std::vector<Script> scripts_in(const U32String& text);
+
+/// True if `text` mixes two or more real scripts — the condition modern
+/// browsers use to force Punycode display (Section 2.2 of the paper).
+[[nodiscard]] bool is_mixed_script(const U32String& text);
+
+}  // namespace sham::unicode

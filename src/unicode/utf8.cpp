@@ -1,0 +1,113 @@
+#include "unicode/utf8.hpp"
+
+#include <stdexcept>
+
+namespace sham::unicode {
+
+namespace {
+
+// Decodes one scalar value starting at bytes[i]. On success advances i past
+// the sequence and returns the code point; on failure advances i past the
+// maximal invalid subpart and returns nullopt.
+std::optional<CodePoint> decode_one(std::string_view bytes, std::size_t& i) {
+  const auto b0 = static_cast<unsigned char>(bytes[i]);
+  if (b0 < 0x80) {
+    ++i;
+    return b0;
+  }
+
+  int len = 0;
+  CodePoint cp = 0;
+  CodePoint min = 0;
+  if ((b0 & 0xE0) == 0xC0) {
+    len = 2;
+    cp = b0 & 0x1F;
+    min = 0x80;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3;
+    cp = b0 & 0x0F;
+    min = 0x800;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    len = 4;
+    cp = b0 & 0x07;
+    min = 0x10000;
+  } else {
+    ++i;  // stray continuation or invalid lead byte
+    return std::nullopt;
+  }
+
+  std::size_t j = i + 1;
+  for (int k = 1; k < len; ++k, ++j) {
+    if (j >= bytes.size() || (static_cast<unsigned char>(bytes[j]) & 0xC0) != 0x80) {
+      i = j;  // truncated sequence: consume lead + valid continuations
+      return std::nullopt;
+    }
+    cp = (cp << 6) | (static_cast<unsigned char>(bytes[j]) & 0x3F);
+  }
+  i = j;
+  if (cp < min || !is_scalar_value(cp)) return std::nullopt;  // overlong/surrogate/range
+  return cp;
+}
+
+}  // namespace
+
+void append_utf8(CodePoint cp, std::string& out) {
+  if (!is_scalar_value(cp)) {
+    throw std::invalid_argument{"append_utf8: not a Unicode scalar value"};
+  }
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+std::string to_utf8(const U32String& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (CodePoint cp : text) append_utf8(cp, out);
+  return out;
+}
+
+std::string to_utf8(CodePoint cp) {
+  std::string out;
+  append_utf8(cp, out);
+  return out;
+}
+
+std::optional<U32String> decode_utf8(std::string_view bytes) {
+  U32String out;
+  out.reserve(bytes.size());
+  std::size_t i = 0;
+  while (i < bytes.size()) {
+    const auto cp = decode_one(bytes, i);
+    if (!cp) return std::nullopt;
+    out.push_back(*cp);
+  }
+  return out;
+}
+
+U32String decode_utf8_lossy(std::string_view bytes) {
+  U32String out;
+  out.reserve(bytes.size());
+  std::size_t i = 0;
+  while (i < bytes.size()) {
+    const auto cp = decode_one(bytes, i);
+    out.push_back(cp.value_or(kReplacementChar));
+  }
+  return out;
+}
+
+std::size_t utf8_length(std::string_view bytes) { return decode_utf8_lossy(bytes).size(); }
+
+}  // namespace sham::unicode

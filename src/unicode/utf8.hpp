@@ -1,0 +1,30 @@
+// UTF-8 encode/decode. Strict: rejects overlong forms, surrogates, and
+// out-of-range values (domain-name inputs are attacker-controlled).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "unicode/codepoint.hpp"
+
+namespace sham::unicode {
+
+/// Append the UTF-8 encoding of `cp` to `out`. Throws std::invalid_argument
+/// if `cp` is not a Unicode scalar value.
+void append_utf8(CodePoint cp, std::string& out);
+
+[[nodiscard]] std::string to_utf8(const U32String& text);
+[[nodiscard]] std::string to_utf8(CodePoint cp);
+
+/// Decode strictly; returns std::nullopt on any malformed byte sequence.
+[[nodiscard]] std::optional<U32String> decode_utf8(std::string_view bytes);
+
+/// Decode, substituting U+FFFD for malformed sequences (one replacement per
+/// maximal invalid subpart, per the WHATWG/Unicode recommendation).
+[[nodiscard]] U32String decode_utf8_lossy(std::string_view bytes);
+
+/// Number of code points in a valid UTF-8 string (lossy count otherwise).
+[[nodiscard]] std::size_t utf8_length(std::string_view bytes);
+
+}  // namespace sham::unicode

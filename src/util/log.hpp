@@ -1,0 +1,21 @@
+// Minimal leveled logger. Experiments log milestones at Info; tests silence
+// everything below Warn to keep ctest output readable.
+#pragma once
+
+#include <string_view>
+
+namespace sham::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+void log(LogLevel level, std::string_view message);
+
+inline void log_debug(std::string_view m) { log(LogLevel::kDebug, m); }
+inline void log_info(std::string_view m) { log(LogLevel::kInfo, m); }
+inline void log_warn(std::string_view m) { log(LogLevel::kWarn, m); }
+inline void log_error(std::string_view m) { log(LogLevel::kError, m); }
+
+}  // namespace sham::util

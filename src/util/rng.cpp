@@ -1,0 +1,26 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sham::util {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument{"ZipfSampler: n must be > 0"};
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it == cdf_.end() ? cdf_.size() - 1
+                                                   : std::distance(cdf_.begin(), it));
+}
+
+}  // namespace sham::util

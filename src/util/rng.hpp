@@ -1,0 +1,145 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every simulator in this repository takes an explicit 64-bit seed and
+// derives its randomness from an Rng instance, so a whole experiment is
+// reproducible bit-for-bit across runs and machines.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace sham::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into stream state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG (Blackman & Vigna). Small, fast, and good enough for
+/// workload synthesis; not for cryptography.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  /// Derive an independent child stream; used to give each sub-component
+  /// its own generator so insertion-order changes don't ripple.
+  [[nodiscard]] Rng fork(std::uint64_t salt) noexcept {
+    std::uint64_t s = next() ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return Rng{s};
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with <algorithm>/<random>).
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) throw std::invalid_argument{"Rng::below: bound must be > 0"};
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument{"Rng::between: lo > hi"};
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Approximately normal variate via sum of uniforms (Irwin–Hall, n=12);
+  /// adequate for perception-noise modelling.
+  double normal(double mean, double stddev) noexcept {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += uniform();
+    return mean + (s - 6.0) * stddev;
+  }
+
+  /// Pick a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    if (items.empty()) throw std::invalid_argument{"Rng::pick: empty span"};
+    return items[below(items.size())];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>{items});
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Zipf-distributed rank sampler over {0, …, n-1} with exponent s.
+/// Used to model the popularity skew of domain-name lookups (passive DNS)
+/// and of reference-domain ranks.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draw a rank in [0, n). Rank 0 is the most popular item.
+  std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace sham::util

@@ -1,0 +1,26 @@
+// Monotonic stopwatch used by the cost-measurement experiments (Table 5,
+// §4.2 detection throughput).
+#pragma once
+
+#include <chrono>
+
+namespace sham::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_{clock::now()} {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace sham::util

@@ -1,0 +1,96 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+namespace sham::util {
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_ws(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    const std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) out.push_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+std::string to_lower_ascii(std::string_view text) {
+  std::string out{text};
+  for (auto& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(std::string_view text) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::invalid_argument{"parse_u64: not a number: '" + std::string{text} + "'"};
+  }
+  return value;
+}
+
+std::uint32_t parse_hex_codepoint(std::string_view text) {
+  if (starts_with(text, "U+") || starts_with(text, "u+")) text.remove_prefix(2);
+  std::uint32_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value, 16);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::invalid_argument{"parse_hex_codepoint: bad hex: '" + std::string{text} + "'"};
+  }
+  return value;
+}
+
+std::string format_codepoint(std::uint32_t cp) {
+  static constexpr char digits[] = "0123456789ABCDEF";
+  std::string hex;
+  while (cp != 0) {
+    hex.insert(hex.begin(), digits[cp & 0xF]);
+    cp >>= 4;
+  }
+  while (hex.size() < 4) hex.insert(hex.begin(), '0');
+  return "U+" + hex;
+}
+
+}  // namespace sham::util

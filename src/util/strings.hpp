@@ -1,0 +1,35 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sham::util {
+
+/// Split on a single character; empty fields are kept.
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Split on runs of ASCII whitespace; empty fields are dropped.
+std::vector<std::string_view> split_ws(std::string_view text);
+
+std::string_view trim(std::string_view text);
+
+/// ASCII-only lowercasing (domain names are case-insensitive in ASCII).
+std::string to_lower_ascii(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parse a non-negative integer; throws std::invalid_argument on garbage.
+std::uint64_t parse_u64(std::string_view text);
+
+/// Parse "U+XXXX" or bare hex into a code-point value.
+std::uint32_t parse_hex_codepoint(std::string_view text);
+
+/// Format a code point as "U+XXXX" (at least 4 hex digits, uppercase).
+std::string format_codepoint(std::uint32_t cp);
+
+}  // namespace sham::util

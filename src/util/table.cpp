@@ -1,0 +1,99 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace sham::util {
+
+TextTable::TextTable(std::vector<std::string> header, std::vector<Align> aligns)
+    : header_{std::move(header)}, aligns_{std::move(aligns)} {
+  if (aligns_.empty()) aligns_.assign(header_.size(), Align::kLeft);
+  if (aligns_.size() != header_.size()) {
+    throw std::invalid_argument{"TextTable: aligns/header size mismatch"};
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument{"TextTable: row width mismatch"};
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](std::string& out, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = width[c] - row[c].size();
+      if (c != 0) out += "  ";
+      if (aligns_[c] == Align::kRight) out.append(pad, ' ');
+      out += row[c];
+      if (aligns_[c] == Align::kLeft && c + 1 != row.size()) out.append(pad, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(out, header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) out += "  ";
+    out.append(width[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(out, row);
+  return out;
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0 && (n - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string percent(double fraction, int digits) {
+  return fixed(fraction * 100.0, digits) + "%";
+}
+
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows) {
+  auto field = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"') q += '"';
+      q += c;
+    }
+    return q + "\"";
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out += ',';
+      out += field(row[i]);
+    }
+    out += '\n';
+  };
+  emit(header);
+  for (const auto& row : rows) emit(row);
+  return out;
+}
+
+}  // namespace sham::util

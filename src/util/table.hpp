@@ -1,0 +1,45 @@
+// Plain-text table rendering for the benchmark harness. Every bench binary
+// prints the paper's table next to the measured one using this printer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sham::util {
+
+enum class Align { kLeft, kRight };
+
+/// Column-aligned text table. Rows are strings; numeric formatting is the
+/// caller's job (keeps the printer trivial and the output predictable).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header,
+                     std::vector<Align> aligns = {});
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule, e.g.
+  ///   Name      Count
+  ///   --------  -----
+  ///   foo          12
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used by bench output.
+std::string with_commas(std::uint64_t value);
+std::string fixed(double value, int digits);
+std::string percent(double fraction, int digits = 1);
+
+/// Write rows as CSV (minimal quoting: fields containing comma/quote/newline
+/// are double-quoted).
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace sham::util

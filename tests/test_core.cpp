@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/shamfinder.hpp"
+#include "core/warning.hpp"
+#include "font/synthetic_font.hpp"
+
+namespace sham::core {
+namespace {
+
+using unicode::U32String;
+
+const ShamFinder& finder() {
+  static const auto instance = [] {
+    font::SyntheticFontBuilder b{31337};
+    b.cover_range(0x0430, 0x045F);
+    b.plant_cluster('o', {{0x043E, 0}, {0x0585, 2}});
+    b.plant_cluster('e', {{0x00E9, 3}});
+    b.plant_cluster('a', {{0x00E0, 1}});
+    return ShamFinder::build_from_font(*b.build());
+  }();
+  return instance;
+}
+
+TEST(ShamFinderTest, BuildProducesDatabases) {
+  EXPECT_GT(finder().simchar().pair_count(), 3u);
+  EXPECT_GT(finder().db().pair_count(), finder().simchar().pair_count());
+}
+
+TEST(ShamFinderTest, ExtractIdnsFiltersTldAndPrefix) {
+  const std::vector<std::string> domains{
+      "google.com",
+      "xn--ggle-55da.com",
+      "xn--ggle-55da.net",    // wrong TLD
+      "sub.xn--ggle-55da.com",  // ACE not in SLD position: skipped
+      "xn--invalid!!.com",    // undecodable
+      "xn--tsta8290bfzd.com",
+  };
+  const auto idns = ShamFinder::extract_idns(domains, "com");
+  ASSERT_EQ(idns.size(), 2u);
+  EXPECT_EQ(idns[0].ace, "xn--ggle-55da");
+  EXPECT_EQ(idns[1].ace, "xn--tsta8290bfzd");
+  EXPECT_EQ(idns[0].unicode.size(), 6u);
+}
+
+TEST(ShamFinderTest, FindHomographsEndToEnd) {
+  const std::vector<std::string> domains{"xn--ggle-55da.com", "benign.com"};
+  const auto idns = ShamFinder::extract_idns(domains, "com");
+  const std::vector<std::string> refs{"google"};
+  detect::DetectionStats stats;
+  const auto matches = finder().find_homographs(refs, idns, &stats);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].diffs.size(), 2u);
+  EXPECT_GE(stats.length_bucket_hits, 1u);
+}
+
+TEST(ShamFinderTest, Revert) {
+  const U32String label{'g', 0x043E, 0x043E, 'g', 'l', 'e'};
+  const auto original = finder().revert(label);
+  ASSERT_TRUE(original.has_value());
+  EXPECT_EQ(*original, "google");
+  // Unrevertible: CJK has no LDH homoglyph in this DB.
+  const U32String cjk{0x4E00};
+  EXPECT_FALSE(finder().revert(cjk).has_value());
+}
+
+TEST(ShamFinderTest, PrebuiltDbConstructor) {
+  simchar::SimCharDb sim{{{'o', 0x043E, 0}}};
+  const ShamFinder f{sim, unicode::ConfusablesDb::embedded()};
+  EXPECT_TRUE(f.db().are_homoglyphs('o', 0x043E));
+}
+
+TEST(Warning, DescribesCodePoints) {
+  const auto desc = describe_codepoint(0x043E);
+  EXPECT_NE(desc.find("U+043E"), std::string::npos);
+  EXPECT_NE(desc.find("Cyrillic"), std::string::npos);
+}
+
+TEST(Warning, DescribesSupplementaryPlaneCharacters) {
+  // U+118D8 (Warang Citi, SMP) — the Figure 11 example character.
+  const auto desc = describe_codepoint(0x118D8);
+  EXPECT_NE(desc.find("U+118D8"), std::string::npos);
+  EXPECT_NE(desc.find("Warang Citi"), std::string::npos);
+}
+
+TEST(Warning, RenderContainsBothNamesAndPositions) {
+  const std::vector<std::string> domains{"xn--ggle-55da.com"};
+  const auto idns = ShamFinder::extract_idns(domains, "com");
+  const std::vector<std::string> refs{"google"};
+  const auto matches = finder().find_homographs(refs, idns);
+  ASSERT_EQ(matches.size(), 1u);
+
+  const auto warning = make_warning(matches[0], "google", idns[0]);
+  const auto text = warning.render();
+  EXPECT_NE(text.find("google.com"), std::string::npos);
+  EXPECT_NE(text.find("WARNING"), std::string::npos);
+  EXPECT_NE(text.find("position 2"), std::string::npos);
+  EXPECT_NE(text.find("U+043E"), std::string::npos);
+  EXPECT_EQ(warning.diffs.size(), 2u);
+  EXPECT_EQ(warning.original, "google");
+}
+
+}  // namespace
+}  // namespace sham::core

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "detect/candidates.hpp"
+#include "detect/detector.hpp"
+#include "idna/idna.hpp"
+#include "util/rng.hpp"
+
+namespace sham::detect {
+namespace {
+
+using unicode::CodePoint;
+using unicode::U32String;
+
+homoglyph::HomoglyphDb test_db() {
+  // Matches the paper's Figure 2 example: о (Cyrillic) and օ (Armenian)
+  // are homoglyphs of 'o'; plus a few more for variety.
+  simchar::SimCharDb sim{{
+      {'o', 0x043E, 0},
+      {'o', 0x0585, 2},
+      {'e', 0x00E9, 3},
+      {'a', 0x0430, 1},
+      {'i', 0x0131, 2},
+  }};
+  homoglyph::DbConfig config;
+  config.use_uc = false;  // keep the pair set small and explicit
+  return homoglyph::HomoglyphDb{sim, unicode::ConfusablesDb::embedded(), config};
+}
+
+IdnEntry entry(const U32String& label) {
+  return {idna::to_a_label(label), label};
+}
+
+TEST(Detector, Figure2PositiveExample) {
+  // reference "google", IDN "gооgle"/"goоgle" variants match.
+  const auto db = test_db();
+  const HomographDetector detector{db};
+  const std::vector<std::string> refs{"google"};
+  const std::vector<IdnEntry> idns{
+      entry({'g', 0x043E, 0x0585, 'g', 'l', 'e'}),  // both о and օ
+  };
+  const auto matches = detector.detect(refs, idns);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].reference_index, 0u);
+  EXPECT_EQ(matches[0].idn_index, 0u);
+  ASSERT_EQ(matches[0].diffs.size(), 2u);
+  EXPECT_EQ(matches[0].diffs[0].index, 1u);
+  EXPECT_EQ(matches[0].diffs[0].idn_char, 0x043Eu);
+  EXPECT_EQ(matches[0].diffs[0].ref_char, static_cast<CodePoint>('o'));
+  EXPECT_EQ(matches[0].diffs[1].index, 2u);
+}
+
+TEST(Detector, Figure2NegativeExample) {
+  // "goc aié"-style string: same length as "google" but containing a
+  // character with no homoglyph relation.
+  const auto db = test_db();
+  const HomographDetector detector{db};
+  const std::vector<std::string> refs{"google"};
+  const std::vector<IdnEntry> idns{
+      entry({'g', 0x043E, 'c', 'a', 'i', 0x00E9}),
+  };
+  EXPECT_TRUE(detector.detect(refs, idns).empty());
+}
+
+TEST(Detector, LengthMismatchNeverMatches) {
+  const auto db = test_db();
+  const HomographDetector detector{db};
+  const std::vector<std::string> refs{"google"};
+  const std::vector<IdnEntry> idns{
+      entry({'g', 0x043E, 0x043E, 'g', 'l', 'e', 's'}),  // 7 chars
+      entry({'g', 0x043E, 0x043E, 'g', 'l'}),            // 5 chars
+  };
+  EXPECT_TRUE(detector.detect(refs, idns).empty());
+}
+
+TEST(Detector, IdenticalStringIsNotAHomograph) {
+  const auto db = test_db();
+  const HomographDetector detector{db};
+  std::vector<DiffChar> diffs;
+  const U32String same{'g', 'o', 'o', 'g', 'l', 'e'};
+  EXPECT_FALSE(detector.match_pair("google", same, &diffs));
+}
+
+TEST(Detector, AllPositionsMustMatchOrPair) {
+  const auto db = test_db();
+  const HomographDetector detector{db};
+  std::vector<DiffChar> diffs;
+  // One homoglyph + one unrelated substitution -> no match.
+  const U32String label{'g', 0x043E, 'x', 'g', 'l', 'e'};
+  EXPECT_FALSE(detector.match_pair("google", label, &diffs));
+}
+
+TEST(Detector, MultipleReferencesAndIdns) {
+  const auto db = test_db();
+  const HomographDetector detector{db};
+  const std::vector<std::string> refs{"google", "apple", "pie"};
+  const std::vector<IdnEntry> idns{
+      entry({'g', 0x043E, 'o', 'g', 'l', 'e'}),
+      entry({0x0430, 'p', 'p', 'l', 'e'}),
+      entry({'p', 0x0131, 'e'}),
+      entry({0x4E00, 0x4E8C}),  // unrelated CJK
+  };
+  const auto matches = detector.detect(refs, idns);
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST(Detector, IndexedMatchesNaive) {
+  const auto db = test_db();
+  const HomographDetector detector{db};
+  util::Rng rng{77};
+
+  std::vector<std::string> refs;
+  for (int i = 0; i < 40; ++i) {
+    std::string name;
+    const int n = 3 + static_cast<int>(rng.below(8));
+    for (int j = 0; j < n; ++j) name += static_cast<char>('a' + rng.below(26));
+    refs.push_back(name);
+  }
+  std::vector<IdnEntry> idns;
+  const CodePoint subs[] = {0x043E, 0x0585, 0x00E9, 0x0430, 0x0131};
+  for (int i = 0; i < 200; ++i) {
+    const auto& ref = refs[rng.below(refs.size())];
+    U32String label;
+    for (const char c : ref) label.push_back(static_cast<unsigned char>(c));
+    // Randomly mutate 1-2 positions with homoglyphs or junk.
+    const int muts = 1 + static_cast<int>(rng.below(2));
+    for (int m = 0; m < muts; ++m) {
+      label[rng.below(label.size())] = subs[rng.below(std::size(subs))];
+    }
+    idns.push_back(entry(label));
+  }
+
+  DetectionStats naive_stats;
+  DetectionStats indexed_stats;
+  auto naive = detector.detect(refs, idns, &naive_stats);
+  auto indexed = detector.detect_indexed(refs, idns, &indexed_stats);
+
+  const auto key = [](const Match& m) {
+    return std::make_pair(m.reference_index, m.idn_index);
+  };
+  std::vector<std::pair<std::size_t, std::size_t>> a, b;
+  for (const auto& m : naive) a.push_back(key(m));
+  for (const auto& m : indexed) b.push_back(key(m));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  EXPECT_GT(naive_stats.length_bucket_hits, 0u);
+}
+
+TEST(Detector, DiffProvenanceIsReported) {
+  simchar::SimCharDb sim{{{'o', 0x00F6, 3}}};
+  homoglyph::HomoglyphDb db{sim, unicode::ConfusablesDb::embedded(), {}};
+  const HomographDetector detector{db};
+  std::vector<DiffChar> diffs;
+  // ö: SimChar; Cyrillic о: UC.
+  const U32String label{0x00F6, 0x043E};
+  ASSERT_TRUE(detector.match_pair("oo", label, &diffs));
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_EQ(diffs[0].source, homoglyph::Source::kSimChar);
+  EXPECT_EQ(diffs[1].source, homoglyph::Source::kUc);
+}
+
+TEST(Detector, SkeletonBaselineFindsUcHomographs) {
+  const auto& uc = unicode::ConfusablesDb::embedded();
+  const std::vector<std::string> refs{"google", "paypal"};
+  const std::vector<IdnEntry> idns{
+      entry({'g', 0x043E, 0x043E, 'g', 'l', 'e'}),   // UC skeleton = google
+      entry({'p', 0x0430, 'y', 'p', 0x0430, 'l'}),   // UC skeleton = paypal
+      entry({'g', 0x00F6, 0x00F6, 'g', 'l', 'e'}),   // ö is NOT in UC
+  };
+  const auto matches = detect_by_skeleton(uc, refs, idns);
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(Detector, EmptyInputs) {
+  const auto db = test_db();
+  const HomographDetector detector{db};
+  EXPECT_TRUE(detector.detect({}, {}).empty());
+  const std::vector<std::string> refs{"google"};
+  EXPECT_TRUE(detector.detect(refs, {}).empty());
+}
+
+// --- Candidate generation ---------------------------------------------
+
+TEST(Candidates, SingleSubstitutionCount) {
+  const auto db = test_db();
+  // "oe": 'o' has 2 homoglyphs, 'e' has 1 -> 3 single-sub candidates.
+  const auto out = generate_candidates(db, "oe");
+  EXPECT_EQ(out.size(), 3u);
+  for (const auto& c : out) {
+    EXPECT_EQ(c.substitutions, 1u);
+    EXPECT_TRUE(idna::is_a_label(c.ace)) << c.ace;
+  }
+}
+
+TEST(Candidates, TwoSubstitutions) {
+  const auto db = test_db();
+  CandidateOptions options;
+  options.max_substitutions = 2;
+  const auto out = generate_candidates(db, "oe", options);
+  // 3 singles + 2x1 doubles = 5.
+  EXPECT_EQ(out.size(), 5u);
+  // Ordered by substitution count.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].substitutions, out[i].substitutions);
+  }
+}
+
+TEST(Candidates, CapRespected) {
+  const auto db = test_db();
+  CandidateOptions options;
+  options.max_substitutions = 3;
+  options.max_candidates = 4;
+  const auto out = generate_candidates(db, "ooee", options);
+  EXPECT_LE(out.size(), 4u);
+}
+
+TEST(Candidates, CandidatesDecodeBack) {
+  const auto db = test_db();
+  const auto out = generate_candidates(db, "google");
+  ASSERT_FALSE(out.empty());
+  for (const auto& c : out) {
+    const auto u = idna::to_u_label(c.ace);
+    ASSERT_TRUE(u.has_value());
+    EXPECT_EQ(*u, c.unicode);
+  }
+}
+
+TEST(Candidates, RejectsBadInput) {
+  const auto db = test_db();
+  EXPECT_THROW(generate_candidates(db, ""), std::invalid_argument);
+  EXPECT_THROW(generate_candidates(db, "caf\xC3\xA9"), std::invalid_argument);
+}
+
+TEST(Candidates, NoHomoglyphsMeansNoCandidates) {
+  const auto db = test_db();
+  EXPECT_TRUE(generate_candidates(db, "zzz").empty());
+}
+
+}  // namespace
+}  // namespace sham::detect

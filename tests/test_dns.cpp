@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "dns/domain.hpp"
+#include "dns/langid.hpp"
+#include "dns/records.hpp"
+#include "dns/zone_file.hpp"
+
+namespace sham::dns {
+namespace {
+
+TEST(DomainName, ParseAndNormalize) {
+  const auto d = DomainName::parse("WWW.Example.COM");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->str(), "www.example.com");
+}
+
+TEST(DomainName, TrailingDotAccepted) {
+  const auto d = DomainName::parse("example.com.");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->str(), "example.com");
+}
+
+TEST(DomainName, RejectsInvalid) {
+  EXPECT_FALSE(DomainName::parse("").has_value());
+  EXPECT_FALSE(DomainName::parse(".").has_value());
+  EXPECT_FALSE(DomainName::parse("a..b").has_value());
+  EXPECT_FALSE(DomainName::parse("-leading.com").has_value());
+  EXPECT_FALSE(DomainName::parse("trailing-.com").has_value());
+  EXPECT_FALSE(DomainName::parse("has space.com").has_value());
+  EXPECT_FALSE(DomainName::parse("exämple.com").has_value());  // raw non-ASCII
+  EXPECT_FALSE(DomainName::parse(std::string(64, 'a') + ".com").has_value());
+  EXPECT_FALSE(DomainName::parse(std::string(300, 'a')).has_value());
+  EXPECT_THROW(DomainName::parse_or_throw("!bad!"), std::invalid_argument);
+}
+
+TEST(DomainName, Accessors) {
+  const auto d = DomainName::parse_or_throw("www.google.com");
+  EXPECT_EQ(d.tld(), "com");
+  EXPECT_EQ(d.sld(), "google");
+  EXPECT_EQ(d.without_tld(), "www.google");
+  EXPECT_EQ(d.labels().size(), 3u);
+  const auto single = DomainName::parse_or_throw("localhost");
+  EXPECT_EQ(single.tld(), "");
+  EXPECT_EQ(single.sld(), "localhost");
+}
+
+TEST(DomainName, IdnDetection) {
+  EXPECT_TRUE(DomainName::parse_or_throw("xn--ggle-55da.com").is_idn());
+  EXPECT_FALSE(DomainName::parse_or_throw("google.com").is_idn());
+}
+
+TEST(Ipv4, ParseAndFormat) {
+  const auto a = Ipv4::parse("203.0.113.7");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->str(), "203.0.113.7");
+  EXPECT_EQ(a->value, 0xCB007107u);
+  EXPECT_FALSE(Ipv4::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.256").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.x").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4.5").has_value());
+}
+
+TEST(Records, TypeNames) {
+  EXPECT_EQ(record_type_name(RecordType::kNs), "NS");
+  EXPECT_EQ(parse_record_type("MX"), RecordType::kMx);
+  EXPECT_FALSE(parse_record_type("BOGUS").has_value());
+}
+
+TEST(ZoneFile, ParsesDirectivesAndRecords) {
+  const auto zone = parse_zone(
+      "$ORIGIN com.\n"
+      "$TTL 3600\n"
+      "google      IN NS ns1.google.com.\n"
+      "google      IN A  142.250.1.1\n"
+      "mailhost    IN MX 10 mx.mailhost.com.\n");
+  EXPECT_EQ(zone.origin.str(), "com");
+  EXPECT_EQ(zone.default_ttl, 3600u);
+  ASSERT_EQ(zone.records.size(), 3u);
+  EXPECT_EQ(zone.records[0].owner.str(), "google.com");
+  EXPECT_EQ(zone.records[0].type, RecordType::kNs);
+  EXPECT_EQ(zone.records[0].target, "ns1.google.com");
+  EXPECT_EQ(zone.records[1].address.str(), "142.250.1.1");
+  EXPECT_EQ(zone.records[2].priority, 10);
+}
+
+TEST(ZoneFile, RelativeAndAbsoluteNames) {
+  const auto zone = parse_zone(
+      "$ORIGIN com.\n"
+      "relative IN NS ns.hoster.net.\n"
+      "absolute.org. IN NS ns.other.net.\n"
+      "@ IN NS ns.root.net.\n");
+  EXPECT_EQ(zone.records[0].owner.str(), "relative.com");
+  EXPECT_EQ(zone.records[1].owner.str(), "absolute.org");
+  EXPECT_EQ(zone.records[2].owner.str(), "com");
+}
+
+TEST(ZoneFile, OwnerContinuation) {
+  const auto zone = parse_zone(
+      "$ORIGIN com.\n"
+      "multi IN NS ns1.x.net.\n"
+      "      IN NS ns2.x.net.\n");
+  ASSERT_EQ(zone.records.size(), 2u);
+  EXPECT_EQ(zone.records[1].owner.str(), "multi.com");
+}
+
+TEST(ZoneFile, CommentsAndBlankLines) {
+  const auto zone = parse_zone(
+      "; full comment\n"
+      "$ORIGIN com.\n"
+      "\n"
+      "a IN A 1.2.3.4 ; trailing comment\n");
+  EXPECT_EQ(zone.records.size(), 1u);
+}
+
+TEST(ZoneFile, PerRecordTtl) {
+  const auto zone = parse_zone(
+      "$ORIGIN com.\n"
+      "$TTL 86400\n"
+      "a 300 IN A 1.2.3.4\n"
+      "b IN 600 A 1.2.3.4\n"
+      "c IN A 1.2.3.4\n");
+  EXPECT_EQ(zone.records[0].ttl, 300u);
+  EXPECT_EQ(zone.records[1].ttl, 600u);
+  EXPECT_EQ(zone.records[2].ttl, 86400u);
+}
+
+TEST(ZoneFile, ErrorsCarryLineNumbers) {
+  try {
+    static_cast<void>(
+        parse_zone("$ORIGIN com.\nok IN A 1.2.3.4\nbad IN A not-an-ip\n"));
+    FAIL() << "expected ZoneParseError";
+  } catch (const ZoneParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(ZoneFile, RejectsMalformed) {
+  EXPECT_THROW(parse_zone("$ORIGIN\n"), ZoneParseError);
+  EXPECT_THROW(parse_zone("$TTL abc\n"), ZoneParseError);
+  EXPECT_THROW(parse_zone("name IN BOGUS x\n"), ZoneParseError);
+  EXPECT_THROW(parse_zone("name IN NS\n"), ZoneParseError);
+  EXPECT_THROW(parse_zone("name IN MX 10\n"), ZoneParseError);
+  EXPECT_THROW(parse_zone("  IN A 1.2.3.4\n"), ZoneParseError);  // no owner yet
+}
+
+TEST(ZoneFile, SerializeParseRoundtrip) {
+  const auto zone = parse_zone(
+      "$ORIGIN com.\n"
+      "$TTL 7200\n"
+      "google IN NS ns1.google.com.\n"
+      "google IN A 142.250.1.1\n"
+      "m IN MX 5 mx.m.com.\n");
+  const auto text = serialize_zone(zone);
+  const auto again = parse_zone(text);
+  ASSERT_EQ(again.records.size(), zone.records.size());
+  for (std::size_t i = 0; i < zone.records.size(); ++i) {
+    EXPECT_EQ(again.records[i].owner, zone.records[i].owner);
+    EXPECT_EQ(again.records[i].type, zone.records[i].type);
+    EXPECT_EQ(again.records[i].rdata_str(), zone.records[i].rdata_str());
+  }
+}
+
+TEST(ZoneFile, OwnersDeduplicated) {
+  const auto zone = parse_zone(
+      "$ORIGIN com.\n"
+      "a IN NS ns1.x.net.\n"
+      "a IN A 1.2.3.4\n"
+      "b IN NS ns1.x.net.\n");
+  const auto owners = zone.owners();
+  ASSERT_EQ(owners.size(), 2u);
+  EXPECT_EQ(owners[0].str(), "a.com");
+}
+
+TEST(ZoneFile, StreamingParser) {
+  std::size_t count = 0;
+  parse_zone_stream(
+      "$ORIGIN com.\n"
+      "a IN A 1.2.3.4\n"
+      "b IN A 1.2.3.5\n",
+      [&](const ResourceRecord&) { ++count; });
+  EXPECT_EQ(count, 2u);
+}
+
+// --- Language identification -----------------------------------------
+
+TEST(LangId, ScriptBasedLanguages) {
+  using unicode::U32String;
+  EXPECT_EQ(classify_language(U32String{0x4E2D, 0x6587}), Language::kChinese);
+  EXPECT_EQ(classify_language(U32String{0xD55C, 0xAD6D}), Language::kKorean);
+  EXPECT_EQ(classify_language(U32String{0x3042, 0x308A}), Language::kJapanese);
+  // Kanji + kana is Japanese even though kanji alone is Chinese.
+  EXPECT_EQ(classify_language(U32String{0x65E5, 0x672C, 0x3054}), Language::kJapanese);
+  EXPECT_EQ(classify_language(U32String{0x043C, 0x0438, 0x0440}), Language::kRussian);
+  EXPECT_EQ(classify_language(U32String{0x0627, 0x0644}), Language::kArabic);
+  EXPECT_EQ(classify_language(U32String{0x0E44, 0x0E17}), Language::kThai);
+  EXPECT_EQ(classify_language(U32String{0x03B1, 0x03B2}), Language::kGreek);
+  EXPECT_EQ(classify_language(U32String{0x05D0, 0x05D1}), Language::kHebrew);
+}
+
+TEST(LangId, LatinLanguagesByDiacritics) {
+  using unicode::U32String;
+  EXPECT_EQ(classify_language(U32String{'m', 0x00FC, 'n', 'c', 'h', 'e', 'n'}),
+            Language::kGerman);
+  EXPECT_EQ(classify_language(U32String{'d', 0x00F6, 'v', 'i', 'z'}),
+            Language::kGerman);  // ö alone reads as German class
+  EXPECT_EQ(classify_language(U32String{'y', 'a', 'z', 0x0131}), Language::kTurkish);
+  EXPECT_EQ(classify_language(U32String{'c', 'a', 'f', 0x00E9}), Language::kFrench);
+  EXPECT_EQ(classify_language(U32String{'e', 's', 'p', 'a', 0x00F1, 'a'}),
+            Language::kSpanish);
+  EXPECT_EQ(classify_language(U32String{'p', 'e', 'r', 0x00FA}), Language::kSpanish);
+}
+
+TEST(LangId, AsciiIsEnglish) {
+  using unicode::U32String;
+  EXPECT_EQ(classify_language(U32String{'p', 'l', 'a', 'i', 'n'}),
+            Language::kEnglishAscii);
+}
+
+TEST(LangId, Names) {
+  EXPECT_EQ(language_name(Language::kChinese), "Chinese");
+  EXPECT_EQ(language_name(Language::kTurkish), "Turkish");
+}
+
+}  // namespace
+}  // namespace sham::dns

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "font/glyph.hpp"
+#include "font/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace sham::font {
+namespace {
+
+GlyphBitmap random_glyph(util::Rng& rng, double density = 0.3) {
+  GlyphBitmap g;
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      if (rng.bernoulli(density)) g.set(x, y);
+    }
+  }
+  return g;
+}
+
+TEST(GlyphBitmap, SetGetFlip) {
+  GlyphBitmap g;
+  EXPECT_FALSE(g.get(5, 7));
+  g.set(5, 7);
+  EXPECT_TRUE(g.get(5, 7));
+  g.set(5, 7, false);
+  EXPECT_FALSE(g.get(5, 7));
+  g.flip(0, 0);
+  EXPECT_TRUE(g.get(0, 0));
+  g.flip(0, 0);
+  EXPECT_FALSE(g.get(0, 0));
+  g.set(31, 31);
+  EXPECT_TRUE(g.get(31, 31));
+}
+
+TEST(GlyphBitmap, PopcountMatchesSetPixels) {
+  GlyphBitmap g;
+  EXPECT_EQ(g.popcount(), 0);
+  g.set(0, 0);
+  g.set(31, 31);
+  g.set(16, 16);
+  EXPECT_EQ(g.popcount(), 3);
+  g.set(16, 16);  // idempotent
+  EXPECT_EQ(g.popcount(), 3);
+}
+
+TEST(GlyphBitmap, EqualityIsValueBased) {
+  GlyphBitmap a;
+  GlyphBitmap b;
+  EXPECT_EQ(a, b);
+  a.set(3, 3);
+  EXPECT_NE(a, b);
+  b.set(3, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GlyphBitmap, AsciiArt) {
+  GlyphBitmap g;
+  g.set(0, 0);
+  const auto art = g.ascii_art();
+  EXPECT_EQ(art[0], '#');
+  EXPECT_EQ(art[1], '.');
+  // 32 rows of 32 chars + newline each.
+  EXPECT_EQ(art.size(), 33u * 32u);
+}
+
+TEST(GlyphBitmap, Upscale8x16) {
+  // A single source pixel becomes a 4x2 block.
+  const auto up = GlyphBitmap::upscale(8, 16, [](int x, int y) {
+    return x == 1 && y == 2;
+  });
+  EXPECT_EQ(up.popcount(), 4 * 2);
+  EXPECT_TRUE(up.get(4, 4));
+  EXPECT_TRUE(up.get(7, 5));
+  EXPECT_FALSE(up.get(8, 4));
+  EXPECT_FALSE(up.get(4, 6));
+}
+
+TEST(GlyphBitmap, Upscale16x16) {
+  const auto up = GlyphBitmap::upscale(16, 16, [](int x, int y) {
+    return x == 0 && y == 0;
+  });
+  EXPECT_EQ(up.popcount(), 4);
+  EXPECT_TRUE(up.get(0, 0));
+  EXPECT_TRUE(up.get(1, 1));
+}
+
+TEST(GlyphBitmap, UpscaleRejectsBadSizes) {
+  const auto get = [](int, int) { return false; };
+  EXPECT_THROW(GlyphBitmap::upscale(0, 16, get), std::invalid_argument);
+  EXPECT_THROW(GlyphBitmap::upscale(7, 16, get), std::invalid_argument);
+  EXPECT_THROW(GlyphBitmap::upscale(8, 13, get), std::invalid_argument);
+}
+
+TEST(Metrics, DeltaIdentityAndSymmetry) {
+  util::Rng rng{1};
+  for (int i = 0; i < 20; ++i) {
+    const auto a = random_glyph(rng);
+    const auto b = random_glyph(rng);
+    EXPECT_EQ(delta(a, a), 0);
+    EXPECT_EQ(delta(a, b), delta(b, a));
+  }
+}
+
+TEST(Metrics, DeltaCountsFlippedPixels) {
+  util::Rng rng{2};
+  auto a = random_glyph(rng);
+  auto b = a;
+  b.flip(3, 4);
+  b.flip(9, 21);
+  b.flip(30, 0);
+  EXPECT_EQ(delta(a, b), 3);
+}
+
+TEST(Metrics, DeltaTriangleInequality) {
+  util::Rng rng{3};
+  for (int i = 0; i < 30; ++i) {
+    const auto a = random_glyph(rng);
+    const auto b = random_glyph(rng);
+    const auto c = random_glyph(rng);
+    EXPECT_LE(delta(a, c), delta(a, b) + delta(b, c));
+  }
+}
+
+TEST(Metrics, DeltaEqualsPopcountLowerBound) {
+  // ∆(a,b) >= |popcount(a) - popcount(b)| — the bucket-pruning invariant.
+  util::Rng rng{4};
+  for (int i = 0; i < 50; ++i) {
+    const auto a = random_glyph(rng, 0.2);
+    const auto b = random_glyph(rng, 0.4);
+    EXPECT_GE(delta(a, b), std::abs(a.popcount() - b.popcount()));
+  }
+}
+
+TEST(Metrics, DeltaBoundedAgreesUnderLimit) {
+  util::Rng rng{5};
+  for (int i = 0; i < 30; ++i) {
+    auto a = random_glyph(rng);
+    auto b = a;
+    const int flips = static_cast<int>(rng.below(6));
+    for (int f = 0; f < flips; ++f) {
+      b.flip(static_cast<int>(rng.below(32)), static_cast<int>(rng.below(32)));
+    }
+    const int exact = delta(a, b);
+    if (exact <= 10) {
+      EXPECT_EQ(delta_bounded(a, b, 10), exact);
+    }
+  }
+}
+
+TEST(Metrics, DeltaBoundedExceedsLimitWhenFar) {
+  util::Rng rng{6};
+  const auto a = random_glyph(rng, 0.1);
+  const auto b = random_glyph(rng, 0.6);
+  EXPECT_GT(delta_bounded(a, b, 4), 4);
+}
+
+TEST(Metrics, MseMatchesPaperFormula) {
+  util::Rng rng{7};
+  const auto a = random_glyph(rng);
+  auto b = a;
+  b.flip(0, 0);
+  b.flip(1, 1);
+  // MSE = ∆ / N² with N = 32 (Section 3.3).
+  EXPECT_DOUBLE_EQ(mse(a, b), 2.0 / 1024.0);
+}
+
+TEST(Metrics, PsnrMatchesPaperFormula) {
+  util::Rng rng{8};
+  const auto a = random_glyph(rng);
+  auto b = a;
+  for (int i = 0; i < 4; ++i) b.flip(i, 0);
+  // PSNR = 20·log10(N) − 10·log10(∆).
+  const double want = 20.0 * std::log10(32.0) - 10.0 * std::log10(4.0);
+  EXPECT_NEAR(psnr(a, b), want, 1e-9);
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(Metrics, SsimBoundsAndIdentity) {
+  util::Rng rng{9};
+  for (int i = 0; i < 20; ++i) {
+    const auto a = random_glyph(rng);
+    const auto b = random_glyph(rng);
+    EXPECT_NEAR(ssim(a, a), 1.0, 1e-9);
+    const double s = ssim(a, b);
+    EXPECT_LE(s, 1.0 + 1e-9);
+    EXPECT_GE(s, -1.0 - 1e-9);
+  }
+}
+
+TEST(Metrics, SsimDecreasesWithDistance) {
+  util::Rng rng{10};
+  const auto a = random_glyph(rng);
+  auto near = a;
+  near.flip(0, 0);
+  auto far = a;
+  for (int i = 0; i < 200; ++i) {
+    far.flip(static_cast<int>(rng.below(32)), static_cast<int>(rng.below(32)));
+  }
+  EXPECT_GT(ssim(a, near), ssim(a, far));
+}
+
+}  // namespace
+}  // namespace sham::font

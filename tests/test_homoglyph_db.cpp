@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "homoglyph/homoglyph_db.hpp"
+
+namespace sham::homoglyph {
+namespace {
+
+using unicode::CodePoint;
+using unicode::U32String;
+
+simchar::SimCharDb sim_db() {
+  // a~à, o~ö, o~Greek ο (also in UC: "both" provenance), plus a pair of
+  // non-Latin homoglyphs.
+  return simchar::SimCharDb{{
+      {'a', 0x00E0, 2},
+      {'o', 0x00F6, 3},
+      {'o', 0x03BF, 1},
+      {0x4E8C, 0x30CB, 2},
+  }};
+}
+
+HomoglyphDb make_db(DbConfig config = {}) {
+  return HomoglyphDb{sim_db(), unicode::ConfusablesDb::embedded(), config};
+}
+
+TEST(HomoglyphDb, UnionContainsBothSources) {
+  const auto db = make_db();
+  EXPECT_TRUE(db.are_homoglyphs('a', 0x00E0));   // SimChar only
+  EXPECT_TRUE(db.are_homoglyphs('a', 0x0430));   // UC only (Cyrillic а)
+  EXPECT_TRUE(db.are_homoglyphs('o', 0x03BF));   // both
+}
+
+TEST(HomoglyphDb, ProvenanceTracking) {
+  const auto db = make_db();
+  EXPECT_EQ(db.source_of('a', 0x00E0), Source::kSimChar);
+  EXPECT_EQ(db.source_of('a', 0x0430), Source::kUc);
+  EXPECT_EQ(db.source_of('o', 0x03BF), Source::kBoth);
+  EXPECT_FALSE(db.source_of('a', 'b').has_value());
+  EXPECT_FALSE(db.source_of('a', 'a').has_value());
+}
+
+TEST(HomoglyphDb, SymmetricLookup) {
+  const auto db = make_db();
+  EXPECT_TRUE(db.are_homoglyphs(0x00E0, 'a'));
+  EXPECT_EQ(db.source_of(0x0430, 'a'), Source::kUc);
+}
+
+TEST(HomoglyphDb, UcOnlyConfig) {
+  DbConfig config;
+  config.use_simchar = false;
+  const auto db = make_db(config);
+  EXPECT_FALSE(db.are_homoglyphs('a', 0x00E0));
+  EXPECT_TRUE(db.are_homoglyphs('a', 0x0430));
+}
+
+TEST(HomoglyphDb, SimOnlyConfig) {
+  DbConfig config;
+  config.use_uc = false;
+  const auto db = make_db(config);
+  EXPECT_TRUE(db.are_homoglyphs('a', 0x00E0));
+  EXPECT_FALSE(db.are_homoglyphs('a', 0x0430));
+}
+
+TEST(HomoglyphDb, IdnaFilterDropsNonPvalidUcPairs) {
+  const auto db = make_db();  // idna_only = true
+  // Fullwidth ａ is in UC but NFKC-unstable, hence not IDNA-permitted.
+  EXPECT_FALSE(db.are_homoglyphs(0xFF41, 'a'));
+
+  DbConfig config;
+  config.idna_only = false;
+  const auto db_all = make_db(config);
+  EXPECT_TRUE(db_all.are_homoglyphs(0xFF41, 'a'));
+}
+
+TEST(HomoglyphDb, PairCountsBySource) {
+  const auto db = make_db();
+  EXPECT_EQ(db.pair_count(),
+            db.pair_count(Source::kUc) + db.pair_count(Source::kSimChar) -
+                db.pair_count(Source::kBoth));
+  EXPECT_GE(db.pair_count(Source::kSimChar), 4u);
+  EXPECT_GT(db.pair_count(Source::kUc), 100u);
+}
+
+TEST(HomoglyphDb, HomoglyphsOfSortedUnique) {
+  const auto db = make_db();
+  const auto hs = db.homoglyphs_of('o');
+  EXPECT_GE(hs.size(), 3u);  // ö, Greek ο, Cyrillic о, Armenian օ, ...
+  for (std::size_t i = 1; i < hs.size(); ++i) EXPECT_LT(hs[i - 1], hs[i]);
+  EXPECT_TRUE(db.homoglyphs_of(0x2603).empty());  // snowman: not a homoglyph
+}
+
+TEST(HomoglyphDb, RevertToAscii) {
+  const auto db = make_db();
+  // "gооgle" with Cyrillic о (UC pair) -> "google".
+  const U32String idn{'g', 0x043E, 0x043E, 'g', 'l', 'e'};
+  const auto reverted = db.revert_to_ascii(idn);
+  ASSERT_TRUE(reverted.has_value());
+  const U32String want{'g', 'o', 'o', 'g', 'l', 'e'};
+  EXPECT_EQ(*reverted, want);
+}
+
+TEST(HomoglyphDb, RevertMixedSources) {
+  const auto db = make_db();
+  // à (SimChar) + Cyrillic о (UC) in one label.
+  const U32String idn{0x00E0, 0x043E};
+  const auto reverted = db.revert_to_ascii(idn);
+  ASSERT_TRUE(reverted.has_value());
+  const U32String want{'a', 'o'};
+  EXPECT_EQ(*reverted, want);
+}
+
+TEST(HomoglyphDb, RevertFailsWithoutLdhHomoglyph) {
+  const auto db = make_db();
+  // 二 has a Katakana homoglyph but no LDH one.
+  const U32String idn{'a', 0x4E8C};
+  EXPECT_FALSE(db.revert_to_ascii(idn).has_value());
+}
+
+TEST(HomoglyphDb, RevertKeepsAsciiUntouched) {
+  const auto db = make_db();
+  const U32String plain{'x', 'y', '1', '-'};
+  EXPECT_EQ(db.revert_to_ascii(plain), plain);
+}
+
+TEST(HomoglyphDb, SerializeParseRoundtrip) {
+  const auto db = make_db();
+  const auto text = db.serialize();
+  const auto reloaded = HomoglyphDb::parse(text);
+  EXPECT_EQ(reloaded.pair_count(), db.pair_count());
+  EXPECT_EQ(reloaded.pair_count(Source::kUc), db.pair_count(Source::kUc));
+  EXPECT_EQ(reloaded.pair_count(Source::kSimChar), db.pair_count(Source::kSimChar));
+  EXPECT_EQ(reloaded.pair_count(Source::kBoth), db.pair_count(Source::kBoth));
+  EXPECT_EQ(reloaded.source_of('o', 0x03BF), Source::kBoth);
+  EXPECT_EQ(reloaded.source_of('a', 0x00E0), Source::kSimChar);
+  EXPECT_EQ(reloaded.homoglyphs_of('o'), db.homoglyphs_of('o'));
+}
+
+TEST(HomoglyphDb, SerializeIsDeterministic) {
+  const auto db = make_db();
+  EXPECT_EQ(db.serialize(), db.serialize());
+}
+
+TEST(HomoglyphDb, ParseRejectsGarbage) {
+  EXPECT_THROW(HomoglyphDb::parse("U+0061 U+0430\n"), std::invalid_argument);
+  EXPECT_THROW(HomoglyphDb::parse("U+0061 U+0430 Bogus\n"), std::invalid_argument);
+  EXPECT_THROW(HomoglyphDb::parse("zz U+0430 UC\n"), std::invalid_argument);
+}
+
+TEST(HomoglyphDb, ParseAcceptsCommentsAndBlankLines) {
+  const auto db = HomoglyphDb::parse(
+      "# portable homoglyph DB\n"
+      "\n"
+      "U+0061 U+0430 UC\n"
+      "U+006F U+00F6 SimChar\n"
+      "U+006F U+03BF both\n");
+  EXPECT_EQ(db.pair_count(), 3u);
+  EXPECT_EQ(db.source_of('o', 0x03BF), Source::kBoth);
+}
+
+TEST(HomoglyphDb, EmptyDb) {
+  HomoglyphDb db;
+  EXPECT_EQ(db.pair_count(), 0u);
+  EXPECT_FALSE(db.are_homoglyphs('a', 0x0430));
+  const U32String idn{0x0430};
+  EXPECT_FALSE(db.revert_to_ascii(idn).has_value());
+}
+
+}  // namespace
+}  // namespace sham::homoglyph

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "idna/idna.hpp"
+#include "unicode/utf8.hpp"
+
+namespace sham::idna {
+namespace {
+
+using unicode::U32String;
+
+TEST(Idna, AceDetection) {
+  EXPECT_TRUE(is_a_label("xn--ggle-55da"));
+  EXPECT_TRUE(is_a_label("XN--GGLE-55DA"));
+  EXPECT_FALSE(is_a_label("google"));
+  EXPECT_FALSE(is_a_label("xn-"));
+  EXPECT_FALSE(is_a_label(""));
+}
+
+TEST(Idna, IsIdnChecksAnyLabel) {
+  EXPECT_TRUE(is_idn("xn--ggle-55da.com"));
+  EXPECT_TRUE(is_idn("www.xn--ggle-55da.com"));
+  EXPECT_FALSE(is_idn("google.com"));
+  EXPECT_FALSE(is_idn("axn--b.com"));
+}
+
+TEST(Idna, AsciiLabelPassThrough) {
+  const U32String label{'G', 'o', 'O', 'g', 'L', 'e'};
+  EXPECT_EQ(to_a_label(label), "google");  // lowercased
+}
+
+TEST(Idna, UnicodeLabelGetsAcePrefix) {
+  const U32String label{'g', 0x043E, 0x043E, 'g', 'l', 'e'};
+  EXPECT_EQ(to_a_label(label), "xn--ggle-55da");
+}
+
+TEST(Idna, PaperExample) {
+  // 阿里巴巴 -> xn--tsta8290bfzd (Section 2.1 of the paper).
+  const U32String label{0x963F, 0x91CC, 0x5DF4, 0x5DF4};
+  EXPECT_EQ(to_a_label(label), "xn--tsta8290bfzd");
+}
+
+TEST(Idna, EmptyLabelThrows) {
+  EXPECT_THROW(to_a_label(U32String{}), std::invalid_argument);
+}
+
+TEST(Idna, OverlongLabelThrows) {
+  U32String label(64, 'a');
+  EXPECT_THROW(to_a_label(label), std::invalid_argument);
+}
+
+TEST(Idna, ULabelRoundtrip) {
+  const U32String label{'g', 0x043E, 0x043E, 'g', 'l', 'e'};
+  const auto ace = to_a_label(label);
+  const auto back = to_u_label(ace);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, label);
+}
+
+TEST(Idna, ULabelOfPlainAscii) {
+  const auto u = to_u_label("GooGLE");
+  ASSERT_TRUE(u.has_value());
+  const U32String want{'g', 'o', 'o', 'g', 'l', 'e'};
+  EXPECT_EQ(*u, want);
+}
+
+TEST(Idna, ULabelRejectsMalformedAce) {
+  EXPECT_FALSE(to_u_label("xn--!!!").has_value());
+  EXPECT_FALSE(to_u_label("xn--\x80").has_value());
+}
+
+TEST(Idna, ULabelRejectsRawNonAscii) {
+  EXPECT_FALSE(to_u_label("g\xC3\xB6").has_value());
+}
+
+TEST(Idna, DomainConversion) {
+  // "gооgle.com" with Cyrillic о.
+  const U32String domain{'g', 0x043E, 0x043E, 'g', 'l', 'e', '.', 'c', 'o', 'm'};
+  EXPECT_EQ(domain_to_ascii(domain), "xn--ggle-55da.com");
+  const auto back = domain_to_unicode("xn--ggle-55da.com");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, domain);
+}
+
+TEST(Idna, DomainToAsciiUtf8) {
+  EXPECT_EQ(domain_to_ascii_utf8("g\xD0\xBE\xD0\xBEgle.com"), "xn--ggle-55da.com");
+  EXPECT_EQ(domain_to_ascii_utf8("plain.com"), "plain.com");
+  EXPECT_THROW(domain_to_ascii_utf8("bad\x80seq.com"), std::invalid_argument);
+}
+
+TEST(Idna, DomainDisplay) {
+  const auto display = domain_display("xn--ggle-55da.com");
+  EXPECT_EQ(display, "g\xD0\xBE\xD0\xBEgle.com");
+  // Malformed names fall back to the wire form rather than failing.
+  EXPECT_EQ(domain_display("xn--!!!.com"), "xn--!!!.com");
+}
+
+TEST(Idna, ValidULabel) {
+  EXPECT_TRUE(is_valid_u_label(U32String{'a', 'b', 'c'}));
+  EXPECT_TRUE(is_valid_u_label(U32String{0x4E2D, 0x6587}));
+  EXPECT_FALSE(is_valid_u_label(U32String{}));
+  EXPECT_FALSE(is_valid_u_label(U32String{'-', 'a'}));
+  EXPECT_FALSE(is_valid_u_label(U32String{'a', '-'}));
+  EXPECT_FALSE(is_valid_u_label(U32String{'a', 'b', '-', '-', 'c'}));  // ??--
+  EXPECT_FALSE(is_valid_u_label(U32String{'a', '!', 'b'}));  // DISALLOWED char
+  EXPECT_FALSE(is_valid_u_label(U32String{'A'}));             // uppercase
+}
+
+}  // namespace
+}  // namespace sham::idna

@@ -1,0 +1,194 @@
+// End-to-end integration tests: the full Figure 1 pipeline over a
+// generated ecosystem, database portability through serialization, and
+// cross-component consistency (detector vs candidate generator vs revert).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/shamfinder.hpp"
+#include "core/warning.hpp"
+#include "detect/candidates.hpp"
+#include "internet/scenario.hpp"
+#include "measure/environment.hpp"
+
+namespace sham {
+namespace {
+
+const measure::Environment& env() {
+  static const auto instance = [] {
+    measure::EnvironmentConfig config;
+    config.font_scale = 0.1;
+    return measure::Environment::create(config);
+  }();
+  return instance;
+}
+
+TEST(Integration, FullPipelineOverScenario) {
+  internet::ScenarioConfig config;
+  config.total_domains = 20'000;
+  config.reference_count = 200;
+  config.attack_scale = 0.03;
+  config.build_world = false;
+  const auto scenario = internet::generate_scenario(env().db_union, config);
+
+  // Steps 1-3 via the facade.
+  const core::ShamFinder finder{env().simchar, *env().uc};
+  const auto idns = core::ShamFinder::extract_idns(scenario.domains, "com");
+  EXPECT_GT(idns.size(), scenario.attacks.size());
+
+  const auto matches = finder.find_homographs(scenario.references, idns);
+  std::unordered_set<std::string> detected;
+  for (const auto& m : matches) detected.insert(idns[m.idn_index].ace);
+  for (const auto& attack : scenario.attacks) {
+    EXPECT_TRUE(detected.contains(attack.ace)) << attack.ace;
+  }
+}
+
+TEST(Integration, DetectedMatchesCarryUsableWarnings) {
+  internet::ScenarioConfig config;
+  config.total_domains = 5'000;
+  config.reference_count = 100;
+  config.attack_scale = 0.02;
+  config.build_world = false;
+  const auto scenario = internet::generate_scenario(env().db_union, config);
+
+  const core::ShamFinder finder{env().simchar, *env().uc};
+  const auto idns = core::ShamFinder::extract_idns(scenario.domains, "com");
+  const auto matches = finder.find_homographs(scenario.references, idns);
+  ASSERT_FALSE(matches.empty());
+  for (const auto& match : matches) {
+    const auto warning = core::make_warning(
+        match, scenario.references[match.reference_index], idns[match.idn_index]);
+    EXPECT_FALSE(warning.diffs.empty());
+    const auto text = warning.render();
+    EXPECT_NE(text.find("WARNING"), std::string::npos);
+    EXPECT_NE(text.find(warning.original), std::string::npos);
+  }
+}
+
+TEST(Integration, SimCharSurvivesSerialization) {
+  // Portability (Section 7.2): serialize, reload, and verify the detector
+  // behaves identically.
+  const auto text = env().simchar.serialize();
+  const auto reloaded = simchar::SimCharDb::parse(text);
+  ASSERT_EQ(reloaded.pairs(), env().simchar.pairs());
+
+  const core::ShamFinder original{env().simchar, *env().uc};
+  const core::ShamFinder round_tripped{reloaded, *env().uc};
+  const std::vector<std::string> domains{"xn--ggle-55da.com", "plain.com"};
+  const auto idns = core::ShamFinder::extract_idns(domains, "com");
+  const std::vector<std::string> refs{"google"};
+  EXPECT_EQ(original.find_homographs(refs, idns).size(),
+            round_tripped.find_homographs(refs, idns).size());
+}
+
+TEST(Integration, CandidatesAreDetectedBack) {
+  // Generator -> detector consistency: every candidate homograph of a
+  // reference must be detected as a homograph of that reference.
+  const core::ShamFinder finder{env().simchar, *env().uc};
+  detect::CandidateOptions options;
+  options.max_candidates = 100;
+  const auto candidates = detect::generate_candidates(finder.db(), "google", options);
+  ASSERT_FALSE(candidates.empty());
+
+  std::vector<detect::IdnEntry> idns;
+  for (const auto& c : candidates) idns.push_back({c.ace, c.unicode});
+  const std::vector<std::string> refs{"google"};
+  const auto matches = finder.find_homographs(refs, idns);
+  EXPECT_EQ(matches.size(), candidates.size());
+}
+
+TEST(Integration, CandidatesRevertToOriginal) {
+  const core::ShamFinder finder{env().simchar, *env().uc};
+  detect::CandidateOptions options;
+  options.max_substitutions = 2;
+  options.max_candidates = 200;
+  const auto candidates = detect::generate_candidates(finder.db(), "amazon", options);
+  ASSERT_FALSE(candidates.empty());
+  for (const auto& c : candidates) {
+    const auto original = finder.revert(c.unicode);
+    ASSERT_TRUE(original.has_value()) << c.ace;
+    // Reverting maps each homoglyph to its *smallest* LDH partner, which
+    // is the original letter whenever the substitution came from an
+    // ASCII-anchored pair — true for all generator output.
+    EXPECT_EQ(*original, "amazon") << c.ace;
+  }
+}
+
+TEST(Integration, Figure1PipelineFromZoneFile) {
+  // The complete Figure 1 flow against the actual Step 1 artifact: render
+  // the scenario as a registry zone file, parse it back, collect the
+  // registered names from the records, extract IDNs, and detect.
+  internet::ScenarioConfig config;
+  config.total_domains = 4'000;
+  config.reference_count = 120;
+  config.attack_scale = 0.02;
+  const auto scenario = internet::generate_scenario(env().db_union, config);
+
+  const auto zone = internet::scenario_to_zone(scenario, /*which=*/0);
+  EXPECT_GT(zone.records.size(), zone.owners().size());  // NS + A/MX records
+
+  // Round-trip through the master-file text format.
+  const auto text = dns::serialize_zone(zone);
+  const auto parsed = dns::parse_zone(text);
+  ASSERT_EQ(parsed.records.size(), zone.records.size());
+
+  std::vector<std::string> registered;
+  for (const auto& owner : parsed.owners()) registered.push_back(owner.str());
+
+  const core::ShamFinder finder{env().simchar, *env().uc};
+  const auto idns = core::ShamFinder::extract_idns(registered, "com");
+  const auto matches = finder.find_homographs(scenario.references, idns);
+
+  // Every planted attack that has an NS delegation (i.e. appears in the
+  // zone) must be detected from the zone data alone.
+  std::unordered_set<std::string> detected;
+  for (const auto& m : matches) detected.insert(idns[m.idn_index].ace);
+  std::size_t in_zone = 0;
+  for (const auto& attack : scenario.attacks) {
+    const auto domain = dns::DomainName::parse_or_throw(attack.ace + ".com");
+    const auto* host = scenario.world.lookup(domain);
+    if (host == nullptr || !host->has_ns) continue;
+    ++in_zone;
+    EXPECT_TRUE(detected.contains(attack.ace)) << attack.ace;
+  }
+  EXPECT_GT(in_zone, 10u);
+}
+
+TEST(Integration, ZoneSourcesDifferButUnionCoversAll) {
+  internet::ScenarioConfig config;
+  config.total_domains = 3'000;
+  config.reference_count = 100;
+  config.attack_scale = 0.01;
+  const auto scenario = internet::generate_scenario(env().db_union, config);
+  const auto zone0 = internet::scenario_to_zone(scenario, 0);
+  const auto zone1 = internet::scenario_to_zone(scenario, 1);
+  const auto zone2 = internet::scenario_to_zone(scenario, 2);
+  EXPECT_LE(zone0.owners().size(), zone2.owners().size());
+  EXPECT_LE(zone1.owners().size(), zone2.owners().size());
+  EXPECT_THROW(internet::scenario_to_zone(scenario, 3), std::invalid_argument);
+}
+
+TEST(Integration, PlantedAttacksRevertToTargets) {
+  internet::ScenarioConfig config;
+  config.total_domains = 5'000;
+  config.reference_count = 150;
+  config.attack_scale = 0.05;
+  config.build_world = false;
+  const auto scenario = internet::generate_scenario(env().db_union, config);
+  std::size_t reverted_to_target = 0;
+  for (const auto& attack : scenario.attacks) {
+    const auto original = env().db_union.revert_to_ascii(attack.unicode);
+    if (original.has_value()) {
+      std::string s;
+      for (const auto cp : *original) s += static_cast<char>(cp);
+      if (s == attack.target) ++reverted_to_target;
+    }
+  }
+  // The large majority of planted attacks revert to their exact target
+  // (a few substituted characters also pair with a smaller LDH letter).
+  EXPECT_GT(reverted_to_target * 10, scenario.attacks.size() * 8);
+}
+
+}  // namespace
+}  // namespace sham

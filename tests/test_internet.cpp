@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "idna/idna.hpp"
+#include "internet/brands.hpp"
+#include "internet/idn_corpus.hpp"
+#include "internet/scenario.hpp"
+#include "internet/world.hpp"
+
+namespace sham::internet {
+namespace {
+
+// --- World and services ------------------------------------------------
+
+dns::DomainName dom(const std::string& s) { return dns::DomainName::parse_or_throw(s); }
+
+TEST(World, RegistrationAndLookup) {
+  SimulatedInternet world;
+  HostState s;
+  s.has_ns = true;
+  world.add_domain(dom("a.com"), s);
+  EXPECT_TRUE(world.is_registered(dom("a.com")));
+  EXPECT_FALSE(world.is_registered(dom("b.com")));
+  ASSERT_NE(world.lookup(dom("a.com")), nullptr);
+  EXPECT_EQ(world.lookup(dom("b.com")), nullptr);
+  EXPECT_EQ(world.domain_count(), 1u);
+  EXPECT_THROW(world.state_for_update(dom("b.com")), std::invalid_argument);
+}
+
+TEST(PortScannerTest, RequiresNsAndA) {
+  SimulatedInternet world;
+  HostState live;
+  live.has_ns = true;
+  live.has_a = true;
+  live.port80_open = true;
+  world.add_domain(dom("live.com"), live);
+
+  HostState no_a = live;
+  no_a.has_a = false;
+  world.add_domain(dom("no-a.com"), no_a);
+
+  HostState no_ns = live;
+  no_ns.has_ns = false;
+  world.add_domain(dom("no-ns.com"), no_ns);
+
+  const PortScanner scanner{world};
+  EXPECT_TRUE(scanner.scan(dom("live.com")).tcp80);
+  EXPECT_FALSE(scanner.scan(dom("no-a.com")).any());
+  EXPECT_FALSE(scanner.scan(dom("no-ns.com")).any());
+  EXPECT_FALSE(scanner.scan(dom("unregistered.com")).any());
+}
+
+TEST(WebClassifierTest, ParkingDetectedByNameserver) {
+  SimulatedInternet world;
+  HostState s;
+  s.has_ns = true;
+  s.has_a = true;
+  s.port80_open = true;
+  s.website = WebsiteKind::kNormal;  // content says normal...
+  s.ns_host = WebClassifier::parking_nameservers().front();  // ...but NS says parked
+  world.add_domain(dom("parked.com"), s);
+
+  const WebClassifier classifier{world};
+  EXPECT_EQ(classifier.classify(dom("parked.com")).kind, WebsiteKind::kParking);
+  EXPECT_EQ(WebClassifier::parking_nameservers().size(), 17u);
+}
+
+TEST(WebClassifierTest, RedirectCarriesTargetFromLocationHeader) {
+  SimulatedInternet world;
+  HostState s;
+  s.has_ns = true;
+  s.has_a = true;
+  s.port80_open = true;
+  s.ns_host = "ns1.normal-host.net";
+  s.website = WebsiteKind::kRedirect;
+  s.redirect = RedirectKind::kBrandProtection;
+  s.redirect_target = "google.com";
+  world.add_domain(dom("xn--ggle-55da.com"), s);
+
+  const WebClassifier classifier{world};
+  const auto site = classifier.classify(dom("xn--ggle-55da.com"));
+  EXPECT_EQ(site.kind, WebsiteKind::kRedirect);
+  EXPECT_EQ(site.redirect_target, "google.com");
+}
+
+TEST(BlacklistServiceTest, FeedsAreBitmask) {
+  SimulatedInternet world;
+  HostState s;
+  s.blacklists = static_cast<std::uint8_t>(BlacklistFeed::kHpHosts) |
+                 static_cast<std::uint8_t>(BlacklistFeed::kGsb);
+  world.add_domain(dom("bad.com"), s);
+
+  const BlacklistService service{world};
+  EXPECT_TRUE(service.listed(dom("bad.com"), BlacklistFeed::kHpHosts));
+  EXPECT_TRUE(service.listed(dom("bad.com"), BlacklistFeed::kGsb));
+  EXPECT_FALSE(service.listed(dom("bad.com"), BlacklistFeed::kSymantec));
+  EXPECT_EQ(service.feeds(dom("unknown.com")), 0);
+}
+
+TEST(PassiveDnsTest, CountsForKnownDomains) {
+  SimulatedInternet world;
+  HostState s;
+  s.dns_resolutions = 615447;
+  world.add_domain(dom("xn--gmal-nza.com"), s);
+  const PassiveDns pdns{world};
+  EXPECT_EQ(pdns.resolutions(dom("xn--gmal-nza.com")), 615447u);
+  EXPECT_EQ(pdns.resolutions(dom("x.com")), 0u);
+}
+
+// --- Brands and corpora -------------------------------------------------
+
+TEST(Brands, ContainsPaperTargets) {
+  const auto& brands = well_known_brands();
+  const std::unordered_set<std::string> set{brands.begin(), brands.end()};
+  for (const char* name : {"google", "amazon", "facebook", "myetherwallet",
+                           "allstate", "gmail", "yahoo", "youtube", "binance",
+                           "doviz", "expansion", "shadbase", "peru"}) {
+    EXPECT_TRUE(set.contains(name)) << name;
+  }
+  EXPECT_EQ(set.size(), brands.size()) << "duplicate brand names";
+}
+
+TEST(Brands, ReferenceListDeterministicAndUnique) {
+  const auto a = make_reference_list(500, 9);
+  const auto b = make_reference_list(500, 9);
+  EXPECT_EQ(a, b);
+  const std::unordered_set<std::string> set{a.begin(), a.end()};
+  EXPECT_EQ(set.size(), a.size());
+  // Curated brands come first, in order.
+  EXPECT_EQ(a[0], well_known_brands()[0]);
+}
+
+TEST(Brands, SyntheticLabelsAreLdh) {
+  util::Rng rng{4};
+  for (int i = 0; i < 200; ++i) {
+    const auto label = synthetic_label(rng);
+    EXPECT_GE(label.size(), 2u);
+    for (const char c : label) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << label;
+    }
+  }
+}
+
+TEST(IdnCorpus, LanguageMixRoughlyHonoured) {
+  const auto corpus = make_idn_corpus(4000, 77);
+  ASSERT_EQ(corpus.size(), 4000u);
+  std::size_t chinese = 0;
+  std::size_t korean = 0;
+  for (const auto& s : corpus) {
+    if (s.language == dns::Language::kChinese) ++chinese;
+    if (s.language == dns::Language::kKorean) ++korean;
+  }
+  EXPECT_NEAR(static_cast<double>(chinese) / 4000.0, 0.465, 0.05);
+  EXPECT_NEAR(static_cast<double>(korean) / 4000.0, 0.106, 0.04);
+}
+
+TEST(IdnCorpus, AceFormsAreValidAndUnique) {
+  const auto corpus = make_idn_corpus(500, 3);
+  std::unordered_set<std::string> aces;
+  for (const auto& s : corpus) {
+    EXPECT_TRUE(idna::is_a_label(s.ace)) << s.ace;
+    EXPECT_TRUE(aces.insert(s.ace).second) << "duplicate " << s.ace;
+    const auto u = idna::to_u_label(s.ace);
+    ASSERT_TRUE(u.has_value());
+    EXPECT_EQ(*u, s.label);
+  }
+}
+
+TEST(IdnCorpus, Deterministic) {
+  const auto a = make_idn_corpus(100, 5);
+  const auto b = make_idn_corpus(100, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].ace, b[i].ace);
+}
+
+}  // namespace
+}  // namespace sham::internet

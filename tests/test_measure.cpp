@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include "measure/charset_experiments.hpp"
+#include "measure/report.hpp"
+#include "measure/wild_experiments.hpp"
+
+namespace sham::measure {
+namespace {
+
+const Environment& env() {
+  static const auto instance = [] {
+    EnvironmentConfig config;
+    config.font_scale = 0.1;
+    return Environment::create(config);
+  }();
+  return instance;
+}
+
+const WildContext& ctx() {
+  static const auto instance = [] {
+    internet::ScenarioConfig config;
+    // IDN budget = 0.67% of 150,000 ≈ 1,005: room for ~330 attacks plus a
+    // benign-IDN majority (as in the paper, where attacks are a small
+    // fraction of registered IDNs).
+    config.total_domains = 150'000;
+    config.reference_count = 300;
+    config.attack_scale = 0.1;  // ~330 attacks
+    return make_wild_context(env(), config);
+  }();
+  return instance;
+}
+
+// --- Environment -------------------------------------------------------
+
+TEST(EnvironmentTest, BuildsAllThreeDbs) {
+  EXPECT_GT(env().simchar.pair_count(), 100u);
+  EXPECT_GT(env().db_uc.pair_count(), 0u);
+  EXPECT_GT(env().db_sim.pair_count(), 0u);
+  EXPECT_GE(env().db_union.pair_count(), env().db_sim.pair_count());
+  EXPECT_GE(env().db_union.pair_count(), env().db_uc.pair_count());
+}
+
+// --- Table 1 / 2 -------------------------------------------------------
+
+TEST(Table1, SetRelationsHold) {
+  const auto s = charset_sizes(env());
+  // Figure 3 relations: UC ∩ IDNA is a small part of UC; SimChar is built
+  // inside IDNA; the union is at least each part.
+  EXPECT_LT(s.uc_idna_chars, s.uc_chars);
+  EXPECT_GT(s.uc_idna_chars, 0u);
+  EXPECT_GT(s.simchar_chars, s.uc_idna_chars);  // paper: 12,686 vs 980
+  EXPECT_GE(s.union_chars, s.simchar_chars);
+  EXPECT_GE(s.union_pairs, s.simchar_pairs);
+  EXPECT_LT(s.simchar_uc_chars, s.simchar_chars / 4);  // small overlap
+  EXPECT_GT(s.simchar_uc_chars, 0u);                   // but nonempty
+  EXPECT_GT(s.idna_chars, 40'000u);
+}
+
+TEST(Table2, FontIntersections) {
+  const auto s = charset_sizes(env());
+  EXPECT_LE(s.idna_font_chars, s.font_glyphs);
+  EXPECT_GT(s.idna_font_chars, 1000u);
+  EXPECT_LE(s.uc_font_chars, s.uc_chars);
+  // SimChar is built from IDNA ∩ font, so its characters are a subset.
+  EXPECT_LE(s.simchar_chars, s.idna_font_chars);
+}
+
+// --- Table 3 -----------------------------------------------------------
+
+TEST(Table3, MatchesPaperCounts) {
+  const auto rows = latin_homoglyph_counts(env());
+  ASSERT_EQ(rows.size(), 26u);
+  // 'o' leads with 40, 'v' trails with 1 (Table 3).
+  EXPECT_EQ(rows.front().letter, 'o');
+  EXPECT_EQ(rows.front().simchar_count, 40u);
+  std::size_t total_sim = 0;
+  std::size_t total_uc = 0;
+  for (const auto& row : rows) {
+    total_sim += row.simchar_count;
+    total_uc += row.uc_idna_count;
+  }
+  EXPECT_EQ(total_sim, 351u);        // paper total
+  EXPECT_GT(total_sim, total_uc);    // SimChar ≫ UC ∩ IDNA (351 vs 141)
+  EXPECT_GT(total_uc, 20u);
+}
+
+// --- Table 4 -----------------------------------------------------------
+
+TEST(Table4, HangulDominatesSimChar) {
+  const auto blocks = top_blocks_simchar(env());
+  ASSERT_GE(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].block, "Hangul Syllables");
+  // Hangul clearly leads (paper: 8,787 vs 395; the margin grows with
+  // font_scale — this environment runs at 0.1).
+  EXPECT_GT(blocks[0].count, blocks[1].count);
+}
+
+TEST(Table4, UcIdnaTopBlocksArePlausible) {
+  const auto blocks = top_blocks_uc_idna(env());
+  ASSERT_GE(blocks.size(), 3u);
+  // CJK leads the UC ∩ IDNA breakdown (paper: 91).
+  EXPECT_EQ(blocks[0].block, "CJK Unified Ideographs");
+}
+
+// --- Figure 6 ----------------------------------------------------------
+
+TEST(Figure6, LadderOfE) {
+  const auto rungs = delta_ladder(env(), 'e', 6);
+  ASSERT_EQ(rungs.size(), 7u);
+  std::size_t total = 0;
+  for (const auto& rung : rungs) total += rung.count;
+  EXPECT_GT(total, 10u);  // 'e' has 26 planted ≤4 plus ladder at 5-6
+  for (const auto& rung : rungs) {
+    EXPECT_LE(rung.examples.size(), 4u);
+  }
+  EXPECT_THROW(delta_ladder(env(), '!', 6), std::invalid_argument);
+}
+
+// --- Figure 9 ----------------------------------------------------------
+
+TEST(Figure9, ConfusabilityDropsAcrossThreshold) {
+  const auto result = threshold_study(env());
+  EXPECT_GT(result.workers_kept, 0u);
+  EXPECT_GT(result.effective_responses, 100u);
+  const auto& d = result.per_delta;
+  // Paper: ∆=4 mean 3.57 / median 4; ∆=5 mean 2.57 / median 2-3.
+  EXPECT_GT(d[0].mean, 4.4);
+  EXPECT_NEAR(d[4].mean, 3.57, 0.45);
+  EXPECT_NEAR(d[5].mean, 2.57, 0.45);
+  EXPECT_GT(d[4].mean, d[5].mean);
+  EXPECT_LT(d[8].mean, 2.0);
+  // Overall decreasing trend.
+  EXPECT_GT(d[0].mean, d[4].mean);
+  EXPECT_GT(d[5].mean, d[8].mean);
+  // Dummies are "very distinct".
+  EXPECT_LT(result.dummies.mean, 1.6);
+}
+
+// --- Figure 10 ---------------------------------------------------------
+
+TEST(Figure10, SimCharMoreConfusableThanUc) {
+  const auto result = confusability_study(env());
+  EXPECT_GT(result.workers_kept, 0u);
+  ASSERT_GT(result.simchar.n, 0u);
+  ASSERT_GT(result.uc.n, 0u);
+  ASSERT_GT(result.random.n, 0u);
+  // Paper: SimChar mean > 4 > UC mean; both medians 4; random ~1.
+  EXPECT_GT(result.simchar.mean, result.uc.mean);
+  EXPECT_GT(result.uc.mean, result.random.mean + 1.0);
+  EXPECT_GT(result.simchar.mean, 3.9);
+  EXPECT_LT(result.random.mean, 1.6);
+  EXPECT_GE(result.simchar.median, 4.0);
+}
+
+// --- Word-context extension (Section 7.1 future work) -------------------
+
+TEST(WordContext, LongerLabelsMoreConfusable) {
+  const auto result = word_context_study(env());
+  EXPECT_GT(result.workers_kept, 0u);
+  ASSERT_GT(result.short_labels.n, 0u);
+  ASSERT_GT(result.long_labels.n, 0u);
+  EXPECT_GT(result.long_labels.mean, result.short_labels.mean);
+}
+
+// --- Tables 6-14 -------------------------------------------------------
+
+TEST(Table6, DatasetShape) {
+  const auto rows = dataset_statistics(ctx().scenario);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2].source, "Total (union)");
+  EXPECT_EQ(rows[2].domains, 150'000u);
+  EXPECT_GE(rows[2].domains, rows[0].domains);
+  EXPECT_GE(rows[2].domains, rows[1].domains);
+  // IDN fraction ~0.67% (paper Table 6).
+  const double fraction = static_cast<double>(rows[2].idns) / rows[2].domains;
+  EXPECT_NEAR(fraction, 0.0067, 0.004);
+}
+
+TEST(Table7, ChineseLeadsLanguages) {
+  const auto rows = idn_languages(ctx(), 5);
+  ASSERT_GE(rows.size(), 3u);
+  EXPECT_EQ(rows[0].language, "Chinese");
+  EXPECT_GT(rows[0].fraction, 0.2);
+}
+
+TEST(Table8, UnionDetectsSeveralTimesUc) {
+  const auto counts = detection_counts(ctx());
+  EXPECT_GT(counts.uc, 0u);
+  EXPECT_GT(counts.simchar, counts.uc * 3);    // paper: 3,110 vs 436
+  EXPECT_GE(counts.union_all, counts.simchar);
+  EXPECT_GT(counts.union_all, counts.uc * 5);  // ≈8× in the paper
+  // Ground truth: every planted attack is found (the DB generated them).
+  EXPECT_EQ(counts.false_negatives, 0u);
+  EXPECT_EQ(counts.true_positives, counts.planted);
+}
+
+TEST(Table9, TopTargetsShape) {
+  const auto rows = top_targets(ctx(), 5);
+  ASSERT_EQ(rows.size(), 5u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1].homographs, rows[i].homographs);
+  }
+  // myetherwallet tops the paper's Table 9.
+  EXPECT_EQ(rows[0].reference, "myetherwallet");
+}
+
+TEST(Table10, FunnelIsMonotone) {
+  const auto f = port_scan_funnel(ctx());
+  EXPECT_GE(f.detected, f.with_ns);
+  EXPECT_GE(f.with_ns, f.with_a);
+  EXPECT_GE(f.with_a, f.active);
+  EXPECT_GE(f.open_80, f.open_both);
+  EXPECT_GE(f.open_443, f.open_both);
+  EXPECT_EQ(f.active, f.open_80 + f.open_443 - f.open_both);
+  EXPECT_GT(f.active, 0u);
+}
+
+TEST(Table11, GmailPhishingTopsPassiveDns) {
+  const auto rows = popular_active_idns(ctx(), 10);
+  ASSERT_GE(rows.size(), 3u);
+  EXPECT_EQ(rows[0].ace, "xn--gmal-nza");  // gmaıl
+  EXPECT_EQ(rows[0].category, "Phishing");
+  EXPECT_EQ(rows[0].resolutions, 615447u);
+  EXPECT_TRUE(rows[0].mx_past);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1].resolutions, rows[i].resolutions);
+  }
+}
+
+TEST(Table12, ParkingLeadsClassification) {
+  const auto rows = classify_active(ctx());
+  ASSERT_GE(rows.size(), 4u);
+  EXPECT_EQ(rows.back().category, "Total");
+  // Parking and For sale lead (paper: 348 and 345 of 1,647).
+  EXPECT_EQ(rows[0].category, "Domain parking");
+  std::size_t sum = 0;
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i) sum += rows[i].count;
+  EXPECT_EQ(sum, rows.back().count);
+}
+
+TEST(Table13, RedirectBreakdown) {
+  const auto rows = classify_redirects(ctx());
+  ASSERT_GE(rows.size(), 3u);
+  EXPECT_EQ(rows.back().category, "Total");
+  // Brand protection > legitimate > malicious (paper: 178/125/35).
+  EXPECT_EQ(rows[0].category, "Brand protection");
+  EXPECT_GT(rows[0].count, 0u);
+}
+
+TEST(Table14, BlacklistCountsGrowWithDb) {
+  const auto rows = blacklist_counts(ctx());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].db, "UC");
+  EXPECT_EQ(rows[2].db, "UC + SimChar");
+  EXPECT_GE(rows[2].hphosts, rows[0].hphosts);
+  EXPECT_GE(rows[2].hphosts, rows[1].hphosts);
+  EXPECT_GT(rows[2].hphosts, 0u);
+  EXPECT_GE(rows[2].hphosts, rows[2].gsb);      // hpHosts is the largest feed
+  EXPECT_GE(rows[2].gsb, rows[2].symantec);
+}
+
+TEST(Report, GeneratesAllSections) {
+  ReportConfig config;
+  config.environment.font_scale = 0.1;
+  config.scenario.total_domains = 8'000;
+  config.scenario.reference_count = 150;
+  config.scenario.attack_scale = 0.03;
+  config.include_perception = false;  // keep the test quick
+  const auto report = generate_report(config);
+  for (const char* section :
+       {"Character sets", "Latin-letter homoglyphs", "Top Unicode blocks",
+        "Datasets", "IDN languages", "Detection", "Top targets",
+        "Liveness funnel", "Active-site classification", "Redirect purposes",
+        "Blacklisted homographs", "Reverting malicious IDNs"}) {
+    EXPECT_NE(report.find(section), std::string::npos) << section;
+  }
+  EXPECT_EQ(report.find("Figure 9"), std::string::npos);  // perception skipped
+}
+
+TEST(Report, DeterministicForConfig) {
+  ReportConfig config;
+  config.environment.font_scale = 0.05;
+  config.scenario.total_domains = 3'000;
+  config.scenario.reference_count = 60;
+  config.scenario.attack_scale = 0.01;
+  config.include_perception = false;
+  EXPECT_EQ(generate_report(config), generate_report(config));
+}
+
+TEST(Section64, RevertAnalysisFindsNonPopularTargets) {
+  const auto result = revert_analysis(env(), ctx(), 100);
+  EXPECT_GT(result.malicious, 0u);
+  EXPECT_GT(result.reverted, 0u);
+  EXPECT_LE(result.reverted, result.malicious);
+  EXPECT_LE(result.non_popular_targets, result.reverted);
+  EXPECT_LE(result.examples.size(), 10u);
+}
+
+}  // namespace
+}  // namespace sham::measure

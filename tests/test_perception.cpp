@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "perception/crowd_study.hpp"
+
+namespace sham::perception {
+namespace {
+
+TEST(ResponseModel, CalibratedToPaperMeans) {
+  // The paper reports mean 3.57 at ∆ = 4 and 2.57 at ∆ = 5 (Section 4.1).
+  EXPECT_NEAR(expected_score(4.0), 3.57, 0.05);
+  EXPECT_NEAR(expected_score(5.0), 2.57, 0.05);
+  // Identical glyphs read as "very confusing", far ones as "very distinct".
+  EXPECT_GT(expected_score(0.0), 4.9);
+  EXPECT_LT(expected_score(300.0), 1.01);
+}
+
+TEST(ResponseModel, MonotoneDecreasing) {
+  for (int d = 0; d < 20; ++d) {
+    EXPECT_GT(expected_score(d), expected_score(d + 1));
+  }
+}
+
+TEST(ResponseModel, SampleStaysInScale) {
+  util::Rng rng{1};
+  WorkerProfile worker;
+  for (int i = 0; i < 1000; ++i) {
+    const int s = sample_response(static_cast<double>(i % 10), worker, {}, rng);
+    EXPECT_GE(s, 1);
+    EXPECT_LE(s, 5);
+  }
+}
+
+TEST(ResponseModel, InattentiveWorkerIsUniform) {
+  util::Rng rng{2};
+  WorkerProfile worker;
+  worker.attentive = false;
+  int counts[6] = {};
+  for (int i = 0; i < 5000; ++i) {
+    ++counts[sample_response(0.0, worker, {}, rng)];
+  }
+  for (int s = 1; s <= 5; ++s) {
+    EXPECT_NEAR(counts[s] / 5000.0, 0.2, 0.03);
+  }
+}
+
+TEST(Summary, BasicStatistics) {
+  const auto s = summarize_scores({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_EQ(s.histogram[0], 1u);
+  EXPECT_EQ(s.histogram[4], 1u);
+}
+
+TEST(Summary, EmptyAndSingle) {
+  EXPECT_EQ(summarize_scores({}).n, 0u);
+  const auto s = summarize_scores({4});
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.0);
+  EXPECT_DOUBLE_EQ(s.whisker_low, 4.0);
+  EXPECT_DOUBLE_EQ(s.whisker_high, 4.0);
+}
+
+TEST(Summary, RejectsOutOfScale) {
+  EXPECT_THROW(static_cast<void>(summarize_scores({0})), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(summarize_scores({6})), std::invalid_argument);
+}
+
+TEST(Summary, WhiskersWithin15Iqr) {
+  const auto s = summarize_scores({1, 4, 4, 4, 4, 4, 5, 5, 5});
+  EXPECT_GE(s.whisker_low, s.q1 - 1.5 * (s.q3 - s.q1));
+  EXPECT_LE(s.whisker_high, s.q3 + 1.5 * (s.q3 - s.q1));
+}
+
+std::vector<Stimulus> demo_stimuli() {
+  return {
+      {'a', 0x0430, 0.0, false, "identical"},
+      {'e', 0x00E9, 4.0, false, "near"},
+      {'e', 0x025B, 8.0, false, "far"},
+      {'q', 0x4E00, 400.0, true, "dummy"},
+      {'z', 0x3042, 380.0, true, "dummy"},
+  };
+}
+
+TEST(Study, RunsAndFilters) {
+  StudyConfig config;
+  config.seed = 5;
+  config.workers = 40;
+  const auto outcome = run_study(demo_stimuli(), config);
+  EXPECT_EQ(outcome.workers_recruited, 40u);
+  EXPECT_GT(outcome.workers_kept, 0u);
+  EXPECT_LE(outcome.workers_kept, 40u);
+  // Every kept worker answered every stimulus.
+  for (const auto& responses : outcome.responses) {
+    EXPECT_EQ(responses.size(), outcome.workers_kept);
+  }
+}
+
+TEST(Study, FiltersRemoveBadWorkers) {
+  // With many workers, some are inattentive random clickers; the two
+  // filtering rules must remove them: kept < recruited (statistically
+  // certain with 200 workers at 8% inattentive rate).
+  StudyConfig config;
+  config.seed = 6;
+  config.workers = 200;
+  const auto outcome = run_study(demo_stimuli(), config);
+  EXPECT_LT(outcome.workers_kept, outcome.workers_recruited);
+}
+
+TEST(Study, KeptWorkersScoreSensibly) {
+  StudyConfig config;
+  config.seed = 7;
+  config.workers = 60;
+  const auto stimuli = demo_stimuli();
+  const auto outcome = run_study(stimuli, config);
+
+  const auto identical = summarize_scores(outcome.scores_for_tag(stimuli, "identical"));
+  const auto near = summarize_scores(outcome.scores_for_tag(stimuli, "near"));
+  const auto far = summarize_scores(outcome.scores_for_tag(stimuli, "far"));
+  const auto dummy = summarize_scores(outcome.scores_for_tag(stimuli, "dummy"));
+
+  EXPECT_GT(identical.mean, near.mean);
+  EXPECT_GT(near.mean, far.mean);
+  EXPECT_GT(far.mean, dummy.mean - 0.5);
+  EXPECT_LT(dummy.mean, 2.0);
+  EXPECT_GT(identical.mean, 4.0);
+}
+
+TEST(Study, DeterministicForSeed) {
+  StudyConfig config;
+  config.seed = 8;
+  config.workers = 20;
+  const auto a = run_study(demo_stimuli(), config);
+  const auto b = run_study(demo_stimuli(), config);
+  EXPECT_EQ(a.workers_kept, b.workers_kept);
+  EXPECT_EQ(a.responses, b.responses);
+}
+
+TEST(Study, RejectsZeroWorkers) {
+  StudyConfig config;
+  config.workers = 0;
+  EXPECT_THROW(run_study(demo_stimuli(), config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sham::perception

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "core/browser_policy.hpp"
+#include "detect/candidates.hpp"
+#include "idna/tld_policy.hpp"
+
+namespace sham {
+namespace {
+
+using core::DisplayDecision;
+using unicode::U32String;
+
+// --- Browser display policies (Section 2.2) ----------------------------
+
+TEST(BrowserPolicy, LegacyAlwaysUnicode) {
+  const U32String mixed{'g', 0x043E, 'o', 'g', 'l', 'e'};
+  EXPECT_EQ(core::legacy_policy(mixed).decision, DisplayDecision::kUnicode);
+}
+
+TEST(BrowserPolicy, PureAsciiDisplays) {
+  const U32String ascii{'g', 'o', 'o', 'g', 'l', 'e'};
+  EXPECT_EQ(core::mixed_script_policy(ascii).decision, DisplayDecision::kUnicode);
+}
+
+TEST(BrowserPolicy, LatinCyrillicMixForcedToPunycode) {
+  // "facébook" with one Cyrillic character — the classic case browsers
+  // now catch.
+  const U32String mixed{'f', 'a', 'c', 0x0435, 'b', 'o', 'o', 'k'};
+  const auto result = core::mixed_script_policy(mixed);
+  EXPECT_EQ(result.decision, DisplayDecision::kPunycode);
+  EXPECT_EQ(result.reason, "mixed scripts");
+}
+
+TEST(BrowserPolicy, WholeScriptCyrillicStillDisplays) {
+  // Pure-Cyrillic "соре"-style labels are single script: the mixed-script
+  // rule does NOT fire (the gap the paper emphasises).
+  const U32String cyrillic{0x0441, 0x043E, 0x0440, 0x0435};
+  EXPECT_EQ(core::mixed_script_policy(cyrillic).decision, DisplayDecision::kUnicode);
+}
+
+TEST(BrowserPolicy, CjkCarveOutDisplays) {
+  // Han + Katakana mix is allowed — so エ業大学 (Katakana エ for 工)
+  // renders in Unicode even under the mixed-script rule (Section 2.2).
+  const U32String attack{0x30A8, 0x696D, 0x5927, 0x5B66};
+  const auto result = core::mixed_script_policy(attack);
+  EXPECT_EQ(result.decision, DisplayDecision::kUnicode);
+  EXPECT_EQ(result.reason, "CJK combination carve-out");
+  // Japanese names legitimately mix Han + kana + Latin.
+  const U32String legit{0x65E5, 0x672C, 0x3054, 'j', 'p'};
+  EXPECT_EQ(core::mixed_script_policy(legit).decision, DisplayDecision::kUnicode);
+}
+
+TEST(BrowserPolicy, CyrillicGreekMixForced) {
+  const U32String mixed{0x0441, 0x03BF, 0x0440};  // Cyrillic + Greek
+  EXPECT_EQ(core::mixed_script_policy(mixed).decision, DisplayDecision::kPunycode);
+}
+
+TEST(BrowserPolicy, WholeScriptConfusableCheckCatchesSpoof) {
+  simchar::SimCharDb sim{{
+      {'c', 0x0441, 0}, {'o', 0x043E, 0}, {'p', 0x0440, 0}, {'e', 0x0435, 0},
+  }};
+  homoglyph::DbConfig config;
+  config.use_uc = false;
+  const homoglyph::HomoglyphDb db{sim, unicode::ConfusablesDb::embedded(), config};
+
+  // "соре": every character spoofs a Latin letter.
+  const U32String spoof{0x0441, 0x043E, 0x0440, 0x0435};
+  const auto result = core::whole_script_policy(spoof, &db);
+  EXPECT_EQ(result.decision, DisplayDecision::kPunycode);
+  EXPECT_EQ(result.reason, "whole-script confusable");
+
+  // A label containing an honest Cyrillic letter (б has no Latin
+  // homoglyph) still displays.
+  const U32String honest{0x0441, 0x043E, 0x0431};
+  EXPECT_EQ(core::whole_script_policy(honest, &db).decision,
+            DisplayDecision::kUnicode);
+
+  // Null database disables the check.
+  EXPECT_EQ(core::whole_script_policy(spoof, nullptr).decision,
+            DisplayDecision::kUnicode);
+}
+
+// --- TLD registration policies (Section 2.1) ---------------------------
+
+TEST(TldPolicy, ComPermitsManyBlocks) {
+  const auto& com = idna::TldPolicy::com();
+  EXPECT_TRUE(com.permits('a'));
+  EXPECT_TRUE(com.permits(0x0430));   // Cyrillic
+  EXPECT_TRUE(com.permits(0x4E00));   // CJK
+  EXPECT_TRUE(com.permits(0xAC00));   // Hangul
+  EXPECT_TRUE(com.permits(0x00E9));   // é
+  EXPECT_TRUE(com.permits(0xA510));   // Vai
+  EXPECT_FALSE(com.permits(0x2603));  // snowman
+}
+
+TEST(TldPolicy, JpRejectsLatinLookalikes) {
+  const auto& jp = idna::TldPolicy::jp();
+  // The paper's example: "ácm.jp" is not registrable because .jp's table
+  // has no homoglyph of LDH.
+  const U32String acm{0x00E1, 'c', 'm'};
+  EXPECT_FALSE(jp.is_registrable(acm));
+  EXPECT_FALSE(jp.permits(0x00E1));
+  EXPECT_FALSE(jp.permits(0x0430));
+  // Japanese labels are registrable.
+  const U32String japanese{0x3042, 0x308A, 0x4E00};
+  EXPECT_TRUE(jp.is_registrable(japanese));
+  // And so is plain LDH.
+  const U32String ldh{'a', 'c', 'm', '-', '9'};
+  EXPECT_TRUE(jp.is_registrable(ldh));
+}
+
+TEST(TldPolicy, DePermitsOnlyLatinDiacritics) {
+  const auto& de = idna::TldPolicy::de();
+  const U32String muenchen{'m', 0x00FC, 'n', 'c', 'h', 'e', 'n'};
+  EXPECT_TRUE(de.is_registrable(muenchen));
+  EXPECT_TRUE(de.permits(0x00DF));  // ß
+  EXPECT_FALSE(de.permits(0x0430));
+  EXPECT_FALSE(de.permits(0x4E00));
+}
+
+TEST(TldPolicy, RegistrableRequiresValidULabel) {
+  const auto& com = idna::TldPolicy::com();
+  EXPECT_FALSE(com.is_registrable(U32String{}));
+  EXPECT_FALSE(com.is_registrable(U32String{'-', 'a'}));
+  EXPECT_FALSE(com.is_registrable(U32String{'A'}));  // uppercase not PVALID
+}
+
+TEST(TldPolicy, FindByName) {
+  EXPECT_NE(idna::TldPolicy::find("com"), nullptr);
+  EXPECT_NE(idna::TldPolicy::find("jp"), nullptr);
+  EXPECT_EQ(idna::TldPolicy::find("zz"), nullptr);
+}
+
+TEST(TldPolicy, RejectsBadRanges) {
+  using Range = idna::TldPolicy::Range;
+  EXPECT_THROW(idna::TldPolicy("x", {Range{5, 3}}), std::invalid_argument);
+  EXPECT_THROW(idna::TldPolicy("x", {Range{1, 5}, Range{4, 9}}), std::invalid_argument);
+}
+
+TEST(TldPolicy, CandidateGenerationRespectsPolicy) {
+  simchar::SimCharDb sim{{{'a', 0x00E1, 1}, {'a', 0x0430, 1}}};
+  homoglyph::DbConfig config;
+  config.use_uc = false;
+  const homoglyph::HomoglyphDb db{sim, unicode::ConfusablesDb::embedded(), config};
+
+  detect::CandidateOptions options;
+  options.tld_policy = &idna::TldPolicy::de();
+  // Under .de only the accented-Latin substitution survives.
+  const auto de_candidates = detect::generate_candidates(db, "acm", options);
+  ASSERT_EQ(de_candidates.size(), 1u);
+  EXPECT_EQ(de_candidates[0].unicode[0], 0x00E1u);
+
+  options.tld_policy = &idna::TldPolicy::jp();
+  EXPECT_TRUE(detect::generate_candidates(db, "acm", options).empty());
+
+  options.tld_policy = nullptr;
+  EXPECT_EQ(detect::generate_candidates(db, "acm", options).size(), 2u);
+}
+
+}  // namespace
+}  // namespace sham

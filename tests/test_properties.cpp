@@ -1,0 +1,157 @@
+// Cross-cutting property tests (parameterized sweeps).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "detect/detector.hpp"
+#include "font/synthetic_font.hpp"
+#include "idna/idna.hpp"
+#include "simchar/simchar.hpp"
+#include "util/rng.hpp"
+
+namespace sham {
+namespace {
+
+using unicode::CodePoint;
+using unicode::U32String;
+
+std::shared_ptr<font::SyntheticFont> property_font() {
+  static const auto font = [] {
+    font::SyntheticFontBuilder b{8080};
+    b.cover_range(0x0430, 0x04FF, 120);
+    b.cover_range(0x4E00, 0x4EFF, 120);
+    b.plant_cluster('o', {{0x043E, 0}, {0x03BF, 1}, {0x0585, 3}, {0x04E7, 5},
+                          {0x1D0F, 7}});
+    b.plant_cluster('e', {{0x0435, 2}, {0x00E9, 4}, {0x025B, 6}});
+    b.plant_sparse(0x0E47, 5);
+    return b.build();
+  }();
+  return font;
+}
+
+// --- SimChar threshold sweep --------------------------------------------
+
+class ThresholdSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdSweep, PrunedEqualsNaiveAtEveryTheta) {
+  const int theta = GetParam();
+  simchar::BuildOptions pruned;
+  pruned.threshold = theta;
+  simchar::BuildOptions naive = pruned;
+  naive.use_bucket_pruning = false;
+  const auto a = simchar::SimCharDb::build(*property_font(), pruned);
+  const auto b = simchar::SimCharDb::build(*property_font(), naive);
+  EXPECT_EQ(a.pairs(), b.pairs());
+}
+
+TEST_P(ThresholdSweep, DbGrowsMonotonicallyWithTheta) {
+  const int theta = GetParam();
+  if (theta == 0) return;
+  simchar::BuildOptions lo;
+  lo.threshold = theta - 1;
+  simchar::BuildOptions hi;
+  hi.threshold = theta;
+  const auto db_lo = simchar::SimCharDb::build(*property_font(), lo);
+  const auto db_hi = simchar::SimCharDb::build(*property_font(), hi);
+  EXPECT_GE(db_hi.pair_count(), db_lo.pair_count());
+  // Every pair at the lower threshold survives at the higher one.
+  for (const auto& p : db_lo.pairs()) {
+    EXPECT_TRUE(db_hi.are_homoglyphs(p.a, p.b));
+  }
+}
+
+TEST_P(ThresholdSweep, RecordedDeltasRespectTheta) {
+  const int theta = GetParam();
+  simchar::BuildOptions options;
+  options.threshold = theta;
+  const auto db = simchar::SimCharDb::build(*property_font(), options);
+  for (const auto& p : db.pairs()) {
+    EXPECT_LE(p.delta, theta);
+    EXPECT_GE(p.delta, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ThresholdSweep, ::testing::Range(0, 9));
+
+// --- Detector invariances -------------------------------------------------
+
+homoglyph::HomoglyphDb property_db() {
+  homoglyph::DbConfig config;
+  config.use_uc = false;
+  return homoglyph::HomoglyphDb{simchar::SimCharDb::build(*property_font()),
+                                unicode::ConfusablesDb::embedded(), config};
+}
+
+std::vector<detect::IdnEntry> random_idns(util::Rng& rng, std::size_t count) {
+  std::vector<detect::IdnEntry> idns;
+  const CodePoint subs[] = {0x043E, 0x03BF, 0x0585, 0x0435, 0x00E9};
+  const std::vector<std::string> words{"oe", "ooze", "geese", "noodle", "zebra"};
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& word = words[rng.below(words.size())];
+    U32String label;
+    for (const char c : word) label.push_back(static_cast<unsigned char>(c));
+    label[rng.below(label.size())] = subs[rng.below(std::size(subs))];
+    idns.push_back({idna::to_a_label(label), label});
+  }
+  return idns;
+}
+
+class DetectorInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DetectorInvariance, IdnOrderPermutationPreservesMatchSet) {
+  util::Rng rng{GetParam()};
+  const auto db = property_db();
+  const detect::HomographDetector detector{db};
+  const std::vector<std::string> refs{"oe", "ooze", "geese", "noodle"};
+  auto idns = random_idns(rng, 120);
+
+  const auto key_set = [&](const std::vector<detect::Match>& matches,
+                           const std::vector<detect::IdnEntry>& entries) {
+    std::vector<std::string> keys;
+    for (const auto& m : matches) {
+      keys.push_back(refs[m.reference_index] + "|" + entries[m.idn_index].ace);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+
+  const auto before = key_set(detector.detect_indexed(refs, idns), idns);
+  auto shuffled = idns;
+  rng.shuffle(shuffled);
+  const auto after = key_set(detector.detect_indexed(refs, shuffled), shuffled);
+  EXPECT_EQ(before, after);
+}
+
+TEST_P(DetectorInvariance, MatchImpliesSkeletalAgreementOfLengths) {
+  util::Rng rng{GetParam()};
+  const auto db = property_db();
+  const detect::HomographDetector detector{db};
+  const std::vector<std::string> refs{"oe", "ooze", "geese"};
+  const auto idns = random_idns(rng, 80);
+  for (const auto& m : detector.detect_indexed(refs, idns)) {
+    EXPECT_EQ(refs[m.reference_index].size(), idns[m.idn_index].unicode.size());
+    EXPECT_FALSE(m.diffs.empty());
+    for (const auto& d : m.diffs) {
+      EXPECT_TRUE(db.are_homoglyphs(d.idn_char, d.ref_char));
+      EXPECT_LT(d.index, idns[m.idn_index].unicode.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectorInvariance, ::testing::Values(21, 22, 23));
+
+// --- Serialization closure -------------------------------------------------
+
+class SerializationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializationSweep, SimCharSerializeParseIsIdentityAtEveryTheta) {
+  simchar::BuildOptions options;
+  options.threshold = GetParam();
+  const auto db = simchar::SimCharDb::build(*property_font(), options);
+  EXPECT_EQ(simchar::SimCharDb::parse(db.serialize()).pairs(), db.pairs());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, SerializationSweep, ::testing::Values(0, 2, 4, 8));
+
+}  // namespace
+}  // namespace sham

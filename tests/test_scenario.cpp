@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "idna/idna.hpp"
+#include "internet/scenario.hpp"
+#include "measure/environment.hpp"
+
+namespace sham::internet {
+namespace {
+
+// One shared environment for all scenario tests (SimChar build is the
+// expensive part; scale it down).
+const measure::Environment& env() {
+  static const auto instance = [] {
+    measure::EnvironmentConfig config;
+    config.font_scale = 0.1;
+    return measure::Environment::create(config);
+  }();
+  return instance;
+}
+
+ScenarioConfig small_config() {
+  ScenarioConfig config;
+  config.total_domains = 12'000;
+  config.reference_count = 300;
+  config.attack_scale = 0.05;  // ~165 attacks
+  return config;
+}
+
+TEST(Scenario, DeterministicForSeed) {
+  const auto a = generate_scenario(env().db_union, small_config());
+  const auto b = generate_scenario(env().db_union, small_config());
+  EXPECT_EQ(a.domains, b.domains);
+  ASSERT_EQ(a.attacks.size(), b.attacks.size());
+  for (std::size_t i = 0; i < a.attacks.size(); ++i) {
+    EXPECT_EQ(a.attacks[i].ace, b.attacks[i].ace);
+  }
+}
+
+TEST(Scenario, PopulationSizeAndUniqueness) {
+  const auto s = generate_scenario(env().db_union, small_config());
+  EXPECT_EQ(s.domains.size(), 12'000u);
+  std::unordered_set<std::string> set{s.domains.begin(), s.domains.end()};
+  EXPECT_EQ(set.size(), s.domains.size());
+  for (const auto& d : s.domains) {
+    EXPECT_TRUE(d.ends_with(".com")) << d;
+  }
+}
+
+TEST(Scenario, SourcesCoverUnion) {
+  const auto s = generate_scenario(env().db_union, small_config());
+  std::unordered_set<std::uint32_t> seen;
+  seen.insert(s.zone_index.begin(), s.zone_index.end());
+  seen.insert(s.domainlists_index.begin(), s.domainlists_index.end());
+  EXPECT_EQ(seen.size(), s.domains.size());
+  // Each source is close to its configured coverage.
+  EXPECT_NEAR(static_cast<double>(s.zone_index.size()) / s.domains.size(), 0.9978,
+              0.01);
+  EXPECT_NEAR(static_cast<double>(s.domainlists_index.size()) / s.domains.size(),
+              0.9891, 0.01);
+}
+
+TEST(Scenario, IdnBudgetRoughlyHonoured) {
+  const auto s = generate_scenario(env().db_union, small_config());
+  std::size_t idns = 0;
+  for (const auto& d : s.domains) {
+    if (idna::is_idn(d)) ++idns;
+  }
+  // Budget: 0.67% of 12,000 ≈ 80 — but at least the planted attacks.
+  EXPECT_GE(idns, s.attacks.size());
+  EXPECT_EQ(idns, s.attacks.size() + s.benign_idns.size());
+}
+
+TEST(Scenario, AttacksAreRealHomographs) {
+  const auto s = generate_scenario(env().db_union, small_config());
+  ASSERT_GT(s.attacks.size(), 100u);
+  for (const auto& attack : s.attacks) {
+    ASSERT_EQ(attack.unicode.size(), attack.target.size()) << attack.ace;
+    bool differs = false;
+    for (std::size_t i = 0; i < attack.unicode.size(); ++i) {
+      const auto ref = static_cast<unicode::CodePoint>(attack.target[i]);
+      if (attack.unicode[i] == ref) continue;
+      differs = true;
+      EXPECT_TRUE(env().db_union.are_homoglyphs(attack.unicode[i], ref))
+          << attack.ace << " position " << i;
+    }
+    EXPECT_TRUE(differs) << attack.ace;
+    // The ACE form decodes back to the Unicode label.
+    const auto u = idna::to_u_label(attack.ace);
+    ASSERT_TRUE(u.has_value());
+    EXPECT_EQ(*u, attack.unicode);
+  }
+}
+
+TEST(Scenario, ProvenanceMixFollowsTable8) {
+  const auto s = generate_scenario(env().db_union, small_config());
+  std::size_t sim_only = 0;
+  std::size_t uc_any = 0;
+  for (const auto& attack : s.attacks) {
+    if (attack.provenance == homoglyph::Source::kSimChar) ++sim_only;
+    if (attack.provenance == homoglyph::Source::kUc ||
+        attack.provenance == homoglyph::Source::kBoth) {
+      ++uc_any;
+    }
+  }
+  // SimChar-only attacks dominate (the paper's 2,844 of 3,280).
+  EXPECT_GT(sim_only, s.attacks.size() / 2);
+  EXPECT_GT(uc_any, 0u);
+}
+
+TEST(Scenario, CaseStudiesArePlanted) {
+  const auto s = generate_scenario(env().db_union, small_config());
+  // gmaıl.com: the top phishing case of Table 11.
+  const auto gmail_idn = dns::DomainName::parse_or_throw("xn--gmal-nza.com");
+  const auto* host = s.world.lookup(gmail_idn);
+  ASSERT_NE(host, nullptr);
+  EXPECT_EQ(host->site_label, "Phishing");
+  EXPECT_EQ(host->dns_resolutions, 615447u);
+  EXPECT_TRUE(host->had_mx);
+  EXPECT_TRUE(host->port80_open);
+}
+
+TEST(Scenario, WorldSkippedWhenDisabled) {
+  auto config = small_config();
+  config.build_world = false;
+  const auto s = generate_scenario(env().db_union, config);
+  EXPECT_EQ(s.world.domain_count(), 0u);
+  EXPECT_EQ(s.domains.size(), config.total_domains);
+}
+
+TEST(Scenario, FunnelProportionsFollowTables) {
+  auto config = small_config();
+  config.attack_scale = 0.3;  // larger sample for tighter proportions
+  const auto s = generate_scenario(env().db_union, config);
+
+  std::size_t with_ns = 0;
+  std::size_t live = 0;
+  std::size_t parked_or_sale = 0;
+  const PortScanner scanner{s.world};
+  const WebClassifier classifier{s.world};
+  for (const auto& attack : s.attacks) {
+    const auto domain = dns::DomainName::parse_or_throw(attack.ace + ".com");
+    const auto* host = s.world.lookup(domain);
+    ASSERT_NE(host, nullptr);
+    if (host->has_ns) ++with_ns;
+    if (scanner.scan(domain).any()) {
+      ++live;
+      const auto kind = classifier.classify(domain).kind;
+      if (kind == WebsiteKind::kParking || kind == WebsiteKind::kForSale) {
+        ++parked_or_sale;
+      }
+    }
+  }
+  const double n = static_cast<double>(s.attacks.size());
+  EXPECT_NEAR(with_ns / n, 2294.0 / 3280.0, 0.05);       // Table: NS fraction
+  EXPECT_NEAR(live / n, 1647.0 / 3280.0, 0.05);          // Table 10
+  EXPECT_NEAR(parked_or_sale / (live + 1e-9), 693.0 / 1647.0, 0.08);  // Table 12
+}
+
+TEST(Scenario, RejectsZeroDomains) {
+  ScenarioConfig config;
+  config.total_domains = 0;
+  EXPECT_THROW(generate_scenario(env().db_union, config), std::invalid_argument);
+}
+
+TEST(Scenario, Table11SpecsSelfConsistent) {
+  for (const auto& cs : table11_case_studies()) {
+    ASSERT_LT(cs.position, cs.target.size());
+    EXPECT_EQ(static_cast<unicode::CodePoint>(cs.target[cs.position]), cs.from);
+    EXPECT_GT(cs.resolutions, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sham::internet

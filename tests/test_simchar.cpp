@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "font/synthetic_font.hpp"
+#include "simchar/simchar.hpp"
+
+namespace sham::simchar {
+namespace {
+
+using unicode::CodePoint;
+
+std::shared_ptr<font::SyntheticFont> small_planted_font() {
+  font::SyntheticFontBuilder b{2024};
+  b.cover_range(0x0430, 0x045F);          // Cyrillic backdrop
+  b.cover_range(0x4E00, 0x4E80, 60);      // CJK backdrop
+  b.plant_cluster('o', {{0x03BF, 0}, {0x043E, 2}, {0x0585, 4}});
+  b.plant_cluster('e', {{0x00E9, 1}, {0x0435, 3}, {0x025B, 5}});  // 5 > θ
+  b.plant_sparse(0x0E47, 4);
+  b.plant_sparse(0x0E48, 3);
+  return b.build();
+}
+
+TEST(SimCharBuild, FindsPlantedPairsWithinThreshold) {
+  const auto font = small_planted_font();
+  const auto db = SimCharDb::build(*font);
+  EXPECT_TRUE(db.are_homoglyphs('o', 0x03BF));
+  EXPECT_TRUE(db.are_homoglyphs('o', 0x043E));
+  EXPECT_TRUE(db.are_homoglyphs('o', 0x0585));
+  EXPECT_TRUE(db.are_homoglyphs('e', 0x00E9));
+  EXPECT_TRUE(db.are_homoglyphs('e', 0x0435));
+}
+
+TEST(SimCharBuild, RejectsPairsAboveThreshold) {
+  const auto font = small_planted_font();
+  const auto db = SimCharDb::build(*font);
+  EXPECT_FALSE(db.are_homoglyphs('e', 0x025B));  // planted at ∆ = 5
+  EXPECT_FALSE(db.are_homoglyphs('o', 'e'));     // independent random glyphs
+}
+
+TEST(SimCharBuild, IntraClusterPairsEmerge) {
+  // Members at ∆ 0 and 2 from the base are at most 2 apart of each other.
+  const auto font = small_planted_font();
+  const auto db = SimCharDb::build(*font);
+  EXPECT_TRUE(db.are_homoglyphs(0x03BF, 0x043E));
+}
+
+TEST(SimCharBuild, RecordsDeltas) {
+  const auto font = small_planted_font();
+  const auto db = SimCharDb::build(*font);
+  EXPECT_EQ(db.delta_of('o', 0x03BF), 0);
+  EXPECT_EQ(db.delta_of('o', 0x043E), 2);
+  EXPECT_EQ(db.delta_of(0x043E, 'o'), 2);  // symmetric lookup
+  EXPECT_FALSE(db.delta_of('o', 'q').has_value());
+  EXPECT_FALSE(db.delta_of('o', 'o').has_value());  // irreflexive
+}
+
+TEST(SimCharBuild, ThresholdOptionWidens) {
+  const auto font = small_planted_font();
+  BuildOptions options;
+  options.threshold = 6;
+  const auto db = SimCharDb::build(*font, options);
+  EXPECT_TRUE(db.are_homoglyphs('e', 0x025B));  // ∆ = 5 now included
+}
+
+TEST(SimCharBuild, SparseCharactersEliminated) {
+  // The two sparse glyphs have ≤ 4 pixels each: their mutual distance is
+  // ≤ 7, so without Step III they would typically appear as homoglyphs.
+  const auto font = small_planted_font();
+  BuildStats stats;
+  const auto db = SimCharDb::build(*font, {}, &stats);
+  EXPECT_FALSE(db.are_homoglyphs(0x0E47, 0x0E48));
+  for (const auto cp : db.characters()) {
+    EXPECT_NE(cp, 0x0E47u);
+    EXPECT_NE(cp, 0x0E48u);
+  }
+}
+
+TEST(SimCharBuild, SparseKeptWhenStepDisabled) {
+  const auto font = small_planted_font();
+  BuildOptions options;
+  options.min_black_pixels = 0;
+  const auto db = SimCharDb::build(*font, options);
+  // With Step III disabled the two sparse glyphs may pair up (their
+  // distance is ≤ 7 only if pixels overlap; at least they are allowed to).
+  // The invariant we check: no character was eliminated.
+  BuildStats stats;
+  SimCharDb::build(*font, options, &stats);
+  EXPECT_EQ(stats.sparse_eliminated, 0u);
+}
+
+TEST(SimCharBuild, PrunedEqualsNaive) {
+  const auto font = small_planted_font();
+  BuildOptions pruned;
+  pruned.use_bucket_pruning = true;
+  BuildOptions naive;
+  naive.use_bucket_pruning = false;
+
+  BuildStats stats_pruned;
+  BuildStats stats_naive;
+  const auto db_pruned = SimCharDb::build(*font, pruned, &stats_pruned);
+  const auto db_naive = SimCharDb::build(*font, naive, &stats_naive);
+
+  EXPECT_EQ(db_pruned.pairs(), db_naive.pairs());
+  EXPECT_LT(stats_pruned.pairs_compared, stats_naive.pairs_compared);
+}
+
+TEST(SimCharBuild, NaiveComparesAllPairs) {
+  const auto font = small_planted_font();
+  BuildOptions naive;
+  naive.use_bucket_pruning = false;
+  BuildStats stats;
+  SimCharDb::build(*font, naive, &stats);
+  const auto n = stats.glyphs_rendered;
+  EXPECT_EQ(stats.pairs_compared, n * (n - 1) / 2);
+}
+
+TEST(SimCharBuild, SingleThreadMatchesParallel) {
+  const auto font = small_planted_font();
+  BuildOptions one;
+  one.threads = 1;
+  BuildOptions many;
+  many.threads = 4;
+  EXPECT_EQ(SimCharDb::build(*font, one).pairs(), SimCharDb::build(*font, many).pairs());
+}
+
+TEST(SimCharBuild, IdnaOnlyFilters) {
+  font::SyntheticFontBuilder b{3};
+  b.cover_range('A', 'Z', SIZE_MAX, /*idna_only=*/false);  // DISALLOWED chars
+  b.plant_cluster('a', {{0x0430, 1}});
+  const auto font = b.build();
+
+  BuildStats stats;
+  const auto db = SimCharDb::build(*font, {}, &stats);
+  // Only the PVALID characters were considered.
+  EXPECT_EQ(stats.repertoire_size, 2u);
+
+  BuildOptions all;
+  all.idna_only = false;
+  BuildStats stats_all;
+  SimCharDb::build(*font, all, &stats_all);
+  EXPECT_EQ(stats_all.repertoire_size, 28u);
+}
+
+TEST(SimCharBuild, StatsTimingsPopulated) {
+  const auto font = small_planted_font();
+  BuildStats stats;
+  SimCharDb::build(*font, {}, &stats);
+  EXPECT_GT(stats.glyphs_rendered, 0u);
+  EXPECT_GE(stats.render_seconds, 0.0);
+  EXPECT_GE(stats.compare_seconds, 0.0);
+  EXPECT_GE(stats.pairs_found, stats.pairs_after_sparse);
+}
+
+TEST(SimCharBuild, NegativeThresholdThrows) {
+  const auto font = small_planted_font();
+  BuildOptions options;
+  options.threshold = -1;
+  EXPECT_THROW(SimCharDb::build(*font, options), std::invalid_argument);
+}
+
+TEST(SimCharDbTest, QueriesOnHandBuiltDb) {
+  SimCharDb db{{{'a', 0x0430, 1}, {'o', 0x043E, 0}, {0x03BF, 0x043E, 2}}};
+  EXPECT_EQ(db.pair_count(), 3u);
+  EXPECT_EQ(db.character_count(), 5u);
+  const auto homoglyphs = db.homoglyphs_of(0x043E);
+  ASSERT_EQ(homoglyphs.size(), 2u);
+  EXPECT_EQ(homoglyphs[0], static_cast<CodePoint>('o'));
+  EXPECT_EQ(homoglyphs[1], 0x03BFu);
+  EXPECT_TRUE(db.homoglyphs_of('z').empty());
+}
+
+TEST(SimCharDbTest, CanonicalizesAndDeduplicates) {
+  SimCharDb db{{{0x0430, 'a', 1}, {'a', 0x0430, 1}}};
+  EXPECT_EQ(db.pair_count(), 1u);
+  EXPECT_EQ(db.pairs()[0].a, static_cast<CodePoint>('a'));
+  EXPECT_EQ(db.pairs()[0].b, 0x0430u);
+}
+
+TEST(SimCharDbTest, RejectsReflexivePair) {
+  EXPECT_THROW(SimCharDb({{'a', 'a', 0}}), std::invalid_argument);
+}
+
+TEST(SimCharDbTest, SerializeParseRoundtrip) {
+  const auto font = small_planted_font();
+  const auto db = SimCharDb::build(*font);
+  const auto text = db.serialize();
+  const auto parsed = SimCharDb::parse(text);
+  EXPECT_EQ(parsed.pairs(), db.pairs());
+}
+
+TEST(SimCharDbTest, ParseFormat) {
+  const auto db = SimCharDb::parse(
+      "# homoglyph pairs\n"
+      "U+0061 U+0430 1\n"
+      "U+006F U+043E 0\n");
+  EXPECT_EQ(db.pair_count(), 2u);
+  EXPECT_TRUE(db.are_homoglyphs('a', 0x0430));
+  EXPECT_THROW(SimCharDb::parse("U+0061 U+0430\n"), std::invalid_argument);
+}
+
+TEST(SimCharDbTest, EmptyDb) {
+  SimCharDb db;
+  EXPECT_EQ(db.pair_count(), 0u);
+  EXPECT_FALSE(db.are_homoglyphs('a', 'b'));
+  EXPECT_TRUE(db.characters().empty());
+}
+
+}  // namespace
+}  // namespace sham::simchar

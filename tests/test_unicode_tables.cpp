@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "unicode/blocks.hpp"
+#include "unicode/category.hpp"
+#include "unicode/idna_properties.hpp"
+#include "unicode/script.hpp"
+
+namespace sham::unicode {
+namespace {
+
+TEST(Category, KnownValues) {
+  EXPECT_EQ(general_category('a'), GeneralCategory::kLl);
+  EXPECT_EQ(general_category('A'), GeneralCategory::kLu);
+  EXPECT_EQ(general_category('0'), GeneralCategory::kNd);
+  EXPECT_EQ(general_category(' '), GeneralCategory::kZs);
+  EXPECT_EQ(general_category('-'), GeneralCategory::kPd);
+  EXPECT_EQ(general_category(0x00DF), GeneralCategory::kLl);  // ß
+  EXPECT_EQ(general_category(0x0301), GeneralCategory::kMn);  // combining acute
+  EXPECT_EQ(general_category(0x4E00), GeneralCategory::kLo);  // CJK
+  EXPECT_EQ(general_category(0xAC00), GeneralCategory::kLo);  // Hangul syllable
+  EXPECT_EQ(general_category(0x0660), GeneralCategory::kNd);  // Arabic-Indic 0
+  EXPECT_EQ(general_category(0x200D), GeneralCategory::kCf);  // ZWJ
+  EXPECT_EQ(general_category(0xD800), GeneralCategory::kCs);  // surrogate
+  EXPECT_EQ(general_category(0xE000), GeneralCategory::kCo);  // private use
+}
+
+TEST(Category, UnassignedAndOutOfTable) {
+  EXPECT_EQ(general_category(0x0378), GeneralCategory::kCn);   // gap in Greek
+  EXPECT_EQ(general_category(0x30000), GeneralCategory::kCn);  // beyond table
+}
+
+TEST(Category, Names) {
+  EXPECT_EQ(category_name(GeneralCategory::kLl), "Ll");
+  EXPECT_EQ(category_name(GeneralCategory::kZs), "Zs");
+}
+
+TEST(Category, Predicates) {
+  EXPECT_TRUE(is_letter(GeneralCategory::kLo));
+  EXPECT_FALSE(is_letter(GeneralCategory::kNd));
+  EXPECT_TRUE(is_mark(GeneralCategory::kMn));
+  EXPECT_TRUE(is_decimal_number(GeneralCategory::kNd));
+}
+
+TEST(Category, Noncharacters) {
+  EXPECT_TRUE(is_noncharacter(0xFDD0));
+  EXPECT_TRUE(is_noncharacter(0xFFFE));
+  EXPECT_TRUE(is_noncharacter(0x1FFFF));
+  EXPECT_FALSE(is_noncharacter('a'));
+}
+
+TEST(Blocks, KnownBlocks) {
+  EXPECT_EQ(block_name('a'), "Basic Latin");
+  EXPECT_EQ(block_name(0x0430), "Cyrillic");
+  EXPECT_EQ(block_name(0x4E50), "CJK Unified Ideographs");
+  EXPECT_EQ(block_name(0xAC10), "Hangul Syllables");
+  EXPECT_EQ(block_name(0xA510), "Vai");
+  EXPECT_EQ(block_name(0x1450), "Unified Canadian Aboriginal Syllabics");
+  EXPECT_EQ(block_name(0x0305), "Combining Diacritical Marks");
+  EXPECT_EQ(block_name(0x118D8), "Warang Citi");
+}
+
+TEST(Blocks, TableIsSortedAndDisjoint) {
+  const auto& blocks = all_blocks();
+  ASSERT_FALSE(blocks.empty());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_LE(blocks[i].first, blocks[i].last) << blocks[i].name;
+    if (i > 0) {
+      EXPECT_GT(blocks[i].first, blocks[i - 1].last)
+          << blocks[i - 1].name << " overlaps " << blocks[i].name;
+    }
+  }
+}
+
+TEST(Blocks, Planes) {
+  EXPECT_EQ(plane_of(0x4E00), Plane::kBmp);
+  EXPECT_EQ(plane_of(0x1F600), Plane::kSmp);
+  EXPECT_EQ(plane_of(0x20000), Plane::kOther);
+}
+
+TEST(Script, KnownScripts) {
+  EXPECT_EQ(script_of('x'), Script::kLatin);
+  EXPECT_EQ(script_of(0x03B1), Script::kGreek);
+  EXPECT_EQ(script_of(0x0431), Script::kCyrillic);
+  EXPECT_EQ(script_of(0x05D0), Script::kHebrew);
+  EXPECT_EQ(script_of(0x0E01), Script::kThai);
+  EXPECT_EQ(script_of(0x3042), Script::kHiragana);
+  EXPECT_EQ(script_of(0x30A8), Script::kKatakana);
+  EXPECT_EQ(script_of(0x5DE5), Script::kHan);
+  EXPECT_EQ(script_of(0xAC00), Script::kHangul);
+  EXPECT_EQ(script_of('.'), Script::kCommon);
+  EXPECT_EQ(script_of(0x0300), Script::kInherited);
+}
+
+TEST(Script, MixedScriptDetection) {
+  // "facebook" with Cyrillic о — the browser-policy trigger.
+  U32String mixed{'f', 'a', 'c', 0x043E, 'b', 'o', 'o', 'k'};
+  EXPECT_TRUE(is_mixed_script(mixed));
+  U32String pure{'g', 'o', 'o', 'g', 'l', 'e'};
+  EXPECT_FALSE(is_mixed_script(pure));
+  // CJK + Katakana: mixed (the 工業大学 / エ業大学 case, Section 2.2).
+  U32String cjk_kana{0x30A8, 0x696D, 0x5927, 0x5B66};
+  EXPECT_TRUE(is_mixed_script(cjk_kana));
+  // Digits and hyphens are Common: do not create mixing on their own.
+  U32String with_digits{'a', 'b', '1', '-', 'c'};
+  EXPECT_FALSE(is_mixed_script(with_digits));
+}
+
+TEST(Idna, LdhIsPvalid) {
+  for (CodePoint cp = 'a'; cp <= 'z'; ++cp) {
+    EXPECT_EQ(idna_property(cp), IdnaProperty::kPvalid);
+  }
+  for (CodePoint cp = '0'; cp <= '9'; ++cp) {
+    EXPECT_EQ(idna_property(cp), IdnaProperty::kPvalid);
+  }
+  EXPECT_EQ(idna_property('-'), IdnaProperty::kPvalid);
+}
+
+TEST(Idna, UppercaseDisallowed) {
+  EXPECT_EQ(idna_property('A'), IdnaProperty::kDisallowed);
+  EXPECT_EQ(idna_property(0x0410), IdnaProperty::kDisallowed);  // Cyrillic А
+}
+
+TEST(Idna, PunctuationAndSymbolsDisallowed) {
+  EXPECT_EQ(idna_property('.'), IdnaProperty::kDisallowed);
+  EXPECT_EQ(idna_property('!'), IdnaProperty::kDisallowed);
+  EXPECT_EQ(idna_property(0x2764), IdnaProperty::kDisallowed);  // heart symbol
+  EXPECT_EQ(idna_property(' '), IdnaProperty::kDisallowed);
+}
+
+TEST(Idna, Rfc5892Exceptions) {
+  EXPECT_EQ(idna_property(0x00DF), IdnaProperty::kPvalid);  // ß
+  EXPECT_EQ(idna_property(0x03C2), IdnaProperty::kPvalid);  // final sigma
+  EXPECT_EQ(idna_property(0x00B7), IdnaProperty::kContextO);  // middle dot
+  EXPECT_EQ(idna_property(0x30FB), IdnaProperty::kContextO);  // katakana dot
+  EXPECT_EQ(idna_property(0x0660), IdnaProperty::kContextO);  // Arabic digit
+  EXPECT_EQ(idna_property(0x0640), IdnaProperty::kDisallowed);  // tatweel
+  EXPECT_EQ(idna_property(0x302E), IdnaProperty::kDisallowed);  // tone mark
+}
+
+TEST(Idna, JoinControls) {
+  EXPECT_EQ(idna_property(0x200C), IdnaProperty::kContextJ);  // ZWNJ
+  EXPECT_EQ(idna_property(0x200D), IdnaProperty::kContextJ);  // ZWJ
+}
+
+TEST(Idna, ScriptsArePvalid) {
+  EXPECT_EQ(idna_property(0x4E00), IdnaProperty::kPvalid);   // CJK
+  EXPECT_EQ(idna_property(0xAC00), IdnaProperty::kPvalid);   // Hangul syllable
+  EXPECT_EQ(idna_property(0x0431), IdnaProperty::kPvalid);   // Cyrillic б
+  EXPECT_EQ(idna_property(0x05D0), IdnaProperty::kPvalid);   // Hebrew א
+  EXPECT_EQ(idna_property(0x0301), IdnaProperty::kPvalid);   // combining mark
+  EXPECT_EQ(idna_property(0x1401), IdnaProperty::kPvalid);   // Canadian Aboriginal
+  EXPECT_EQ(idna_property(0xA500), IdnaProperty::kPvalid);   // Vai
+}
+
+TEST(Idna, OldHangulJamoDisallowed) {
+  EXPECT_EQ(idna_property(0x1100), IdnaProperty::kDisallowed);
+  EXPECT_EQ(idna_property(0xA960), IdnaProperty::kDisallowed);
+  EXPECT_EQ(idna_property(0xD7B0), IdnaProperty::kDisallowed);
+}
+
+TEST(Idna, UnstableCompatibilityFormsDisallowed) {
+  EXPECT_EQ(idna_property(0xFF41), IdnaProperty::kDisallowed);  // fullwidth a
+  EXPECT_EQ(idna_property(0xFB01), IdnaProperty::kDisallowed);  // fi ligature
+  EXPECT_EQ(idna_property(0x2113), IdnaProperty::kDisallowed);  // script l
+}
+
+TEST(Idna, UnassignedAndSurrogates) {
+  EXPECT_EQ(idna_property(0x0378), IdnaProperty::kUnassigned);
+  EXPECT_EQ(idna_property(0xD800), IdnaProperty::kDisallowed);  // non-scalar
+}
+
+TEST(Idna, PermittedCountIsPlausible) {
+  // Unicode 14 planes 0-1 contain far more PVALID characters than the
+  // ASCII repertoire and far fewer than the full code space.
+  const auto count = idna_permitted_count();
+  EXPECT_GT(count, 40'000u);
+  EXPECT_LT(count, 110'000u);
+}
+
+TEST(Idna, RangeEnumeration) {
+  const auto latin = idna_permitted_in_range('a', 'z');
+  EXPECT_EQ(latin.size(), 26u);
+  const auto hangul_jamo = idna_permitted_in_range(0x1100, 0x11FF);
+  EXPECT_TRUE(hangul_jamo.empty());
+}
+
+TEST(Idna, PropertyNames) {
+  EXPECT_EQ(idna_property_name(IdnaProperty::kPvalid), "PVALID");
+  EXPECT_EQ(idna_property_name(IdnaProperty::kContextJ), "CONTEXTJ");
+}
+
+}  // namespace
+}  // namespace sham::unicode

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "unicode/utf8.hpp"
+#include "util/rng.hpp"
+
+namespace sham::unicode {
+namespace {
+
+TEST(Utf8, EncodeAscii) {
+  EXPECT_EQ(to_utf8(U32String{'a', 'b'}), "ab");
+  EXPECT_EQ(to_utf8(0x7Fu), "\x7f");
+}
+
+TEST(Utf8, EncodeTwoByte) { EXPECT_EQ(to_utf8(0xE9u), "\xC3\xA9"); }      // é
+TEST(Utf8, EncodeThreeByte) { EXPECT_EQ(to_utf8(0x4E2Du), "\xE4\xB8\xAD"); }  // 中
+TEST(Utf8, EncodeFourByte) { EXPECT_EQ(to_utf8(0x1F600u), "\xF0\x9F\x98\x80"); }
+
+TEST(Utf8, EncodeRejectsSurrogate) {
+  std::string out;
+  EXPECT_THROW(append_utf8(0xD800, out), std::invalid_argument);
+  EXPECT_THROW(append_utf8(0x110000, out), std::invalid_argument);
+}
+
+TEST(Utf8, DecodeValid) {
+  const auto d = decode_utf8("a\xC3\xA9\xE4\xB8\xAD");
+  ASSERT_TRUE(d.has_value());
+  ASSERT_EQ(d->size(), 3u);
+  EXPECT_EQ((*d)[0], 'a');
+  EXPECT_EQ((*d)[1], 0xE9u);
+  EXPECT_EQ((*d)[2], 0x4E2Du);
+}
+
+TEST(Utf8, DecodeEmpty) {
+  const auto d = decode_utf8("");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->empty());
+}
+
+TEST(Utf8, DecodeRejectsStrayContinuation) {
+  EXPECT_FALSE(decode_utf8("\x80").has_value());
+}
+
+TEST(Utf8, DecodeRejectsTruncated) {
+  EXPECT_FALSE(decode_utf8("\xC3").has_value());
+  EXPECT_FALSE(decode_utf8("\xE4\xB8").has_value());
+}
+
+TEST(Utf8, DecodeRejectsOverlong) {
+  // U+0041 encoded in two bytes (overlong).
+  EXPECT_FALSE(decode_utf8("\xC1\x81").has_value());
+  // U+002F as three bytes.
+  EXPECT_FALSE(decode_utf8("\xE0\x80\xAF").has_value());
+}
+
+TEST(Utf8, DecodeRejectsSurrogatesAndRange) {
+  EXPECT_FALSE(decode_utf8("\xED\xA0\x80").has_value());   // U+D800
+  EXPECT_FALSE(decode_utf8("\xF4\x90\x80\x80").has_value());  // U+110000
+}
+
+TEST(Utf8, LossyReplacesBadBytes) {
+  const auto d = decode_utf8_lossy("a\x80z");
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[1], kReplacementChar);
+  EXPECT_EQ(d[2], 'z');
+}
+
+TEST(Utf8, LengthCountsCodePoints) {
+  EXPECT_EQ(utf8_length("abc"), 3u);
+  EXPECT_EQ(utf8_length("\xE4\xB8\xAD"), 1u);
+}
+
+// Property: encode/decode round-trips over random scalar values.
+class Utf8Roundtrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Utf8Roundtrip, RandomStrings) {
+  util::Rng rng{GetParam()};
+  for (int iter = 0; iter < 200; ++iter) {
+    U32String original;
+    const int n = 1 + static_cast<int>(rng.below(30));
+    for (int i = 0; i < n; ++i) {
+      CodePoint cp;
+      do {
+        cp = static_cast<CodePoint>(rng.below(0x110000));
+      } while (!is_scalar_value(cp));
+      original.push_back(cp);
+    }
+    const auto bytes = to_utf8(original);
+    const auto decoded = decode_utf8(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, original);
+    EXPECT_EQ(utf8_length(bytes), original.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Utf8Roundtrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(CodePointHelpers, Classifications) {
+  EXPECT_TRUE(is_ascii('a'));
+  EXPECT_FALSE(is_ascii(0x80));
+  EXPECT_TRUE(is_ascii_letter('Z'));
+  EXPECT_FALSE(is_ascii_letter('1'));
+  EXPECT_TRUE(is_ascii_digit('0'));
+  EXPECT_TRUE(is_ldh('-'));
+  EXPECT_FALSE(is_ldh('.'));
+  EXPECT_FALSE(is_ldh(0xE9));
+  EXPECT_TRUE(is_scalar_value(0x10FFFF));
+  EXPECT_FALSE(is_scalar_value(0xDC00));
+}
+
+}  // namespace
+}  // namespace sham::unicode

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sham::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowOneIsZero) {
+  Rng rng{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng{7};
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng{9};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng{11};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.between(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{13};
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{17};
+  double sum = 0;
+  double sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent{42};
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, PickAndShuffle) {
+  Rng rng{5};
+  const std::vector<int> items{10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    const int v = rng.pick(items);
+    EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+  }
+  std::vector<int> seq{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = seq;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, seq);  // permutation
+  const std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), std::invalid_argument);
+}
+
+TEST(Zipf, RankZeroMostLikely) {
+  ZipfSampler zipf{100, 1.0};
+  Rng rng{3};
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[1], counts[50]);
+}
+
+TEST(Zipf, RejectsEmpty) { EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument); }
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, SplitWs) {
+  const auto parts = split_ws("  foo\t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("ab"), "ab");
+}
+
+TEST(Strings, LowerAndAffixes) {
+  EXPECT_EQ(to_lower_ascii("AbC-9"), "abc-9");
+  EXPECT_TRUE(starts_with("xn--foo", "xn--"));
+  EXPECT_FALSE(starts_with("x", "xn--"));
+  EXPECT_TRUE(ends_with("a.com", ".com"));
+  EXPECT_FALSE(ends_with("com", ".com"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(join({}, "."), "");
+}
+
+TEST(Strings, ParseU64) {
+  EXPECT_EQ(parse_u64("12345"), 12345u);
+  EXPECT_THROW(parse_u64("12x"), std::invalid_argument);
+  EXPECT_THROW(parse_u64(""), std::invalid_argument);
+  EXPECT_THROW(parse_u64("-3"), std::invalid_argument);
+}
+
+TEST(Strings, HexCodepoint) {
+  EXPECT_EQ(parse_hex_codepoint("0061"), 0x61u);
+  EXPECT_EQ(parse_hex_codepoint("U+0430"), 0x430u);
+  EXPECT_EQ(parse_hex_codepoint("u+1F600"), 0x1F600u);
+  EXPECT_THROW(parse_hex_codepoint("xyz"), std::invalid_argument);
+  EXPECT_EQ(format_codepoint(0x61), "U+0061");
+  EXPECT_EQ(format_codepoint(0x1F600), "U+1F600");
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t{{"name", "count"}, {Align::kLeft, Align::kRight}};
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "12345"});
+  const auto s = t.str();
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(42), "42");
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(percent(0.465), "46.5%");
+}
+
+TEST(Table, Csv) {
+  const auto csv = to_csv({"a", "b"}, {{"1", "x,y"}, {"2", "q\"q"}});
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"q\""), std::string::npos);
+}
+
+TEST(Stopwatch, Monotonic) {
+  Stopwatch w;
+  const double a = w.seconds();
+  const double b = w.seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool{2};
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ManySmallTasks) {
+  ThreadPool pool{3};
+  std::atomic<int> count{0};
+  for (int i = 0; i < 500; ++i) pool.submit([&] { count++; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool{2};
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t b, std::size_t e) {
+    count += static_cast<int>(e - b);
+  });
+  pool.parallel_for(0, 10, [&](std::size_t b, std::size_t e) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count.load(), 20);
+}
+
+}  // namespace
+}  // namespace sham::util

@@ -1,0 +1,125 @@
+// Evidence-based web classification tests: the WebServer synthesizes
+// observable pages from the world's ground truth and the classifier must
+// recover the category from the evidence alone.
+#include <gtest/gtest.h>
+
+#include "internet/scenario.hpp"
+#include "internet/webpage.hpp"
+#include "measure/environment.hpp"
+
+namespace sham::internet {
+namespace {
+
+dns::DomainName dom(const std::string& s) { return dns::DomainName::parse_or_throw(s); }
+
+HostState live_host(WebsiteKind kind) {
+  HostState s;
+  s.has_ns = true;
+  s.has_a = true;
+  s.port80_open = true;
+  s.ns_host = "ns1.generic-hosting.net";
+  s.website = kind;
+  return s;
+}
+
+TEST(WebServer, UnreachableHostsYieldNoResponse) {
+  SimulatedInternet world;
+  HostState s = live_host(WebsiteKind::kNormal);
+  s.port443_open = false;
+  world.add_domain(dom("a.com"), s);
+  const WebServer server{world};
+  EXPECT_TRUE(server.fetch(dom("a.com"), false).has_value());
+  EXPECT_FALSE(server.fetch(dom("a.com"), true).has_value());   // 443 closed
+  EXPECT_FALSE(server.fetch(dom("b.com"), false).has_value());  // unregistered
+}
+
+TEST(WebServer, SynthesizesDistinctEvidencePerKind) {
+  SimulatedInternet world;
+  world.add_domain(dom("normal.com"), live_host(WebsiteKind::kNormal));
+  world.add_domain(dom("empty.com"), live_host(WebsiteKind::kEmpty));
+  world.add_domain(dom("err.com"), live_host(WebsiteKind::kError));
+  auto redirect = live_host(WebsiteKind::kRedirect);
+  redirect.redirect_target = "landing.com";
+  world.add_domain(dom("redir.com"), redirect);
+
+  const WebServer server{world};
+  EXPECT_EQ(server.fetch(dom("normal.com"), false)->status, 200);
+  EXPECT_GT(server.fetch(dom("normal.com"), false)->body_bytes, 0u);
+  EXPECT_EQ(server.fetch(dom("empty.com"), false)->body_bytes, 0u);
+  EXPECT_EQ(server.fetch(dom("err.com"), false)->status, 0);
+  const auto r = server.fetch(dom("redir.com"), false);
+  EXPECT_EQ(r->status, 301);
+  EXPECT_EQ(r->location, "https://landing.com/");
+}
+
+class KindRecovery : public ::testing::TestWithParam<WebsiteKind> {};
+
+TEST_P(KindRecovery, ClassifierRecoversGroundTruthFromEvidence) {
+  const auto kind = GetParam();
+  SimulatedInternet world;
+  auto s = live_host(kind);
+  if (kind == WebsiteKind::kRedirect) s.redirect_target = "elsewhere.com";
+  if (kind == WebsiteKind::kParking) {
+    s.ns_host = WebClassifier::parking_nameservers()[3];
+  }
+  world.add_domain(dom("site.com"), s);
+  const WebClassifier classifier{world};
+  EXPECT_EQ(classifier.classify(dom("site.com")).kind, kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, KindRecovery,
+                         ::testing::Values(WebsiteKind::kParking,
+                                           WebsiteKind::kForSale,
+                                           WebsiteKind::kRedirect,
+                                           WebsiteKind::kNormal,
+                                           WebsiteKind::kEmpty,
+                                           WebsiteKind::kError));
+
+TEST(Classifier, ParkingByContentWithoutParkingNs) {
+  // A parked page hosted on generic NS is still caught by its template.
+  SimulatedInternet world;
+  world.add_domain(dom("p.com"), live_host(WebsiteKind::kParking));
+  const WebClassifier classifier{world};
+  EXPECT_EQ(classifier.classify(dom("p.com")).kind, WebsiteKind::kParking);
+}
+
+TEST(Classifier, EvidenceFromHttpsWhenHttpClosed) {
+  SimulatedInternet world;
+  auto s = live_host(WebsiteKind::kForSale);
+  s.port80_open = false;
+  s.port443_open = true;
+  world.add_domain(dom("s.com"), s);
+  const WebClassifier classifier{world};
+  EXPECT_EQ(classifier.classify(dom("s.com")).kind, WebsiteKind::kForSale);
+}
+
+TEST(Classifier, WholeScenarioInferenceMatchesGroundTruth) {
+  // Property over a generated world: for every live attack domain the
+  // evidence-based classification equals the planted website kind (with
+  // parking NS hosts always classified as parking).
+  measure::EnvironmentConfig env_config;
+  env_config.font_scale = 0.1;
+  const auto env = measure::Environment::create(env_config);
+  ScenarioConfig config;
+  config.total_domains = 8'000;
+  config.reference_count = 150;
+  config.attack_scale = 0.1;
+  const auto scenario = generate_scenario(env.db_union, config);
+
+  const PortScanner scanner{scenario.world};
+  const WebClassifier classifier{scenario.world};
+  std::size_t checked = 0;
+  for (const auto& attack : scenario.attacks) {
+    const auto domain = dns::DomainName::parse_or_throw(attack.ace + ".com");
+    if (!scanner.scan(domain).any()) continue;
+    const auto* host = scenario.world.lookup(domain);
+    ASSERT_NE(host, nullptr);
+    const auto inferred = classifier.classify(domain).kind;
+    EXPECT_EQ(inferred, host->website) << attack.ace;
+    ++checked;
+  }
+  EXPECT_GT(checked, 50u);
+}
+
+}  // namespace
+}  // namespace sham::internet

@@ -1,0 +1,109 @@
+// scenario_to_zone: the registry-zone rendering of a generated world.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "internet/scenario.hpp"
+#include "measure/environment.hpp"
+
+namespace sham::internet {
+namespace {
+
+const measure::Environment& env() {
+  static const auto instance = [] {
+    measure::EnvironmentConfig config;
+    config.font_scale = 0.1;
+    return measure::Environment::create(config);
+  }();
+  return instance;
+}
+
+Scenario small_scenario() {
+  ScenarioConfig config;
+  config.total_domains = 2'500;
+  config.reference_count = 80;
+  config.attack_scale = 0.02;
+  return generate_scenario(env().db_union, config);
+}
+
+TEST(ZoneExport, RecordsMirrorWorldState) {
+  const auto s = small_scenario();
+  const auto zone = scenario_to_zone(s, 2);
+
+  std::unordered_map<std::string, int> ns_count;
+  std::unordered_map<std::string, int> a_count;
+  std::unordered_map<std::string, int> mx_count;
+  for (const auto& r : zone.records) {
+    switch (r.type) {
+      case dns::RecordType::kNs: ns_count[r.owner.str()]++; break;
+      case dns::RecordType::kA: a_count[r.owner.str()]++; break;
+      case dns::RecordType::kMx: mx_count[r.owner.str()]++; break;
+      default: break;
+    }
+  }
+  std::size_t checked = 0;
+  for (const auto& attack : s.attacks) {
+    const auto name = attack.ace + ".com";
+    const auto* host = s.world.lookup(dns::DomainName::parse_or_throw(name));
+    ASSERT_NE(host, nullptr);
+    EXPECT_EQ(ns_count[name] > 0, host->has_ns) << name;
+    EXPECT_EQ(a_count[name] > 0, host->has_ns && host->has_a) << name;
+    if (!host->has_ns) {
+      EXPECT_EQ(a_count[name], 0) << name;  // no delegation, no glue
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 20u);
+}
+
+TEST(ZoneExport, MxOnlyForMailHosts) {
+  const auto s = small_scenario();
+  const auto zone = scenario_to_zone(s, 2);
+  for (const auto& r : zone.records) {
+    if (r.type != dns::RecordType::kMx) continue;
+    const auto* host = s.world.lookup(r.owner);
+    ASSERT_NE(host, nullptr) << r.owner.str();
+    EXPECT_TRUE(host->has_mx) << r.owner.str();
+    EXPECT_EQ(r.priority, 10);
+  }
+}
+
+TEST(ZoneExport, ParkingNsSurvivesSerialization) {
+  // Zone-level NS data alone is enough for NS-based parking detection.
+  const auto s = small_scenario();
+  const auto zone = scenario_to_zone(s, 2);
+  const auto text = dns::serialize_zone(zone);
+  const auto parsed = dns::parse_zone(text);
+  const auto& parking = WebClassifier::parking_nameservers();
+  std::size_t parked_delegations = 0;
+  for (const auto& r : parsed.records) {
+    if (r.type != dns::RecordType::kNs) continue;
+    if (std::find(parking.begin(), parking.end(), r.target) != parking.end()) {
+      ++parked_delegations;
+    }
+  }
+  EXPECT_GT(parked_delegations, 0u);
+}
+
+TEST(ZoneExport, DeterministicAddresses) {
+  const auto s = small_scenario();
+  const auto z1 = scenario_to_zone(s, 0);
+  const auto z2 = scenario_to_zone(s, 0);
+  ASSERT_EQ(z1.records.size(), z2.records.size());
+  for (std::size_t i = 0; i < z1.records.size(); ++i) {
+    EXPECT_EQ(z1.records[i].rdata_str(), z2.records[i].rdata_str());
+  }
+}
+
+TEST(ZoneExport, OriginAndTtl) {
+  const auto s = small_scenario();
+  const auto zone = scenario_to_zone(s, 0);
+  EXPECT_EQ(zone.origin.str(), "com");
+  EXPECT_EQ(zone.default_ttl, 172800u);
+  for (const auto& r : zone.records) {
+    EXPECT_EQ(r.owner.tld(), "com");
+  }
+}
+
+}  // namespace
+}  // namespace sham::internet

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Build, test, and regenerate every experiment — the full reproduction run.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+echo
+echo "shape criteria summary:"
+grep -c "\[OK\]" bench_output.txt | xargs echo "  OK:  "
+grep -c "MISS" bench_output.txt | xargs echo "  MISS:" || true
