@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_browser_policy.dir/bench/ablation_browser_policy.cpp.o"
+  "CMakeFiles/ablation_browser_policy.dir/bench/ablation_browser_policy.cpp.o.d"
+  "bench/ablation_browser_policy"
+  "bench/ablation_browser_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_browser_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fonts.dir/bench/ablation_fonts.cpp.o"
+  "CMakeFiles/ablation_fonts.dir/bench/ablation_fonts.cpp.o.d"
+  "bench/ablation_fonts"
+  "bench/ablation_fonts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fonts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

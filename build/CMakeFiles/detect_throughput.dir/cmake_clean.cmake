@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_throughput.dir/bench/detect_throughput.cpp.o"
+  "CMakeFiles/detect_throughput.dir/bench/detect_throughput.cpp.o.d"
+  "bench/detect_throughput"
+  "bench/detect_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

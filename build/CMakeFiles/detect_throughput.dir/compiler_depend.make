@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for detect_throughput.
+# This may be replaced when dependencies are built.

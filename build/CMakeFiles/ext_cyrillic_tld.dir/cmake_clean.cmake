@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cyrillic_tld.dir/bench/ext_cyrillic_tld.cpp.o"
+  "CMakeFiles/ext_cyrillic_tld.dir/bench/ext_cyrillic_tld.cpp.o.d"
+  "bench/ext_cyrillic_tld"
+  "bench/ext_cyrillic_tld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cyrillic_tld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_word_context.dir/bench/ext_word_context.cpp.o"
+  "CMakeFiles/ext_word_context.dir/bench/ext_word_context.cpp.o.d"
+  "bench/ext_word_context"
+  "bench/ext_word_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_word_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

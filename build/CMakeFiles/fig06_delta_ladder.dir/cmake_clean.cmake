@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_delta_ladder.dir/bench/fig06_delta_ladder.cpp.o"
+  "CMakeFiles/fig06_delta_ladder.dir/bench/fig06_delta_ladder.cpp.o.d"
+  "bench/fig06_delta_ladder"
+  "bench/fig06_delta_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_delta_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

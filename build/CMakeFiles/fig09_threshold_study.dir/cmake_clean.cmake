@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_threshold_study.dir/bench/fig09_threshold_study.cpp.o"
+  "CMakeFiles/fig09_threshold_study.dir/bench/fig09_threshold_study.cpp.o.d"
+  "bench/fig09_threshold_study"
+  "bench/fig09_threshold_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_threshold_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_confusability.dir/bench/fig10_confusability.cpp.o"
+  "CMakeFiles/fig10_confusability.dir/bench/fig10_confusability.cpp.o.d"
+  "bench/fig10_confusability"
+  "bench/fig10_confusability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_confusability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revert_originals.dir/bench/revert_originals.cpp.o"
+  "CMakeFiles/revert_originals.dir/bench/revert_originals.cpp.o.d"
+  "bench/revert_originals"
+  "bench/revert_originals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revert_originals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

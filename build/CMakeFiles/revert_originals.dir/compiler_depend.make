@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for revert_originals.
+# This may be replaced when dependencies are built.

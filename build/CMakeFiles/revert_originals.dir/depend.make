@@ -1,0 +1,2 @@
+# Empty dependencies file for revert_originals.
+# This may be replaced when dependencies are built.

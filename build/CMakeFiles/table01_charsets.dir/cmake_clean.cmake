@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_charsets.dir/bench/table01_charsets.cpp.o"
+  "CMakeFiles/table01_charsets.dir/bench/table01_charsets.cpp.o.d"
+  "bench/table01_charsets"
+  "bench/table01_charsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_charsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table02_fontsets.cpp" "CMakeFiles/table02_fontsets.dir/bench/table02_fontsets.cpp.o" "gcc" "CMakeFiles/table02_fontsets.dir/bench/table02_fontsets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sham_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/sham_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/internet/CMakeFiles/sham_internet.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/sham_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/sham_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/idna/CMakeFiles/sham_idna.dir/DependInfo.cmake"
+  "/root/repo/build/src/homoglyph/CMakeFiles/sham_homoglyph.dir/DependInfo.cmake"
+  "/root/repo/build/src/simchar/CMakeFiles/sham_simchar.dir/DependInfo.cmake"
+  "/root/repo/build/src/font/CMakeFiles/sham_font.dir/DependInfo.cmake"
+  "/root/repo/build/src/perception/CMakeFiles/sham_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/unicode/CMakeFiles/sham_unicode.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sham_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

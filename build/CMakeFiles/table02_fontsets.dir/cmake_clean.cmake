@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_fontsets.dir/bench/table02_fontsets.cpp.o"
+  "CMakeFiles/table02_fontsets.dir/bench/table02_fontsets.cpp.o.d"
+  "bench/table02_fontsets"
+  "bench/table02_fontsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_fontsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_latin.dir/bench/table03_latin.cpp.o"
+  "CMakeFiles/table03_latin.dir/bench/table03_latin.cpp.o.d"
+  "bench/table03_latin"
+  "bench/table03_latin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_latin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_blocks.dir/bench/table04_blocks.cpp.o"
+  "CMakeFiles/table04_blocks.dir/bench/table04_blocks.cpp.o.d"
+  "bench/table04_blocks"
+  "bench/table04_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_build_time.dir/bench/table05_build_time.cpp.o"
+  "CMakeFiles/table05_build_time.dir/bench/table05_build_time.cpp.o.d"
+  "bench/table05_build_time"
+  "bench/table05_build_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_build_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

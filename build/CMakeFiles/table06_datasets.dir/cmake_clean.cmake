@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_datasets.dir/bench/table06_datasets.cpp.o"
+  "CMakeFiles/table06_datasets.dir/bench/table06_datasets.cpp.o.d"
+  "bench/table06_datasets"
+  "bench/table06_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

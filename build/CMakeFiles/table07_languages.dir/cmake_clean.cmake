@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_languages.dir/bench/table07_languages.cpp.o"
+  "CMakeFiles/table07_languages.dir/bench/table07_languages.cpp.o.d"
+  "bench/table07_languages"
+  "bench/table07_languages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_languages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

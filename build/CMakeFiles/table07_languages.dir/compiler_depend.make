@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table07_languages.
+# This may be replaced when dependencies are built.

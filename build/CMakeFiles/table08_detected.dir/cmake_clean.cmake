@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_detected.dir/bench/table08_detected.cpp.o"
+  "CMakeFiles/table08_detected.dir/bench/table08_detected.cpp.o.d"
+  "bench/table08_detected"
+  "bench/table08_detected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_detected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_targets.dir/bench/table09_targets.cpp.o"
+  "CMakeFiles/table09_targets.dir/bench/table09_targets.cpp.o.d"
+  "bench/table09_targets"
+  "bench/table09_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_portscan.dir/bench/table10_portscan.cpp.o"
+  "CMakeFiles/table10_portscan.dir/bench/table10_portscan.cpp.o.d"
+  "bench/table10_portscan"
+  "bench/table10_portscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_portscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_passivedns.dir/bench/table11_passivedns.cpp.o"
+  "CMakeFiles/table11_passivedns.dir/bench/table11_passivedns.cpp.o.d"
+  "bench/table11_passivedns"
+  "bench/table11_passivedns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_passivedns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table12_classify.dir/bench/table12_classify.cpp.o"
+  "CMakeFiles/table12_classify.dir/bench/table12_classify.cpp.o.d"
+  "bench/table12_classify"
+  "bench/table12_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

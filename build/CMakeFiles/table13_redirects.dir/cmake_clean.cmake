@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table13_redirects.dir/bench/table13_redirects.cpp.o"
+  "CMakeFiles/table13_redirects.dir/bench/table13_redirects.cpp.o.d"
+  "bench/table13_redirects"
+  "bench/table13_redirects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table13_redirects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table14_malicious.dir/bench/table14_malicious.cpp.o"
+  "CMakeFiles/table14_malicious.dir/bench/table14_malicious.cpp.o.d"
+  "bench/table14_malicious"
+  "bench/table14_malicious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table14_malicious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brand_protection.dir/brand_protection.cpp.o"
+  "CMakeFiles/brand_protection.dir/brand_protection.cpp.o.d"
+  "brand_protection"
+  "brand_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brand_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_simchar_db.dir/build_simchar_db.cpp.o"
+  "CMakeFiles/build_simchar_db.dir/build_simchar_db.cpp.o.d"
+  "build_simchar_db"
+  "build_simchar_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_simchar_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

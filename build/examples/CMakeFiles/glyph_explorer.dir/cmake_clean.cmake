@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glyph_explorer.dir/glyph_explorer.cpp.o"
+  "CMakeFiles/glyph_explorer.dir/glyph_explorer.cpp.o.d"
+  "glyph_explorer"
+  "glyph_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glyph_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

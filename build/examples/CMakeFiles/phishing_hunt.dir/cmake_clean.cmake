@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phishing_hunt.dir/phishing_hunt.cpp.o"
+  "CMakeFiles/phishing_hunt.dir/phishing_hunt.cpp.o.d"
+  "phishing_hunt"
+  "phishing_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phishing_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shamfinder_cli.dir/shamfinder_cli.cpp.o"
+  "CMakeFiles/shamfinder_cli.dir/shamfinder_cli.cpp.o.d"
+  "shamfinder_cli"
+  "shamfinder_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shamfinder_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("unicode")
+subdirs("idna")
+subdirs("font")
+subdirs("simchar")
+subdirs("homoglyph")
+subdirs("detect")
+subdirs("dns")
+subdirs("internet")
+subdirs("perception")
+subdirs("measure")
+subdirs("core")

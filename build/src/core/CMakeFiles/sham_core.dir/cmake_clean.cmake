@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sham_core.dir/browser_policy.cpp.o"
+  "CMakeFiles/sham_core.dir/browser_policy.cpp.o.d"
+  "CMakeFiles/sham_core.dir/shamfinder.cpp.o"
+  "CMakeFiles/sham_core.dir/shamfinder.cpp.o.d"
+  "CMakeFiles/sham_core.dir/warning.cpp.o"
+  "CMakeFiles/sham_core.dir/warning.cpp.o.d"
+  "libsham_core.a"
+  "libsham_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sham_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sham_detect.dir/candidates.cpp.o"
+  "CMakeFiles/sham_detect.dir/candidates.cpp.o.d"
+  "CMakeFiles/sham_detect.dir/detector.cpp.o"
+  "CMakeFiles/sham_detect.dir/detector.cpp.o.d"
+  "CMakeFiles/sham_detect.dir/ranking.cpp.o"
+  "CMakeFiles/sham_detect.dir/ranking.cpp.o.d"
+  "libsham_detect.a"
+  "libsham_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sham_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

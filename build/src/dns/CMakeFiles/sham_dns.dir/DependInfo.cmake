@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/domain.cpp" "src/dns/CMakeFiles/sham_dns.dir/domain.cpp.o" "gcc" "src/dns/CMakeFiles/sham_dns.dir/domain.cpp.o.d"
+  "/root/repo/src/dns/langid.cpp" "src/dns/CMakeFiles/sham_dns.dir/langid.cpp.o" "gcc" "src/dns/CMakeFiles/sham_dns.dir/langid.cpp.o.d"
+  "/root/repo/src/dns/records.cpp" "src/dns/CMakeFiles/sham_dns.dir/records.cpp.o" "gcc" "src/dns/CMakeFiles/sham_dns.dir/records.cpp.o.d"
+  "/root/repo/src/dns/zone_file.cpp" "src/dns/CMakeFiles/sham_dns.dir/zone_file.cpp.o" "gcc" "src/dns/CMakeFiles/sham_dns.dir/zone_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idna/CMakeFiles/sham_idna.dir/DependInfo.cmake"
+  "/root/repo/build/src/unicode/CMakeFiles/sham_unicode.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sham_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

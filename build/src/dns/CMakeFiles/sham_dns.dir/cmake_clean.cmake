@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sham_dns.dir/domain.cpp.o"
+  "CMakeFiles/sham_dns.dir/domain.cpp.o.d"
+  "CMakeFiles/sham_dns.dir/langid.cpp.o"
+  "CMakeFiles/sham_dns.dir/langid.cpp.o.d"
+  "CMakeFiles/sham_dns.dir/records.cpp.o"
+  "CMakeFiles/sham_dns.dir/records.cpp.o.d"
+  "CMakeFiles/sham_dns.dir/zone_file.cpp.o"
+  "CMakeFiles/sham_dns.dir/zone_file.cpp.o.d"
+  "libsham_dns.a"
+  "libsham_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sham_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

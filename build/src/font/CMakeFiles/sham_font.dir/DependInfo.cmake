@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/font/freetype_font.cpp" "src/font/CMakeFiles/sham_font.dir/freetype_font.cpp.o" "gcc" "src/font/CMakeFiles/sham_font.dir/freetype_font.cpp.o.d"
+  "/root/repo/src/font/glyph.cpp" "src/font/CMakeFiles/sham_font.dir/glyph.cpp.o" "gcc" "src/font/CMakeFiles/sham_font.dir/glyph.cpp.o.d"
+  "/root/repo/src/font/hex_font.cpp" "src/font/CMakeFiles/sham_font.dir/hex_font.cpp.o" "gcc" "src/font/CMakeFiles/sham_font.dir/hex_font.cpp.o.d"
+  "/root/repo/src/font/metrics.cpp" "src/font/CMakeFiles/sham_font.dir/metrics.cpp.o" "gcc" "src/font/CMakeFiles/sham_font.dir/metrics.cpp.o.d"
+  "/root/repo/src/font/paper_font.cpp" "src/font/CMakeFiles/sham_font.dir/paper_font.cpp.o" "gcc" "src/font/CMakeFiles/sham_font.dir/paper_font.cpp.o.d"
+  "/root/repo/src/font/synthetic_font.cpp" "src/font/CMakeFiles/sham_font.dir/synthetic_font.cpp.o" "gcc" "src/font/CMakeFiles/sham_font.dir/synthetic_font.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/unicode/CMakeFiles/sham_unicode.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sham_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sham_font.dir/freetype_font.cpp.o"
+  "CMakeFiles/sham_font.dir/freetype_font.cpp.o.d"
+  "CMakeFiles/sham_font.dir/glyph.cpp.o"
+  "CMakeFiles/sham_font.dir/glyph.cpp.o.d"
+  "CMakeFiles/sham_font.dir/hex_font.cpp.o"
+  "CMakeFiles/sham_font.dir/hex_font.cpp.o.d"
+  "CMakeFiles/sham_font.dir/metrics.cpp.o"
+  "CMakeFiles/sham_font.dir/metrics.cpp.o.d"
+  "CMakeFiles/sham_font.dir/paper_font.cpp.o"
+  "CMakeFiles/sham_font.dir/paper_font.cpp.o.d"
+  "CMakeFiles/sham_font.dir/synthetic_font.cpp.o"
+  "CMakeFiles/sham_font.dir/synthetic_font.cpp.o.d"
+  "libsham_font.a"
+  "libsham_font.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sham_font.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

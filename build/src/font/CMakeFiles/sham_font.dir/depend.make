@@ -1,0 +1,2 @@
+# Empty dependencies file for sham_font.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sham_homoglyph.dir/homoglyph_db.cpp.o"
+  "CMakeFiles/sham_homoglyph.dir/homoglyph_db.cpp.o.d"
+  "libsham_homoglyph.a"
+  "libsham_homoglyph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sham_homoglyph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sham_homoglyph.
+# This may be replaced when dependencies are built.

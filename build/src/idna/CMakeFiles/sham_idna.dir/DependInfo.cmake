@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idna/idna.cpp" "src/idna/CMakeFiles/sham_idna.dir/idna.cpp.o" "gcc" "src/idna/CMakeFiles/sham_idna.dir/idna.cpp.o.d"
+  "/root/repo/src/idna/punycode.cpp" "src/idna/CMakeFiles/sham_idna.dir/punycode.cpp.o" "gcc" "src/idna/CMakeFiles/sham_idna.dir/punycode.cpp.o.d"
+  "/root/repo/src/idna/tld_policy.cpp" "src/idna/CMakeFiles/sham_idna.dir/tld_policy.cpp.o" "gcc" "src/idna/CMakeFiles/sham_idna.dir/tld_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/unicode/CMakeFiles/sham_unicode.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sham_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

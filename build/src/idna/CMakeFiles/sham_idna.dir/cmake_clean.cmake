@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sham_idna.dir/idna.cpp.o"
+  "CMakeFiles/sham_idna.dir/idna.cpp.o.d"
+  "CMakeFiles/sham_idna.dir/punycode.cpp.o"
+  "CMakeFiles/sham_idna.dir/punycode.cpp.o.d"
+  "CMakeFiles/sham_idna.dir/tld_policy.cpp.o"
+  "CMakeFiles/sham_idna.dir/tld_policy.cpp.o.d"
+  "libsham_idna.a"
+  "libsham_idna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sham_idna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/internet/brands.cpp" "src/internet/CMakeFiles/sham_internet.dir/brands.cpp.o" "gcc" "src/internet/CMakeFiles/sham_internet.dir/brands.cpp.o.d"
+  "/root/repo/src/internet/idn_corpus.cpp" "src/internet/CMakeFiles/sham_internet.dir/idn_corpus.cpp.o" "gcc" "src/internet/CMakeFiles/sham_internet.dir/idn_corpus.cpp.o.d"
+  "/root/repo/src/internet/scenario.cpp" "src/internet/CMakeFiles/sham_internet.dir/scenario.cpp.o" "gcc" "src/internet/CMakeFiles/sham_internet.dir/scenario.cpp.o.d"
+  "/root/repo/src/internet/webpage.cpp" "src/internet/CMakeFiles/sham_internet.dir/webpage.cpp.o" "gcc" "src/internet/CMakeFiles/sham_internet.dir/webpage.cpp.o.d"
+  "/root/repo/src/internet/world.cpp" "src/internet/CMakeFiles/sham_internet.dir/world.cpp.o" "gcc" "src/internet/CMakeFiles/sham_internet.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/sham_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/homoglyph/CMakeFiles/sham_homoglyph.dir/DependInfo.cmake"
+  "/root/repo/build/src/idna/CMakeFiles/sham_idna.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sham_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simchar/CMakeFiles/sham_simchar.dir/DependInfo.cmake"
+  "/root/repo/build/src/font/CMakeFiles/sham_font.dir/DependInfo.cmake"
+  "/root/repo/build/src/unicode/CMakeFiles/sham_unicode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sham_internet.dir/brands.cpp.o"
+  "CMakeFiles/sham_internet.dir/brands.cpp.o.d"
+  "CMakeFiles/sham_internet.dir/idn_corpus.cpp.o"
+  "CMakeFiles/sham_internet.dir/idn_corpus.cpp.o.d"
+  "CMakeFiles/sham_internet.dir/scenario.cpp.o"
+  "CMakeFiles/sham_internet.dir/scenario.cpp.o.d"
+  "CMakeFiles/sham_internet.dir/webpage.cpp.o"
+  "CMakeFiles/sham_internet.dir/webpage.cpp.o.d"
+  "CMakeFiles/sham_internet.dir/world.cpp.o"
+  "CMakeFiles/sham_internet.dir/world.cpp.o.d"
+  "libsham_internet.a"
+  "libsham_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sham_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

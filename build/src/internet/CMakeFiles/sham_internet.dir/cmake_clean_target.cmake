@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsham_internet.a"
+)

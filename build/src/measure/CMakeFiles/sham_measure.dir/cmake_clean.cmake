@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sham_measure.dir/charset_experiments.cpp.o"
+  "CMakeFiles/sham_measure.dir/charset_experiments.cpp.o.d"
+  "CMakeFiles/sham_measure.dir/environment.cpp.o"
+  "CMakeFiles/sham_measure.dir/environment.cpp.o.d"
+  "CMakeFiles/sham_measure.dir/report.cpp.o"
+  "CMakeFiles/sham_measure.dir/report.cpp.o.d"
+  "CMakeFiles/sham_measure.dir/wild_experiments.cpp.o"
+  "CMakeFiles/sham_measure.dir/wild_experiments.cpp.o.d"
+  "libsham_measure.a"
+  "libsham_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sham_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sham_perception.dir/crowd_study.cpp.o"
+  "CMakeFiles/sham_perception.dir/crowd_study.cpp.o.d"
+  "libsham_perception.a"
+  "libsham_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sham_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

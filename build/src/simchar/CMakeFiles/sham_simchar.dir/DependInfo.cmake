@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simchar/simchar.cpp" "src/simchar/CMakeFiles/sham_simchar.dir/simchar.cpp.o" "gcc" "src/simchar/CMakeFiles/sham_simchar.dir/simchar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/font/CMakeFiles/sham_font.dir/DependInfo.cmake"
+  "/root/repo/build/src/unicode/CMakeFiles/sham_unicode.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sham_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

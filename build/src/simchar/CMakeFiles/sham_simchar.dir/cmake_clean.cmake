@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sham_simchar.dir/simchar.cpp.o"
+  "CMakeFiles/sham_simchar.dir/simchar.cpp.o.d"
+  "libsham_simchar.a"
+  "libsham_simchar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sham_simchar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unicode/blocks.cpp" "src/unicode/CMakeFiles/sham_unicode.dir/blocks.cpp.o" "gcc" "src/unicode/CMakeFiles/sham_unicode.dir/blocks.cpp.o.d"
+  "/root/repo/src/unicode/category.cpp" "src/unicode/CMakeFiles/sham_unicode.dir/category.cpp.o" "gcc" "src/unicode/CMakeFiles/sham_unicode.dir/category.cpp.o.d"
+  "/root/repo/src/unicode/confusables.cpp" "src/unicode/CMakeFiles/sham_unicode.dir/confusables.cpp.o" "gcc" "src/unicode/CMakeFiles/sham_unicode.dir/confusables.cpp.o.d"
+  "/root/repo/src/unicode/idna_properties.cpp" "src/unicode/CMakeFiles/sham_unicode.dir/idna_properties.cpp.o" "gcc" "src/unicode/CMakeFiles/sham_unicode.dir/idna_properties.cpp.o.d"
+  "/root/repo/src/unicode/script.cpp" "src/unicode/CMakeFiles/sham_unicode.dir/script.cpp.o" "gcc" "src/unicode/CMakeFiles/sham_unicode.dir/script.cpp.o.d"
+  "/root/repo/src/unicode/utf8.cpp" "src/unicode/CMakeFiles/sham_unicode.dir/utf8.cpp.o" "gcc" "src/unicode/CMakeFiles/sham_unicode.dir/utf8.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sham_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

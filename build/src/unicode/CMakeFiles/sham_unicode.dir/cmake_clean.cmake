@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sham_unicode.dir/blocks.cpp.o"
+  "CMakeFiles/sham_unicode.dir/blocks.cpp.o.d"
+  "CMakeFiles/sham_unicode.dir/category.cpp.o"
+  "CMakeFiles/sham_unicode.dir/category.cpp.o.d"
+  "CMakeFiles/sham_unicode.dir/confusables.cpp.o"
+  "CMakeFiles/sham_unicode.dir/confusables.cpp.o.d"
+  "CMakeFiles/sham_unicode.dir/idna_properties.cpp.o"
+  "CMakeFiles/sham_unicode.dir/idna_properties.cpp.o.d"
+  "CMakeFiles/sham_unicode.dir/script.cpp.o"
+  "CMakeFiles/sham_unicode.dir/script.cpp.o.d"
+  "CMakeFiles/sham_unicode.dir/utf8.cpp.o"
+  "CMakeFiles/sham_unicode.dir/utf8.cpp.o.d"
+  "libsham_unicode.a"
+  "libsham_unicode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sham_unicode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sham_util.dir/log.cpp.o"
+  "CMakeFiles/sham_util.dir/log.cpp.o.d"
+  "CMakeFiles/sham_util.dir/rng.cpp.o"
+  "CMakeFiles/sham_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sham_util.dir/strings.cpp.o"
+  "CMakeFiles/sham_util.dir/strings.cpp.o.d"
+  "CMakeFiles/sham_util.dir/table.cpp.o"
+  "CMakeFiles/sham_util.dir/table.cpp.o.d"
+  "CMakeFiles/sham_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/sham_util.dir/thread_pool.cpp.o.d"
+  "libsham_util.a"
+  "libsham_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sham_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

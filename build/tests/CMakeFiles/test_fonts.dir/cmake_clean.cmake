@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fonts.dir/test_fonts.cpp.o"
+  "CMakeFiles/test_fonts.dir/test_fonts.cpp.o.d"
+  "test_fonts"
+  "test_fonts.pdb"
+  "test_fonts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fonts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

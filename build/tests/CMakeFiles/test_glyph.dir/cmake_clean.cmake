@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_glyph.dir/test_glyph.cpp.o"
+  "CMakeFiles/test_glyph.dir/test_glyph.cpp.o.d"
+  "test_glyph"
+  "test_glyph.pdb"
+  "test_glyph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_glyph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_homoglyph_db.dir/test_homoglyph_db.cpp.o"
+  "CMakeFiles/test_homoglyph_db.dir/test_homoglyph_db.cpp.o.d"
+  "test_homoglyph_db"
+  "test_homoglyph_db.pdb"
+  "test_homoglyph_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_homoglyph_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simchar.dir/test_simchar.cpp.o"
+  "CMakeFiles/test_simchar.dir/test_simchar.cpp.o.d"
+  "test_simchar"
+  "test_simchar.pdb"
+  "test_simchar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simchar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simchar_update.dir/test_simchar_update.cpp.o"
+  "CMakeFiles/test_simchar_update.dir/test_simchar_update.cpp.o.d"
+  "test_simchar_update"
+  "test_simchar_update.pdb"
+  "test_simchar_update[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simchar_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unicode_tables.dir/test_unicode_tables.cpp.o"
+  "CMakeFiles/test_unicode_tables.dir/test_unicode_tables.cpp.o.d"
+  "test_unicode_tables"
+  "test_unicode_tables.pdb"
+  "test_unicode_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unicode_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_webpage.dir/test_webpage.cpp.o"
+  "CMakeFiles/test_webpage.dir/test_webpage.cpp.o.d"
+  "test_webpage"
+  "test_webpage.pdb"
+  "test_webpage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_webpage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zone_export.dir/test_zone_export.cpp.o"
+  "CMakeFiles/test_zone_export.dir/test_zone_export.cpp.o.d"
+  "test_zone_export"
+  "test_zone_export.pdb"
+  "test_zone_export[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zone_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

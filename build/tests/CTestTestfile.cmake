@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_utf8[1]_include.cmake")
+include("/root/repo/build/tests/test_punycode[1]_include.cmake")
+include("/root/repo/build/tests/test_unicode_tables[1]_include.cmake")
+include("/root/repo/build/tests/test_confusables[1]_include.cmake")
+include("/root/repo/build/tests/test_idna[1]_include.cmake")
+include("/root/repo/build/tests/test_glyph[1]_include.cmake")
+include("/root/repo/build/tests/test_fonts[1]_include.cmake")
+include("/root/repo/build/tests/test_simchar[1]_include.cmake")
+include("/root/repo/build/tests/test_homoglyph_db[1]_include.cmake")
+include("/root/repo/build/tests/test_detector[1]_include.cmake")
+include("/root/repo/build/tests/test_dns[1]_include.cmake")
+include("/root/repo/build/tests/test_internet[1]_include.cmake")
+include("/root/repo/build/tests/test_perception[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
+include("/root/repo/build/tests/test_measure[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_simchar_update[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_webpage[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_zone_export[1]_include.cmake")
