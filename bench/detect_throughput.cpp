@@ -3,11 +3,116 @@
 // per reference domain, "sufficiently fast to block a suspicious, newly
 // found IDN homograph attack in real time". This bench sweeps reference-
 // and IDN-list sizes and reports per-reference cost for both Algorithm 1
-// as printed (naive) and the length-bucket-indexed variant.
+// as printed (naive) and the length-bucket-indexed variant, then sweeps
+// the parallel sharded engine over 1/2/4/8 threads against the serial
+// baseline and records the results in BENCH_detect.json.
+//
+// `detect_throughput --smoke` runs a seconds-scale correctness pass
+// instead (tiny workload, every strategy and thread count checked for
+// byte-identical output) — registered as the `perf_smoke` ctest label so
+// engine races surface in tier-1 (and under -DSHAM_SANITIZE=thread).
+#include <cstring>
+#include <functional>
+#include <thread>
+
 #include "bench_common.hpp"
 #include "detect/detector.hpp"
+#include "detect/engine.hpp"
+#include "util/rng.hpp"
 
-int main() {
+namespace {
+
+using namespace sham;
+
+/// Small self-contained workload (no font build): explicit SimChar pairs,
+/// random references, IDNs derived from references by homoglyph and junk
+/// substitutions so both matches and rejections are exercised.
+struct SmokeWorkload {
+  std::vector<std::string> refs;
+  std::vector<detect::IdnEntry> idns;
+};
+
+SmokeWorkload make_smoke_workload(std::size_t ref_count, std::size_t idn_count) {
+  SmokeWorkload w;
+  util::Rng rng{20260805};
+  for (std::size_t i = 0; i < ref_count; ++i) {
+    std::string name;
+    const std::size_t n = 3 + rng.below(10);
+    for (std::size_t j = 0; j < n; ++j) name += static_cast<char>('a' + rng.below(26));
+    w.refs.push_back(name);
+  }
+  const unicode::CodePoint subs[] = {0x043E, 0x0585, 0x00E9, 0x0430, 0x0131, 'x'};
+  for (std::size_t i = 0; i < idn_count; ++i) {
+    const auto& ref = w.refs[rng.below(w.refs.size())];
+    unicode::U32String label;
+    for (const char c : ref) label.push_back(static_cast<unsigned char>(c));
+    const std::size_t muts = 1 + rng.below(2);
+    for (std::size_t m = 0; m < muts; ++m) {
+      label[rng.below(label.size())] = subs[rng.below(std::size(subs))];
+    }
+    w.idns.push_back({"", label});  // ACE form unused by detection
+  }
+  return w;
+}
+
+int run_smoke() {
+  simchar::SimCharDb sim{{
+      {'o', 0x043E, 0},
+      {'o', 0x0585, 2},
+      {'e', 0x00E9, 3},
+      {'a', 0x0430, 1},
+      {'i', 0x0131, 2},
+  }};
+  homoglyph::DbConfig db_config;
+  db_config.use_uc = false;
+  const homoglyph::HomoglyphDb db{sim, unicode::ConfusablesDb::embedded(), db_config};
+  const auto w = make_smoke_workload(300, 3000);
+
+  const detect::Engine engine{db};
+  const auto baseline = engine.detect(
+      {.references = w.refs, .idns = w.idns, .strategy = detect::Strategy::kIndexed});
+  std::printf("smoke: %zu refs x %zu IDNs, %zu matches (indexed baseline)\n",
+              w.refs.size(), w.idns.size(), baseline.matches.size());
+  if (baseline.matches.empty()) {
+    std::printf("smoke: FAIL — workload produced no matches\n");
+    return 1;
+  }
+
+  bool ok = true;
+  const auto check = [&](const char* what, const detect::DetectResponse& r) {
+    const bool same = r.matches == baseline.matches &&
+                      r.stats.length_bucket_hits == baseline.stats.length_bucket_hits;
+    std::printf("  %-24s %zu matches, %zu shard(s)  [%s]\n", what, r.matches.size(),
+                r.stats.shards_used, same ? "OK" : "MISMATCH");
+    ok = ok && same;
+  };
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const auto r = engine.detect({.references = w.refs,
+                                  .idns = w.idns,
+                                  .strategy = detect::Strategy::kParallel,
+                                  .threads = threads});
+    char label[32];
+    std::snprintf(label, sizeof label, "parallel x%zu", threads);
+    check(label, r);
+  }
+  check("serial", engine.detect({.references = w.refs,
+                                 .idns = w.idns,
+                                 .strategy = detect::Strategy::kSerial}));
+  std::printf("smoke: %s\n", ok ? "all strategies byte-identical" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+double best_of(int reps, const std::function<double()>& run) {
+  double best = run();
+  for (int i = 1; i < reps; ++i) best = std::min(best, run());
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
+
   using namespace sham;
   bench::header("Section 4.2: homograph-detection throughput");
   const auto& env = bench::standard_env();
@@ -56,6 +161,82 @@ int main() {
   }
   std::printf("%s\n", t.str().c_str());
 
+  // --- Engine thread-count sweep -------------------------------------
+  // Serial baseline = the engine's indexed strategy on one thread; the
+  // parallel rows shard the same scan over 1/2/4/8 workers. Output is
+  // checked byte-identical against the baseline each time.
+  const std::span<const std::string> refs{ctx.scenario.references};
+  const detect::Engine engine{env.db_union};
+  const auto baseline = engine.detect(
+      {.references = refs, .idns = ctx.idns, .strategy = detect::Strategy::kIndexed});
+  const int reps = 3;
+  const double serial_seconds = best_of(reps, [&] {
+    return engine
+        .detect({.references = refs, .idns = ctx.idns,
+                 .strategy = detect::Strategy::kIndexed})
+        .stats.seconds;
+  });
+
+  util::TextTable sweep{{"threads", "shards", "seconds", "speedup", "identical"},
+                        {util::Align::kRight, util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kLeft}};
+  const std::size_t cores = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  double speedup4 = 0.0;
+  bool all_identical = true;
+  std::string json_rows;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    detect::DetectionStats stats;
+    bool identical = true;
+    const double seconds = best_of(reps, [&] {
+      const auto r = engine.detect({.references = refs, .idns = ctx.idns,
+                                    .strategy = detect::Strategy::kParallel,
+                                    .threads = threads});
+      identical = identical && r.matches == baseline.matches;
+      stats = r.stats;
+      return r.stats.seconds;
+    });
+    all_identical = all_identical && identical;
+    const double speedup = serial_seconds / seconds;
+    if (threads == 4) speedup4 = speedup;
+    sweep.add_row({std::to_string(threads), std::to_string(stats.shards_used),
+                   util::fixed(seconds, 4), util::fixed(speedup, 2) + "x",
+                   identical ? "yes" : "NO"});
+    char row[256];
+    std::snprintf(row, sizeof row,
+                  "    {\"threads\": %zu, \"shards\": %zu, \"seconds\": %.6f, "
+                  "\"speedup\": %.3f, \"index_build_seconds\": %.6f, "
+                  "\"match_seconds\": %.6f, \"merge_seconds\": %.6f, "
+                  "\"identical_to_serial\": %s}%s\n",
+                  threads, stats.shards_used, seconds, speedup,
+                  stats.index_build_seconds, stats.match_seconds, stats.merge_seconds,
+                  identical ? "true" : "false", threads == 8u ? "" : ",");
+    json_rows += row;
+  }
+  std::printf("engine thread sweep (%zu refs x %zu IDNs, serial baseline %.4fs, "
+              "%zu core(s) available):\n%s\n",
+              refs.size(), ctx.idns.size(), serial_seconds, cores, sweep.str().c_str());
+
+  if (std::FILE* f = std::fopen("BENCH_detect.json", "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"detect_throughput\",\n"
+                 "  \"hardware_concurrency\": %zu,\n"
+                 "  \"references\": %zu,\n"
+                 "  \"idns\": %zu,\n"
+                 "  \"naive_seconds_1000refs\": %.6f,\n"
+                 "  \"indexed_seconds_1000refs\": %.6f,\n"
+                 "  \"serial_baseline_seconds\": %.6f,\n"
+                 "  \"sweep\": [\n%s  ],\n"
+                 "  \"speedup_at_4_threads\": %.3f,\n"
+                 "  \"all_outputs_identical_to_serial\": %s\n"
+                 "}\n",
+                 cores, refs.size(), ctx.idns.size(), naive_full, indexed_full,
+                 serial_seconds, json_rows.c_str(), speedup4,
+                 all_identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_detect.json\n");
+  }
+
   const double per_ref = naive_full / 1000.0;
   std::printf("paper: 10,000 refs x 955K IDNs in 743.6 s = 0.07 s/ref\n");
   std::printf("ours:  per-ref cost %.4f ms over %zu IDNs; scaled to 955K IDNs "
@@ -67,5 +248,15 @@ int main() {
                per_ref * 955512.0 / static_cast<double>(ctx.idns.size()) < 0.07);
   bench::shape("indexed variant is no slower than the printed Algorithm 1",
                indexed_full <= naive_full * 1.2);
+  bench::shape("parallel output byte-identical to serial at every thread count",
+               all_identical);
+  // The >= 2x criterion needs >= 4 real cores; report honestly when the
+  // host cannot exhibit parallel speedup.
+  if (cores >= 4) {
+    bench::shape("parallel engine >= 2x over serial at 4 threads", speedup4 >= 2.0);
+  } else {
+    std::printf("  shape: parallel engine >= 2x at 4 threads            [SKIPPED:"
+                " only %zu core(s) available]\n", cores);
+  }
   return 0;
 }

@@ -4,6 +4,8 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(detect_perf_smoke "/root/repo/build/bench/detect_throughput" "--smoke")
+set_tests_properties(detect_perf_smoke PROPERTIES  LABELS "perf_smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;;/root/repo/CMakeLists.txt;34;include;/root/repo/CMakeLists.txt;0;")
 subdirs("src")
 subdirs("tests")
 subdirs("examples")

@@ -216,5 +216,5 @@ examples/CMakeFiles/brand_protection.dir/brand_protection.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/span /root/repo/src/core/shamfinder.hpp \
- /root/repo/src/detect/detector.hpp /root/repo/src/core/warning.hpp \
- /root/repo/src/unicode/utf8.hpp
+ /root/repo/src/detect/detector.hpp /root/repo/src/detect/engine.hpp \
+ /root/repo/src/core/warning.hpp /root/repo/src/unicode/utf8.hpp

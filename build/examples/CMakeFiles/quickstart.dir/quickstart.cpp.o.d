@@ -210,8 +210,9 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/unicode/codepoint.hpp \
  /root/repo/src/unicode/confusables.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/warning.hpp \
- /root/repo/src/font/freetype_font.hpp /root/repo/src/font/paper_font.hpp \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/detect/engine.hpp \
+ /root/repo/src/core/warning.hpp /root/repo/src/font/freetype_font.hpp \
+ /root/repo/src/font/paper_font.hpp \
  /root/repo/src/font/synthetic_font.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/rng.hpp \

@@ -215,9 +215,9 @@ examples/CMakeFiles/shamfinder_cli.dir/shamfinder_cli.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/shamfinder.hpp \
  /usr/include/c++/12/span /root/repo/src/detect/detector.hpp \
- /root/repo/src/core/warning.hpp /root/repo/src/detect/candidates.hpp \
- /root/repo/src/idna/tld_policy.hpp /root/repo/src/font/freetype_font.hpp \
- /root/repo/src/font/paper_font.hpp \
+ /root/repo/src/detect/engine.hpp /root/repo/src/core/warning.hpp \
+ /root/repo/src/detect/candidates.hpp /root/repo/src/idna/tld_policy.hpp \
+ /root/repo/src/font/freetype_font.hpp /root/repo/src/font/paper_font.hpp \
  /root/repo/src/font/synthetic_font.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/rng.hpp \

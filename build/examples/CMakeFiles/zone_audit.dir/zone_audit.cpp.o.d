@@ -214,9 +214,9 @@ examples/CMakeFiles/zone_audit.dir/zone_audit.cpp.o: \
  /root/repo/src/unicode/codepoint.hpp \
  /root/repo/src/unicode/confusables.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/warning.hpp \
- /root/repo/src/dns/zone_file.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/detect/engine.hpp \
+ /root/repo/src/core/warning.hpp /root/repo/src/dns/zone_file.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \

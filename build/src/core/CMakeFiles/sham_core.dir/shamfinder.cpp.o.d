@@ -210,5 +210,5 @@ src/core/CMakeFiles/sham_core.dir/shamfinder.cpp.o: \
  /root/repo/src/unicode/codepoint.hpp \
  /root/repo/src/unicode/confusables.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/idna/idna.hpp \
- /root/repo/src/util/strings.hpp
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/detect/engine.hpp \
+ /root/repo/src/idna/idna.hpp /root/repo/src/util/strings.hpp

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/detect/candidates.cpp" "src/detect/CMakeFiles/sham_detect.dir/candidates.cpp.o" "gcc" "src/detect/CMakeFiles/sham_detect.dir/candidates.cpp.o.d"
   "/root/repo/src/detect/detector.cpp" "src/detect/CMakeFiles/sham_detect.dir/detector.cpp.o" "gcc" "src/detect/CMakeFiles/sham_detect.dir/detector.cpp.o.d"
+  "/root/repo/src/detect/engine.cpp" "src/detect/CMakeFiles/sham_detect.dir/engine.cpp.o" "gcc" "src/detect/CMakeFiles/sham_detect.dir/engine.cpp.o.d"
   "/root/repo/src/detect/ranking.cpp" "src/detect/CMakeFiles/sham_detect.dir/ranking.cpp.o" "gcc" "src/detect/CMakeFiles/sham_detect.dir/ranking.cpp.o.d"
   )
 
@@ -18,9 +19,9 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/homoglyph/CMakeFiles/sham_homoglyph.dir/DependInfo.cmake"
   "/root/repo/build/src/idna/CMakeFiles/sham_idna.dir/DependInfo.cmake"
   "/root/repo/build/src/font/CMakeFiles/sham_font.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sham_util.dir/DependInfo.cmake"
   "/root/repo/build/src/simchar/CMakeFiles/sham_simchar.dir/DependInfo.cmake"
   "/root/repo/build/src/unicode/CMakeFiles/sham_unicode.dir/DependInfo.cmake"
-  "/root/repo/build/src/util/CMakeFiles/sham_util.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

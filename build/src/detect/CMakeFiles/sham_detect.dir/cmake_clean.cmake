@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/sham_detect.dir/candidates.cpp.o.d"
   "CMakeFiles/sham_detect.dir/detector.cpp.o"
   "CMakeFiles/sham_detect.dir/detector.cpp.o.d"
+  "CMakeFiles/sham_detect.dir/engine.cpp.o"
+  "CMakeFiles/sham_detect.dir/engine.cpp.o.d"
   "CMakeFiles/sham_detect.dir/ranking.cpp.o"
   "CMakeFiles/sham_detect.dir/ranking.cpp.o.d"
   "libsham_detect.a"

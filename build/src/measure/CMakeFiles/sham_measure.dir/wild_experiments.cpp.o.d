@@ -231,5 +231,5 @@ src/measure/CMakeFiles/sham_measure.dir/wild_experiments.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/shamfinder.hpp /root/repo/src/idna/idna.hpp \
- /root/repo/src/unicode/utf8.hpp
+ /root/repo/src/core/shamfinder.hpp /root/repo/src/detect/engine.hpp \
+ /root/repo/src/idna/idna.hpp /root/repo/src/unicode/utf8.hpp

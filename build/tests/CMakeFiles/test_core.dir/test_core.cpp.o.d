@@ -299,5 +299,6 @@ tests/CMakeFiles/test_core.dir/test_core.cpp.o: \
  /root/repo/src/simchar/simchar.hpp /root/repo/src/font/font_source.hpp \
  /root/repo/src/font/glyph.hpp /root/repo/src/unicode/codepoint.hpp \
  /root/repo/src/unicode/confusables.hpp /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/warning.hpp \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/detect/engine.hpp /root/repo/src/core/warning.hpp \
  /root/repo/src/font/synthetic_font.hpp /root/repo/src/util/rng.hpp

@@ -300,5 +300,7 @@ tests/CMakeFiles/test_detector.dir/test_detector.cpp.o: \
  /root/repo/src/unicode/confusables.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/idna/tld_policy.hpp /root/repo/src/detect/detector.hpp \
- /usr/include/c++/12/span /root/repo/src/idna/idna.hpp \
- /root/repo/src/util/rng.hpp
+ /usr/include/c++/12/span /root/repo/src/detect/engine.hpp \
+ /root/repo/src/font/paper_font.hpp \
+ /root/repo/src/font/synthetic_font.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/idna/idna.hpp

@@ -300,13 +300,13 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /root/repo/src/homoglyph/homoglyph_db.hpp \
  /root/repo/src/simchar/simchar.hpp /root/repo/src/font/font_source.hpp \
  /root/repo/src/font/glyph.hpp /root/repo/src/unicode/codepoint.hpp \
- /root/repo/src/unicode/confusables.hpp /root/repo/src/core/warning.hpp \
- /root/repo/src/detect/candidates.hpp /root/repo/src/idna/tld_policy.hpp \
- /root/repo/src/internet/scenario.hpp /root/repo/src/dns/zone_file.hpp \
- /root/repo/src/dns/records.hpp /root/repo/src/dns/domain.hpp \
- /root/repo/src/internet/idn_corpus.hpp /root/repo/src/dns/langid.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/internet/world.hpp \
- /root/repo/src/internet/website.hpp \
+ /root/repo/src/unicode/confusables.hpp /root/repo/src/detect/engine.hpp \
+ /root/repo/src/core/warning.hpp /root/repo/src/detect/candidates.hpp \
+ /root/repo/src/idna/tld_policy.hpp /root/repo/src/internet/scenario.hpp \
+ /root/repo/src/dns/zone_file.hpp /root/repo/src/dns/records.hpp \
+ /root/repo/src/dns/domain.hpp /root/repo/src/internet/idn_corpus.hpp \
+ /root/repo/src/dns/langid.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/internet/world.hpp /root/repo/src/internet/website.hpp \
  /root/repo/src/measure/environment.hpp \
  /root/repo/src/font/paper_font.hpp \
  /root/repo/src/font/synthetic_font.hpp

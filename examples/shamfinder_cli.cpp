@@ -29,17 +29,18 @@ namespace {
 
 using namespace sham;
 
-core::ShamFinder make_finder() {
+core::ShamFinder make_finder(const core::ShamFinderConfig& config = {}) {
   font::FontSourcePtr font = font::FreeTypeFont::open_system_font();
   if (font == nullptr) font = font::make_paper_font({}).font;
   std::fprintf(stderr, "[db] building from %s ...\n", font->name().c_str());
-  return core::ShamFinder::build_from_font(*font);
+  return core::ShamFinder::build_from_font(*font, config);
 }
 
 int usage() {
   std::fprintf(stderr,
                "usage: shamfinder_cli <command> ...\n"
                "  check <domain> --refs a,b,c    detect homograph vs references\n"
+               "        [--strategy serial|indexed|parallel] [--threads N]\n"
                "  candidates <brand> [max]       enumerate registerable homographs\n"
                "  revert <domain>                recover the spoofed original\n"
                "  inspect <char|U+XXXX>          character dossier\n"
@@ -58,11 +59,28 @@ std::optional<unicode::U32String> label_of(const std::string& domain) {
 int cmd_check(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   std::vector<std::string> refs;
+  core::ShamFinderConfig config;
   for (std::size_t i = 1; i + 1 < args.size(); ++i) {
     if (args[i] == "--refs") {
       for (const auto part : util::split(args[i + 1], ',')) {
         refs.emplace_back(part);
       }
+    } else if (args[i] == "--strategy") {
+      const auto strategy = detect::parse_strategy(args[i + 1]);
+      if (!strategy) {
+        std::fprintf(stderr, "check: unknown strategy %s (serial|indexed|parallel)\n",
+                     args[i + 1].c_str());
+        return 2;
+      }
+      config.engine.strategy = *strategy;
+    } else if (args[i] == "--threads") {
+      const auto& value = args[i + 1];
+      if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "check: --threads needs a non-negative integer, got %s\n",
+                     value.c_str());
+        return 2;
+      }
+      config.engine.threads = std::stoul(value);
     }
   }
   if (refs.empty()) {
@@ -74,9 +92,13 @@ int cmd_check(const std::vector<std::string>& args) {
     std::fprintf(stderr, "check: cannot decode %s\n", args[0].c_str());
     return 2;
   }
-  const auto finder = make_finder();
+  const auto finder = make_finder(config);
   std::vector<detect::IdnEntry> idns{{idna::to_a_label(*label), *label}};
-  const auto matches = finder.find_homographs(refs, idns);
+  detect::DetectionStats stats;
+  const auto matches = finder.find_homographs(refs, idns, &stats);
+  std::fprintf(stderr, "[detect] %s, %zu thread(s), %zu shard(s), %.3f ms\n",
+               std::string{detect::strategy_name(finder.engine_options().strategy)}.c_str(),
+               stats.threads_used, stats.shards_used, stats.seconds * 1e3);
   if (matches.empty()) {
     std::printf("%s: no homograph of the given references detected\n",
                 args[0].c_str());

@@ -9,12 +9,14 @@ ShamFinder ShamFinder::build_from_font(const font::FontSource& font,
                                        const ShamFinderConfig& config,
                                        simchar::BuildStats* stats) {
   auto simchar_db = simchar::SimCharDb::build(font, config.build, stats);
-  return ShamFinder{std::move(simchar_db), unicode::ConfusablesDb::embedded(), config.db};
+  return ShamFinder{std::move(simchar_db), unicode::ConfusablesDb::embedded(), config.db,
+                    config.engine};
 }
 
 ShamFinder::ShamFinder(simchar::SimCharDb simchar_db, const unicode::ConfusablesDb& uc,
-                       const homoglyph::DbConfig& config)
-    : simchar_{std::move(simchar_db)}, db_{simchar_, uc, config} {}
+                       const homoglyph::DbConfig& config,
+                       const detect::EngineOptions& engine)
+    : simchar_{std::move(simchar_db)}, db_{simchar_, uc, config}, engine_options_{engine} {}
 
 std::vector<detect::IdnEntry> ShamFinder::extract_idns(
     std::span<const std::string> domains, std::string_view tld) {
@@ -34,8 +36,10 @@ std::vector<detect::IdnEntry> ShamFinder::extract_idns(
 std::vector<detect::Match> ShamFinder::find_homographs(
     std::span<const std::string> references, std::span<const detect::IdnEntry> idns,
     detect::DetectionStats* stats) const {
-  const detect::HomographDetector detector{db_};
-  return detector.detect_indexed(references, idns, stats);
+  const detect::Engine engine{db_, engine_options_};
+  auto response = engine.detect({.references = references, .idns = idns});
+  if (stats != nullptr) *stats = std::move(response.stats);
+  return std::move(response.matches);
 }
 
 std::optional<std::string> ShamFinder::revert(const unicode::U32String& label) const {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "detect/detector.hpp"
+#include "detect/engine.hpp"
 #include "font/font_source.hpp"
 #include "homoglyph/homoglyph_db.hpp"
 #include "simchar/simchar.hpp"
@@ -25,6 +26,7 @@ namespace sham::core {
 struct ShamFinderConfig {
   simchar::BuildOptions build;       // SimChar construction options
   homoglyph::DbConfig db;            // which sub-databases to enable
+  detect::EngineOptions engine;      // detection strategy and threading
 };
 
 class ShamFinder {
@@ -36,7 +38,8 @@ class ShamFinder {
 
   /// Compose from prebuilt databases (e.g. a deserialized SimChar).
   ShamFinder(simchar::SimCharDb simchar_db, const unicode::ConfusablesDb& uc,
-             const homoglyph::DbConfig& config = {});
+             const homoglyph::DbConfig& config = {},
+             const detect::EngineOptions& engine = {});
 
   [[nodiscard]] const simchar::SimCharDb& simchar() const noexcept { return simchar_; }
   [[nodiscard]] const homoglyph::HomoglyphDb& db() const noexcept { return db_; }
@@ -49,10 +52,16 @@ class ShamFinder {
   [[nodiscard]] static std::vector<detect::IdnEntry> extract_idns(
       std::span<const std::string> domains, std::string_view tld = "com");
 
-  /// Step 3: run Algorithm 1 (indexed variant).
+  /// Step 3: run Algorithm 1 through the detection engine, under the
+  /// strategy and thread count of ShamFinderConfig::engine (default: the
+  /// parallel sharded scan; output is identical under every strategy).
   [[nodiscard]] std::vector<detect::Match> find_homographs(
       std::span<const std::string> references, std::span<const detect::IdnEntry> idns,
       detect::DetectionStats* stats = nullptr) const;
+
+  [[nodiscard]] const detect::EngineOptions& engine_options() const noexcept {
+    return engine_options_;
+  }
 
   /// Revert a homograph to its plausible original (Section 6.4).
   [[nodiscard]] std::optional<std::string> revert(const unicode::U32String& label) const;
@@ -60,6 +69,7 @@ class ShamFinder {
  private:
   simchar::SimCharDb simchar_;
   homoglyph::HomoglyphDb db_;
+  detect::EngineOptions engine_options_;
 };
 
 }  // namespace sham::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "detect/engine.hpp"
 #include "util/stopwatch.hpp"
 
 namespace sham::detect {
@@ -42,89 +43,35 @@ bool HomographDetector::match_pair(const unicode::U32String& reference,
   return match_impl(*db_, reference, idn, diffs);
 }
 
+// The detect / detect_indexed / detect_unicode triplet below is kept as
+// thin deprecated wrappers over detect::Engine so existing callers compile
+// unchanged; new code should construct an Engine and call detect().
+
 std::vector<Match> HomographDetector::detect_unicode(
     std::span<const unicode::U32String> references, std::span<const IdnEntry> idns,
     DetectionStats* stats) const {
-  util::Stopwatch watch;
-  DetectionStats local;
-
-  std::unordered_map<std::size_t, std::vector<std::size_t>> by_length;
-  for (std::size_t x = 0; x < idns.size(); ++x) {
-    by_length[idns[x].unicode.size()].push_back(x);
-  }
-
-  std::vector<Match> matches;
-  std::vector<DiffChar> diffs;
-  for (std::size_t r = 0; r < references.size(); ++r) {
-    const auto& ref = references[r];
-    const auto bucket = by_length.find(ref.size());
-    if (bucket == by_length.end()) continue;
-    for (const auto x : bucket->second) {
-      ++local.length_bucket_hits;
-      local.char_comparisons += ref.size();
-      if (match_pair(ref, idns[x].unicode, &diffs)) {
-        matches.push_back({r, x, diffs});
-      }
-    }
-  }
-  local.seconds = watch.seconds();
-  if (stats != nullptr) *stats = local;
-  return matches;
+  const Engine engine{*db_, {.strategy = Strategy::kIndexed, .threads = 1}};
+  auto response = engine.detect({.unicode_references = references, .idns = idns});
+  if (stats != nullptr) *stats = std::move(response.stats);
+  return std::move(response.matches);
 }
 
 std::vector<Match> HomographDetector::detect(std::span<const std::string> references,
                                              std::span<const IdnEntry> idns,
                                              DetectionStats* stats) const {
-  util::Stopwatch watch;
-  DetectionStats local;
-  std::vector<Match> matches;
-  std::vector<DiffChar> diffs;
-
-  for (std::size_t r = 0; r < references.size(); ++r) {
-    const auto& ref = references[r];
-    for (std::size_t x = 0; x < idns.size(); ++x) {
-      const auto& idn = idns[x].unicode;
-      if (idn.size() != ref.size()) continue;
-      ++local.length_bucket_hits;
-      local.char_comparisons += idn.size();
-      if (match_pair(ref, idn, &diffs)) {
-        matches.push_back({r, x, diffs});
-      }
-    }
-  }
-  local.seconds = watch.seconds();
-  if (stats != nullptr) *stats = local;
-  return matches;
+  const Engine engine{*db_, {.strategy = Strategy::kSerial, .threads = 1}};
+  auto response = engine.detect({.references = references, .idns = idns});
+  if (stats != nullptr) *stats = std::move(response.stats);
+  return std::move(response.matches);
 }
 
 std::vector<Match> HomographDetector::detect_indexed(
     std::span<const std::string> references, std::span<const IdnEntry> idns,
     DetectionStats* stats) const {
-  util::Stopwatch watch;
-  DetectionStats local;
-
-  std::unordered_map<std::size_t, std::vector<std::size_t>> by_length;
-  for (std::size_t x = 0; x < idns.size(); ++x) {
-    by_length[idns[x].unicode.size()].push_back(x);
-  }
-
-  std::vector<Match> matches;
-  std::vector<DiffChar> diffs;
-  for (std::size_t r = 0; r < references.size(); ++r) {
-    const auto& ref = references[r];
-    const auto bucket = by_length.find(ref.size());
-    if (bucket == by_length.end()) continue;
-    for (const auto x : bucket->second) {
-      ++local.length_bucket_hits;
-      local.char_comparisons += ref.size();
-      if (match_pair(ref, idns[x].unicode, &diffs)) {
-        matches.push_back({r, x, diffs});
-      }
-    }
-  }
-  local.seconds = watch.seconds();
-  if (stats != nullptr) *stats = local;
-  return matches;
+  const Engine engine{*db_, {.strategy = Strategy::kIndexed, .threads = 1}};
+  auto response = engine.detect({.references = references, .idns = idns});
+  if (stats != nullptr) *stats = std::move(response.stats);
+  return std::move(response.matches);
 }
 
 std::vector<Match> detect_by_skeleton(const unicode::ConfusablesDb& uc,

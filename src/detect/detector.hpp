@@ -31,18 +31,39 @@ struct DiffChar {
   unicode::CodePoint idn_char = 0;
   unicode::CodePoint ref_char = 0;
   homoglyph::Source source = homoglyph::Source::kUc;
+
+  friend bool operator==(const DiffChar&, const DiffChar&) = default;
 };
 
 struct Match {
   std::size_t reference_index = 0;  // into the reference list
   std::size_t idn_index = 0;        // into the IDN list
   std::vector<DiffChar> diffs;      // nonempty (all-equal strings are not IDNs)
+
+  friend bool operator==(const Match&, const Match&) = default;
 };
 
+/// Run metrics, well-defined under both serial and parallel execution:
+/// counters (`length_bucket_hits`, `char_comparisons`) are accumulated
+/// per shard and summed at merge time, so their totals are independent of
+/// the shard count; every `*_seconds` field is wall-clock time of the
+/// stage named (never a sum over shards), so under parallel execution
+/// match_seconds shrinks with thread count while the counters do not move.
 struct DetectionStats {
   std::uint64_t length_bucket_hits = 0;  // candidate (ref, IDN) pairs examined
   std::uint64_t char_comparisons = 0;
-  double seconds = 0.0;
+  double seconds = 0.0;                  // wall clock for the whole run
+
+  // Per-stage breakdown, filled by detect::Engine (zero when the run had
+  // no such stage, e.g. no index build under Strategy::kSerial).
+  double index_build_seconds = 0.0;  // length-bucketed IDN index construction
+  double match_seconds = 0.0;        // reference scan (all shards, wall clock)
+  double merge_seconds = 0.0;        // deterministic shard merge
+  std::size_t threads_used = 1;
+  std::size_t shards_used = 1;
+  /// Candidate pairs examined by each shard, in shard (= reference range)
+  /// order; sums to length_bucket_hits. Size shards_used for engine runs.
+  std::vector<std::uint64_t> shard_candidates;
 };
 
 class HomographDetector {
@@ -52,12 +73,16 @@ class HomographDetector {
 
   /// Algorithm 1 as printed: outer loop over references, restricted to
   /// same-length IDNs.
+  /// Deprecated: thin wrapper over detect::Engine with Strategy::kSerial;
+  /// prefer Engine::detect(DetectRequest) for new code.
   [[nodiscard]] std::vector<Match> detect(std::span<const std::string> references,
                                           std::span<const IdnEntry> idns,
                                           DetectionStats* stats = nullptr) const;
 
   /// Same results via a length-bucketed index over the IDN set (builds the
   /// same-length candidate sets once instead of per reference).
+  /// Deprecated: thin wrapper over detect::Engine with Strategy::kIndexed;
+  /// prefer Engine::detect(DetectRequest) for new code.
   [[nodiscard]] std::vector<Match> detect_indexed(
       std::span<const std::string> references, std::span<const IdnEntry> idns,
       DetectionStats* stats = nullptr) const;
@@ -76,6 +101,8 @@ class HomographDetector {
                                 std::vector<DiffChar>* diffs = nullptr) const;
 
   /// Detect against Unicode reference labels (length-bucketed).
+  /// Deprecated: thin wrapper over detect::Engine with Strategy::kIndexed;
+  /// prefer Engine::detect(DetectRequest) for new code.
   [[nodiscard]] std::vector<Match> detect_unicode(
       std::span<const unicode::U32String> references, std::span<const IdnEntry> idns,
       DetectionStats* stats = nullptr) const;

@@ -1,0 +1,187 @@
+#include "detect/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sham::detect {
+
+namespace {
+
+using LengthIndex = std::unordered_map<std::size_t, std::vector<std::size_t>>;
+
+LengthIndex build_length_index(std::span<const IdnEntry> idns) {
+  LengthIndex by_length;
+  for (std::size_t x = 0; x < idns.size(); ++x) {
+    by_length[idns[x].unicode.size()].push_back(x);
+  }
+  return by_length;
+}
+
+/// Per-shard output slot: owned by exactly one shard during the scan,
+/// touched again only after wait_idle() during the merge.
+struct ShardResult {
+  std::vector<Match> matches;
+  std::uint64_t length_bucket_hits = 0;
+  std::uint64_t char_comparisons = 0;
+};
+
+/// Scan references [begin, end) against the length index. The serial
+/// indexed path and every parallel shard run this same function, which is
+/// what makes the strategies bit-for-bit equivalent.
+template <typename RefString>
+void scan_references(const HomographDetector& detector,
+                     std::span<const RefString> references,
+                     std::span<const IdnEntry> idns, const LengthIndex& by_length,
+                     std::size_t begin, std::size_t end, ShardResult& out) {
+  std::vector<DiffChar> diffs;
+  for (std::size_t r = begin; r < end; ++r) {
+    const auto& ref = references[r];
+    const auto bucket = by_length.find(ref.size());
+    if (bucket == by_length.end()) continue;
+    for (const auto x : bucket->second) {
+      ++out.length_bucket_hits;
+      out.char_comparisons += ref.size();
+      if (detector.match_pair(ref, idns[x].unicode, &diffs)) {
+        out.matches.push_back({r, x, diffs});
+      }
+    }
+  }
+}
+
+std::size_t resolve_threads(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return threads;
+}
+
+}  // namespace
+
+std::string_view strategy_name(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kSerial: return "serial";
+    case Strategy::kIndexed: return "indexed";
+    case Strategy::kParallel: return "parallel";
+  }
+  return "unknown";
+}
+
+std::optional<Strategy> parse_strategy(std::string_view name) noexcept {
+  if (name == "serial") return Strategy::kSerial;
+  if (name == "indexed") return Strategy::kIndexed;
+  if (name == "parallel") return Strategy::kParallel;
+  return std::nullopt;
+}
+
+DetectResponse Engine::detect(const DetectRequest& request) const {
+  if (!request.references.empty() && !request.unicode_references.empty()) {
+    throw std::invalid_argument{
+        "DetectRequest: supply ASCII references or unicode_references, not both"};
+  }
+  const auto strategy = request.strategy.value_or(options_.strategy);
+  const auto threads = request.threads.value_or(options_.threads);
+  if (!request.unicode_references.empty()) {
+    return run(request.unicode_references, request.idns, strategy, threads);
+  }
+  return run(request.references, request.idns, strategy, threads);
+}
+
+template <typename RefString>
+DetectResponse Engine::run(std::span<const RefString> references,
+                           std::span<const IdnEntry> idns, Strategy strategy,
+                           std::size_t threads) const {
+  util::Stopwatch total;
+  DetectResponse out;
+  const HomographDetector detector{*db_};
+
+  if (strategy == Strategy::kSerial) {
+    // Algorithm 1 as printed: no index, every (ref, IDN) length pair probed.
+    std::vector<DiffChar> diffs;
+    for (std::size_t r = 0; r < references.size(); ++r) {
+      const auto& ref = references[r];
+      for (std::size_t x = 0; x < idns.size(); ++x) {
+        if (idns[x].unicode.size() != ref.size()) continue;
+        ++out.stats.length_bucket_hits;
+        out.stats.char_comparisons += ref.size();
+        if (detector.match_pair(ref, idns[x].unicode, &diffs)) {
+          out.matches.push_back({r, x, diffs});
+        }
+      }
+    }
+    out.stats.match_seconds = total.seconds();
+    out.stats.shard_candidates = {out.stats.length_bucket_hits};
+    out.stats.seconds = total.seconds();
+    return out;
+  }
+
+  util::Stopwatch stage;
+  const auto by_length = build_length_index(idns);
+  out.stats.index_build_seconds = stage.seconds();
+
+  const auto workers = resolve_threads(threads);
+  const bool parallel =
+      strategy == Strategy::kParallel && workers > 1 && references.size() > 1;
+
+  if (!parallel) {
+    ShardResult shard;
+    stage.reset();
+    scan_references(detector, references, idns, by_length, 0, references.size(),
+                    shard);
+    out.stats.match_seconds = stage.seconds();
+    out.matches = std::move(shard.matches);
+    out.stats.length_bucket_hits = shard.length_bucket_hits;
+    out.stats.char_comparisons = shard.char_comparisons;
+    out.stats.shard_candidates = {shard.length_bucket_hits};
+    out.stats.seconds = total.seconds();
+    return out;
+  }
+
+  const std::size_t shards = std::min(
+      references.size(), std::max<std::size_t>(1, workers * options_.shards_per_thread));
+  std::vector<ShardResult> shard_results(shards);
+
+  stage.reset();
+  util::ThreadPool pool{workers};
+  pool.parallel_for_chunks(
+      0, references.size(), shards,
+      [&](std::size_t chunk, std::size_t chunk_begin, std::size_t chunk_end) {
+        scan_references(detector, references, idns, by_length, chunk_begin,
+                        chunk_end, shard_results[chunk]);
+      });
+  out.stats.match_seconds = stage.seconds();
+
+  // Deterministic merge: shards cover ascending reference ranges, so
+  // appending them in shard order reproduces the serial scan order.
+  stage.reset();
+  std::size_t total_matches = 0;
+  for (const auto& shard : shard_results) total_matches += shard.matches.size();
+  out.matches.reserve(total_matches);
+  out.stats.shard_candidates.reserve(shards);
+  for (auto& shard : shard_results) {
+    std::move(shard.matches.begin(), shard.matches.end(),
+              std::back_inserter(out.matches));
+    out.stats.length_bucket_hits += shard.length_bucket_hits;
+    out.stats.char_comparisons += shard.char_comparisons;
+    out.stats.shard_candidates.push_back(shard.length_bucket_hits);
+  }
+  out.stats.merge_seconds = stage.seconds();
+
+  out.stats.threads_used = workers;
+  out.stats.shards_used = shards;
+  out.stats.seconds = total.seconds();
+  return out;
+}
+
+template DetectResponse Engine::run(std::span<const std::string>,
+                                    std::span<const IdnEntry>, Strategy,
+                                    std::size_t) const;
+template DetectResponse Engine::run(std::span<const unicode::U32String>,
+                                    std::span<const IdnEntry>, Strategy,
+                                    std::size_t) const;
+
+}  // namespace sham::detect

@@ -1,0 +1,91 @@
+// The detection engine: a single detect(DetectRequest) entry point over
+// Algorithm 1, replacing the detect / detect_indexed / detect_unicode
+// triplet of HomographDetector (kept as thin wrappers over this engine).
+//
+// Execution strategies:
+//   kSerial    Algorithm 1 as printed — outer loop over references, inner
+//              loop over all IDNs, restricted to equal lengths;
+//   kIndexed   length-bucketed IDN index built once, serial scan;
+//   kParallel  the indexed scan sharded over the reference list on a
+//              util::ThreadPool.
+//
+// Determinism: every strategy produces the same match list in the same
+// order. The parallel path shards the reference list into contiguous
+// ascending ranges, collects one Match vector plus one counter set per
+// shard (no shared mutable state, no atomics on the hot path), and merges
+// the shards in shard order — so the output is byte-identical to the
+// serial indexed scan. DetectionStats doubles as the observability layer:
+// per-stage wall-clock times and per-shard candidate counts (see
+// detector.hpp for the exact aggregation semantics).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "homoglyph/homoglyph_db.hpp"
+#include "unicode/codepoint.hpp"
+
+namespace sham::detect {
+
+enum class Strategy {
+  kSerial,    // Algorithm 1 as printed (no index)
+  kIndexed,   // length-bucketed index, single thread
+  kParallel,  // length-bucketed index, references sharded over a pool
+};
+
+[[nodiscard]] std::string_view strategy_name(Strategy strategy) noexcept;
+[[nodiscard]] std::optional<Strategy> parse_strategy(std::string_view name) noexcept;
+
+struct EngineOptions {
+  Strategy strategy = Strategy::kParallel;
+  /// Worker threads for kParallel; 0 means hardware_concurrency.
+  std::size_t threads = 0;
+  /// Reference-list shards per worker thread (load balancing granularity;
+  /// more shards smooth out skewed length buckets at a small merge cost).
+  std::size_t shards_per_thread = 4;
+};
+
+/// One detection run: references (exactly one of the two spans may be
+/// non-empty — ASCII reference names or decoded Unicode labels), the IDN
+/// set, and optional per-request overrides of the engine's defaults.
+struct DetectRequest {
+  std::span<const std::string> references{};                 // ASCII (LDH) names
+  std::span<const unicode::U32String> unicode_references{};  // non-Latin refs
+  std::span<const IdnEntry> idns{};
+  std::optional<Strategy> strategy{};     // overrides EngineOptions::strategy
+  std::optional<std::size_t> threads{};   // overrides EngineOptions::threads
+};
+
+struct DetectResponse {
+  std::vector<Match> matches;  // stable (reference_index, idn_index) order
+  DetectionStats stats;
+};
+
+class Engine {
+ public:
+  /// The database must outlive the engine.
+  explicit Engine(const homoglyph::HomoglyphDb& db, EngineOptions options = {})
+      : db_{&db}, options_{options} {}
+
+  [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+
+  /// Run Algorithm 1 under the requested strategy. Throws
+  /// std::invalid_argument if both reference spans are non-empty.
+  [[nodiscard]] DetectResponse detect(const DetectRequest& request) const;
+
+ private:
+  template <typename RefString>
+  [[nodiscard]] DetectResponse run(std::span<const RefString> references,
+                                   std::span<const IdnEntry> idns, Strategy strategy,
+                                   std::size_t threads) const;
+
+  const homoglyph::HomoglyphDb* db_;
+  EngineOptions options_;
+};
+
+}  // namespace sham::detect

@@ -48,6 +48,21 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   wait_idle();
 }
 
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end, std::size_t chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (begin >= end || chunks == 0) return;
+  const std::size_t n = end - begin;
+  const std::size_t step = (n + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t c_begin = begin + c * step;
+    if (c_begin >= end) break;
+    const std::size_t c_end = std::min(c_begin + step, end);
+    submit([&body, c, c_begin, c_end] { body(c, c_begin, c_end); });
+  }
+  wait_idle();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

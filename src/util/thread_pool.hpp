@@ -37,6 +37,19 @@ class ThreadPool {
                     const std::function<void(std::size_t, std::size_t)>& body,
                     std::size_t chunks = 0);
 
+  /// Like parallel_for, but with a fixed chunk count and a chunk-id hook:
+  /// runs `body(chunk, chunk_begin, chunk_end)` for chunk ids 0..chunks-1,
+  /// where chunk c covers [begin + c*step, begin + (c+1)*step) ∩ [begin, end)
+  /// with step = ceil((end-begin)/chunks). Ascending chunk ids therefore
+  /// cover ascending, contiguous index ranges, so callers can write into
+  /// preallocated per-chunk slots without synchronisation and merge them in
+  /// chunk order to reproduce the serial iteration order exactly. Chunks
+  /// whose range is empty (chunks > end-begin) are never invoked. Blocks
+  /// until every chunk is done.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end, std::size_t chunks,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
  private:
   void worker_loop();
 

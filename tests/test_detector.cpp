@@ -2,6 +2,8 @@
 
 #include "detect/candidates.hpp"
 #include "detect/detector.hpp"
+#include "detect/engine.hpp"
+#include "font/paper_font.hpp"
 #include "idna/idna.hpp"
 #include "util/rng.hpp"
 
@@ -177,6 +179,175 @@ TEST(Detector, EmptyInputs) {
   EXPECT_TRUE(detector.detect({}, {}).empty());
   const std::vector<std::string> refs{"google"};
   EXPECT_TRUE(detector.detect(refs, {}).empty());
+}
+
+// --- Engine (unified detect() + parallel sharding) --------------------
+
+/// Workload over the paper-scale synthetic font: real SimChar pairs, refs
+/// drawn from Latin lowercase, IDNs mutated with genuine homoglyphs (so
+/// matches occur) and junk (so rejections occur).
+struct EngineWorkload {
+  homoglyph::HomoglyphDb db;
+  std::vector<std::string> refs;
+  std::vector<IdnEntry> idns;
+};
+
+const EngineWorkload& paper_font_workload() {
+  static const auto* workload = [] {
+    auto* w = new EngineWorkload;
+    font::PaperFontConfig config;
+    config.scale = 0.1;
+    const auto paper = font::make_paper_font(config);
+    const auto sim = simchar::SimCharDb::build(*paper.font);
+    w->db = homoglyph::HomoglyphDb{sim, unicode::ConfusablesDb::embedded(), {}};
+
+    util::Rng rng{2019};
+    for (int i = 0; i < 120; ++i) {
+      std::string name;
+      const int n = 3 + static_cast<int>(rng.below(9));
+      for (int j = 0; j < n; ++j) name += static_cast<char>('a' + rng.below(26));
+      w->refs.push_back(name);
+    }
+    for (int i = 0; i < 1500; ++i) {
+      const auto& ref = w->refs[rng.below(w->refs.size())];
+      U32String label;
+      for (const char c : ref) label.push_back(static_cast<unsigned char>(c));
+      const int muts = 1 + static_cast<int>(rng.below(2));
+      for (int m = 0; m < muts; ++m) {
+        const auto pos = rng.below(label.size());
+        const auto subs = w->db.homoglyphs_of(label[pos]);
+        // Half genuine homoglyph substitutions, half junk characters.
+        label[pos] = (!subs.empty() && rng.below(2) == 0)
+                         ? subs[rng.below(subs.size())]
+                         : static_cast<CodePoint>(0x3042 + rng.below(64));
+      }
+      w->idns.push_back({"", label});
+    }
+    return w;
+  }();
+  return *workload;
+}
+
+TEST(Engine, ParallelIsByteIdenticalToSerialIndexedOnPaperFontWorkload) {
+  const auto& w = paper_font_workload();
+  const HomographDetector detector{w.db};
+  DetectionStats serial_stats;
+  const auto serial = detector.detect_indexed(w.refs, w.idns, &serial_stats);
+  ASSERT_FALSE(serial.empty());  // workload must exercise the match path
+
+  const Engine engine{w.db};
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const auto r = engine.detect({.references = w.refs,
+                                  .idns = w.idns,
+                                  .strategy = Strategy::kParallel,
+                                  .threads = threads});
+    // Exact equality: same matches, same order, same diffs (incl. provenance).
+    EXPECT_EQ(r.matches, serial) << "threads=" << threads;
+    EXPECT_EQ(r.stats.length_bucket_hits, serial_stats.length_bucket_hits);
+    EXPECT_EQ(r.stats.char_comparisons, serial_stats.char_comparisons);
+    if (threads > 1) {
+      EXPECT_EQ(r.stats.threads_used, threads);
+      EXPECT_GT(r.stats.shards_used, 1u);
+    }
+    // Per-shard candidate counts are an exact decomposition of the total.
+    std::uint64_t sum = 0;
+    for (const auto c : r.stats.shard_candidates) sum += c;
+    EXPECT_EQ(sum, r.stats.length_bucket_hits);
+    EXPECT_EQ(r.stats.shard_candidates.size(), r.stats.shards_used);
+  }
+}
+
+TEST(Engine, AllStrategiesAgreeOnUnicodeReferences) {
+  const auto& w = paper_font_workload();
+  std::vector<U32String> urefs;
+  for (const auto& ref : w.refs) {
+    U32String u;
+    for (const char c : ref) u.push_back(static_cast<unsigned char>(c));
+    urefs.push_back(u);
+  }
+  const HomographDetector detector{w.db};
+  const auto serial = detector.detect_unicode(urefs, w.idns);
+
+  const Engine engine{w.db};
+  for (const auto strategy : {Strategy::kSerial, Strategy::kIndexed, Strategy::kParallel}) {
+    const auto r = engine.detect({.unicode_references = urefs,
+                                  .idns = w.idns,
+                                  .strategy = strategy,
+                                  .threads = 4});
+    EXPECT_EQ(r.matches, serial) << strategy_name(strategy);
+  }
+}
+
+TEST(Engine, EmptyInputs) {
+  const auto db = test_db();
+  const Engine engine{db, {.strategy = Strategy::kParallel, .threads = 8}};
+  EXPECT_TRUE(engine.detect({}).matches.empty());
+  const std::vector<std::string> refs{"google"};
+  const auto r = engine.detect({.references = refs});
+  EXPECT_TRUE(r.matches.empty());
+  EXPECT_EQ(r.stats.length_bucket_hits, 0u);
+}
+
+TEST(Engine, SingleReferenceUsesSingleShard) {
+  // One reference cannot be sharded: the engine must degrade to a single
+  // shard and still match the serial result.
+  const auto db = test_db();
+  const std::vector<std::string> refs{"google"};
+  const std::vector<IdnEntry> idns{entry({'g', 0x043E, 0x0585, 'g', 'l', 'e'})};
+  const HomographDetector detector{db};
+  const auto serial = detector.detect_indexed(refs, idns);
+
+  const Engine engine{db, {.strategy = Strategy::kParallel, .threads = 8}};
+  const auto r = engine.detect({.references = refs, .idns = idns});
+  EXPECT_EQ(r.matches, serial);
+  ASSERT_EQ(r.matches.size(), 1u);
+  EXPECT_EQ(r.stats.shards_used, 1u);
+  EXPECT_EQ(r.stats.shard_candidates.size(), 1u);
+}
+
+TEST(Engine, RejectsAmbiguousRequest) {
+  const auto db = test_db();
+  const Engine engine{db};
+  const std::vector<std::string> refs{"google"};
+  const std::vector<U32String> urefs{{'p', 'i', 'e'}};
+  EXPECT_THROW(
+      static_cast<void>(engine.detect({.references = refs, .unicode_references = urefs})),
+      std::invalid_argument);
+}
+
+TEST(Engine, RequestOverridesEngineOptions) {
+  const auto db = test_db();
+  const Engine engine{db, {.strategy = Strategy::kSerial, .threads = 1}};
+  const std::vector<std::string> refs{"google", "apple"};
+  const std::vector<IdnEntry> idns{entry({'g', 0x043E, 'o', 'g', 'l', 'e'})};
+  const auto r = engine.detect({.references = refs,
+                                .idns = idns,
+                                .strategy = Strategy::kParallel,
+                                .threads = 2});
+  EXPECT_EQ(r.stats.threads_used, 2u);
+  EXPECT_EQ(r.matches.size(), 1u);
+}
+
+TEST(Engine, StrategyNamesRoundTrip) {
+  for (const auto strategy : {Strategy::kSerial, Strategy::kIndexed, Strategy::kParallel}) {
+    EXPECT_EQ(parse_strategy(strategy_name(strategy)), strategy);
+  }
+  EXPECT_FALSE(parse_strategy("warp-drive").has_value());
+}
+
+TEST(Engine, StatsSecondsIsWallClockNotShardSum) {
+  // seconds covers the whole run and must be at least the stage sum of
+  // the wall-clock stages (index build + match + merge), never the sum of
+  // per-shard times (which would exceed it under real parallelism).
+  const auto& w = paper_font_workload();
+  const Engine engine{w.db};
+  const auto r = engine.detect({.references = w.refs,
+                                .idns = w.idns,
+                                .strategy = Strategy::kParallel,
+                                .threads = 4});
+  EXPECT_GE(r.stats.seconds + 1e-9, r.stats.index_build_seconds +
+                                        r.stats.match_seconds + r.stats.merge_seconds);
+  EXPECT_GT(r.stats.match_seconds, 0.0);
 }
 
 // --- Candidate generation ---------------------------------------------
