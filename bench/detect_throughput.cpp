@@ -98,6 +98,23 @@ int run_smoke() {
   check("serial", engine.detect({.references = w.refs,
                                  .idns = w.idns,
                                  .strategy = detect::Strategy::kSerial}));
+  // Skeleton probes hash buckets instead of length buckets, so its
+  // candidate counter legitimately differs from the indexed baseline;
+  // the match list must still be byte-identical and every candidate
+  // accounted for as either a match or a verification rejection.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const auto r = engine.detect({.references = w.refs,
+                                  .idns = w.idns,
+                                  .strategy = detect::Strategy::kSkeleton,
+                                  .threads = threads});
+    const bool same =
+        r.matches == baseline.matches &&
+        r.stats.skeleton_rejected == r.stats.skeleton_candidates - r.matches.size();
+    std::printf("  skeleton x%-14zu %zu matches, %zu shard(s), %.0f%% rejected  [%s]\n",
+                threads, r.matches.size(), r.stats.shards_used,
+                r.stats.skeleton_rejection_rate() * 100.0, same ? "OK" : "MISMATCH");
+    ok = ok && same;
+  }
   std::printf("smoke: %s\n", ok ? "all strategies byte-identical" : "FAILED");
   return ok ? 0 : 1;
 }
@@ -216,6 +233,78 @@ int main(int argc, char** argv) {
               "%zu core(s) available):\n%s\n",
               refs.size(), ctx.idns.size(), serial_seconds, cores, sweep.str().c_str());
 
+  // --- Strategy comparison: exact work done per strategy ---------------
+  // `candidates` counts label pairs that reached the exact per-character
+  // verifier; `char cmps` counts the code points it actually compared.
+  // The skeleton index narrows candidates to same-hash buckets, so its
+  // comparison count is the headline sub-linearity number.
+  util::TextTable strat{{"strategy", "seconds", "candidates", "char cmps",
+                         "vs indexed", "rejected", "matches"},
+                        {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight}};
+  detect::DetectionStats indexed_strat_stats;
+  detect::DetectionStats skeleton_strat_stats;
+  bool skeleton_identical = true;
+  std::string strategy_json_rows;
+  const detect::Strategy strategies[] = {detect::Strategy::kSerial,
+                                         detect::Strategy::kIndexed,
+                                         detect::Strategy::kSkeleton};
+  for (const auto strategy : strategies) {
+    detect::DetectionStats stats;
+    bool identical = true;
+    const double seconds = best_of(reps, [&] {
+      const auto r = engine.detect({.references = refs, .idns = ctx.idns,
+                                    .strategy = strategy, .threads = 1});
+      identical = identical && r.matches == baseline.matches;
+      stats = r.stats;
+      return r.stats.seconds;
+    });
+    if (strategy == detect::Strategy::kIndexed) indexed_strat_stats = stats;
+    if (strategy == detect::Strategy::kSkeleton) {
+      skeleton_strat_stats = stats;
+      skeleton_identical = identical;
+    }
+    const double ratio =
+        stats.char_comparisons == 0
+            ? 0.0
+            : static_cast<double>(indexed_strat_stats.char_comparisons) /
+                  static_cast<double>(stats.char_comparisons);
+    strat.add_row({std::string{detect::strategy_name(strategy)}, util::fixed(seconds, 4),
+                   util::with_commas(stats.length_bucket_hits),
+                   util::with_commas(stats.char_comparisons),
+                   strategy == detect::Strategy::kSerial ? std::string{"-"}
+                                                         : util::fixed(ratio, 1) + "x",
+                   util::with_commas(stats.skeleton_rejected),
+                   util::with_commas(baseline.matches.size())});
+    char row[320];
+    std::snprintf(row, sizeof row,
+                  "    {\"strategy\": \"%s\", \"seconds\": %.6f, "
+                  "\"candidates\": %llu, \"char_comparisons\": %llu, "
+                  "\"skeleton_build_seconds\": %.6f, \"skeleton_buckets\": %zu, "
+                  "\"rejection_rate\": %.4f, \"identical_to_serial\": %s}%s\n",
+                  detect::strategy_name(strategy).data(), seconds,
+                  static_cast<unsigned long long>(stats.length_bucket_hits),
+                  static_cast<unsigned long long>(stats.char_comparisons),
+                  stats.skeleton_build_seconds, stats.skeleton_buckets,
+                  stats.skeleton_rejection_rate(), identical ? "true" : "false",
+                  strategy == detect::Strategy::kSkeleton ? "" : ",");
+    strategy_json_rows += row;
+  }
+  const double comparison_ratio =
+      skeleton_strat_stats.char_comparisons == 0
+          ? 0.0
+          : static_cast<double>(indexed_strat_stats.char_comparisons) /
+                static_cast<double>(skeleton_strat_stats.char_comparisons);
+  std::printf("strategy comparison (%zu refs x %zu IDNs, single thread):\n%s\n",
+              refs.size(), ctx.idns.size(), strat.str().c_str());
+  std::printf("skeleton index: %zu buckets built in %.4f ms, %.1fx fewer exact "
+              "char comparisons than indexed, %.1f%% of candidates rejected by "
+              "verification\n\n",
+              skeleton_strat_stats.skeleton_buckets,
+              skeleton_strat_stats.skeleton_build_seconds * 1e3, comparison_ratio,
+              skeleton_strat_stats.skeleton_rejection_rate() * 100.0);
+
   if (std::FILE* f = std::fopen("BENCH_detect.json", "w")) {
     std::fprintf(f,
                  "{\n"
@@ -228,11 +317,15 @@ int main(int argc, char** argv) {
                  "  \"serial_baseline_seconds\": %.6f,\n"
                  "  \"sweep\": [\n%s  ],\n"
                  "  \"speedup_at_4_threads\": %.3f,\n"
-                 "  \"all_outputs_identical_to_serial\": %s\n"
+                 "  \"all_outputs_identical_to_serial\": %s,\n"
+                 "  \"strategies\": [\n%s  ],\n"
+                 "  \"skeleton_vs_indexed_comparison_ratio\": %.3f,\n"
+                 "  \"skeleton_identical_to_serial\": %s\n"
                  "}\n",
                  cores, refs.size(), ctx.idns.size(), naive_full, indexed_full,
                  serial_seconds, json_rows.c_str(), speedup4,
-                 all_identical ? "true" : "false");
+                 all_identical ? "true" : "false", strategy_json_rows.c_str(),
+                 comparison_ratio, skeleton_identical ? "true" : "false");
     std::fclose(f);
     std::printf("wrote BENCH_detect.json\n");
   }
@@ -250,6 +343,9 @@ int main(int argc, char** argv) {
                indexed_full <= naive_full * 1.2);
   bench::shape("parallel output byte-identical to serial at every thread count",
                all_identical);
+  bench::shape("skeleton output byte-identical to serial", skeleton_identical);
+  bench::shape("skeleton does >= 5x fewer exact char comparisons than indexed",
+               comparison_ratio >= 5.0);
   // The >= 2x criterion needs >= 4 real cores; report honestly when the
   // host cannot exhibit parallel speedup.
   if (cores >= 4) {

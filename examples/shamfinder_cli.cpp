@@ -40,7 +40,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: shamfinder_cli <command> ...\n"
                "  check <domain> --refs a,b,c    detect homograph vs references\n"
-               "        [--strategy serial|indexed|parallel] [--threads N]\n"
+               "        [--strategy serial|indexed|parallel|skeleton] [--threads N]\n"
                "  candidates <brand> [max]       enumerate registerable homographs\n"
                "  revert <domain>                recover the spoofed original\n"
                "  inspect <char|U+XXXX>          character dossier\n"
@@ -68,7 +68,8 @@ int cmd_check(const std::vector<std::string>& args) {
     } else if (args[i] == "--strategy") {
       const auto strategy = detect::parse_strategy(args[i + 1]);
       if (!strategy) {
-        std::fprintf(stderr, "check: unknown strategy %s (serial|indexed|parallel)\n",
+        std::fprintf(stderr,
+                     "check: unknown strategy %s (serial|indexed|parallel|skeleton)\n",
                      args[i + 1].c_str());
         return 2;
       }

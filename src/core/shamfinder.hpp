@@ -54,7 +54,9 @@ class ShamFinder {
 
   /// Step 3: run Algorithm 1 through the detection engine, under the
   /// strategy and thread count of ShamFinderConfig::engine (default: the
-  /// parallel sharded scan; output is identical under every strategy).
+  /// parallel sharded scan; Strategy::kSkeleton swaps in the skeleton-hash
+  /// candidate index for zone-scale reference lists; output is identical
+  /// under every strategy).
   [[nodiscard]] std::vector<detect::Match> find_homographs(
       std::span<const std::string> references, std::span<const detect::IdnEntry> idns,
       detect::DetectionStats* stats = nullptr) const;

@@ -64,6 +64,27 @@ struct DetectionStats {
   /// Candidate pairs examined by each shard, in shard (= reference range)
   /// order; sums to length_bucket_hits. Size shards_used for engine runs.
   std::vector<std::uint64_t> shard_candidates;
+
+  // Skeleton-index observability (Strategy::kSkeleton only; zero/empty
+  // under other strategies). Under kSkeleton, length_bucket_hits counts
+  // bucket-probe candidates (== skeleton_candidates), so the counters
+  // above keep their "candidates examined" meaning across strategies.
+  double skeleton_build_seconds = 0.0;    // skeleton-index construction
+  std::uint64_t skeleton_candidates = 0;  // bucket-probe candidate pairs
+  std::uint64_t skeleton_rejected = 0;    // candidates killed by exact verify
+  std::size_t skeleton_buckets = 0;       // distinct skeleton-hash buckets
+  /// Bucket-occupancy histogram: slot i = buckets holding i+1 IDNs, last
+  /// slot aggregates the tail (see SkeletonIndex::occupancy_histogram).
+  std::vector<std::uint64_t> skeleton_bucket_histogram;
+
+  /// Fraction of skeleton candidates the exact per-character verification
+  /// rejected (closure over-approximation + hash collisions).
+  [[nodiscard]] double skeleton_rejection_rate() const noexcept {
+    return skeleton_candidates == 0
+               ? 0.0
+               : static_cast<double>(skeleton_rejected) /
+                     static_cast<double>(skeleton_candidates);
+  }
 };
 
 class HomographDetector {

@@ -1,10 +1,12 @@
 #include "detect/engine.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 
+#include "detect/skeleton_index.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -28,6 +30,8 @@ struct ShardResult {
   std::vector<Match> matches;
   std::uint64_t length_bucket_hits = 0;
   std::uint64_t char_comparisons = 0;
+  std::uint64_t skeleton_candidates = 0;
+  std::uint64_t skeleton_rejected = 0;
 };
 
 /// Scan references [begin, end) against the length index. The serial
@@ -53,6 +57,36 @@ void scan_references(const HomographDetector& detector,
   }
 }
 
+/// Skeleton-strategy variant of scan_references: one skeleton hash + one
+/// bucket probe per reference, exact per-character verification of every
+/// candidate. Buckets list IDN indices ascending and can only ever contain
+/// a superset of the true matches (see skeleton_index.hpp), so the
+/// verified matches come out in the same (reference, idn) order the serial
+/// scan produces — the shard merge below stays a plain concatenation.
+template <typename RefString>
+void scan_references_skeleton(const HomographDetector& detector,
+                              std::span<const RefString> references,
+                              std::span<const IdnEntry> idns,
+                              const SkeletonIndex& index, std::size_t begin,
+                              std::size_t end, ShardResult& out) {
+  std::vector<DiffChar> diffs;
+  for (std::size_t r = begin; r < end; ++r) {
+    const auto& ref = references[r];
+    const auto* bucket = index.probe(index.hash_of(ref));
+    if (bucket == nullptr) continue;
+    for (const auto x : *bucket) {
+      ++out.length_bucket_hits;  // candidates examined, as under kIndexed
+      ++out.skeleton_candidates;
+      out.char_comparisons += ref.size();
+      if (detector.match_pair(ref, idns[x].unicode, &diffs)) {
+        out.matches.push_back({r, x, diffs});
+      } else {
+        ++out.skeleton_rejected;
+      }
+    }
+  }
+}
+
 std::size_t resolve_threads(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -67,6 +101,7 @@ std::string_view strategy_name(Strategy strategy) noexcept {
     case Strategy::kSerial: return "serial";
     case Strategy::kIndexed: return "indexed";
     case Strategy::kParallel: return "parallel";
+    case Strategy::kSkeleton: return "skeleton";
   }
   return "unknown";
 }
@@ -75,6 +110,7 @@ std::optional<Strategy> parse_strategy(std::string_view name) noexcept {
   if (name == "serial") return Strategy::kSerial;
   if (name == "indexed") return Strategy::kIndexed;
   if (name == "parallel") return Strategy::kParallel;
+  if (name == "skeleton") return Strategy::kSkeleton;
   return std::nullopt;
 }
 
@@ -119,24 +155,50 @@ DetectResponse Engine::run(std::span<const RefString> references,
     return out;
   }
 
+  // Index build: length buckets for kIndexed/kParallel, skeleton-hash
+  // buckets for kSkeleton.
   util::Stopwatch stage;
-  const auto by_length = build_length_index(idns);
-  out.stats.index_build_seconds = stage.seconds();
+  LengthIndex by_length;
+  std::optional<SkeletonIndex> skeleton;
+  if (strategy == Strategy::kSkeleton) {
+    skeleton.emplace(*db_, idns);
+    out.stats.skeleton_build_seconds = stage.seconds();
+    out.stats.skeleton_buckets = skeleton->bucket_count();
+    out.stats.skeleton_bucket_histogram = skeleton->occupancy_histogram();
+  } else {
+    by_length = build_length_index(idns);
+    out.stats.index_build_seconds = stage.seconds();
+  }
+
+  const auto scan = [&](std::size_t begin, std::size_t end, ShardResult& slot) {
+    if (skeleton) {
+      scan_references_skeleton(detector, references, idns, *skeleton, begin, end,
+                               slot);
+    } else {
+      scan_references(detector, references, idns, by_length, begin, end, slot);
+    }
+  };
+  const auto accumulate = [&](ShardResult& shard) {
+    std::move(shard.matches.begin(), shard.matches.end(),
+              std::back_inserter(out.matches));
+    out.stats.length_bucket_hits += shard.length_bucket_hits;
+    out.stats.char_comparisons += shard.char_comparisons;
+    out.stats.skeleton_candidates += shard.skeleton_candidates;
+    out.stats.skeleton_rejected += shard.skeleton_rejected;
+    out.stats.shard_candidates.push_back(shard.length_bucket_hits);
+  };
 
   const auto workers = resolve_threads(threads);
   const bool parallel =
-      strategy == Strategy::kParallel && workers > 1 && references.size() > 1;
+      (strategy == Strategy::kParallel || strategy == Strategy::kSkeleton) &&
+      workers > 1 && references.size() > 1;
 
   if (!parallel) {
     ShardResult shard;
     stage.reset();
-    scan_references(detector, references, idns, by_length, 0, references.size(),
-                    shard);
+    scan(0, references.size(), shard);
     out.stats.match_seconds = stage.seconds();
-    out.matches = std::move(shard.matches);
-    out.stats.length_bucket_hits = shard.length_bucket_hits;
-    out.stats.char_comparisons = shard.char_comparisons;
-    out.stats.shard_candidates = {shard.length_bucket_hits};
+    accumulate(shard);
     out.stats.seconds = total.seconds();
     return out;
   }
@@ -150,8 +212,7 @@ DetectResponse Engine::run(std::span<const RefString> references,
   pool.parallel_for_chunks(
       0, references.size(), shards,
       [&](std::size_t chunk, std::size_t chunk_begin, std::size_t chunk_end) {
-        scan_references(detector, references, idns, by_length, chunk_begin,
-                        chunk_end, shard_results[chunk]);
+        scan(chunk_begin, chunk_end, shard_results[chunk]);
       });
   out.stats.match_seconds = stage.seconds();
 
@@ -162,13 +223,7 @@ DetectResponse Engine::run(std::span<const RefString> references,
   for (const auto& shard : shard_results) total_matches += shard.matches.size();
   out.matches.reserve(total_matches);
   out.stats.shard_candidates.reserve(shards);
-  for (auto& shard : shard_results) {
-    std::move(shard.matches.begin(), shard.matches.end(),
-              std::back_inserter(out.matches));
-    out.stats.length_bucket_hits += shard.length_bucket_hits;
-    out.stats.char_comparisons += shard.char_comparisons;
-    out.stats.shard_candidates.push_back(shard.length_bucket_hits);
-  }
+  for (auto& shard : shard_results) accumulate(shard);
   out.stats.merge_seconds = stage.seconds();
 
   out.stats.threads_used = workers;

@@ -7,7 +7,12 @@
 //              loop over all IDNs, restricted to equal lengths;
 //   kIndexed   length-bucketed IDN index built once, serial scan;
 //   kParallel  the indexed scan sharded over the reference list on a
-//              util::ThreadPool.
+//              util::ThreadPool;
+//   kSkeleton  IDNs bucketed by confusable-closure skeleton hash
+//              (skeleton_index.hpp); each reference costs one skeleton
+//              computation plus one bucket probe, and every candidate is
+//              re-verified with the exact per-character check. Shards over
+//              the reference list like kParallel when threads permit.
 //
 // Determinism: every strategy produces the same match list in the same
 // order. The parallel path shards the reference list into contiguous
@@ -36,6 +41,7 @@ enum class Strategy {
   kSerial,    // Algorithm 1 as printed (no index)
   kIndexed,   // length-bucketed index, single thread
   kParallel,  // length-bucketed index, references sharded over a pool
+  kSkeleton,  // skeleton-hash candidate index + exact verification
 };
 
 [[nodiscard]] std::string_view strategy_name(Strategy strategy) noexcept;

@@ -1,0 +1,66 @@
+#include "detect/skeleton_index.hpp"
+
+#include <algorithm>
+#include <type_traits>
+
+namespace sham::detect {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv1a_u32(std::uint64_t h, std::uint32_t v) noexcept {
+  for (int shift = 0; shift < 32; shift += 8) {
+    h ^= (v >> shift) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+template <typename String>
+std::uint64_t SkeletonIndex::hash_impl(const String& label) const {
+  // Length-prefixed so equal-hash buckets are (length, skeleton) buckets up
+  // to genuine FNV collisions (which verification absorbs).
+  std::uint64_t h = fnv1a_u32(kFnvOffset, static_cast<std::uint32_t>(label.size()));
+  for (const auto c : label) {
+    const auto cp = static_cast<unicode::CodePoint>(
+        static_cast<std::make_unsigned_t<typename String::value_type>>(c));
+    h = fnv1a_u32(h, db_->canonical(cp));
+  }
+  return h & hash_mask_;
+}
+
+SkeletonIndex::SkeletonIndex(const homoglyph::HomoglyphDb& db,
+                             std::span<const IdnEntry> idns,
+                             SkeletonIndexOptions options)
+    : db_{&db},
+      hash_mask_{options.hash_bits >= 64 ? ~0ULL
+                                         : (1ULL << options.hash_bits) - 1} {
+  for (std::size_t x = 0; x < idns.size(); ++x) {
+    buckets_[hash_impl(idns[x].unicode)].push_back(x);
+  }
+}
+
+std::uint64_t SkeletonIndex::hash_of(std::string_view reference) const {
+  return hash_impl(reference);
+}
+
+std::uint64_t SkeletonIndex::hash_of(const unicode::U32String& reference) const {
+  return hash_impl(reference);
+}
+
+std::vector<std::uint64_t> SkeletonIndex::occupancy_histogram(
+    std::size_t max_slots) const {
+  std::vector<std::uint64_t> histogram(max_slots, 0);
+  if (max_slots == 0) return histogram;
+  for (const auto& entry : buckets_) {
+    const auto slot = std::min(entry.second.size() - 1, max_slots - 1);
+    ++histogram[slot];
+  }
+  return histogram;
+}
+
+}  // namespace sham::detect

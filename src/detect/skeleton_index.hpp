@@ -1,0 +1,74 @@
+// Skeleton-hash candidate index (Strategy::kSkeleton).
+//
+// UTS#39-style skeletonization turns Algorithm 1's pairwise scan into a
+// hash join: every code point is replaced by its confusable-closure
+// representative (HomoglyphDb::canonical), the canonicalized label is
+// hashed (FNV-1a over representatives, length-prefixed), and IDNs are
+// bucketed by that hash. A reference then costs one skeleton computation
+// plus one bucket probe instead of a scan over every same-length IDN.
+//
+// Soundness: if a reference matches an IDN under Algorithm 1, every
+// position is either equal or a listed pair, and both imply equal
+// canonical representatives — so the two skeleton hashes are equal and
+// the bucket probe can never miss a true match. The converse fails: the
+// homoglyph relation is not transitive, so the closure over-approximates
+// (a~b and b~c put a and c in one component even when {a, c} is not a
+// pair), and distinct skeletons can collide in the hash. Every bucket hit
+// is therefore a *candidate* that must be re-verified with the exact
+// per-character check before it becomes a match.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "homoglyph/homoglyph_db.hpp"
+#include "unicode/codepoint.hpp"
+
+namespace sham::detect {
+
+struct SkeletonIndexOptions {
+  /// Keep only the low `hash_bits` bits of each skeleton hash. The default
+  /// keeps all 64; tests shrink it to force bucket collisions and exercise
+  /// the verification path deterministically.
+  unsigned hash_bits = 64;
+};
+
+class SkeletonIndex {
+ public:
+  /// The database and the IDN list must outlive the index.
+  SkeletonIndex(const homoglyph::HomoglyphDb& db, std::span<const IdnEntry> idns,
+                SkeletonIndexOptions options = {});
+
+  /// Skeleton hash of a reference label (ASCII or Unicode).
+  [[nodiscard]] std::uint64_t hash_of(std::string_view reference) const;
+  [[nodiscard]] std::uint64_t hash_of(const unicode::U32String& reference) const;
+
+  /// IDN indices bucketed under `hash`, ascending; nullptr when empty.
+  /// The bucket over-approximates (closure + collisions): exact-verify
+  /// every entry.
+  [[nodiscard]] const std::vector<std::size_t>* probe(std::uint64_t hash) const {
+    const auto it = buckets_.find(hash);
+    return it == buckets_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  /// Bucket-occupancy histogram: slot i counts buckets holding exactly
+  /// i+1 IDNs; the final slot aggregates buckets of size >= max_slots.
+  [[nodiscard]] std::vector<std::uint64_t> occupancy_histogram(
+      std::size_t max_slots = 8) const;
+
+ private:
+  template <typename String>
+  [[nodiscard]] std::uint64_t hash_impl(const String& label) const;
+
+  const homoglyph::HomoglyphDb* db_;
+  std::uint64_t hash_mask_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets_;
+};
+
+}  // namespace sham::detect

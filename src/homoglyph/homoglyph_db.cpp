@@ -9,6 +9,73 @@
 
 namespace sham::homoglyph {
 
+namespace {
+
+/// Minimal union-find over code points, path-halving, union by smaller
+/// representative so the final canonical form of a component is its
+/// smallest member (deterministic regardless of insertion order).
+class UnionFind {
+ public:
+  unicode::CodePoint find(unicode::CodePoint cp) {
+    auto it = parent_.find(cp);
+    if (it == parent_.end()) {
+      parent_.emplace(cp, cp);
+      return cp;
+    }
+    while (it->second != cp) {
+      const auto up = parent_.find(it->second);
+      it->second = up->second;  // path halving: point at grandparent
+      cp = it->second;
+      it = parent_.find(cp);    // continue from the new position, not the old parent
+    }
+    return cp;
+  }
+
+  void unite(unicode::CodePoint a, unicode::CodePoint b) {
+    const auto ra = find(a);
+    const auto rb = find(b);
+    if (ra == rb) return;
+    const auto [lo, hi] = std::minmax(ra, rb);
+    parent_[hi] = lo;
+  }
+
+  const std::unordered_map<unicode::CodePoint, unicode::CodePoint>& nodes() const {
+    return parent_;
+  }
+
+ private:
+  std::unordered_map<unicode::CodePoint, unicode::CodePoint> parent_;
+};
+
+}  // namespace
+
+HomoglyphDb::HomoglyphDb() { finalize(); }
+
+void HomoglyphDb::finalize() {
+  for (auto& [cp, neighbours] : adjacency_) {
+    std::sort(neighbours.begin(), neighbours.end());
+  }
+
+  UnionFind uf;
+  for (const auto& [cp, neighbours] : adjacency_) {
+    for (const auto n : neighbours) uf.unite(cp, n);
+  }
+  canonical_.clear();
+  canonical_.reserve(adjacency_.size());
+  std::size_t classes = 0;
+  for (const auto& node : uf.nodes()) {
+    const auto cp = node.first;
+    const auto rep = uf.find(cp);
+    canonical_.emplace(cp, rep);
+    if (rep == cp) ++classes;
+  }
+  canonical_classes_ = classes;
+  for (unicode::CodePoint cp = 0; cp < kDenseCanonical; ++cp) {
+    const auto it = canonical_.find(cp);
+    canonical_latin1_[cp] = it == canonical_.end() ? cp : it->second;
+  }
+}
+
 std::uint64_t HomoglyphDb::key(unicode::CodePoint a, unicode::CodePoint b) noexcept {
   if (a > b) std::swap(a, b);
   return (static_cast<std::uint64_t>(a) << 32) | b;
@@ -43,9 +110,7 @@ HomoglyphDb::HomoglyphDb(const simchar::SimCharDb& simchar_db,
       if (permitted(p.a) && permitted(p.b)) add_pair(p.a, p.b, Source::kSimChar);
     }
   }
-  for (auto& [cp, neighbours] : adjacency_) {
-    std::sort(neighbours.begin(), neighbours.end());
-  }
+  finalize();
 }
 
 bool HomoglyphDb::are_homoglyphs(unicode::CodePoint a, unicode::CodePoint b) const {
@@ -127,9 +192,7 @@ HomoglyphDb HomoglyphDb::parse(std::string_view text) {
     }
     db.add_pair(a, b, source);
   }
-  for (auto& [cp, neighbours] : db.adjacency_) {
-    std::sort(neighbours.begin(), neighbours.end());
-  }
+  db.finalize();
   return db;
 }
 

@@ -4,6 +4,7 @@
 // "reverting to original domains" analysis of Section 6.4.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -35,7 +36,7 @@ struct DbConfig {
 
 class HomoglyphDb {
  public:
-  HomoglyphDb() = default;
+  HomoglyphDb();
 
   /// Compose from a SimChar database and a confusables database.
   HomoglyphDb(const simchar::SimCharDb& simchar_db,
@@ -49,6 +50,25 @@ class HomoglyphDb {
                                                 unicode::CodePoint b) const;
 
   [[nodiscard]] std::vector<unicode::CodePoint> homoglyphs_of(unicode::CodePoint cp) const;
+
+  /// Confusable-closure canonical map: the representative (smallest code
+  /// point) of the connected component containing `cp` in the pair graph,
+  /// or `cp` itself when it participates in no pair. The closure is the
+  /// transitive hull of the (non-transitive) homoglyph relation, so
+  /// canonical(a) == canonical(b) is a necessary — NOT sufficient —
+  /// condition for {a, b} being a listed pair; candidate sets built on it
+  /// over-approximate and must be re-verified with source_of()/
+  /// are_homoglyphs(). Code points below U+0100 hit a dense flat array.
+  [[nodiscard]] unicode::CodePoint canonical(unicode::CodePoint cp) const noexcept {
+    if (cp < kDenseCanonical) return canonical_latin1_[cp];
+    const auto it = canonical_.find(cp);
+    return it == canonical_.end() ? cp : it->second;
+  }
+
+  /// Number of non-singleton confusable-closure components.
+  [[nodiscard]] std::size_t canonical_class_count() const noexcept {
+    return canonical_classes_;
+  }
 
   /// Pair counts by provenance (for Table 1-style set arithmetic).
   [[nodiscard]] std::size_t pair_count() const noexcept { return pair_source_.size(); }
@@ -69,11 +89,21 @@ class HomoglyphDb {
   static HomoglyphDb parse(std::string_view text);
 
  private:
+  static constexpr unicode::CodePoint kDenseCanonical = 0x100;
+
   static std::uint64_t key(unicode::CodePoint a, unicode::CodePoint b) noexcept;
   void add_pair(unicode::CodePoint a, unicode::CodePoint b, Source source);
+  /// Sort adjacency lists and rebuild the canonical map; every constructor
+  /// and parse() must call this once after the last add_pair().
+  void finalize();
 
   std::unordered_map<std::uint64_t, Source> pair_source_;
   std::unordered_map<unicode::CodePoint, std::vector<unicode::CodePoint>> adjacency_;
+  /// Union-find component representatives (only code points that appear in
+  /// at least one pair; everything else is its own canonical form).
+  std::unordered_map<unicode::CodePoint, unicode::CodePoint> canonical_;
+  std::array<unicode::CodePoint, kDenseCanonical> canonical_latin1_{};
+  std::size_t canonical_classes_ = 0;
 };
 
 }  // namespace sham::homoglyph

@@ -160,6 +160,17 @@ void SimCharDb::index() {
     by_char_[pairs_[i].a].push_back(i);
     by_char_[pairs_[i].b].push_back(i);
   }
+  // Sort each posting list by partner code point so delta_of can binary-
+  // search it (hot in the detect verify path) and homoglyphs_of comes out
+  // ascending without a per-query sort.
+  for (auto& [cp, postings] : by_char_) {
+    std::sort(postings.begin(), postings.end(),
+              [&, c = cp](std::size_t x, std::size_t y) {
+                const auto px = pairs_[x].a == c ? pairs_[x].b : pairs_[x].a;
+                const auto py = pairs_[y].a == c ? pairs_[y].b : pairs_[y].a;
+                return px < py;
+              });
+  }
 }
 
 bool SimCharDb::are_homoglyphs(unicode::CodePoint a, unicode::CodePoint b) const {
@@ -171,10 +182,19 @@ std::optional<int> SimCharDb::delta_of(unicode::CodePoint a, unicode::CodePoint 
   if (a > b) std::swap(a, b);
   const auto it = by_char_.find(a);
   if (it == by_char_.end()) return std::nullopt;
-  for (const auto idx : it->second) {
-    if (pairs_[idx].a == a && pairs_[idx].b == b) return pairs_[idx].delta;
-  }
-  return std::nullopt;
+  // Postings are sorted by partner code point (see index()), so the pair
+  // {a, b} — stored canonically as (a, b) with a < b — is a binary search
+  // away. Any posting whose partner is b must have a as its smaller member.
+  const auto partner = [&](std::size_t idx) {
+    return pairs_[idx].a == a ? pairs_[idx].b : pairs_[idx].a;
+  };
+  const auto& postings = it->second;
+  const auto lo = std::lower_bound(postings.begin(), postings.end(), b,
+                                   [&](std::size_t idx, unicode::CodePoint value) {
+                                     return partner(idx) < value;
+                                   });
+  if (lo == postings.end() || partner(*lo) != b) return std::nullopt;
+  return pairs_[*lo].delta;
 }
 
 std::vector<unicode::CodePoint> SimCharDb::homoglyphs_of(unicode::CodePoint cp) const {
@@ -182,11 +202,11 @@ std::vector<unicode::CodePoint> SimCharDb::homoglyphs_of(unicode::CodePoint cp) 
   const auto it = by_char_.find(cp);
   if (it == by_char_.end()) return out;
   out.reserve(it->second.size());
+  // Postings are partner-sorted and pairs are unique, so the output is
+  // already ascending and duplicate-free.
   for (const auto idx : it->second) {
     out.push_back(pairs_[idx].a == cp ? pairs_[idx].b : pairs_[idx].a);
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
@@ -325,9 +345,16 @@ SimCharDb update_with_new_characters(const SimCharDb& existing,
   watch.reset();
   std::unordered_map<unicode::CodePoint, int> popcount_of;
   for (const auto& g : glyphs) popcount_of[g.cp] = g.popcount;
+  const auto is_sparse = [&](unicode::CodePoint cp) {
+    // A code point absent from the rendered glyph set has an *unknown* ink
+    // count; full-build Step III only eliminates characters it measured as
+    // sparse, so unknown keeps the pair (operator[] would default to 0 and
+    // silently erase it).
+    const auto it = popcount_of.find(cp);
+    return it != popcount_of.end() && it->second < options.min_black_pixels;
+  };
   std::erase_if(new_pairs, [&](const HomoglyphPair& p) {
-    return popcount_of[p.a] < options.min_black_pixels ||
-           popcount_of[p.b] < options.min_black_pixels;
+    return is_sparse(p.a) || is_sparse(p.b);
   });
   local_stats.pairs_after_sparse = new_pairs.size();
   local_stats.sparse_seconds = watch.seconds();

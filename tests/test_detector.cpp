@@ -3,6 +3,7 @@
 #include "detect/candidates.hpp"
 #include "detect/detector.hpp"
 #include "detect/engine.hpp"
+#include "detect/skeleton_index.hpp"
 #include "font/paper_font.hpp"
 #include "idna/idna.hpp"
 #include "util/rng.hpp"
@@ -329,10 +330,148 @@ TEST(Engine, RequestOverridesEngineOptions) {
 }
 
 TEST(Engine, StrategyNamesRoundTrip) {
-  for (const auto strategy : {Strategy::kSerial, Strategy::kIndexed, Strategy::kParallel}) {
+  for (const auto strategy : {Strategy::kSerial, Strategy::kIndexed,
+                              Strategy::kParallel, Strategy::kSkeleton}) {
     EXPECT_EQ(parse_strategy(strategy_name(strategy)), strategy);
   }
   EXPECT_FALSE(parse_strategy("warp-drive").has_value());
+}
+
+// --- Skeleton-hash candidate index (Strategy::kSkeleton) --------------
+
+TEST(Engine, SkeletonIsByteIdenticalToSerialOnPaperFontWorkload) {
+  const auto& w = paper_font_workload();
+  const Engine engine{w.db};
+  const auto serial = engine.detect(
+      {.references = w.refs, .idns = w.idns, .strategy = Strategy::kSerial});
+  ASSERT_FALSE(serial.matches.empty());
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const auto r = engine.detect({.references = w.refs,
+                                  .idns = w.idns,
+                                  .strategy = Strategy::kSkeleton,
+                                  .threads = threads});
+    // Exact equality: same matches, same order, same diffs and provenance.
+    EXPECT_EQ(r.matches, serial.matches) << "threads=" << threads;
+    // Candidate accounting: the skeleton probe must examine far fewer
+    // pairs than the length-bucketed scan while never missing a match.
+    EXPECT_EQ(r.stats.skeleton_candidates, r.stats.length_bucket_hits);
+    EXPECT_LT(r.stats.length_bucket_hits, serial.stats.length_bucket_hits);
+    EXPECT_LT(r.stats.char_comparisons, serial.stats.char_comparisons);
+    EXPECT_GE(r.stats.skeleton_candidates, serial.matches.size());
+    EXPECT_EQ(r.stats.skeleton_rejected,
+              r.stats.skeleton_candidates - serial.matches.size());
+    EXPECT_GT(r.stats.skeleton_buckets, 0u);
+    // The histogram covers every bucket exactly once.
+    std::uint64_t histogram_total = 0;
+    for (const auto n : r.stats.skeleton_bucket_histogram) histogram_total += n;
+    EXPECT_EQ(histogram_total, r.stats.skeleton_buckets);
+    // Per-shard candidates still decompose the total under sharding.
+    std::uint64_t sum = 0;
+    for (const auto c : r.stats.shard_candidates) sum += c;
+    EXPECT_EQ(sum, r.stats.length_bucket_hits);
+  }
+}
+
+TEST(Engine, SkeletonVerifiesAwayNonTransitiveTriples) {
+  // a~b and b~c listed, {a, c} not: the closure puts "abc"-alphabet
+  // strings in one skeleton bucket, so an IDN using c where the reference
+  // has a MUST surface as a rejected candidate, never as a match.
+  simchar::SimCharDb sim{{{'a', 'b', 1}, {'b', 'c', 1}}};
+  homoglyph::DbConfig config;
+  config.use_uc = false;
+  const homoglyph::HomoglyphDb db{sim, unicode::ConfusablesDb::embedded(), config};
+
+  const std::vector<std::string> refs{"aaa", "aba"};
+  const std::vector<IdnEntry> idns{
+      entry({'a', 'b', 'a'}),  // matches "aaa" (a~b), identical to "aba" -> no match
+      entry({'a', 'c', 'a'}),  // closure-bucket hit for both refs; only "aba" matches (b~c? no — a~c unlisted, c~b listed)
+      entry({'c', 'c', 'c'}),  // skeleton equals "aaa" but no position pairs with 'a'
+  };
+  const Engine engine{db};
+  const auto serial = engine.detect(
+      {.references = refs, .idns = idns, .strategy = Strategy::kSerial});
+  const auto skel = engine.detect(
+      {.references = refs, .idns = idns, .strategy = Strategy::kSkeleton});
+
+  EXPECT_EQ(skel.matches, serial.matches);
+  // The over-approximate bucket really did hand the verifier false
+  // positives (e.g. "ccc" vs "aaa"), and verification rejected them.
+  EXPECT_GT(skel.stats.skeleton_rejected, 0u);
+  EXPECT_GT(skel.stats.skeleton_rejection_rate(), 0.0);
+  // Sanity on content: "ccc" never matches anything.
+  for (const auto& m : skel.matches) EXPECT_NE(m.idn_index, 2u);
+}
+
+TEST(Engine, SkeletonAgreesOnUnicodeReferences) {
+  const auto& w = paper_font_workload();
+  std::vector<U32String> urefs;
+  for (const auto& ref : w.refs) {
+    U32String u;
+    for (const char c : ref) u.push_back(static_cast<unsigned char>(c));
+    urefs.push_back(u);
+  }
+  const Engine engine{w.db};
+  const auto serial = engine.detect(
+      {.unicode_references = urefs, .idns = w.idns, .strategy = Strategy::kSerial});
+  const auto skel = engine.detect({.unicode_references = urefs,
+                                   .idns = w.idns,
+                                   .strategy = Strategy::kSkeleton,
+                                   .threads = 4});
+  EXPECT_EQ(skel.matches, serial.matches);
+}
+
+TEST(SkeletonIndex, CollisionBucketsAreVerifiedExactly) {
+  // Truncate the hash to 2 bits: at most 4 buckets for the whole IDN set,
+  // so buckets mix unrelated skeletons (and lengths). Exact verification
+  // of every bucket entry must still reproduce the serial matches.
+  const auto& w = paper_font_workload();
+  const SkeletonIndex index{w.db, w.idns, {.hash_bits = 2}};
+  EXPECT_LE(index.bucket_count(), 4u);
+
+  const HomographDetector detector{w.db};
+  std::vector<Match> matches;
+  std::vector<DiffChar> diffs;
+  for (std::size_t r = 0; r < w.refs.size(); ++r) {
+    const auto* bucket = index.probe(index.hash_of(w.refs[r]));
+    if (bucket == nullptr) continue;
+    for (const auto x : *bucket) {
+      if (detector.match_pair(w.refs[r], w.idns[x].unicode, &diffs)) {
+        matches.push_back({r, x, diffs});
+      }
+    }
+  }
+  const Engine engine{w.db};
+  const auto serial = engine.detect(
+      {.references = w.refs, .idns = w.idns, .strategy = Strategy::kSerial});
+  EXPECT_EQ(matches, serial.matches);
+}
+
+TEST(SkeletonIndex, OccupancyHistogramAggregatesTail) {
+  const auto db = test_db();
+  // Six IDNs, all sharing one skeleton ('o'-cluster homoglyphs of "oo").
+  std::vector<IdnEntry> idns;
+  for (int i = 0; i < 6; ++i) {
+    idns.push_back(entry({static_cast<CodePoint>(i % 2 == 0 ? 0x043E : 0x0585),
+                          static_cast<CodePoint>('o')}));
+  }
+  const SkeletonIndex index{db, idns};
+  EXPECT_EQ(index.bucket_count(), 1u);
+  const auto histogram = index.occupancy_histogram(4);
+  ASSERT_EQ(histogram.size(), 4u);
+  EXPECT_EQ(histogram[3], 1u);  // one bucket of size 6 >= max_slots
+  EXPECT_EQ(histogram[0] + histogram[1] + histogram[2], 0u);
+}
+
+TEST(Engine, SkeletonEmptyInputs) {
+  const auto db = test_db();
+  const Engine engine{db, {.strategy = Strategy::kSkeleton}};
+  EXPECT_TRUE(engine.detect({}).matches.empty());
+  const std::vector<std::string> refs{"google"};
+  const auto r = engine.detect({.references = refs});
+  EXPECT_TRUE(r.matches.empty());
+  EXPECT_EQ(r.stats.skeleton_candidates, 0u);
+  EXPECT_EQ(r.stats.skeleton_rejection_rate(), 0.0);
 }
 
 TEST(Engine, StatsSecondsIsWallClockNotShardSum) {

@@ -157,6 +157,81 @@ TEST(HomoglyphDb, ParseAcceptsCommentsAndBlankLines) {
   EXPECT_EQ(db.source_of('o', 0x03BF), Source::kBoth);
 }
 
+// --- Confusable-closure canonical map ---------------------------------
+
+TEST(HomoglyphDb, CanonicalEqualForEveryListedPair) {
+  const auto db = make_db();
+  // Pair members always share a component representative — the necessary
+  // condition the skeleton index is built on.
+  EXPECT_EQ(db.canonical('a'), db.canonical(0x00E0));
+  EXPECT_EQ(db.canonical('a'), db.canonical(0x0430));
+  EXPECT_EQ(db.canonical('o'), db.canonical(0x00F6));
+  EXPECT_EQ(db.canonical('o'), db.canonical(0x03BF));
+  EXPECT_EQ(db.canonical(0x4E8C), db.canonical(0x30CB));
+}
+
+TEST(HomoglyphDb, CanonicalIsComponentMinimum) {
+  // Representative = smallest code point of the component, so Latin bases
+  // canonicalize to themselves here.
+  simchar::SimCharDb sim{{{'o', 0x043E, 0}, {0x043E, 0x0585, 1}}};
+  DbConfig config;
+  config.use_uc = false;
+  const HomoglyphDb db{sim, unicode::ConfusablesDb::embedded(), config};
+  EXPECT_EQ(db.canonical('o'), static_cast<CodePoint>('o'));
+  EXPECT_EQ(db.canonical(0x043E), static_cast<CodePoint>('o'));
+  EXPECT_EQ(db.canonical(0x0585), static_cast<CodePoint>('o'));
+  EXPECT_EQ(db.canonical_class_count(), 1u);
+}
+
+TEST(HomoglyphDb, CanonicalClosureIsOverApproximate) {
+  // Non-transitive triple: a~b and b~c listed, {a, c} NOT listed. The
+  // closure still puts all three in one component — canonical equality
+  // must never be read as "is a pair".
+  simchar::SimCharDb sim{{{'a', 'b', 1}, {'b', 'c', 1}}};
+  DbConfig config;
+  config.use_uc = false;
+  const HomoglyphDb db{sim, unicode::ConfusablesDb::embedded(), config};
+  EXPECT_EQ(db.canonical('a'), db.canonical('c'));
+  EXPECT_FALSE(db.are_homoglyphs('a', 'c'));
+}
+
+TEST(HomoglyphDb, CanonicalIdentityOutsidePairGraph) {
+  const auto db = make_db();
+  EXPECT_EQ(db.canonical('z'), static_cast<CodePoint>('z'));      // Latin-1 fast path
+  EXPECT_EQ(db.canonical(0x2603), 0x2603u);                       // map path (snowman)
+  EXPECT_EQ(db.canonical(0x10FFFF), 0x10FFFFu);
+}
+
+TEST(HomoglyphDb, CanonicalDenseFastPathAgreesWithSelf) {
+  // Every Latin-1 code point answers identically whether it went through
+  // the flat array or would have gone through the map.
+  const auto db = make_db();
+  for (CodePoint cp = 0; cp < 0x100; ++cp) {
+    const auto rep = db.canonical(cp);
+    EXPECT_EQ(db.canonical(rep), rep) << "cp=" << cp;  // idempotent
+    if (rep != cp) {
+      // In-component: some listed neighbour chain connects cp to rep.
+      EXPECT_FALSE(db.homoglyphs_of(cp).empty()) << "cp=" << cp;
+    }
+  }
+}
+
+TEST(HomoglyphDb, CanonicalSurvivesSerializeParse) {
+  const auto db = make_db();
+  const auto reloaded = HomoglyphDb::parse(db.serialize());
+  EXPECT_EQ(reloaded.canonical_class_count(), db.canonical_class_count());
+  EXPECT_EQ(reloaded.canonical('a'), db.canonical('a'));
+  EXPECT_EQ(reloaded.canonical(0x0430), db.canonical(0x0430));
+  EXPECT_EQ(reloaded.canonical(0x03BF), db.canonical(0x03BF));
+}
+
+TEST(HomoglyphDb, EmptyDbCanonicalIsIdentity) {
+  HomoglyphDb db;
+  EXPECT_EQ(db.canonical('a'), static_cast<CodePoint>('a'));
+  EXPECT_EQ(db.canonical(0x0430), 0x0430u);
+  EXPECT_EQ(db.canonical_class_count(), 0u);
+}
+
 TEST(HomoglyphDb, EmptyDb) {
   HomoglyphDb db;
   EXPECT_EQ(db.pair_count(), 0u);

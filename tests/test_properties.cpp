@@ -4,6 +4,8 @@
 #include <algorithm>
 
 #include "detect/detector.hpp"
+#include "detect/engine.hpp"
+#include "detect/skeleton_index.hpp"
 #include "font/synthetic_font.hpp"
 #include "idna/idna.hpp"
 #include "simchar/simchar.hpp"
@@ -139,6 +141,111 @@ TEST_P(DetectorInvariance, MatchImpliesSkeletalAgreementOfLengths) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DetectorInvariance, ::testing::Values(21, 22, 23));
+
+// --- Skeleton strategy vs serial on randomized databases ------------------
+
+/// Random pair graph over a small alphabet, built so that chains (hence
+/// non-transitive triples a~b, b~c with {a, c} unlisted) are common; plus
+/// random reference/IDN workloads drawn over the same alphabet.
+struct RandomSkeletonWorkload {
+  homoglyph::HomoglyphDb db;
+  std::vector<std::string> refs;
+  std::vector<detect::IdnEntry> idns;
+};
+
+RandomSkeletonWorkload random_skeleton_workload(std::uint64_t seed) {
+  util::Rng rng{seed};
+  RandomSkeletonWorkload w;
+
+  // Alphabet: ASCII a..j plus ten non-Latin stand-ins.
+  std::vector<CodePoint> alphabet;
+  for (char c = 'a'; c <= 'j'; ++c) alphabet.push_back(static_cast<CodePoint>(c));
+  for (int i = 0; i < 10; ++i) alphabet.push_back(0x0430 + i);
+
+  std::vector<simchar::HomoglyphPair> pairs;
+  const std::size_t pair_count = 8 + rng.below(10);
+  for (std::size_t i = 0; i < pair_count; ++i) {
+    const auto a = alphabet[rng.below(alphabet.size())];
+    const auto b = alphabet[rng.below(alphabet.size())];
+    if (a == b) continue;
+    const auto [lo, hi] = std::minmax(a, b);
+    pairs.push_back({lo, hi, static_cast<int>(rng.below(4))});
+  }
+  homoglyph::DbConfig config;
+  config.use_uc = false;  // keep the pair graph exactly the random one
+  w.db = homoglyph::HomoglyphDb{simchar::SimCharDb{std::move(pairs)},
+                                unicode::ConfusablesDb::embedded(), config};
+
+  for (int i = 0; i < 30; ++i) {
+    std::string ref;
+    const std::size_t n = 2 + rng.below(6);
+    for (std::size_t j = 0; j < n; ++j) {
+      ref += static_cast<char>('a' + rng.below(10));
+    }
+    w.refs.push_back(ref);
+  }
+  for (int i = 0; i < 300; ++i) {
+    const auto& ref = w.refs[rng.below(w.refs.size())];
+    U32String label;
+    for (const char c : ref) label.push_back(static_cast<unsigned char>(c));
+    // Mutate 1-2 positions with arbitrary alphabet members: sometimes a
+    // listed homoglyph, sometimes a same-component non-pair (the
+    // non-transitive case), sometimes junk.
+    const std::size_t muts = 1 + rng.below(2);
+    for (std::size_t m = 0; m < muts; ++m) {
+      label[rng.below(label.size())] = alphabet[rng.below(alphabet.size())];
+    }
+    w.idns.push_back({"", label});
+  }
+  return w;
+}
+
+class SkeletonEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SkeletonEquivalence, ByteIdenticalToSerialOnRandomizedDbs) {
+  const auto w = random_skeleton_workload(GetParam());
+  const detect::Engine engine{w.db};
+  const auto serial = engine.detect(
+      {.references = w.refs, .idns = w.idns, .strategy = detect::Strategy::kSerial});
+  for (const std::size_t threads : {1u, 4u}) {
+    const auto skel = engine.detect({.references = w.refs,
+                                     .idns = w.idns,
+                                     .strategy = detect::Strategy::kSkeleton,
+                                     .threads = threads});
+    EXPECT_EQ(skel.matches, serial.matches) << "seed=" << GetParam()
+                                            << " threads=" << threads;
+    EXPECT_EQ(skel.stats.skeleton_rejected,
+              skel.stats.skeleton_candidates - serial.matches.size());
+  }
+}
+
+TEST_P(SkeletonEquivalence, CollisionBucketsStayExactOnRandomizedDbs) {
+  // Truncated hashes force unrelated skeletons into shared buckets; the
+  // exact verification must still reproduce the serial match list.
+  const auto w = random_skeleton_workload(GetParam() ^ 0x5EED);
+  const detect::SkeletonIndex index{w.db, w.idns, {.hash_bits = 3}};
+  EXPECT_LE(index.bucket_count(), 8u);
+
+  const detect::HomographDetector detector{w.db};
+  std::vector<detect::Match> matches;
+  std::vector<detect::DiffChar> diffs;
+  for (std::size_t r = 0; r < w.refs.size(); ++r) {
+    const auto* bucket = index.probe(index.hash_of(w.refs[r]));
+    if (bucket == nullptr) continue;
+    for (const auto x : *bucket) {
+      if (detector.match_pair(w.refs[r], w.idns[x].unicode, &diffs)) {
+        matches.push_back({r, x, diffs});
+      }
+    }
+  }
+  const detect::Engine engine{w.db};
+  const auto serial = engine.detect(
+      {.references = w.refs, .idns = w.idns, .strategy = detect::Strategy::kSerial});
+  EXPECT_EQ(matches, serial.matches);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkeletonEquivalence,
+                         ::testing::Values(101, 102, 103, 104, 105));
 
 // --- Serialization closure -------------------------------------------------
 

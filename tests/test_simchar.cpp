@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "font/synthetic_font.hpp"
@@ -53,6 +54,33 @@ TEST(SimCharBuild, RecordsDeltas) {
   EXPECT_EQ(db.delta_of(0x043E, 'o'), 2);  // symmetric lookup
   EXPECT_FALSE(db.delta_of('o', 'q').has_value());
   EXPECT_FALSE(db.delta_of('o', 'o').has_value());  // irreflexive
+}
+
+TEST(SimCharBuild, DeltaLookupOverCrowdedPostingLists) {
+  // delta_of binary-searches partner-sorted posting lists (hot in the
+  // detect verify path); stress a character participating in many pairs,
+  // as both the smaller and the larger member, in shuffled input order.
+  std::vector<HomoglyphPair> pairs;
+  for (unicode::CodePoint cp = 0x0400; cp < 0x0430; ++cp) {
+    pairs.push_back({'m', cp, static_cast<int>(cp % 5)});
+  }
+  pairs.push_back({'a', 'm', 1});
+  pairs.push_back({'k', 'm', 2});
+  std::reverse(pairs.begin(), pairs.end());
+  const SimCharDb db{std::move(pairs)};
+
+  for (unicode::CodePoint cp = 0x0400; cp < 0x0430; ++cp) {
+    EXPECT_EQ(db.delta_of('m', cp), static_cast<int>(cp % 5));
+    EXPECT_EQ(db.delta_of(cp, 'm'), static_cast<int>(cp % 5));
+  }
+  EXPECT_EQ(db.delta_of('m', 'a'), 1);
+  EXPECT_EQ(db.delta_of('k', 'm'), 2);
+  EXPECT_FALSE(db.delta_of('m', 0x0430).has_value());  // one past the range
+  EXPECT_FALSE(db.delta_of('m', 'b').has_value());
+  // homoglyphs_of stays ascending and duplicate-free off the sorted lists.
+  const auto hs = db.homoglyphs_of('m');
+  ASSERT_EQ(hs.size(), 50u);
+  for (std::size_t i = 1; i < hs.size(); ++i) EXPECT_LT(hs[i - 1], hs[i]);
 }
 
 TEST(SimCharBuild, ThresholdOptionWidens) {

@@ -144,6 +144,49 @@ TEST(Update, PrunedMatchesUnpruned) {
   EXPECT_EQ(a.pairs(), b.pairs());
 }
 
+TEST(Update, StepThreeMatchesFullBuildAtTheSparseCutoff) {
+  // Regression for the Step III popcount lookup: the update path used
+  // popcount_of[cp] (operator[]), whose unknown→0 default diverges from
+  // full-build semantics (eliminate only characters *measured* as sparse).
+  // The fix switched to .find() with unknown-keeps-pair. Lock in the
+  // invariant at the exact min_black_pixels boundary: single-pixel glyphs
+  // pair with each other (∆ ≤ 2) and sit right at a cutoff of 1, so any
+  // popcount defaulting would flip whether they survive Step III.
+  font::SyntheticFontBuilder old_builder{515};
+  old_builder.plant_cluster('o', {{0x043E, 0}});
+  const auto old_font = old_builder.build();
+
+  font::SyntheticFontBuilder new_builder{515};
+  new_builder.plant_cluster('o', {{0x043E, 0}});
+  new_builder.plant_sparse(0x0E47, 1);  // exactly at cutoff 1: NOT sparse
+  new_builder.plant_sparse(0x0E48, 1);
+  new_builder.plant_sparse(0x0E49, 0);  // below cutoff: sparse, pairs erased
+  const auto new_font = new_builder.build();
+  const std::vector<CodePoint> added{0x0E47, 0x0E48, 0x0E49};
+
+  BuildOptions at_cutoff;
+  at_cutoff.min_black_pixels = 1;
+  {
+    const auto existing = SimCharDb::build(*old_font, at_cutoff);
+    const auto updated =
+        update_with_new_characters(existing, *new_font, added, at_cutoff);
+    const auto full = SimCharDb::build(*new_font, at_cutoff);
+    EXPECT_EQ(updated.pairs(), full.pairs());
+    EXPECT_TRUE(updated.are_homoglyphs(0x0E47, 0x0E48));   // at cutoff: kept
+    EXPECT_FALSE(updated.are_homoglyphs(0x0E47, 0x0E49));  // sparse member: erased
+  }
+
+  BuildOptions above_cutoff;
+  above_cutoff.min_black_pixels = 2;
+  {
+    const auto existing = SimCharDb::build(*old_font, above_cutoff);
+    const auto updated =
+        update_with_new_characters(existing, *new_font, added, above_cutoff);
+    EXPECT_EQ(updated.pairs(), SimCharDb::build(*new_font, above_cutoff).pairs());
+    EXPECT_FALSE(updated.are_homoglyphs(0x0E47, 0x0E48));  // now below cutoff
+  }
+}
+
 TEST(Update, SparseAdditionsAreFiltered) {
   font::SyntheticFontBuilder old_builder{77};
   old_builder.plant_cluster('o', {{0x043E, 0}});
