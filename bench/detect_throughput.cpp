@@ -11,6 +11,7 @@
 // instead (tiny workload, every strategy and thread count checked for
 // byte-identical output) — registered as the `perf_smoke` ctest label so
 // engine races surface in tier-1 (and under -DSHAM_SANITIZE=thread).
+#include <algorithm>
 #include <cstring>
 #include <functional>
 #include <thread>
@@ -115,7 +116,61 @@ int run_smoke() {
                 r.stats.skeleton_rejection_rate() * 100.0, same ? "OK" : "MISMATCH");
     ok = ok && same;
   }
-  std::printf("smoke: %s\n", ok ? "all strategies byte-identical" : "FAILED");
+  // --- Cache-state equivalence -----------------------------------------
+  // A cached engine must stay byte-identical to a freshly built serial
+  // engine in every cache state: cold build, warm (whole-response memo),
+  // after an in-place database update (incremental index patch), and
+  // under the inverted (reference-bucketed) join. The serial baseline is
+  // rebuilt from the *current* database each time, so it tracks the
+  // update too.
+  homoglyph::HomoglyphDb mutable_db{sim, unicode::ConfusablesDb::embedded(),
+                                    db_config};
+  const detect::Engine cached{mutable_db, {.threads = 1}};
+  const auto serial_fresh = [&] {
+    const detect::Engine pure{mutable_db, {.threads = 1, .cache = false}};
+    return pure.detect({.references = w.refs,
+                        .idns = w.idns,
+                        .strategy = detect::Strategy::kSerial});
+  };
+  const auto cache_check = [&](const char* what, const detect::DetectResponse& r,
+                               bool state_ok) {
+    const bool same = r.matches == serial_fresh().matches && state_ok;
+    std::printf("  cache: %-20s %zu matches  [%s]\n", what, r.matches.size(),
+                same ? "OK" : "MISMATCH");
+    ok = ok && same;
+  };
+  const auto skeleton_query = [&](std::optional<detect::SkeletonJoin> join =
+                                      std::nullopt) {
+    return cached.detect({.references = w.refs,
+                          .idns = w.idns,
+                          .strategy = detect::Strategy::kSkeleton,
+                          .threads = 1,
+                          .join = join});
+  };
+  // Join direction pinned forward: at this shape (300 refs x 3000 IDNs)
+  // kAuto would start inverted and then promote to forward once the IDN
+  // set proves stable, which is correct but makes the per-call cache
+  // expectations below non-obvious; the promotion itself is unit-tested.
+  const auto cold = skeleton_query(detect::SkeletonJoin::kIdnIndex);
+  cache_check("cold", cold, cold.stats.index_cache_rebuilds == 1);
+  const auto warm = skeleton_query(detect::SkeletonJoin::kIdnIndex);
+  cache_check("warm (memo)", warm,
+              warm.stats.result_cache_hits == 1 &&
+                  warm.stats.skeleton_build_seconds == 0.0);
+  const simchar::HomoglyphPair extra[] = {{'k', 'x', 1}};
+  mutable_db.apply_update(extra);
+  const auto updated = skeleton_query(detect::SkeletonJoin::kIdnIndex);
+  cache_check("post-update (patched)", updated,
+              updated.stats.index_cache_updates == 1 &&
+                  updated.stats.index_cache_rebuilds == 0);
+  const auto inverted = skeleton_query(detect::SkeletonJoin::kReferenceIndex);
+  cache_check("inverted join", inverted,
+              inverted.stats.inverted_join &&
+                  inverted.stats.skeleton_candidates ==
+                      updated.stats.skeleton_candidates);
+
+  std::printf("smoke: %s\n",
+              ok ? "all strategies and cache states byte-identical" : "FAILED");
   return ok ? 0 : 1;
 }
 
@@ -183,7 +238,9 @@ int main(int argc, char** argv) {
   // parallel rows shard the same scan over 1/2/4/8 workers. Output is
   // checked byte-identical against the baseline each time.
   const std::span<const std::string> refs{ctx.scenario.references};
-  const detect::Engine engine{env.db_union};
+  // Measurement engine: caching off so every best_of rep pays the full
+  // build + scan cost (the cached shape is measured separately below).
+  const detect::Engine engine{env.db_union, {.cache = false}};
   const auto baseline = engine.detect(
       {.references = refs, .idns = ctx.idns, .strategy = detect::Strategy::kIndexed});
   const int reps = 3;
@@ -305,6 +362,49 @@ int main(int argc, char** argv) {
               skeleton_strat_stats.skeleton_build_seconds * 1e3, comparison_ratio,
               skeleton_strat_stats.skeleton_rejection_rate() * 100.0);
 
+  // --- Repeated-query benchmark: Engine-resident index caching ---------
+  // The production shape Section 4.2 implies: one engine, one zone
+  // snapshot, many queries. cold = first kSkeleton call on a caching
+  // engine (index build + scan); warm = the same query again (served by
+  // the whole-response memo, no build, no scan); warm_index = same IDN
+  // set but a rotated reference list (memo miss, cached skeleton index
+  // reused, scan runs).
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  double warm_index_seconds = 0.0;
+  bool warm_hit = false;
+  bool warm_index_hit = false;
+  bool warm_identical = false;
+  {
+    const detect::Engine caching{env.db_union, {.threads = 1}};
+    const auto cold = caching.detect({.references = refs, .idns = ctx.idns,
+                                      .strategy = detect::Strategy::kSkeleton});
+    cold_seconds = cold.stats.seconds;
+    const auto warm = caching.detect({.references = refs, .idns = ctx.idns,
+                                      .strategy = detect::Strategy::kSkeleton});
+    warm_seconds = warm.stats.seconds;
+    warm_hit = warm.stats.result_cache_hits == 1 &&
+               warm.stats.skeleton_build_seconds == 0.0 &&
+               warm.stats.index_build_seconds == 0.0;
+    std::vector<std::string> rotated{refs.begin(), refs.end()};
+    std::rotate(rotated.begin(), rotated.begin() + 1, rotated.end());
+    const auto warm_index =
+        caching.detect({.references = rotated, .idns = ctx.idns,
+                        .strategy = detect::Strategy::kSkeleton});
+    warm_index_seconds = warm_index.stats.seconds;
+    warm_index_hit = warm_index.stats.index_cache_hits == 1 &&
+                     warm_index.stats.skeleton_build_seconds == 0.0;
+    warm_identical = warm.matches == cold.matches && cold.matches == baseline.matches;
+  }
+  const double warm_speedup = cold_seconds / std::max(warm_seconds, 1e-9);
+  std::printf("repeated query (%zu refs x %zu IDNs, skeleton, caching engine):\n"
+              "  cold        %.4fs (index built)\n"
+              "  warm        %.6fs (%.0fx, result memo%s)\n"
+              "  warm index  %.4fs (new refs, cached index%s)\n\n",
+              refs.size(), ctx.idns.size(), cold_seconds, warm_seconds, warm_speedup,
+              warm_hit ? "" : " MISSED", warm_index_seconds,
+              warm_index_hit ? "" : " MISSED");
+
   if (std::FILE* f = std::fopen("BENCH_detect.json", "w")) {
     std::fprintf(f,
                  "{\n"
@@ -320,12 +420,27 @@ int main(int argc, char** argv) {
                  "  \"all_outputs_identical_to_serial\": %s,\n"
                  "  \"strategies\": [\n%s  ],\n"
                  "  \"skeleton_vs_indexed_comparison_ratio\": %.3f,\n"
-                 "  \"skeleton_identical_to_serial\": %s\n"
+                 "  \"skeleton_identical_to_serial\": %s,\n"
+                 "  \"repeated_query\": {\n"
+                 "    \"cold_seconds\": %.6f,\n"
+                 "    \"warm_seconds\": %.6f,\n"
+                 "    \"warm_speedup\": %.1f,\n"
+                 "    \"warm_result_cache_hit\": %s,\n"
+                 "    \"warm_index_seconds\": %.6f,\n"
+                 "    \"warm_index_cache_hit\": %s,\n"
+                 "    \"warm_identical_to_cold\": %s\n"
+                 "  },\n"
+                 "  \"parallel_speedup_criterion\": \"%s\"\n"
                  "}\n",
                  cores, refs.size(), ctx.idns.size(), naive_full, indexed_full,
                  serial_seconds, json_rows.c_str(), speedup4,
                  all_identical ? "true" : "false", strategy_json_rows.c_str(),
-                 comparison_ratio, skeleton_identical ? "true" : "false");
+                 comparison_ratio, skeleton_identical ? "true" : "false",
+                 cold_seconds, warm_seconds, warm_speedup,
+                 warm_hit ? "true" : "false", warm_index_seconds,
+                 warm_index_hit ? "true" : "false", warm_identical ? "true" : "false",
+                 cores >= 4 ? (speedup4 >= 2.0 ? "met" : "FAILED")
+                            : "hardware_skipped");
     std::fclose(f);
     std::printf("wrote BENCH_detect.json\n");
   }
@@ -346,6 +461,10 @@ int main(int argc, char** argv) {
   bench::shape("skeleton output byte-identical to serial", skeleton_identical);
   bench::shape("skeleton does >= 5x fewer exact char comparisons than indexed",
                comparison_ratio >= 5.0);
+  bench::shape("warm-cache detect() skips index construction (hit, build time 0)",
+               warm_hit && warm_index_hit);
+  bench::shape("repeated query >= 5x faster on the second call", warm_speedup >= 5.0);
+  bench::shape("warm response byte-identical to cold and serial", warm_identical);
   // The >= 2x criterion needs >= 4 real cores; report honestly when the
   // host cannot exhibit parallel speedup.
   if (cores >= 4) {

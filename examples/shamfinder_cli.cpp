@@ -41,6 +41,9 @@ int usage() {
                "usage: shamfinder_cli <command> ...\n"
                "  check <domain> --refs a,b,c    detect homograph vs references\n"
                "        [--strategy serial|indexed|parallel|skeleton] [--threads N]\n"
+               "        [--repeat N]             run the query N times (shows the\n"
+               "                                 engine's index/result cache at work)\n"
+               "        [--join auto|idn|refs]   skeleton join direction\n"
                "  candidates <brand> [max]       enumerate registerable homographs\n"
                "  revert <domain>                recover the spoofed original\n"
                "  inspect <char|U+XXXX>          character dossier\n"
@@ -60,8 +63,30 @@ int cmd_check(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   std::vector<std::string> refs;
   core::ShamFinderConfig config;
+  std::size_t repeat = 1;
   for (std::size_t i = 1; i + 1 < args.size(); ++i) {
-    if (args[i] == "--refs") {
+    if (args[i] == "--repeat") {
+      const auto& value = args[i + 1];
+      if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos ||
+          std::stoul(value) == 0) {
+        std::fprintf(stderr, "check: --repeat needs a positive integer, got %s\n",
+                     value.c_str());
+        return 2;
+      }
+      repeat = std::stoul(value);
+    } else if (args[i] == "--join") {
+      const auto& value = args[i + 1];
+      if (value == "auto") {
+        config.engine.join = detect::SkeletonJoin::kAuto;
+      } else if (value == "idn") {
+        config.engine.join = detect::SkeletonJoin::kIdnIndex;
+      } else if (value == "refs") {
+        config.engine.join = detect::SkeletonJoin::kReferenceIndex;
+      } else {
+        std::fprintf(stderr, "check: unknown join %s (auto|idn|refs)\n", value.c_str());
+        return 2;
+      }
+    } else if (args[i] == "--refs") {
       for (const auto part : util::split(args[i + 1], ',')) {
         refs.emplace_back(part);
       }
@@ -96,10 +121,25 @@ int cmd_check(const std::vector<std::string>& args) {
   const auto finder = make_finder(config);
   std::vector<detect::IdnEntry> idns{{idna::to_a_label(*label), *label}};
   detect::DetectionStats stats;
-  const auto matches = finder.find_homographs(refs, idns, &stats);
-  std::fprintf(stderr, "[detect] %s, %zu thread(s), %zu shard(s), %.3f ms\n",
-               std::string{detect::strategy_name(finder.engine_options().strategy)}.c_str(),
-               stats.threads_used, stats.shards_used, stats.seconds * 1e3);
+  std::vector<detect::Match> matches;
+  for (std::size_t iteration = 0; iteration < repeat; ++iteration) {
+    matches = finder.find_homographs(refs, idns, &stats);
+    const char* served = stats.result_cache_hits != 0  ? "result memo"
+                         : stats.index_cache_hits != 0 ? "cached index"
+                         : stats.index_cache_updates != 0
+                             ? "incrementally updated index"
+                             : "cold build";
+    std::fprintf(stderr,
+                 "[detect #%zu] %s%s, %zu thread(s), %zu shard(s), %.3f ms "
+                 "(%s; build %.3f ms, gen %llu)\n",
+                 iteration + 1,
+                 std::string{detect::strategy_name(finder.engine_options().strategy)}
+                     .c_str(),
+                 stats.inverted_join ? "/inverted" : "", stats.threads_used,
+                 stats.shards_used, stats.seconds * 1e3, served,
+                 (stats.index_build_seconds + stats.skeleton_build_seconds) * 1e3,
+                 static_cast<unsigned long long>(stats.db_generation));
+  }
   if (matches.empty()) {
     std::printf("%s: no homograph of the given references detected\n",
                 args[0].c_str());

@@ -16,7 +16,27 @@ ShamFinder ShamFinder::build_from_font(const font::FontSource& font,
 ShamFinder::ShamFinder(simchar::SimCharDb simchar_db, const unicode::ConfusablesDb& uc,
                        const homoglyph::DbConfig& config,
                        const detect::EngineOptions& engine)
-    : simchar_{std::move(simchar_db)}, db_{simchar_, uc, config}, engine_options_{engine} {}
+    : simchar_{std::move(simchar_db)},
+      db_{simchar_, uc, config},
+      engine_options_{engine},
+      engine_{db_, engine_options_} {}
+
+ShamFinder::ShamFinder(ShamFinder&& other) noexcept
+    : simchar_{std::move(other.simchar_)},
+      db_{std::move(other.db_)},
+      engine_options_{other.engine_options_},
+      // Rebind to our own db_ — memberwise move would leave the engine
+      // pointing into the moved-from object.
+      engine_{db_, engine_options_} {}
+
+ShamFinder& ShamFinder::operator=(ShamFinder&& other) noexcept {
+  if (this == &other) return *this;
+  simchar_ = std::move(other.simchar_);
+  db_ = std::move(other.db_);
+  engine_options_ = other.engine_options_;
+  engine_ = detect::Engine{db_, engine_options_};
+  return *this;
+}
 
 std::vector<detect::IdnEntry> ShamFinder::extract_idns(
     std::span<const std::string> domains, std::string_view tld) {
@@ -36,8 +56,7 @@ std::vector<detect::IdnEntry> ShamFinder::extract_idns(
 std::vector<detect::Match> ShamFinder::find_homographs(
     std::span<const std::string> references, std::span<const detect::IdnEntry> idns,
     detect::DetectionStats* stats) const {
-  const detect::Engine engine{db_, engine_options_};
-  auto response = engine.detect({.references = references, .idns = idns});
+  auto response = engine_.detect({.references = references, .idns = idns});
   if (stats != nullptr) *stats = std::move(response.stats);
   return std::move(response.matches);
 }

@@ -41,6 +41,15 @@ class ShamFinder {
              const homoglyph::DbConfig& config = {},
              const detect::EngineOptions& engine = {});
 
+  // The facade owns a persistent detect::Engine wired to db_ so repeated
+  // find_homographs calls against a stable IDN snapshot reuse the cached
+  // skeleton/length index; moving rebinds the engine to the moved-into
+  // database (the cache starts cold in the destination).
+  ShamFinder(ShamFinder&& other) noexcept;
+  ShamFinder& operator=(ShamFinder&& other) noexcept;
+  ShamFinder(const ShamFinder&) = delete;
+  ShamFinder& operator=(const ShamFinder&) = delete;
+
   [[nodiscard]] const simchar::SimCharDb& simchar() const noexcept { return simchar_; }
   [[nodiscard]] const homoglyph::HomoglyphDb& db() const noexcept { return db_; }
 
@@ -72,6 +81,7 @@ class ShamFinder {
   simchar::SimCharDb simchar_;
   homoglyph::HomoglyphDb db_;
   detect::EngineOptions engine_options_;
+  detect::Engine engine_;  // bound to db_; owns the cached indexes
 };
 
 }  // namespace sham::core

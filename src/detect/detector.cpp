@@ -50,7 +50,7 @@ bool HomographDetector::match_pair(const unicode::U32String& reference,
 std::vector<Match> HomographDetector::detect_unicode(
     std::span<const unicode::U32String> references, std::span<const IdnEntry> idns,
     DetectionStats* stats) const {
-  const Engine engine{*db_, {.strategy = Strategy::kIndexed, .threads = 1}};
+  const Engine engine{*db_, {.strategy = Strategy::kIndexed, .threads = 1, .cache = false}};
   auto response = engine.detect({.unicode_references = references, .idns = idns});
   if (stats != nullptr) *stats = std::move(response.stats);
   return std::move(response.matches);
@@ -59,7 +59,7 @@ std::vector<Match> HomographDetector::detect_unicode(
 std::vector<Match> HomographDetector::detect(std::span<const std::string> references,
                                              std::span<const IdnEntry> idns,
                                              DetectionStats* stats) const {
-  const Engine engine{*db_, {.strategy = Strategy::kSerial, .threads = 1}};
+  const Engine engine{*db_, {.strategy = Strategy::kSerial, .threads = 1, .cache = false}};
   auto response = engine.detect({.references = references, .idns = idns});
   if (stats != nullptr) *stats = std::move(response.stats);
   return std::move(response.matches);
@@ -68,7 +68,7 @@ std::vector<Match> HomographDetector::detect(std::span<const std::string> refere
 std::vector<Match> HomographDetector::detect_indexed(
     std::span<const std::string> references, std::span<const IdnEntry> idns,
     DetectionStats* stats) const {
-  const Engine engine{*db_, {.strategy = Strategy::kIndexed, .threads = 1}};
+  const Engine engine{*db_, {.strategy = Strategy::kIndexed, .threads = 1, .cache = false}};
   auto response = engine.detect({.references = references, .idns = idns});
   if (stats != nullptr) *stats = std::move(response.stats);
   return std::move(response.matches);

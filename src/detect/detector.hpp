@@ -77,6 +77,23 @@ struct DetectionStats {
   /// slot aggregates the tail (see SkeletonIndex::occupancy_histogram).
   std::vector<std::uint64_t> skeleton_bucket_histogram;
 
+  // Engine cache observability (zero under Strategy::kSerial and for
+  // engines constructed with EngineOptions::cache = false).
+  std::uint64_t index_cache_hits = 0;      // index reused as-is (build skipped)
+  std::uint64_t index_cache_rebuilds = 0;  // index built from scratch this call
+  std::uint64_t index_cache_updates = 0;   // index patched incrementally
+  std::uint64_t index_entries_rehashed = 0;  // entries touched by the patch
+  std::uint64_t result_cache_hits = 0;  // whole response served from the memo
+  double index_update_seconds = 0.0;    // wall clock of the incremental patch
+  /// HomoglyphDb::generation() observed at query time, and the generation
+  /// the served index was (re)built or patched up to. Equal after every
+  /// call; a gap would mean a stale index was served.
+  std::uint64_t db_generation = 0;
+  std::uint64_t index_generation = 0;
+  /// True when the skeleton join ran inverted (references bucketed, IDNs
+  /// streamed) — see EngineOptions::join.
+  bool inverted_join = false;
+
   /// Fraction of skeleton candidates the exact per-character verification
   /// rejected (closure over-approximation + hash collisions).
   [[nodiscard]] double skeleton_rejection_rate() const noexcept {

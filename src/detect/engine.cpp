@@ -1,8 +1,10 @@
 #include "detect/engine.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <unordered_map>
 
@@ -22,6 +24,60 @@ LengthIndex build_length_index(std::span<const IdnEntry> idns) {
     by_length[idns[x].unicode.size()].push_back(x);
   }
   return by_length;
+}
+
+// --- Content fingerprints -------------------------------------------------
+//
+// Cache keys are content hashes, not span addresses: callers routinely
+// reuse a buffer with different contents (or pass a different buffer with
+// the same contents), and pointer identity would alias both. splitmix64
+// over a length-prefixed, type-tagged stream of label sizes and code
+// points / bytes; the tag keeps an ASCII reference list, a Unicode
+// reference list and an IDN list with identical payloads from colliding.
+
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct Fingerprinter {
+  std::uint64_t h = 0x9ae16a3b2f90404fULL;
+  void mix(std::uint64_t v) noexcept { h = splitmix64(h ^ v); }
+};
+
+std::uint64_t fingerprint_of(std::span<const IdnEntry> idns) {
+  Fingerprinter f;
+  f.mix(0x1D);  // type tag: IDN entries
+  f.mix(idns.size());
+  for (const auto& entry : idns) {
+    f.mix(entry.unicode.size());
+    for (const auto cp : entry.unicode) f.mix(cp);
+  }
+  return f.h;
+}
+
+std::uint64_t fingerprint_of(std::span<const std::string> references) {
+  Fingerprinter f;
+  f.mix(0xA5);  // type tag: ASCII references
+  f.mix(references.size());
+  for (const auto& ref : references) {
+    f.mix(ref.size());
+    for (const char c : ref) f.mix(static_cast<unsigned char>(c));
+  }
+  return f.h;
+}
+
+std::uint64_t fingerprint_of(std::span<const unicode::U32String> references) {
+  Fingerprinter f;
+  f.mix(0xB7);  // type tag: Unicode references
+  f.mix(references.size());
+  for (const auto& ref : references) {
+    f.mix(ref.size());
+    for (const auto cp : ref) f.mix(cp);
+  }
+  return f.h;
 }
 
 /// Per-shard output slot: owned by exactly one shard during the scan,
@@ -57,12 +113,12 @@ void scan_references(const HomographDetector& detector,
   }
 }
 
-/// Skeleton-strategy variant of scan_references: one skeleton hash + one
-/// bucket probe per reference, exact per-character verification of every
-/// candidate. Buckets list IDN indices ascending and can only ever contain
-/// a superset of the true matches (see skeleton_index.hpp), so the
-/// verified matches come out in the same (reference, idn) order the serial
-/// scan produces — the shard merge below stays a plain concatenation.
+/// Skeleton-strategy forward scan: one skeleton hash + one bucket probe
+/// per reference, exact per-character verification of every candidate.
+/// Buckets list IDN indices ascending and can only ever contain a
+/// superset of the true matches (see skeleton_index.hpp), so the verified
+/// matches come out in the same (reference, idn) order the serial scan
+/// produces — the shard merge below stays a plain concatenation.
 template <typename RefString>
 void scan_references_skeleton(const HomographDetector& detector,
                               std::span<const RefString> references,
@@ -87,6 +143,35 @@ void scan_references_skeleton(const HomographDetector& detector,
   }
 }
 
+/// Inverted skeleton scan over IDNs [begin, end): the index buckets
+/// *reference* indices, each IDN probes once. The hash-equality join is
+/// symmetric, so the candidate (reference, idn) pair set — and every
+/// counter derived from it (char_comparisons charges the reference
+/// length per candidate, exactly as the forward scan does) — is
+/// identical to the forward join's; only the emission order differs
+/// (idn-major), which the caller restores with a final sort.
+template <typename RefString>
+void scan_idns_skeleton(const HomographDetector& detector,
+                        std::span<const RefString> references,
+                        std::span<const IdnEntry> idns, const SkeletonIndex& index,
+                        std::size_t begin, std::size_t end, ShardResult& out) {
+  std::vector<DiffChar> diffs;
+  for (std::size_t x = begin; x < end; ++x) {
+    const auto* bucket = index.probe(index.hash_of(idns[x].unicode));
+    if (bucket == nullptr) continue;
+    for (const auto r : *bucket) {
+      ++out.length_bucket_hits;
+      ++out.skeleton_candidates;
+      out.char_comparisons += references[r].size();
+      if (detector.match_pair(references[r], idns[x].unicode, &diffs)) {
+        out.matches.push_back({r, x, diffs});
+      } else {
+        ++out.skeleton_rejected;
+      }
+    }
+  }
+}
+
 std::size_t resolve_threads(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -95,6 +180,69 @@ std::size_t resolve_threads(std::size_t threads) {
 }
 
 }  // namespace
+
+// --- Cache state ----------------------------------------------------------
+//
+// Single-slot caches (last label set wins — the intended workload is many
+// queries against one stable zone snapshot). Published indexes are
+// immutable: an incremental update clones the index, patches the clone
+// and swaps the shared_ptr, so a concurrent detect() holding the old
+// pointer keeps scanning a consistent index (copy-on-write).
+struct Engine::CacheState {
+  std::mutex mutex;
+
+  /// IDN-side indexes, keyed by the IDN-set fingerprint. The length index
+  /// is database-independent; the skeleton index is valid for
+  /// `skeleton_generation` and patched forward via canonical_changes_since.
+  struct IdnSlot {
+    bool valid = false;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t skeleton_generation = 0;
+    std::shared_ptr<const SkeletonIndex> skeleton;
+    std::shared_ptr<const LengthIndex> by_length;
+  };
+
+  /// Reference-side skeleton index (inverted join), same lifecycle.
+  struct RefSlot {
+    bool valid = false;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t skeleton_generation = 0;
+    std::shared_ptr<const SkeletonIndex> skeleton;
+  };
+
+  /// Whole-response memo for the exact same query.
+  struct ResultSlot {
+    bool valid = false;
+    std::uint64_t ref_fingerprint = 0;
+    std::uint64_t idn_fingerprint = 0;
+    std::uint64_t generation = 0;
+    Strategy strategy = Strategy::kSerial;
+    std::size_t workers = 0;
+    bool inverted = false;
+    std::shared_ptr<const DetectResponse> response;
+  };
+
+  IdnSlot idn;
+  RefSlot ref;
+  ResultSlot result;
+
+  /// SkeletonJoin::kAuto stability promotion: when the same IDN set shows
+  /// up twice in a row it is treated as the stable snapshot and indexed
+  /// (forward join) even if the size rule says inverted — otherwise the
+  /// many-references heuristic would keep the cacheable side unindexed
+  /// forever.
+  bool last_idn_seen = false;
+  std::uint64_t last_idn_fingerprint = 0;
+};
+
+Engine::Engine(const homoglyph::HomoglyphDb& db, EngineOptions options)
+    : db_{&db},
+      options_{options},
+      cache_{options.cache ? std::make_unique<CacheState>() : nullptr} {}
+
+Engine::~Engine() = default;
+Engine::Engine(Engine&&) noexcept = default;
+Engine& Engine::operator=(Engine&&) noexcept = default;
 
 std::string_view strategy_name(Strategy strategy) noexcept {
   switch (strategy) {
@@ -119,24 +267,47 @@ DetectResponse Engine::detect(const DetectRequest& request) const {
     throw std::invalid_argument{
         "DetectRequest: supply ASCII references or unicode_references, not both"};
   }
+  // The ASCII span is matched (and skeleton-hashed) byte-wise; a stray
+  // UTF-8 byte would silently diverge from per-code-point semantics, so
+  // reject it here at the API boundary (satellite bugfix: hash asymmetry).
+  for (std::size_t r = 0; r < request.references.size(); ++r) {
+    for (const char c : request.references[r]) {
+      const auto byte = static_cast<unsigned char>(c);
+      if (byte >= 0x80) {
+        throw std::invalid_argument{
+            "DetectRequest: references[" + std::to_string(r) +
+            "] contains non-ASCII byte " + std::to_string(byte) +
+            "; decode it and pass it via unicode_references"};
+      }
+    }
+  }
   const auto strategy = request.strategy.value_or(options_.strategy);
   const auto threads = request.threads.value_or(options_.threads);
-  if (!request.unicode_references.empty()) {
-    return run(request.unicode_references, request.idns, strategy, threads);
+  const auto join = request.join.value_or(options_.join);
+  // Empty-input short-circuit: fully-zeroed stats under every strategy
+  // (satellite bugfix — no index build, no cache traffic, no shard slots).
+  if (request.idns.empty() ||
+      (request.references.empty() && request.unicode_references.empty())) {
+    return {};
   }
-  return run(request.references, request.idns, strategy, threads);
+  if (!request.unicode_references.empty()) {
+    return run(request.unicode_references, request.idns, strategy, threads, join);
+  }
+  return run(request.references, request.idns, strategy, threads, join);
 }
 
 template <typename RefString>
 DetectResponse Engine::run(std::span<const RefString> references,
                            std::span<const IdnEntry> idns, Strategy strategy,
-                           std::size_t threads) const {
+                           std::size_t threads, SkeletonJoin join) const {
   util::Stopwatch total;
   DetectResponse out;
   const HomographDetector detector{*db_};
 
   if (strategy == Strategy::kSerial) {
-    // Algorithm 1 as printed: no index, every (ref, IDN) length pair probed.
+    // Algorithm 1 as printed: no index, every (ref, IDN) length pair
+    // probed. Deliberately cache-free — this is the ground-truth baseline
+    // every cache state is compared against.
     std::vector<DiffChar> diffs;
     for (std::size_t r = 0; r < references.size(); ++r) {
       const auto& ref = references[r];
@@ -155,27 +326,200 @@ DetectResponse Engine::run(std::span<const RefString> references,
     return out;
   }
 
-  // Index build: length buckets for kIndexed/kParallel, skeleton-hash
-  // buckets for kSkeleton.
-  util::Stopwatch stage;
-  LengthIndex by_length;
-  std::optional<SkeletonIndex> skeleton;
+  const auto workers = resolve_threads(threads);
+  const auto generation = db_->generation();
+  const bool use_cache = cache_ != nullptr;
+
+  std::uint64_t ref_fp = 0;
+  std::uint64_t idn_fp = 0;
+  if (use_cache) {
+    ref_fp = fingerprint_of(references);
+    idn_fp = fingerprint_of(idns);
+  }
+
+  // Join direction (kSkeleton only): explicit request wins; kAuto prefers
+  // the side that is already cached (warm index beats any rebuild), then
+  // a stable-looking IDN set (build the reusable index), then the size
+  // rule (index the smaller side).
+  bool inverted = false;
   if (strategy == Strategy::kSkeleton) {
-    skeleton.emplace(*db_, idns);
-    out.stats.skeleton_build_seconds = stage.seconds();
+    if (join == SkeletonJoin::kReferenceIndex) {
+      inverted = true;
+    } else if (join == SkeletonJoin::kAuto) {
+      const bool smaller_ref_side =
+          references.size() * options_.inverted_join_ratio <= idns.size();
+      if (!use_cache) {
+        inverted = smaller_ref_side;
+      } else {
+        std::lock_guard lock{cache_->mutex};
+        const bool idn_index_warm = cache_->idn.valid &&
+                                    cache_->idn.fingerprint == idn_fp &&
+                                    cache_->idn.skeleton != nullptr;
+        const bool idn_stable =
+            cache_->last_idn_seen && cache_->last_idn_fingerprint == idn_fp;
+        inverted = !idn_index_warm && !idn_stable && smaller_ref_side;
+      }
+    }
+  }
+  out.stats.inverted_join = inverted;
+  out.stats.db_generation = generation;
+  out.stats.index_generation = generation;
+
+  // L1: whole-response memo. Key covers everything the response depends
+  // on; on a hit the stored response is copied and its timing/cache
+  // counters overwritten to describe *this* call (no build, no scan).
+  if (use_cache) {
+    std::lock_guard lock{cache_->mutex};
+    const auto& slot = cache_->result;
+    if (slot.valid && slot.ref_fingerprint == ref_fp &&
+        slot.idn_fingerprint == idn_fp && slot.generation == generation &&
+        slot.strategy == strategy && slot.workers == workers &&
+        slot.inverted == inverted) {
+      out = *slot.response;
+      out.stats.result_cache_hits = 1;
+      out.stats.index_cache_hits = 0;
+      out.stats.index_cache_rebuilds = 0;
+      out.stats.index_cache_updates = 0;
+      out.stats.index_entries_rehashed = 0;
+      out.stats.index_build_seconds = 0.0;
+      out.stats.skeleton_build_seconds = 0.0;
+      out.stats.index_update_seconds = 0.0;
+      out.stats.match_seconds = 0.0;
+      out.stats.merge_seconds = 0.0;
+      out.stats.db_generation = generation;
+      out.stats.index_generation = generation;
+      cache_->last_idn_seen = true;
+      cache_->last_idn_fingerprint = idn_fp;
+      out.stats.seconds = total.seconds();
+      return out;
+    }
+  }
+
+  // L2: index acquisition — cached (hit / incremental patch / rebuild)
+  // or a local uncached build.
+  util::Stopwatch stage;
+  std::shared_ptr<const LengthIndex> by_length;
+  std::shared_ptr<const SkeletonIndex> skeleton;
+
+  if (strategy == Strategy::kSkeleton) {
+    if (!use_cache) {
+      stage.reset();
+      skeleton = inverted ? std::make_shared<SkeletonIndex>(*db_, references)
+                          : std::make_shared<SkeletonIndex>(*db_, idns);
+      out.stats.skeleton_build_seconds = stage.seconds();
+    } else if (!inverted) {
+      std::lock_guard lock{cache_->mutex};
+      auto& slot = cache_->idn;
+      if (!(slot.valid && slot.fingerprint == idn_fp)) {
+        slot = {};
+        slot.valid = true;
+        slot.fingerprint = idn_fp;
+      }
+      bool ready = false;
+      if (slot.skeleton != nullptr) {
+        if (slot.skeleton_generation == generation) {
+          out.stats.index_cache_hits = 1;
+          ready = true;
+        } else if (const auto changes =
+                       db_->canonical_changes_since(slot.skeleton_generation)) {
+          stage.reset();
+          auto patched = std::make_shared<SkeletonIndex>(*slot.skeleton);
+          out.stats.index_entries_rehashed = patched->rehash_changed(idns, *changes);
+          slot.skeleton = std::move(patched);
+          slot.skeleton_generation = generation;
+          out.stats.index_cache_updates = 1;
+          out.stats.index_update_seconds = stage.seconds();
+          ready = true;
+        }
+      }
+      if (!ready) {
+        stage.reset();
+        slot.skeleton = std::make_shared<SkeletonIndex>(*db_, idns);
+        slot.skeleton_generation = generation;
+        out.stats.index_cache_rebuilds = 1;
+        out.stats.skeleton_build_seconds = stage.seconds();
+      }
+      skeleton = slot.skeleton;
+      cache_->last_idn_seen = true;
+      cache_->last_idn_fingerprint = idn_fp;
+    } else {
+      std::lock_guard lock{cache_->mutex};
+      auto& slot = cache_->ref;
+      if (!(slot.valid && slot.fingerprint == ref_fp)) {
+        slot = {};
+        slot.valid = true;
+        slot.fingerprint = ref_fp;
+      }
+      bool ready = false;
+      if (slot.skeleton != nullptr) {
+        if (slot.skeleton_generation == generation) {
+          out.stats.index_cache_hits = 1;
+          ready = true;
+        } else if (const auto changes =
+                       db_->canonical_changes_since(slot.skeleton_generation)) {
+          stage.reset();
+          auto patched = std::make_shared<SkeletonIndex>(*slot.skeleton);
+          out.stats.index_entries_rehashed =
+              patched->rehash_changed(references, *changes);
+          slot.skeleton = std::move(patched);
+          slot.skeleton_generation = generation;
+          out.stats.index_cache_updates = 1;
+          out.stats.index_update_seconds = stage.seconds();
+          ready = true;
+        }
+      }
+      if (!ready) {
+        stage.reset();
+        slot.skeleton = std::make_shared<SkeletonIndex>(*db_, references);
+        slot.skeleton_generation = generation;
+        out.stats.index_cache_rebuilds = 1;
+        out.stats.skeleton_build_seconds = stage.seconds();
+      }
+      skeleton = slot.skeleton;
+      cache_->last_idn_seen = true;
+      cache_->last_idn_fingerprint = idn_fp;
+    }
     out.stats.skeleton_buckets = skeleton->bucket_count();
     out.stats.skeleton_bucket_histogram = skeleton->occupancy_histogram();
   } else {
-    by_length = build_length_index(idns);
-    out.stats.index_build_seconds = stage.seconds();
+    // kIndexed / kParallel: the length index depends only on the IDN set
+    // (not on the database), so its slot carries no generation.
+    if (!use_cache) {
+      stage.reset();
+      by_length = std::make_shared<LengthIndex>(build_length_index(idns));
+      out.stats.index_build_seconds = stage.seconds();
+    } else {
+      std::lock_guard lock{cache_->mutex};
+      auto& slot = cache_->idn;
+      if (!(slot.valid && slot.fingerprint == idn_fp)) {
+        slot = {};
+        slot.valid = true;
+        slot.fingerprint = idn_fp;
+      }
+      if (slot.by_length != nullptr) {
+        out.stats.index_cache_hits = 1;
+      } else {
+        stage.reset();
+        slot.by_length = std::make_shared<LengthIndex>(build_length_index(idns));
+        out.stats.index_cache_rebuilds = 1;
+        out.stats.index_build_seconds = stage.seconds();
+      }
+      by_length = slot.by_length;
+      cache_->last_idn_seen = true;
+      cache_->last_idn_fingerprint = idn_fp;
+    }
   }
 
+  // The streamed side: references (forward) or IDNs (inverted join).
+  const std::size_t domain = inverted ? idns.size() : references.size();
   const auto scan = [&](std::size_t begin, std::size_t end, ShardResult& slot) {
-    if (skeleton) {
+    if (skeleton != nullptr && inverted) {
+      scan_idns_skeleton(detector, references, idns, *skeleton, begin, end, slot);
+    } else if (skeleton != nullptr) {
       scan_references_skeleton(detector, references, idns, *skeleton, begin, end,
                                slot);
     } else {
-      scan_references(detector, references, idns, by_length, begin, end, slot);
+      scan_references(detector, references, idns, *by_length, begin, end, slot);
     }
   };
   const auto accumulate = [&](ShardResult& shard) {
@@ -187,56 +531,78 @@ DetectResponse Engine::run(std::span<const RefString> references,
     out.stats.skeleton_rejected += shard.skeleton_rejected;
     out.stats.shard_candidates.push_back(shard.length_bucket_hits);
   };
+  // The inverted scan emits idn-major; restore the canonical
+  // (reference_index, idn_index) order the serial scan defines. Pairs are
+  // unique, so a plain sort is deterministic.
+  const auto restore_order = [&] {
+    if (!inverted) return;
+    std::sort(out.matches.begin(), out.matches.end(),
+              [](const Match& a, const Match& b) {
+                return a.reference_index != b.reference_index
+                           ? a.reference_index < b.reference_index
+                           : a.idn_index < b.idn_index;
+              });
+  };
 
-  const auto workers = resolve_threads(threads);
   const bool parallel =
       (strategy == Strategy::kParallel || strategy == Strategy::kSkeleton) &&
-      workers > 1 && references.size() > 1;
+      workers > 1 && domain > 1;
 
   if (!parallel) {
     ShardResult shard;
     stage.reset();
-    scan(0, references.size(), shard);
+    scan(0, domain, shard);
     out.stats.match_seconds = stage.seconds();
     accumulate(shard);
-    out.stats.seconds = total.seconds();
-    return out;
+    restore_order();
+  } else {
+    const std::size_t shards = std::min(
+        domain, std::max<std::size_t>(1, workers * options_.shards_per_thread));
+    std::vector<ShardResult> shard_results(shards);
+
+    stage.reset();
+    {
+      util::ThreadPool pool{workers};
+      pool.parallel_for_chunks(
+          0, domain, shards,
+          [&](std::size_t chunk, std::size_t chunk_begin, std::size_t chunk_end) {
+            scan(chunk_begin, chunk_end, shard_results[chunk]);
+          });
+    }
+    out.stats.match_seconds = stage.seconds();
+
+    // Deterministic merge: shards cover ascending ranges of the streamed
+    // side, so appending them in shard order reproduces that side's scan
+    // order (the inverted join then re-sorts to reference-major).
+    stage.reset();
+    std::size_t total_matches = 0;
+    for (const auto& shard : shard_results) total_matches += shard.matches.size();
+    out.matches.reserve(total_matches);
+    out.stats.shard_candidates.reserve(shards);
+    for (auto& shard : shard_results) accumulate(shard);
+    restore_order();
+    out.stats.merge_seconds = stage.seconds();
+
+    out.stats.threads_used = workers;
+    out.stats.shards_used = shards;
   }
 
-  const std::size_t shards = std::min(
-      references.size(), std::max<std::size_t>(1, workers * options_.shards_per_thread));
-  std::vector<ShardResult> shard_results(shards);
-
-  stage.reset();
-  util::ThreadPool pool{workers};
-  pool.parallel_for_chunks(
-      0, references.size(), shards,
-      [&](std::size_t chunk, std::size_t chunk_begin, std::size_t chunk_end) {
-        scan(chunk_begin, chunk_end, shard_results[chunk]);
-      });
-  out.stats.match_seconds = stage.seconds();
-
-  // Deterministic merge: shards cover ascending reference ranges, so
-  // appending them in shard order reproduces the serial scan order.
-  stage.reset();
-  std::size_t total_matches = 0;
-  for (const auto& shard : shard_results) total_matches += shard.matches.size();
-  out.matches.reserve(total_matches);
-  out.stats.shard_candidates.reserve(shards);
-  for (auto& shard : shard_results) accumulate(shard);
-  out.stats.merge_seconds = stage.seconds();
-
-  out.stats.threads_used = workers;
-  out.stats.shards_used = shards;
   out.stats.seconds = total.seconds();
+
+  if (use_cache) {
+    auto response = std::make_shared<DetectResponse>(out);
+    std::lock_guard lock{cache_->mutex};
+    cache_->result = {true,     ref_fp,  idn_fp,   generation,
+                      strategy, workers, inverted, std::move(response)};
+  }
   return out;
 }
 
 template DetectResponse Engine::run(std::span<const std::string>,
                                     std::span<const IdnEntry>, Strategy,
-                                    std::size_t) const;
+                                    std::size_t, SkeletonJoin) const;
 template DetectResponse Engine::run(std::span<const unicode::U32String>,
                                     std::span<const IdnEntry>, Strategy,
-                                    std::size_t) const;
+                                    std::size_t, SkeletonJoin) const;
 
 }  // namespace sham::detect

@@ -8,23 +8,50 @@
 //   kIndexed   length-bucketed IDN index built once, serial scan;
 //   kParallel  the indexed scan sharded over the reference list on a
 //              util::ThreadPool;
-//   kSkeleton  IDNs bucketed by confusable-closure skeleton hash
-//              (skeleton_index.hpp); each reference costs one skeleton
-//              computation plus one bucket probe, and every candidate is
-//              re-verified with the exact per-character check. Shards over
-//              the reference list like kParallel when threads permit.
+//   kSkeleton  one side of the join bucketed by confusable-closure
+//              skeleton hash (skeleton_index.hpp); the other side costs
+//              one skeleton computation plus one bucket probe per label,
+//              and every candidate is re-verified with the exact
+//              per-character check. Which side gets indexed is the *join
+//              direction* (SkeletonJoin): forward buckets the IDNs and
+//              streams references; inverted buckets the references and
+//              streams IDNs (the many-references case). kAuto picks so
+//              build cost scales with min(refs, idns), preferring a
+//              side that is already cached. Shards over the streamed
+//              side like kParallel when threads permit.
 //
-// Determinism: every strategy produces the same match list in the same
-// order. The parallel path shards the reference list into contiguous
-// ascending ranges, collects one Match vector plus one counter set per
-// shard (no shared mutable state, no atomics on the hot path), and merges
-// the shards in shard order — so the output is byte-identical to the
-// serial indexed scan. DetectionStats doubles as the observability layer:
-// per-stage wall-clock times and per-shard candidate counts (see
-// detector.hpp for the exact aggregation semantics).
+// Caching: the engine owns its indexes. With EngineOptions::cache (the
+// default) it keeps the last-built skeleton/length index keyed by a
+// content fingerprint of the label set plus the HomoglyphDb generation,
+// and a whole-response memo for the exact (references, idns, generation,
+// strategy, threads, join) query. Repeated queries against a stable zone
+// snapshot therefore pay the index build once; when the database grows
+// (HomoglyphDb::apply_update / update_with_new_characters) the cached
+// skeleton index is patched incrementally — only entries whose labels
+// contain a code point whose canonical representative moved are rehashed.
+// Strategy::kSerial never touches the cache (it is the ground-truth
+// baseline the test suite compares everything against).
+//
+// Const-safety: detect() stays const — cache state lives behind a mutex
+// in a heap-allocated slot, published indexes are immutable shared_ptrs
+// (copy-on-write updates), so concurrent detect() calls on one Engine
+// are safe.
+//
+// Determinism: every strategy and every cache state (cold, warm,
+// post-incremental-update, inverted join) produces the same match list
+// in the same (reference_index, idn_index) order. The parallel path
+// shards the streamed side into contiguous ascending ranges, collects
+// one Match vector plus one counter set per shard (no shared mutable
+// state, no atomics on the hot path), and merges the shards in shard
+// order; the inverted join additionally restores (reference_index,
+// idn_index) order with a final sort. DetectionStats doubles as the
+// observability layer: per-stage wall-clock times, per-shard candidate
+// counts, and cache hit/rebuild/update counters (see detector.hpp for
+// the exact aggregation semantics).
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -44,6 +71,13 @@ enum class Strategy {
   kSkeleton,  // skeleton-hash candidate index + exact verification
 };
 
+/// Join direction for Strategy::kSkeleton (which side gets indexed).
+enum class SkeletonJoin {
+  kAuto,            // cheaper side: cached > stable > smaller (see engine.cpp)
+  kIdnIndex,        // forward: bucket IDNs, stream references
+  kReferenceIndex,  // inverted: bucket references, stream IDNs
+};
+
 [[nodiscard]] std::string_view strategy_name(Strategy strategy) noexcept;
 [[nodiscard]] std::optional<Strategy> parse_strategy(std::string_view name) noexcept;
 
@@ -54,17 +88,34 @@ struct EngineOptions {
   /// Reference-list shards per worker thread (load balancing granularity;
   /// more shards smooth out skewed length buckets at a small merge cost).
   std::size_t shards_per_thread = 4;
+  /// Keep indexes (and a single-query response memo) on the engine across
+  /// detect() calls. Disable for one-shot engines or measurement code
+  /// that needs every call to pay full cost.
+  bool cache = true;
+  /// Join direction for Strategy::kSkeleton.
+  SkeletonJoin join = SkeletonJoin::kAuto;
+  /// kAuto picks the inverted join only when
+  ///   refs * inverted_join_ratio <= idns
+  /// and the IDN-side index is neither cached nor looking stable — the
+  /// margin keeps a reusable IDN index worth building near the break-even
+  /// point.
+  std::size_t inverted_join_ratio = 4;
 };
 
 /// One detection run: references (exactly one of the two spans may be
 /// non-empty — ASCII reference names or decoded Unicode labels), the IDN
 /// set, and optional per-request overrides of the engine's defaults.
+/// ASCII `references` must be pure ASCII: non-ASCII bytes are rejected
+/// with std::invalid_argument (put such labels in unicode_references —
+/// byte-wise matching of multi-byte UTF-8 would silently diverge from
+/// the per-code-point semantics of Algorithm 1).
 struct DetectRequest {
   std::span<const std::string> references{};                 // ASCII (LDH) names
   std::span<const unicode::U32String> unicode_references{};  // non-Latin refs
   std::span<const IdnEntry> idns{};
-  std::optional<Strategy> strategy{};     // overrides EngineOptions::strategy
-  std::optional<std::size_t> threads{};   // overrides EngineOptions::threads
+  std::optional<Strategy> strategy{};       // overrides EngineOptions::strategy
+  std::optional<std::size_t> threads{};     // overrides EngineOptions::threads
+  std::optional<SkeletonJoin> join{};       // overrides EngineOptions::join
 };
 
 struct DetectResponse {
@@ -74,24 +125,36 @@ struct DetectResponse {
 
 class Engine {
  public:
-  /// The database must outlive the engine.
-  explicit Engine(const homoglyph::HomoglyphDb& db, EngineOptions options = {})
-      : db_{&db}, options_{options} {}
+  /// The database must outlive the engine. The engine observes database
+  /// growth through HomoglyphDb::generation(); mutating the database
+  /// in place invalidates (incrementally updates) cached indexes on the
+  /// next detect() call.
+  explicit Engine(const homoglyph::HomoglyphDb& db, EngineOptions options = {});
+  ~Engine();
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
 
   [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
 
   /// Run Algorithm 1 under the requested strategy. Throws
-  /// std::invalid_argument if both reference spans are non-empty.
+  /// std::invalid_argument if both reference spans are non-empty or if an
+  /// ASCII reference contains a non-ASCII byte. Empty references or IDNs
+  /// short-circuit to an empty response with fully-zeroed stats.
   [[nodiscard]] DetectResponse detect(const DetectRequest& request) const;
 
  private:
+  struct CacheState;
+
   template <typename RefString>
   [[nodiscard]] DetectResponse run(std::span<const RefString> references,
                                    std::span<const IdnEntry> idns, Strategy strategy,
-                                   std::size_t threads) const;
+                                   std::size_t threads, SkeletonJoin join) const;
 
   const homoglyph::HomoglyphDb* db_;
   EngineOptions options_;
+  /// Heap slot so the Engine stays movable (the mutex lives inside);
+  /// null when options_.cache is false.
+  std::unique_ptr<CacheState> cache_;
 };
 
 }  // namespace sham::detect

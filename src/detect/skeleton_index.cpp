@@ -18,6 +18,17 @@ constexpr std::uint64_t fnv1a_u32(std::uint64_t h, std::uint32_t v) noexcept {
   return h;
 }
 
+template <typename Char>
+constexpr unicode::CodePoint to_cp(Char c) noexcept {
+  return static_cast<unicode::CodePoint>(static_cast<std::make_unsigned_t<Char>>(c));
+}
+
+// Label projections: IdnEntry hashes its decoded Unicode form; reference
+// label lists hash as-is.
+const unicode::U32String& label_of(const IdnEntry& entry) { return entry.unicode; }
+const std::string& label_of(const std::string& label) { return label; }
+const unicode::U32String& label_of(const unicode::U32String& label) { return label; }
+
 }  // namespace
 
 template <typename String>
@@ -26,11 +37,57 @@ std::uint64_t SkeletonIndex::hash_impl(const String& label) const {
   // to genuine FNV collisions (which verification absorbs).
   std::uint64_t h = fnv1a_u32(kFnvOffset, static_cast<std::uint32_t>(label.size()));
   for (const auto c : label) {
-    const auto cp = static_cast<unicode::CodePoint>(
-        static_cast<std::make_unsigned_t<typename String::value_type>>(c));
-    h = fnv1a_u32(h, db_->canonical(cp));
+    h = fnv1a_u32(h, db_->canonical(to_cp(c)));
   }
   return h & hash_mask_;
+}
+
+template <typename Label>
+void SkeletonIndex::build(std::span<const Label> labels) {
+  entry_hashes_.resize(labels.size());
+  buckets_.reserve(labels.size());
+  std::vector<unicode::CodePoint> uniq;
+  for (std::size_t x = 0; x < labels.size(); ++x) {
+    const auto& label = label_of(labels[x]);
+    const auto h = hash_impl(label);
+    entry_hashes_[x] = h;
+    auto& bucket = buckets_[h];
+    if (bucket.empty()) ++non_empty_buckets_;
+    bucket.push_back(x);  // ascending: x is monotonic
+
+    uniq.clear();
+    for (const auto c : label) uniq.push_back(to_cp(c));
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    for (const auto cp : uniq) entries_by_cp_[cp].push_back(x);
+  }
+}
+
+template <typename Label>
+std::size_t SkeletonIndex::rehash_impl(std::span<const Label> labels,
+                                       std::span<const unicode::CodePoint> changed) {
+  std::vector<std::size_t> affected;
+  for (const auto cp : changed) {
+    const auto it = entries_by_cp_.find(cp);
+    if (it == entries_by_cp_.end()) continue;
+    affected.insert(affected.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+
+  for (const auto x : affected) {
+    const auto old_hash = entry_hashes_[x];
+    const auto new_hash = hash_impl(label_of(labels[x]));
+    if (new_hash == old_hash) continue;
+    auto& old_bucket = buckets_[old_hash];
+    old_bucket.erase(std::find(old_bucket.begin(), old_bucket.end(), x));
+    if (old_bucket.empty()) --non_empty_buckets_;  // stays in the table, empty
+    auto& new_bucket = buckets_[new_hash];
+    if (new_bucket.empty()) ++non_empty_buckets_;
+    new_bucket.insert(std::upper_bound(new_bucket.begin(), new_bucket.end(), x), x);
+    entry_hashes_[x] = new_hash;
+  }
+  return affected.size();
 }
 
 SkeletonIndex::SkeletonIndex(const homoglyph::HomoglyphDb& db,
@@ -39,9 +96,25 @@ SkeletonIndex::SkeletonIndex(const homoglyph::HomoglyphDb& db,
     : db_{&db},
       hash_mask_{options.hash_bits >= 64 ? ~0ULL
                                          : (1ULL << options.hash_bits) - 1} {
-  for (std::size_t x = 0; x < idns.size(); ++x) {
-    buckets_[hash_impl(idns[x].unicode)].push_back(x);
-  }
+  build(idns);
+}
+
+SkeletonIndex::SkeletonIndex(const homoglyph::HomoglyphDb& db,
+                             std::span<const std::string> labels,
+                             SkeletonIndexOptions options)
+    : db_{&db},
+      hash_mask_{options.hash_bits >= 64 ? ~0ULL
+                                         : (1ULL << options.hash_bits) - 1} {
+  build(labels);
+}
+
+SkeletonIndex::SkeletonIndex(const homoglyph::HomoglyphDb& db,
+                             std::span<const unicode::U32String> labels,
+                             SkeletonIndexOptions options)
+    : db_{&db},
+      hash_mask_{options.hash_bits >= 64 ? ~0ULL
+                                         : (1ULL << options.hash_bits) - 1} {
+  build(labels);
 }
 
 std::uint64_t SkeletonIndex::hash_of(std::string_view reference) const {
@@ -52,11 +125,29 @@ std::uint64_t SkeletonIndex::hash_of(const unicode::U32String& reference) const 
   return hash_impl(reference);
 }
 
+std::size_t SkeletonIndex::rehash_changed(std::span<const IdnEntry> labels,
+                                          std::span<const unicode::CodePoint> changed) {
+  return rehash_impl(labels, changed);
+}
+
+std::size_t SkeletonIndex::rehash_changed(std::span<const std::string> labels,
+                                          std::span<const unicode::CodePoint> changed) {
+  return rehash_impl(labels, changed);
+}
+
+std::size_t SkeletonIndex::rehash_changed(std::span<const unicode::U32String> labels,
+                                          std::span<const unicode::CodePoint> changed) {
+  return rehash_impl(labels, changed);
+}
+
 std::vector<std::uint64_t> SkeletonIndex::occupancy_histogram(
     std::size_t max_slots) const {
   std::vector<std::uint64_t> histogram(max_slots, 0);
   if (max_slots == 0) return histogram;
   for (const auto& entry : buckets_) {
+    // Vacated buckets (rehash_changed moved every entry out) stay in the
+    // table; size() - 1 would underflow for them.
+    if (entry.second.empty()) continue;
     const auto slot = std::min(entry.second.size() - 1, max_slots - 1);
     ++histogram[slot];
   }

@@ -3,9 +3,14 @@
 // UTS#39-style skeletonization turns Algorithm 1's pairwise scan into a
 // hash join: every code point is replaced by its confusable-closure
 // representative (HomoglyphDb::canonical), the canonicalized label is
-// hashed (FNV-1a over representatives, length-prefixed), and IDNs are
-// bucketed by that hash. A reference then costs one skeleton computation
-// plus one bucket probe instead of a scan over every same-length IDN.
+// hashed (FNV-1a over representatives, length-prefixed), and labels are
+// bucketed by that hash. A probe then costs one skeleton computation
+// plus one bucket lookup instead of a scan over every same-length label.
+//
+// The index can be built over either side of the join: IDN entries (the
+// classic forward join — references probe IDN buckets) or reference
+// labels (the inverted join for the many-references case — IDNs probe
+// reference buckets). Engine picks the cheaper side.
 //
 // Soundness: if a reference matches an IDN under Algorithm 1, every
 // position is either equal or a listed pair, and both imply equal
@@ -16,10 +21,20 @@
 // pair), and distinct skeletons can collide in the hash. Every bucket hit
 // is therefore a *candidate* that must be re-verified with the exact
 // per-character check before it becomes a match.
+//
+// Incremental maintenance: the index records each entry's hash and an
+// inverted posting list from raw code point to the entries whose label
+// contains it. When the database reports which code points changed their
+// canonical representative (HomoglyphDb::canonical_changes_since), only
+// the entries whose labels contain an affected code point are rehashed —
+// an entry's hash depends on canonical(c) for exactly its raw code
+// points, so rehashing that set reproduces a full rebuild. Removal can
+// leave empty buckets behind (probe treats them as misses).
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -39,36 +54,78 @@ struct SkeletonIndexOptions {
 
 class SkeletonIndex {
  public:
-  /// The database and the IDN list must outlive the index.
+  /// Build over IDN labels (forward join). The database must outlive the
+  /// index; the label list only needs to be live during construction and
+  /// rehash_changed() calls (and must be the same list each time).
   SkeletonIndex(const homoglyph::HomoglyphDb& db, std::span<const IdnEntry> idns,
                 SkeletonIndexOptions options = {});
+  /// Build over ASCII reference labels (inverted join). Callers must have
+  /// rejected non-ASCII bytes already: bytes are hashed as code points.
+  SkeletonIndex(const homoglyph::HomoglyphDb& db, std::span<const std::string> labels,
+                SkeletonIndexOptions options = {});
+  /// Build over Unicode reference labels (inverted join).
+  SkeletonIndex(const homoglyph::HomoglyphDb& db,
+                std::span<const unicode::U32String> labels,
+                SkeletonIndexOptions options = {});
 
-  /// Skeleton hash of a reference label (ASCII or Unicode).
+  /// Skeleton hash of a probe label (ASCII or Unicode).
   [[nodiscard]] std::uint64_t hash_of(std::string_view reference) const;
   [[nodiscard]] std::uint64_t hash_of(const unicode::U32String& reference) const;
 
-  /// IDN indices bucketed under `hash`, ascending; nullptr when empty.
+  /// Entry indices bucketed under `hash`, ascending; nullptr when empty.
   /// The bucket over-approximates (closure + collisions): exact-verify
   /// every entry.
   [[nodiscard]] const std::vector<std::size_t>* probe(std::uint64_t hash) const {
     const auto it = buckets_.find(hash);
-    return it == buckets_.end() ? nullptr : &it->second;
+    return it == buckets_.end() || it->second.empty() ? nullptr : &it->second;
   }
 
-  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  /// Number of non-empty buckets (incremental maintenance can leave empty
+  /// buckets in the table; they don't count).
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return non_empty_buckets_; }
+
+  [[nodiscard]] std::size_t entry_count() const noexcept { return entry_hashes_.size(); }
+
+  /// Current skeleton hash of entry `i` (what its bucket is keyed by).
+  [[nodiscard]] std::uint64_t entry_hash(std::size_t i) const { return entry_hashes_[i]; }
+
+  /// Recompute the hashes of exactly the entries whose label contains a
+  /// code point in `changed` (sorted or not; the set the database reports
+  /// after an update), moving them between buckets. `labels` must be the
+  /// same list the index was built over. Returns the number of entries
+  /// examined. Vacated buckets stay in the table, empty.
+  std::size_t rehash_changed(std::span<const IdnEntry> labels,
+                             std::span<const unicode::CodePoint> changed);
+  std::size_t rehash_changed(std::span<const std::string> labels,
+                             std::span<const unicode::CodePoint> changed);
+  std::size_t rehash_changed(std::span<const unicode::U32String> labels,
+                             std::span<const unicode::CodePoint> changed);
 
   /// Bucket-occupancy histogram: slot i counts buckets holding exactly
-  /// i+1 IDNs; the final slot aggregates buckets of size >= max_slots.
+  /// i+1 entries; the final slot aggregates buckets of size >= max_slots.
+  /// Empty buckets (possible after rehash_changed) are not counted.
   [[nodiscard]] std::vector<std::uint64_t> occupancy_histogram(
       std::size_t max_slots = 8) const;
 
  private:
   template <typename String>
   [[nodiscard]] std::uint64_t hash_impl(const String& label) const;
+  template <typename Label>
+  void build(std::span<const Label> labels);
+  template <typename Label>
+  std::size_t rehash_impl(std::span<const Label> labels,
+                          std::span<const unicode::CodePoint> changed);
 
   const homoglyph::HomoglyphDb* db_;
   std::uint64_t hash_mask_;
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets_;
+  std::size_t non_empty_buckets_ = 0;
+  /// Hash currently keying each entry's bucket slot.
+  std::vector<std::uint64_t> entry_hashes_;
+  /// Raw code point -> entries whose label contains it (deduplicated,
+  /// ascending). Keys are raw code points, not canonical representatives,
+  /// so the postings stay valid across database updates.
+  std::unordered_map<unicode::CodePoint, std::vector<std::size_t>> entries_by_cp_;
 };
 
 }  // namespace sham::detect

@@ -74,6 +74,123 @@ void HomoglyphDb::finalize() {
     const auto it = canonical_.find(cp);
     canonical_latin1_[cp] = it == canonical_.end() ? cp : it->second;
   }
+
+  // Rebuild the rep -> members inverse (canonical_ maps every graph node,
+  // reps included, so every tracked component here has >= 2 members;
+  // singletons are represented by absence).
+  component_members_.clear();
+  for (const auto& [cp, rep] : canonical_) {
+    component_members_[rep].push_back(cp);
+  }
+  for (auto& [rep, members] : component_members_) {
+    std::sort(members.begin(), members.end());
+  }
+  // A full rebuild invalidates incremental bookkeeping: restart the change
+  // log at the current generation.
+  change_log_base_ = generation_;
+  canonical_change_log_.clear();
+}
+
+void HomoglyphDb::merge_components(unicode::CodePoint a, unicode::CodePoint b,
+                                   std::vector<unicode::CodePoint>& changed) {
+  const auto ra = canonical(a);
+  const auto rb = canonical(b);
+  if (ra == rb) return;  // within-component pair: no representative moves
+  const auto [lo, hi] = std::minmax(ra, rb);
+
+  // Move the losing component's member list out before touching the winner:
+  // unordered_map insertion below may rehash and invalidate references.
+  std::vector<unicode::CodePoint> losers;
+  if (auto it = component_members_.find(hi); it != component_members_.end()) {
+    losers = std::move(it->second);
+    component_members_.erase(it);
+  } else {
+    losers.push_back(hi);  // hi was a singleton being pulled into the graph
+  }
+
+  std::size_t winner_size = 1;
+  auto wit = component_members_.find(lo);
+  if (wit == component_members_.end()) {
+    wit = component_members_.emplace(lo, std::vector<unicode::CodePoint>{lo}).first;
+  } else {
+    winner_size = wit->second.size();
+  }
+
+  // The merged component is always non-singleton; each input counted toward
+  // canonical_classes_ iff it already had >= 2 members.
+  canonical_classes_ += 1;
+  if (winner_size >= 2) --canonical_classes_;
+  if (losers.size() >= 2) --canonical_classes_;
+
+  auto& winners = wit->second;
+  winners.reserve(winners.size() + losers.size());
+  for (const auto cp : losers) {
+    canonical_[cp] = lo;
+    if (cp < kDenseCanonical) canonical_latin1_[cp] = lo;
+    winners.push_back(cp);
+    changed.push_back(cp);
+  }
+}
+
+HomoglyphDb::UpdateResult HomoglyphDb::apply_update(
+    std::span<const simchar::HomoglyphPair> pairs, Source source) {
+  const auto permitted = [&](unicode::CodePoint cp) {
+    return !config_.idna_only || unicode::is_idna_permitted(cp);
+  };
+  const auto insert_sorted = [](std::vector<unicode::CodePoint>& v,
+                                unicode::CodePoint cp) {
+    v.insert(std::upper_bound(v.begin(), v.end(), cp), cp);
+  };
+
+  UpdateResult result;
+  std::vector<unicode::CodePoint> changed;
+  for (const auto& p : pairs) {
+    if (p.a == p.b) continue;
+    if (!permitted(p.a) || !permitted(p.b)) continue;
+    auto [it, inserted] = pair_source_.try_emplace(key(p.a, p.b), source);
+    if (!inserted) {
+      const auto widened = static_cast<Source>(static_cast<std::uint8_t>(it->second) |
+                                               static_cast<std::uint8_t>(source));
+      if (widened != it->second) {
+        it->second = widened;
+        ++result.sources_widened;
+      }
+      continue;
+    }
+    ++result.pairs_added;
+    // Adjacency lists stay sorted (revert_to_ascii's smallest-LDH scan and
+    // serialize determinism depend on it).
+    insert_sorted(adjacency_[p.a], p.b);
+    insert_sorted(adjacency_[p.b], p.a);
+    merge_components(p.a, p.b, changed);
+  }
+
+  if (result.pairs_added == 0 && result.sources_widened == 0) return result;
+  std::sort(changed.begin(), changed.end());
+  changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+  result.canonical_changed = changed;
+  ++generation_;
+  canonical_change_log_.push_back(std::move(changed));
+  return result;
+}
+
+HomoglyphDb::UpdateResult HomoglyphDb::update_with_new_characters(
+    const simchar::SimCharDb& updated) {
+  return apply_update(updated.pairs(), Source::kSimChar);
+}
+
+std::optional<std::vector<unicode::CodePoint>> HomoglyphDb::canonical_changes_since(
+    std::uint64_t since) const {
+  if (since == generation_) return std::vector<unicode::CodePoint>{};
+  if (since < change_log_base_ || since > generation_) return std::nullopt;
+  std::vector<unicode::CodePoint> out;
+  for (std::uint64_t g = since; g < generation_; ++g) {
+    const auto& step = canonical_change_log_[g - change_log_base_];
+    out.insert(out.end(), step.begin(), step.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 std::uint64_t HomoglyphDb::key(unicode::CodePoint a, unicode::CodePoint b) noexcept {
@@ -94,7 +211,8 @@ void HomoglyphDb::add_pair(unicode::CodePoint a, unicode::CodePoint b, Source so
 }
 
 HomoglyphDb::HomoglyphDb(const simchar::SimCharDb& simchar_db,
-                         const unicode::ConfusablesDb& uc_db, const DbConfig& config) {
+                         const unicode::ConfusablesDb& uc_db, const DbConfig& config)
+    : config_(config) {
   const auto permitted = [&](unicode::CodePoint cp) {
     return !config.idna_only || unicode::is_idna_permitted(cp);
   };

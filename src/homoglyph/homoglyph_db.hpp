@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -75,6 +76,47 @@ class HomoglyphDb {
   [[nodiscard]] std::size_t pair_count(Source source) const;
   [[nodiscard]] std::size_t character_count() const noexcept { return adjacency_.size(); }
 
+  // --- Incremental maintenance (Section 4.2: the DB evolves as Unicode
+  // adds glyphs) -------------------------------------------------------
+  //
+  // The database carries a monotonically increasing *generation* counter.
+  // Every mutating update bumps it and records which code points changed
+  // their confusable-closure canonical representative, so index structures
+  // built over canonical() (detect::SkeletonIndex) can rehash exactly the
+  // affected union-find components instead of rebuilding from scratch.
+
+  /// Outcome of one apply_update()/update_with_new_characters() call.
+  struct UpdateResult {
+    std::size_t pairs_added = 0;      // brand-new pairs inserted
+    std::size_t sources_widened = 0;  // existing pairs that gained a provenance bit
+    /// Code points whose canonical() representative moved (sorted, unique).
+    /// Empty when every new pair landed inside an existing component.
+    std::vector<unicode::CodePoint> canonical_changed;
+  };
+
+  /// Add pairs in place (pair graph, adjacency, and the canonical map are
+  /// maintained incrementally — no full finalize()). Bumps generation()
+  /// iff the update changed anything (new pair or widened provenance).
+  UpdateResult apply_update(std::span<const simchar::HomoglyphPair> pairs,
+                            Source source = Source::kSimChar);
+
+  /// Incorporate SimChar growth: add every pair of `updated` not already
+  /// listed here (the shape produced by simchar::update_with_new_characters
+  /// when the Unicode standard adds characters). Honors the idna_only
+  /// filter this database was constructed with.
+  UpdateResult update_with_new_characters(const simchar::SimCharDb& updated);
+
+  /// Mutation counter: 0 for a freshly constructed/parsed database, +1 per
+  /// effective apply_update()/update_with_new_characters() call.
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+
+  /// Code points whose canonical() representative changed after generation
+  /// `since` (exclusive), sorted and unique. Returns std::nullopt when the
+  /// change log cannot answer (unknown generation), in which case callers
+  /// must fall back to a full rebuild of whatever they derived.
+  [[nodiscard]] std::optional<std::vector<unicode::CodePoint>> canonical_changes_since(
+      std::uint64_t since) const;
+
   /// Replace every non-ASCII character that has a Basic Latin (LDH)
   /// homoglyph with that homoglyph. Returns std::nullopt if any non-ASCII
   /// character has no LDH homoglyph — i.e. the string cannot be an IDN
@@ -96,6 +138,10 @@ class HomoglyphDb {
   /// Sort adjacency lists and rebuild the canonical map; every constructor
   /// and parse() must call this once after the last add_pair().
   void finalize();
+  /// Merge the components of `a` and `b`, recording every code point whose
+  /// representative moved into `changed` (members of the losing component).
+  void merge_components(unicode::CodePoint a, unicode::CodePoint b,
+                        std::vector<unicode::CodePoint>& changed);
 
   std::unordered_map<std::uint64_t, Source> pair_source_;
   std::unordered_map<unicode::CodePoint, std::vector<unicode::CodePoint>> adjacency_;
@@ -104,6 +150,16 @@ class HomoglyphDb {
   std::unordered_map<unicode::CodePoint, unicode::CodePoint> canonical_;
   std::array<unicode::CodePoint, kDenseCanonical> canonical_latin1_{};
   std::size_t canonical_classes_ = 0;
+  /// Inverse of canonical_: representative -> every member of its
+  /// component, maintained so merges touch only the losing component.
+  std::unordered_map<unicode::CodePoint, std::vector<unicode::CodePoint>> component_members_;
+  DbConfig config_;
+  std::uint64_t generation_ = 0;
+  /// canonical_change_log_[i] lists the code points whose representative
+  /// moved in generation change_log_base_ + i + 1; finalize() resets the
+  /// log (a full rebuild invalidates incremental bookkeeping).
+  std::uint64_t change_log_base_ = 0;
+  std::vector<std::vector<unicode::CodePoint>> canonical_change_log_;
 };
 
 }  // namespace sham::homoglyph

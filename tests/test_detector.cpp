@@ -546,5 +546,251 @@ TEST(Candidates, NoHomoglyphsMeansNoCandidates) {
   EXPECT_TRUE(generate_candidates(db, "zzz").empty());
 }
 
+// --- Engine-resident index & result caching --------------------------------
+
+std::vector<Match> fresh_serial(const homoglyph::HomoglyphDb& db,
+                                std::span<const std::string> refs,
+                                std::span<const IdnEntry> idns) {
+  const Engine pure{db, {.strategy = Strategy::kSerial, .threads = 1, .cache = false}};
+  return pure.detect({.references = refs, .idns = idns}).matches;
+}
+
+TEST(EngineCache, WarmHitSkipsBuild) {
+  const auto db = test_db();
+  const Engine engine{db, {.strategy = Strategy::kSkeleton, .threads = 1}};
+  const std::vector<std::string> refs{"google", "mail"};
+  const std::vector<IdnEntry> idns{
+      entry({'g', 0x043E, 'o', 'g', 'l', 'e'}),
+      entry({'m', 0x0430, 'i', 'l'}),
+  };
+  const auto cold = engine.detect({.references = refs, .idns = idns});
+  EXPECT_EQ(cold.stats.index_cache_rebuilds, 1u);
+  EXPECT_EQ(cold.stats.index_cache_hits, 0u);
+  EXPECT_EQ(cold.stats.result_cache_hits, 0u);
+  ASSERT_EQ(cold.matches.size(), 2u);
+
+  const auto warm = engine.detect({.references = refs, .idns = idns});
+  EXPECT_EQ(warm.stats.result_cache_hits, 1u);
+  EXPECT_EQ(warm.stats.index_cache_rebuilds, 0u);
+  EXPECT_EQ(warm.stats.skeleton_build_seconds, 0.0);
+  EXPECT_EQ(warm.stats.index_build_seconds, 0.0);
+  EXPECT_EQ(warm.stats.match_seconds, 0.0);
+  EXPECT_EQ(warm.matches, cold.matches);
+  EXPECT_EQ(warm.matches, fresh_serial(db, refs, idns));
+}
+
+TEST(EngineCache, WarmIndexServesChangedReferences) {
+  const auto db = test_db();
+  const Engine engine{db, {.strategy = Strategy::kSkeleton, .threads = 1}};
+  const std::vector<std::string> refs_a{"google"};
+  const std::vector<std::string> refs_b{"mail"};
+  const std::vector<IdnEntry> idns{
+      entry({'g', 0x043E, 'o', 'g', 'l', 'e'}),
+      entry({'m', 0x0430, 'i', 'l'}),
+  };
+  (void)engine.detect({.references = refs_a, .idns = idns});
+  // New reference list, same IDN set: the response memo misses but the
+  // skeleton index is reused — no build, real scan.
+  const auto r = engine.detect({.references = refs_b, .idns = idns});
+  EXPECT_EQ(r.stats.result_cache_hits, 0u);
+  EXPECT_EQ(r.stats.index_cache_hits, 1u);
+  EXPECT_EQ(r.stats.index_cache_rebuilds, 0u);
+  EXPECT_EQ(r.stats.skeleton_build_seconds, 0.0);
+  EXPECT_EQ(r.matches, fresh_serial(db, refs_b, idns));
+}
+
+TEST(EngineCache, IdnSwapInvalidates) {
+  const auto db = test_db();
+  const Engine engine{db, {.strategy = Strategy::kSkeleton, .threads = 1}};
+  const std::vector<std::string> refs{"google"};
+  std::vector<IdnEntry> idns{entry({'g', 0x043E, 'o', 'g', 'l', 'e'})};
+  const auto first = engine.detect({.references = refs, .idns = idns});
+  EXPECT_EQ(first.stats.index_cache_rebuilds, 1u);
+  ASSERT_EQ(first.matches.size(), 1u);
+
+  // Mutate the IDN set *in place* — same span address, different content.
+  // Content fingerprints must catch this (pointer identity would not).
+  idns[0] = entry({'g', 'o', 0x0585, 'g', 'l', 'e'});
+  const auto second = engine.detect({.references = refs, .idns = idns});
+  EXPECT_EQ(second.stats.result_cache_hits, 0u);
+  EXPECT_EQ(second.stats.index_cache_hits, 0u);
+  EXPECT_EQ(second.stats.index_cache_rebuilds, 1u);
+  EXPECT_EQ(second.matches, fresh_serial(db, refs, idns));
+  ASSERT_EQ(second.matches.size(), 1u);
+  EXPECT_EQ(second.matches[0].diffs[0].index, 2u);
+}
+
+TEST(EngineCache, IncrementalUpdateRehashesOnlyAffectedEntries) {
+  simchar::SimCharDb sim{{{'o', 0x043E, 0}}};
+  homoglyph::DbConfig config;
+  config.use_uc = false;
+  homoglyph::HomoglyphDb db{sim, unicode::ConfusablesDb::embedded(), config};
+  const Engine engine{db, {.strategy = Strategy::kSkeleton, .threads = 1}};
+  const std::vector<std::string> refs{"ok"};
+  const std::vector<IdnEntry> idns{
+      entry({0x0585, 'k'}),  // Armenian օ: unrelated until the update below
+      entry({0x043E, 'k'}),  // Cyrillic о: matches "ok" from the start
+      entry({'z', 'z'}),     // never affected
+  };
+  const auto cold = engine.detect({.references = refs, .idns = idns});
+  ASSERT_EQ(cold.matches.size(), 1u);
+  EXPECT_EQ(cold.matches[0].idn_index, 1u);
+
+  // New pair {о, օ} merges օ into o's component: only the one IDN whose
+  // label contains օ may be rehashed.
+  const simchar::HomoglyphPair added[] = {{0x043E, 0x0585, 2}};
+  const auto update = db.apply_update(added);
+  EXPECT_EQ(update.pairs_added, 1u);
+  EXPECT_EQ(update.canonical_changed, std::vector<CodePoint>{0x0585});
+
+  const auto patched = engine.detect({.references = refs, .idns = idns});
+  EXPECT_EQ(patched.stats.index_cache_updates, 1u);
+  EXPECT_EQ(patched.stats.index_cache_rebuilds, 0u);
+  EXPECT_EQ(patched.stats.index_entries_rehashed, 1u);
+  EXPECT_EQ(patched.stats.db_generation, 1u);
+  EXPECT_EQ(patched.stats.index_generation, 1u);
+  // օk now lands in ok's bucket but {օ, o} is not itself a listed pair —
+  // the closure over-approximates and exact verification must reject it.
+  EXPECT_EQ(patched.stats.skeleton_rejected, cold.stats.skeleton_rejected + 1);
+  EXPECT_EQ(patched.matches, fresh_serial(db, refs, idns));
+  ASSERT_EQ(patched.matches.size(), 1u);
+}
+
+TEST(EngineCache, WithinComponentUpdateRehashesNothing) {
+  simchar::SimCharDb sim{{{'a', 'b', 1}, {'b', 'c', 1}}};
+  homoglyph::DbConfig config;
+  config.use_uc = false;
+  homoglyph::HomoglyphDb db{sim, unicode::ConfusablesDb::embedded(), config};
+  const Engine engine{db, {.strategy = Strategy::kSkeleton, .threads = 1}};
+  const std::vector<std::string> refs{"aaa"};
+  const std::vector<IdnEntry> idns{entry({'a', 'c', 'a'})};
+
+  // a~b and b~c put a and c in one component, so "aca" is a candidate for
+  // "aaa" — but {a, c} is not listed, so verification rejects it.
+  const auto before = engine.detect({.references = refs, .idns = idns});
+  EXPECT_TRUE(before.matches.empty());
+  EXPECT_EQ(before.stats.skeleton_candidates, 1u);
+  EXPECT_EQ(before.stats.skeleton_rejected, 1u);
+
+  // Adding {a, c} lands inside the existing component: no canonical
+  // representative moves, so the patched index rehashes zero entries —
+  // yet the match list changes, which the generation bump must surface.
+  const simchar::HomoglyphPair added[] = {{'a', 'c', 1}};
+  const auto update = db.apply_update(added);
+  EXPECT_EQ(update.pairs_added, 1u);
+  EXPECT_TRUE(update.canonical_changed.empty());
+
+  const auto after = engine.detect({.references = refs, .idns = idns});
+  EXPECT_EQ(after.stats.result_cache_hits, 0u);
+  EXPECT_EQ(after.stats.index_cache_updates, 1u);
+  EXPECT_EQ(after.stats.index_entries_rehashed, 0u);
+  ASSERT_EQ(after.matches.size(), 1u);
+  EXPECT_EQ(after.matches, fresh_serial(db, refs, idns));
+}
+
+TEST(EngineCache, SerialIsNeverCached) {
+  const auto db = test_db();
+  const Engine engine{db, {.strategy = Strategy::kSerial, .threads = 1}};
+  const std::vector<std::string> refs{"google"};
+  const std::vector<IdnEntry> idns{entry({'g', 0x043E, 'o', 'g', 'l', 'e'})};
+  const auto first = engine.detect({.references = refs, .idns = idns});
+  const auto second = engine.detect({.references = refs, .idns = idns});
+  for (const auto* r : {&first, &second}) {
+    EXPECT_EQ(r->stats.result_cache_hits, 0u);
+    EXPECT_EQ(r->stats.index_cache_hits, 0u);
+    EXPECT_EQ(r->stats.index_cache_rebuilds, 0u);
+    EXPECT_EQ(r->stats.index_cache_updates, 0u);
+    EXPECT_EQ(r->matches, first.matches);
+  }
+}
+
+TEST(EngineCache, InvertedJoinMatchesForward) {
+  const auto db = test_db();
+  const Engine engine{db, {.strategy = Strategy::kSkeleton, .threads = 1}};
+  std::vector<std::string> refs{"google", "mail", "ok"};
+  std::vector<IdnEntry> idns;
+  for (const CodePoint o : {CodePoint{0x043E}, CodePoint{0x0585}, CodePoint{'o'}}) {
+    idns.push_back(entry({'g', o, 'o', 'g', 'l', 'e'}));
+    idns.push_back(entry({'m', 0x0430, 'i', 'l'}));
+    idns.push_back(entry({o, 'k'}));
+    idns.push_back(entry({'z', 'z', 'z'}));
+  }
+  const auto forward = engine.detect(
+      {.references = refs, .idns = idns, .join = SkeletonJoin::kIdnIndex});
+  const auto inverted = engine.detect(
+      {.references = refs, .idns = idns, .join = SkeletonJoin::kReferenceIndex});
+  EXPECT_FALSE(forward.stats.inverted_join);
+  EXPECT_TRUE(inverted.stats.inverted_join);
+  EXPECT_EQ(inverted.matches, forward.matches);
+  EXPECT_EQ(inverted.matches, fresh_serial(db, refs, idns));
+  // The hash join is symmetric: identical candidate pair set and counters,
+  // whichever side is bucketed.
+  EXPECT_EQ(inverted.stats.skeleton_candidates, forward.stats.skeleton_candidates);
+  EXPECT_EQ(inverted.stats.skeleton_rejected, forward.stats.skeleton_rejected);
+  EXPECT_EQ(inverted.stats.char_comparisons, forward.stats.char_comparisons);
+  EXPECT_FALSE(forward.matches.empty());
+}
+
+TEST(EngineCache, AutoJoinInvertsThenPromotesStableIdnSet) {
+  const auto db = test_db();
+  const Engine engine{db, {.strategy = Strategy::kSkeleton, .threads = 1}};
+  const std::vector<std::string> refs{"ok"};
+  std::vector<IdnEntry> idns;
+  for (int i = 0; i < 8; ++i) idns.push_back(entry({0x043E, 'k'}));
+  // 1 ref vs 8 IDNs: the size rule picks the inverted join on first sight.
+  const auto first = engine.detect({.references = refs, .idns = idns});
+  EXPECT_TRUE(first.stats.inverted_join);
+  // Same IDN set again: promoted to the forward join so the reusable
+  // IDN-side index gets built and cached.
+  const auto second = engine.detect({.references = refs, .idns = idns});
+  EXPECT_FALSE(second.stats.inverted_join);
+  EXPECT_EQ(second.stats.index_cache_rebuilds, 1u);
+  // Third time: the exact query is served from the response memo.
+  const auto third = engine.detect({.references = refs, .idns = idns});
+  EXPECT_FALSE(third.stats.inverted_join);
+  EXPECT_EQ(third.stats.result_cache_hits, 1u);
+  EXPECT_EQ(second.matches, first.matches);
+  EXPECT_EQ(third.matches, first.matches);
+  EXPECT_EQ(first.matches, fresh_serial(db, refs, idns));
+}
+
+TEST(EngineCache, RejectsNonAsciiReferences) {
+  const auto db = test_db();
+  const std::vector<std::string> refs{"caf\xC3\xA9"};  // UTF-8 é, two bytes
+  const std::vector<IdnEntry> idns{entry({'c', 'a', 'f', 0x00E9})};
+  for (const auto strategy : {Strategy::kSerial, Strategy::kIndexed,
+                              Strategy::kParallel, Strategy::kSkeleton}) {
+    const Engine engine{db, {.strategy = strategy, .threads = 1}};
+    EXPECT_THROW((void)engine.detect({.references = refs, .idns = idns}),
+                 std::invalid_argument)
+        << strategy_name(strategy);
+  }
+}
+
+TEST(SkeletonIndex, OccupancyHistogramGuardsEmptyBuckets) {
+  homoglyph::HomoglyphDb db;  // starts with no pairs
+  const std::vector<U32String> labels{{'b'}, {'c'}};
+  SkeletonIndex index{db, labels};
+  EXPECT_EQ(index.bucket_count(), 2u);
+  const auto hash_b = index.entry_hash(0);
+
+  // {a, b} merges b under a's representative: label "b" moves buckets and
+  // its old bucket stays in the table, empty.
+  const simchar::HomoglyphPair added[] = {{'a', 'b', 1}};
+  const auto update = db.apply_update(added);
+  EXPECT_EQ(index.rehash_changed(labels, update.canonical_changed), 1u);
+  EXPECT_EQ(index.probe(hash_b), nullptr);
+  EXPECT_NE(index.entry_hash(0), hash_b);
+  EXPECT_EQ(index.bucket_count(), 2u);
+
+  // Pre-fix, `size() - 1` underflowed for the vacated bucket and counted
+  // it in the histogram tail: the histogram summed to bucket_count() + 1.
+  const auto histogram = index.occupancy_histogram();
+  std::uint64_t total = 0;
+  for (const auto n : histogram) total += n;
+  EXPECT_EQ(total, index.bucket_count());
+  EXPECT_EQ(histogram[0], 2u);
+}
+
 }  // namespace
 }  // namespace sham::detect

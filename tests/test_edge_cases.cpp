@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "detect/engine.hpp"
 #include "font/hex_font.hpp"
 #include "internet/scenario.hpp"
 #include "measure/environment.hpp"
@@ -95,6 +96,68 @@ TEST(EnvironmentEdge, CustomThresholdPropagates) {
   EXPECT_LT(custom.simchar.pair_count(), standard.simchar.pair_count());
   for (const auto& p : custom.simchar.pairs()) {
     EXPECT_LE(p.delta, 2);
+  }
+}
+
+// detect() with an empty IDN set or an empty reference span must return
+// fully-zeroed DetectionStats — including the skeleton and cache fields —
+// under every strategy: no index build, no cache traffic, no shard slots.
+TEST(DetectEdge, EmptyInputsZeroStatsUnderAllStrategies) {
+  simchar::SimCharDb sim{{{'o', 0x043E, 0}}};
+  homoglyph::DbConfig config;
+  config.use_uc = false;
+  const homoglyph::HomoglyphDb db{sim, unicode::ConfusablesDb::embedded(), config};
+  const std::vector<std::string> refs{"google"};
+  const std::vector<detect::IdnEntry> idns{
+      {"xn--ggle-0nda", {'g', 0x043E, 0x043E, 'g', 'l', 'e'}}};
+  const std::vector<std::string> no_refs;
+  const std::vector<detect::IdnEntry> no_idns;
+
+  const auto expect_zeroed = [](const detect::DetectResponse& r, const char* what) {
+    SCOPED_TRACE(what);
+    EXPECT_TRUE(r.matches.empty());
+    const auto& s = r.stats;
+    EXPECT_EQ(s.length_bucket_hits, 0u);
+    EXPECT_EQ(s.char_comparisons, 0u);
+    EXPECT_EQ(s.seconds, 0.0);
+    EXPECT_EQ(s.index_build_seconds, 0.0);
+    EXPECT_EQ(s.match_seconds, 0.0);
+    EXPECT_EQ(s.merge_seconds, 0.0);
+    EXPECT_EQ(s.threads_used, 1u);
+    EXPECT_EQ(s.shards_used, 1u);
+    EXPECT_TRUE(s.shard_candidates.empty());
+    EXPECT_EQ(s.skeleton_build_seconds, 0.0);
+    EXPECT_EQ(s.skeleton_candidates, 0u);
+    EXPECT_EQ(s.skeleton_rejected, 0u);
+    EXPECT_EQ(s.skeleton_buckets, 0u);
+    EXPECT_TRUE(s.skeleton_bucket_histogram.empty());
+    EXPECT_EQ(s.index_cache_hits, 0u);
+    EXPECT_EQ(s.index_cache_rebuilds, 0u);
+    EXPECT_EQ(s.index_cache_updates, 0u);
+    EXPECT_EQ(s.index_entries_rehashed, 0u);
+    EXPECT_EQ(s.result_cache_hits, 0u);
+    EXPECT_EQ(s.index_update_seconds, 0.0);
+    EXPECT_EQ(s.db_generation, 0u);
+    EXPECT_EQ(s.index_generation, 0u);
+    EXPECT_FALSE(s.inverted_join);
+  };
+
+  for (const auto strategy :
+       {detect::Strategy::kSerial, detect::Strategy::kIndexed,
+        detect::Strategy::kParallel, detect::Strategy::kSkeleton}) {
+    const detect::Engine engine{db, {.strategy = strategy, .threads = 4}};
+    expect_zeroed(engine.detect({.references = refs, .idns = no_idns}),
+                  "empty IDN set");
+    expect_zeroed(engine.detect({.references = no_refs, .idns = idns}),
+                  "empty reference span");
+    expect_zeroed(engine.detect({}), "both empty");
+    // An empty run must not pollute the cache either: a real query right
+    // after still works and starts cold.
+    const auto real = engine.detect({.references = refs, .idns = idns});
+    if (strategy != detect::Strategy::kSerial) {
+      EXPECT_EQ(real.stats.index_cache_rebuilds, 1u);
+    }
+    EXPECT_EQ(real.matches.size(), 1u);
   }
 }
 

@@ -240,5 +240,133 @@ TEST(HomoglyphDb, EmptyDb) {
   EXPECT_FALSE(db.revert_to_ascii(idn).has_value());
 }
 
+// --- Generation counter & incremental updates --------------------------
+
+HomoglyphDb sim_only_db(std::vector<simchar::HomoglyphPair> pairs) {
+  DbConfig config;
+  config.use_uc = false;
+  return HomoglyphDb{simchar::SimCharDb{std::move(pairs)},
+                     unicode::ConfusablesDb::embedded(), config};
+}
+
+TEST(HomoglyphDbUpdate, GenerationBumpsOnlyOnEffectiveChange) {
+  auto db = sim_only_db({{'a', 'b', 1}});
+  EXPECT_EQ(db.generation(), 0u);
+
+  // Brand-new pair: bump.
+  const simchar::HomoglyphPair fresh[] = {{'x', 'y', 1}};
+  auto result = db.apply_update(fresh);
+  EXPECT_EQ(result.pairs_added, 1u);
+  EXPECT_EQ(db.generation(), 1u);
+
+  // Exact duplicate (same pair, same source): no bump.
+  result = db.apply_update(fresh);
+  EXPECT_EQ(result.pairs_added, 0u);
+  EXPECT_EQ(result.sources_widened, 0u);
+  EXPECT_TRUE(result.canonical_changed.empty());
+  EXPECT_EQ(db.generation(), 1u);
+
+  // Same pair from the other source: provenance widens to kBoth — that is
+  // an observable change, so the generation bumps.
+  result = db.apply_update(fresh, Source::kUc);
+  EXPECT_EQ(result.pairs_added, 0u);
+  EXPECT_EQ(result.sources_widened, 1u);
+  EXPECT_TRUE(result.canonical_changed.empty());
+  EXPECT_EQ(db.generation(), 2u);
+  EXPECT_EQ(db.source_of('x', 'y'), Source::kBoth);
+}
+
+TEST(HomoglyphDbUpdate, IdnaFilterAppliesToUpdatesToo) {
+  auto db = sim_only_db({{'a', 'b', 1}});
+  // Fullwidth ａ is NFKC-unstable, hence not IDNA-permitted; the pair must
+  // be dropped by the same filter the constructor applies, with no bump.
+  const simchar::HomoglyphPair rejected[] = {{'a', 0xFF41, 1}};
+  const auto result = db.apply_update(rejected);
+  EXPECT_EQ(result.pairs_added, 0u);
+  EXPECT_EQ(db.generation(), 0u);
+  EXPECT_FALSE(db.are_homoglyphs('a', 0xFF41));
+}
+
+TEST(HomoglyphDbUpdate, MergeReportsLosingComponentMembers) {
+  // {a, b} and {x, y} are separate components; bridging b~x merges them and
+  // moves the representative of every member of the losing ({x, y}, whose
+  // rep 'x' > 'a') component.
+  auto db = sim_only_db({{'a', 'b', 1}, {'x', 'y', 1}});
+  EXPECT_EQ(db.canonical_class_count(), 2u);
+
+  const simchar::HomoglyphPair bridge[] = {{'b', 'x', 1}};
+  const auto result = db.apply_update(bridge);
+  EXPECT_EQ(result.pairs_added, 1u);
+  const std::vector<CodePoint> want{'x', 'y'};
+  EXPECT_EQ(result.canonical_changed, want);
+  EXPECT_EQ(db.canonical_class_count(), 1u);
+  for (const CodePoint cp : {'a', 'b', 'x', 'y'}) {
+    EXPECT_EQ(db.canonical(cp), static_cast<CodePoint>('a')) << cp;
+  }
+}
+
+TEST(HomoglyphDbUpdate, WithinComponentPairMovesNoCanonical) {
+  // a~b~c already one component; adding the chord {a, c} lists a new pair
+  // but no representative moves.
+  auto db = sim_only_db({{'a', 'b', 1}, {'b', 'c', 1}});
+  const simchar::HomoglyphPair chord[] = {{'a', 'c', 2}};
+  const auto result = db.apply_update(chord);
+  EXPECT_EQ(result.pairs_added, 1u);
+  EXPECT_TRUE(result.canonical_changed.empty());
+  EXPECT_EQ(db.generation(), 1u);
+  EXPECT_TRUE(db.are_homoglyphs('a', 'c'));
+  EXPECT_EQ(db.canonical_class_count(), 1u);
+}
+
+TEST(HomoglyphDbUpdate, ChangesSinceAnswersKnownGenerationsOnly) {
+  auto db = sim_only_db({{'a', 'b', 1}, {'x', 'y', 1}});
+  // Fresh database: nothing changed since "now".
+  ASSERT_TRUE(db.canonical_changes_since(0).has_value());
+  EXPECT_TRUE(db.canonical_changes_since(0)->empty());
+  // The future is unanswerable.
+  EXPECT_FALSE(db.canonical_changes_since(1).has_value());
+
+  const simchar::HomoglyphPair bridge[] = {{'b', 'x', 1}};
+  db.apply_update(bridge);                       // gen 1: {x, y} move
+  const simchar::HomoglyphPair chord[] = {{'a', 'y', 1}};
+  db.apply_update(chord);                        // gen 2: nothing moves
+
+  const std::vector<CodePoint> moved{'x', 'y'};
+  EXPECT_EQ(db.canonical_changes_since(0), moved);   // union of gens 1..2
+  EXPECT_EQ(db.canonical_changes_since(1), std::vector<CodePoint>{});
+  EXPECT_EQ(db.canonical_changes_since(2), std::vector<CodePoint>{});
+  EXPECT_FALSE(db.canonical_changes_since(3).has_value());
+}
+
+TEST(HomoglyphDbUpdate, IncrementalCanonicalMatchesFullRebuild) {
+  auto db = sim_only_db({{'a', 'b', 1}, {'c', 'd', 1}, {'x', 'y', 1}});
+  const simchar::HomoglyphPair updates[] = {
+      {'b', 'c', 1},          // merges {a,b} with {c,d}
+      {'d', 'x', 2},          // merges the result with {x,y}
+      {'a', 0x0430, 1},       // grows the component with a new code point
+  };
+  for (const auto& pair : updates) {
+    const simchar::HomoglyphPair one[] = {pair};
+    db.apply_update(one);
+  }
+  // A full rebuild from the serialized pair list must agree with the
+  // incrementally maintained closure on every touched code point.
+  const auto rebuilt = HomoglyphDb::parse(db.serialize());
+  EXPECT_EQ(rebuilt.canonical_class_count(), db.canonical_class_count());
+  EXPECT_EQ(rebuilt.pair_count(), db.pair_count());
+  for (const CodePoint cp :
+       {CodePoint{'a'}, CodePoint{'b'}, CodePoint{'c'}, CodePoint{'d'},
+        CodePoint{'x'}, CodePoint{'y'}, CodePoint{0x0430}, CodePoint{'z'}}) {
+    EXPECT_EQ(rebuilt.canonical(cp), db.canonical(cp)) << cp;
+  }
+  // update_with_new_characters is the same machinery fed by a SimChar db.
+  auto other = sim_only_db({{'a', 'b', 1}});
+  const auto result = other.update_with_new_characters(
+      simchar::SimCharDb{{{'a', 'b', 1}, {'p', 'q', 3}}});
+  EXPECT_EQ(result.pairs_added, 1u);  // {a,b} already listed
+  EXPECT_EQ(other.generation(), 1u);
+  EXPECT_TRUE(other.are_homoglyphs('p', 'q'));
+}
+
 }  // namespace
 }  // namespace sham::homoglyph

@@ -247,6 +247,77 @@ TEST_P(SkeletonEquivalence, CollisionBucketsStayExactOnRandomizedDbs) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SkeletonEquivalence,
                          ::testing::Values(101, 102, 103, 104, 105));
 
+// --- Engine cache invalidation under randomized interleavings --------------
+
+/// A single long-lived caching engine is driven through a random
+/// interleaving of detect() calls (random threads and join direction),
+/// in-place database growth (apply_update — the layer under
+/// update_with_new_characters), and in-place IDN-set mutations (the span
+/// address never changes, so only the content fingerprint can catch the
+/// swap). After every detect() the warm engine must be byte-identical to
+/// a freshly-constructed uncached serial engine over the same state.
+class CacheInvalidationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheInvalidationProperty, WarmEngineTracksFreshSerialBaseline) {
+  auto w = random_skeleton_workload(GetParam());
+  util::Rng rng{GetParam() * 7919 + 17};
+
+  std::vector<CodePoint> alphabet;
+  for (char c = 'a'; c <= 'j'; ++c) alphabet.push_back(static_cast<CodePoint>(c));
+  for (int i = 0; i < 10; ++i) alphabet.push_back(0x0430 + i);
+
+  const detect::Engine warm{w.db, {.strategy = detect::Strategy::kSkeleton}};
+  const detect::SkeletonJoin joins[] = {detect::SkeletonJoin::kAuto,
+                                        detect::SkeletonJoin::kIdnIndex,
+                                        detect::SkeletonJoin::kReferenceIndex};
+  int detects = 0;
+  for (int step = 0; step < 48; ++step) {
+    const auto action = rng.below(4);
+    if (action == 0) {
+      // Grow the homoglyph graph by one random pair (sometimes a
+      // duplicate, which must not bump the generation).
+      const auto a = alphabet[rng.below(alphabet.size())];
+      const auto b = alphabet[rng.below(alphabet.size())];
+      if (a == b) continue;
+      const auto [lo, hi] = std::minmax(a, b);
+      const simchar::HomoglyphPair pair[] = {
+          {lo, hi, static_cast<int>(rng.below(4))}};
+      w.db.apply_update(pair);
+      continue;
+    }
+    if (action == 1) {
+      // Mutate the IDN set in place behind the engine's back.
+      const std::size_t muts = 1 + rng.below(5);
+      for (std::size_t m = 0; m < muts; ++m) {
+        auto& label = w.idns[rng.below(w.idns.size())].unicode;
+        label[rng.below(label.size())] = alphabet[rng.below(alphabet.size())];
+      }
+      continue;
+    }
+    ++detects;
+    const std::size_t threads = rng.below(2) == 0 ? 1 : 4;
+    const auto got = warm.detect({.references = w.refs,
+                                  .idns = w.idns,
+                                  .threads = threads,
+                                  .join = joins[rng.below(std::size(joins))]});
+    const detect::Engine fresh{
+        w.db,
+        {.strategy = detect::Strategy::kSerial, .threads = 1, .cache = false}};
+    const auto want = fresh.detect({.references = w.refs, .idns = w.idns});
+    ASSERT_EQ(got.matches, want.matches)
+        << "seed=" << GetParam() << " step=" << step << " threads=" << threads;
+    // The closure over-approximates: every candidate either matched or
+    // was rejected by the exact re-verification, nothing is dropped.
+    EXPECT_EQ(got.stats.skeleton_rejected,
+              got.stats.skeleton_candidates - got.matches.size());
+  }
+  // The interleaving must actually have exercised the warm path.
+  EXPECT_GE(detects, 5) << "seed " << GetParam() << " produced a degenerate walk";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheInvalidationProperty,
+                         ::testing::Values(301, 302, 303, 304, 305));
+
 // --- Serialization closure -------------------------------------------------
 
 class SerializationSweep : public ::testing::TestWithParam<int> {};
