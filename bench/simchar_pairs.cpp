@@ -1,0 +1,258 @@
+// Step II pair-mining strategies head to head: strategy × threshold ×
+// repertoire-size grid over synthetic repertoires whose ink counts cluster
+// tightly — the popcount band's worst case and the block index's best.
+// Every cell is equivalence-checked against the all-pairs ground truth;
+// the headline is the ∆-evaluation ratio between the band prune and the
+// pigeonhole block index on the largest repertoire. Emits BENCH_simchar.json.
+//
+//   $ ./bench/simchar_pairs          # full grid + JSON
+//   $ ./bench/simchar_pairs --smoke  # tiny equivalence grid (perf_smoke)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "simchar/pair_miner.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace sham;
+using simchar::MinerGlyph;
+using simchar::MinerStats;
+using simchar::PairMiner;
+using simchar::PairStrategy;
+
+constexpr int kPixels = font::GlyphBitmap::kSize * font::GlyphBitmap::kSize;
+
+/// A glyph with `ink` black pixels placed uniformly over the full bitmap
+/// (every word carries ink, so no block degenerates into a shared bucket).
+font::GlyphBitmap ink_glyph(util::Rng& rng, int ink) {
+  font::GlyphBitmap g;
+  int placed = 0;
+  while (placed < ink) {
+    const int bit = static_cast<int>(rng.below(kPixels));
+    const int x = bit % font::GlyphBitmap::kSize;
+    const int y = bit / font::GlyphBitmap::kSize;
+    if (g.get(x, y)) continue;
+    g.set(x, y);
+    ++placed;
+  }
+  return g;
+}
+
+/// Flip exactly `count` distinct pixels: ∆(base, result) == count.
+font::GlyphBitmap flipped(util::Rng& rng, const font::GlyphBitmap& base, int count) {
+  auto g = base;
+  std::vector<char> used(kPixels, 0);
+  int done = 0;
+  while (done < count) {
+    const int bit = static_cast<int>(rng.below(kPixels));
+    if (used[bit]) continue;
+    used[bit] = 1;
+    g.flip(bit % font::GlyphBitmap::kSize, bit / font::GlyphBitmap::kSize);
+    ++done;
+  }
+  return g;
+}
+
+/// Adversarial repertoire: noise glyphs with ink drawn from the narrow band
+/// [96, 104] (pairwise ∆ in the hundreds, yet every pair inside one popcount
+/// window), seasoned with planted homoglyph clusters at ∆ ∈ {1, 2, 4, 8} —
+/// one 4-member cluster per 20 glyphs.
+std::vector<MinerGlyph> make_repertoire(std::size_t n, std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<MinerGlyph> glyphs;
+  glyphs.reserve(n);
+  unicode::CodePoint cp = 0x1000;
+  const auto push = [&](const font::GlyphBitmap& g) {
+    glyphs.push_back({cp++, g, g.popcount()});
+  };
+  while (glyphs.size() < n) {
+    if (glyphs.size() % 20 == 0 && glyphs.size() + 4 <= n) {
+      const auto base = ink_glyph(rng, 96 + static_cast<int>(rng.below(9)));
+      push(base);
+      for (const int d : {1, 2, 4, 8}) {
+        if (glyphs.size() >= n) break;
+        push(flipped(rng, base, d));
+      }
+      continue;
+    }
+    push(ink_glyph(rng, 96 + static_cast<int>(rng.below(9))));
+  }
+  return glyphs;
+}
+
+struct Cell {
+  std::size_t repertoire = 0;
+  int threshold = 0;
+  PairStrategy strategy = PairStrategy::kAllPairs;
+  MinerStats stats;
+  std::size_t pairs = 0;
+  double seconds = 0.0;
+  bool identical = true;
+};
+
+int run_smoke() {
+  util::ThreadPool pool;    // hardware concurrency
+  util::ThreadPool serial{1};
+  const auto glyphs = make_repertoire(160, 20260805);
+  bool ok = true;
+  for (const int threshold : {0, 2, 4, 8}) {
+    const PairMiner truth_miner{glyphs, threshold, PairStrategy::kAllPairs, pool};
+    const auto truth = truth_miner.mine_all();
+    for (const auto strategy :
+         {PairStrategy::kPopcountBand, PairStrategy::kBlockIndex}) {
+      const PairMiner parallel{glyphs, threshold, strategy, pool};
+      const PairMiner single{glyphs, threshold, strategy, serial};
+      const bool same = parallel.mine_all() == truth && single.mine_all() == truth;
+      std::printf("  θ=%d %-13s %s\n", threshold,
+                  std::string{simchar::pair_strategy_name(strategy)}.c_str(),
+                  same ? "identical" : "MISMATCH");
+      ok = ok && same;
+    }
+  }
+  std::printf("simchar pair-mining smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
+
+  bench::header("SimChar Step II pair-mining strategies");
+
+  util::ThreadPool pool;
+  const std::size_t sizes[] = {512, 2048, 6144};
+  const int thresholds[] = {2, 4, 8};
+  constexpr PairStrategy kStrategies[] = {PairStrategy::kAllPairs,
+                                          PairStrategy::kPopcountBand,
+                                          PairStrategy::kBlockIndex};
+
+  util::TextTable t{{"glyphs", "θ", "strategy", "∆ evals", "domain", "avoided",
+                     "candidates", "pairs", "seconds", "identical"},
+                    {util::Align::kRight, util::Align::kRight, util::Align::kLeft,
+                     util::Align::kRight, util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight, util::Align::kRight,
+                     util::Align::kLeft}};
+
+  std::vector<Cell> cells;
+  for (const auto n : sizes) {
+    const auto glyphs = make_repertoire(n, 20260805);
+    for (const int threshold : thresholds) {
+      // The all-pairs cell doubles as the ground truth for the other two.
+      std::vector<simchar::HomoglyphPair> truth;
+      for (const auto strategy : kStrategies) {
+        Cell cell;
+        cell.repertoire = n;
+        cell.threshold = threshold;
+        cell.strategy = strategy;
+        util::Stopwatch watch;
+        const PairMiner miner{glyphs, threshold, strategy, pool};
+        auto pairs = miner.mine_all(&cell.stats);
+        cell.seconds = watch.seconds();
+        cell.pairs = pairs.size();
+        if (strategy == PairStrategy::kAllPairs) {
+          truth = std::move(pairs);
+        } else {
+          cell.identical = pairs == truth;
+        }
+        cells.push_back(cell);
+        const double avoided =
+            cell.stats.all_pairs_domain == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(cell.stats.comparisons_avoided) /
+                      static_cast<double>(cell.stats.all_pairs_domain);
+        t.add_row({util::with_commas(n), std::to_string(threshold),
+                   std::string{simchar::pair_strategy_name(strategy)},
+                   util::with_commas(cell.stats.delta_evaluations),
+                   util::with_commas(cell.stats.all_pairs_domain),
+                   util::fixed(avoided, 1) + "%",
+                   util::with_commas(cell.stats.candidates_deduped),
+                   util::with_commas(cell.pairs), util::fixed(cell.seconds, 3),
+                   cell.identical ? "yes" : "NO"});
+      }
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  // Headline: how many ∆ evaluations the band prune needs per block-index
+  // evaluation on the largest repertoire, per threshold.
+  const std::size_t largest = sizes[std::size(sizes) - 1];
+  bool all_identical = true;
+  for (const auto& cell : cells) all_identical = all_identical && cell.identical;
+  double ratio_theta4 = 0.0;
+  std::string ratio_json;
+  for (const int threshold : thresholds) {
+    std::uint64_t band = 0;
+    std::uint64_t block = 0;
+    for (const auto& cell : cells) {
+      if (cell.repertoire != largest || cell.threshold != threshold) continue;
+      if (cell.strategy == PairStrategy::kPopcountBand)
+        band = cell.stats.delta_evaluations;
+      if (cell.strategy == PairStrategy::kBlockIndex)
+        block = cell.stats.delta_evaluations;
+    }
+    const double ratio =
+        static_cast<double>(band) / static_cast<double>(std::max<std::uint64_t>(block, 1));
+    if (threshold == 4) ratio_theta4 = ratio;
+    std::printf("θ=%d, %s glyphs: band %s ∆ vs block index %s ∆ -> %.1fx fewer\n",
+                threshold, util::with_commas(largest).c_str(),
+                util::with_commas(band).c_str(), util::with_commas(block).c_str(),
+                ratio);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s\"%d\": %.1f", ratio_json.empty() ? "" : ", ",
+                  threshold, ratio);
+    ratio_json += buf;
+  }
+
+  bench::shape("every strategy cell identical to all-pairs", all_identical);
+  bench::shape("block index ≥10x fewer ∆ than band prune at θ=4 (largest repertoire)",
+               ratio_theta4 >= 10.0);
+
+  std::string grid_json;
+  for (const auto& cell : cells) {
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"repertoire\": %zu, \"threshold\": %d, \"strategy\": "
+                  "\"%s\", \"delta_evaluations\": %llu, \"all_pairs_domain\": "
+                  "%llu, \"comparisons_avoided\": %llu, \"candidates_deduped\": "
+                  "%llu, \"pairs\": %zu, \"seconds\": %.6f, "
+                  "\"identical_to_all_pairs\": %s}%s\n",
+                  cell.repertoire, cell.threshold,
+                  std::string{simchar::pair_strategy_name(cell.strategy)}.c_str(),
+                  static_cast<unsigned long long>(cell.stats.delta_evaluations),
+                  static_cast<unsigned long long>(cell.stats.all_pairs_domain),
+                  static_cast<unsigned long long>(cell.stats.comparisons_avoided),
+                  static_cast<unsigned long long>(cell.stats.candidates_deduped),
+                  cell.pairs, cell.seconds, cell.identical ? "true" : "false",
+                  &cell == &cells.back() ? "" : ",");
+    grid_json += buf;
+  }
+
+  if (std::FILE* f = std::fopen("BENCH_simchar.json", "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"simchar_pairs\",\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"grid\": [\n%s  ],\n"
+                 "  \"largest_repertoire\": %zu,\n"
+                 "  \"band_vs_block_delta_ratio\": {%s},\n"
+                 "  \"band_vs_block_delta_ratio_theta4\": %.1f,\n"
+                 "  \"identical_to_all_pairs_in_every_cell\": %s,\n"
+                 "  \"block_index_10x_criterion\": \"%s\"\n"
+                 "}\n",
+                 std::thread::hardware_concurrency(), grid_json.c_str(), largest,
+                 ratio_json.c_str(), ratio_theta4,
+                 all_identical ? "true" : "false",
+                 all_identical && ratio_theta4 >= 10.0 ? "met" : "FAILED");
+    std::fclose(f);
+    std::printf("wrote BENCH_simchar.json\n");
+  }
+  return all_identical ? 0 : 1;
+}

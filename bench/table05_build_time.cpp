@@ -2,7 +2,10 @@
 // 10.9 h pairwise ∆ with 15 processes, 18.0 s sparse elimination at
 // 52,457 characters). This binary reproduces the cost structure: the
 // pairwise step dominates and scales quadratically; worker threads give
-// near-linear speedup; the exact bucket prune removes most of the work.
+// near-linear speedup; the exact popcount-band prune removes most of the
+// work, and the pigeonhole block index removes most of what remains.
+#include <algorithm>
+#include <cstdint>
 #include <thread>
 
 #include "bench_common.hpp"
@@ -22,21 +25,26 @@ int main() {
   double naive_small = 0.0;
   double naive_large = 0.0;
   double pruned_large = 0.0;
+  std::uint64_t pruned_comparisons = 0;
+  double block_large = 0.0;
+  std::uint64_t block_comparisons = 0;
   double one_thread = 0.0;
   double many_threads = 0.0;
   std::size_t glyphs_small = 0;
   std::size_t glyphs_large = 0;
 
-  const auto run = [&](double scale, bool prune, std::size_t threads) {
+  const auto run = [&](double scale, simchar::PairStrategy strategy,
+                       std::size_t threads) {
     font::PaperFontConfig font_config;
     font_config.scale = scale;
     const auto paper = font::make_paper_font(font_config);
     simchar::BuildOptions options;
-    options.use_bucket_pruning = prune;
+    options.pair_strategy = strategy;
     options.threads = threads;
     simchar::BuildStats stats;
     simchar::SimCharDb::build(*paper.font, options, &stats);
-    t.add_row({util::with_commas(stats.glyphs_rendered), prune ? "pruned" : "naive",
+    t.add_row({util::with_commas(stats.glyphs_rendered),
+               std::string{simchar::pair_strategy_name(strategy)},
                std::to_string(threads == 0
                                   ? static_cast<std::size_t>(
                                         std::thread::hardware_concurrency())
@@ -49,25 +57,31 @@ int main() {
   };
 
   {
-    const auto s = run(0.25, false, 0);
+    const auto s = run(0.25, simchar::PairStrategy::kAllPairs, 0);
     naive_small = s.compare_seconds;
     glyphs_small = s.glyphs_rendered;
   }
   {
-    const auto s = run(1.0, false, 0);
+    const auto s = run(1.0, simchar::PairStrategy::kAllPairs, 0);
     naive_large = s.compare_seconds;
     glyphs_large = s.glyphs_rendered;
   }
   {
-    const auto s = run(1.0, true, 0);
+    const auto s = run(1.0, simchar::PairStrategy::kPopcountBand, 0);
     pruned_large = s.compare_seconds;
+    pruned_comparisons = s.pairs_compared;
   }
   {
-    const auto s = run(1.0, false, 1);
+    const auto s = run(1.0, simchar::PairStrategy::kBlockIndex, 0);
+    block_large = s.compare_seconds;
+    block_comparisons = s.pairs_compared;
+  }
+  {
+    const auto s = run(1.0, simchar::PairStrategy::kAllPairs, 1);
     one_thread = s.compare_seconds;
   }
   {
-    const auto s = run(1.0, false, 4);
+    const auto s = run(1.0, simchar::PairStrategy::kAllPairs, 4);
     many_threads = s.compare_seconds;
   }
   std::printf("%s\n", t.str().c_str());
@@ -81,6 +95,12 @@ int main() {
               one_thread / many_threads, cores);
   std::printf("bucket prune vs naive at full size: %.1fx faster, identical output\n",
               naive_large / pruned_large);
+  std::printf("block index vs band prune at full size: %s vs %s ∆ evaluations "
+              "(%.1fx fewer), identical output\n",
+              util::with_commas(block_comparisons).c_str(),
+              util::with_commas(pruned_comparisons).c_str(),
+              static_cast<double>(pruned_comparisons) /
+                  static_cast<double>(std::max<std::uint64_t>(block_comparisons, 1)));
   // Extrapolate the naive single-thread cost to the paper's 52,457 glyphs.
   const double per_pair = one_thread / (0.5 * glyphs_large * glyphs_large);
   const double paper_pairs = 0.5 * 52457.0 * 52457.0;
@@ -101,5 +121,8 @@ int main() {
     std::printf("  shape: multithreading speedup             [SKIPPED: 1-core host]\n");
   }
   bench::shape("bucket prune beats naive", pruned_large < naive_large);
+  bench::shape("block index evaluates fewer ∆ than the band prune",
+               block_comparisons < pruned_comparisons);
+  bench::shape("block index beats naive on wall clock", block_large < naive_large);
   return 0;
 }

@@ -84,6 +84,9 @@ struct DetectionStats {
   std::uint64_t index_cache_updates = 0;   // index patched incrementally
   std::uint64_t index_entries_rehashed = 0;  // entries touched by the patch
   std::uint64_t result_cache_hits = 0;  // whole response served from the memo
+  /// Entries resident in the response LRU after this call (bounded by
+  /// EngineOptions::result_cache_capacity).
+  std::uint64_t result_cache_entries = 0;
   double index_update_seconds = 0.0;    // wall clock of the incremental patch
   /// HomoglyphDb::generation() observed at query time, and the generation
   /// the served index was (re)built or patched up to. Equal after every

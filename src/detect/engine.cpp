@@ -128,7 +128,7 @@ void scan_references_skeleton(const HomographDetector& detector,
   std::vector<DiffChar> diffs;
   for (std::size_t r = begin; r < end; ++r) {
     const auto& ref = references[r];
-    const auto* bucket = index.probe(index.hash_of(ref));
+    const auto* bucket = index.probe(index.hashes_of(ref));
     if (bucket == nullptr) continue;
     for (const auto x : *bucket) {
       ++out.length_bucket_hits;  // candidates examined, as under kIndexed
@@ -157,7 +157,7 @@ void scan_idns_skeleton(const HomographDetector& detector,
                         std::size_t begin, std::size_t end, ShardResult& out) {
   std::vector<DiffChar> diffs;
   for (std::size_t x = begin; x < end; ++x) {
-    const auto* bucket = index.probe(index.hash_of(idns[x].unicode));
+    const auto* bucket = index.probe(index.hashes_of(idns[x].unicode));
     if (bucket == nullptr) continue;
     for (const auto r : *bucket) {
       ++out.length_bucket_hits;
@@ -210,9 +210,11 @@ struct Engine::CacheState {
     std::shared_ptr<const SkeletonIndex> skeleton;
   };
 
-  /// Whole-response memo for the exact same query.
-  struct ResultSlot {
-    bool valid = false;
+  /// One whole-response memo entry. The engine keeps the last
+  /// EngineOptions::result_cache_capacity distinct queries in an LRU
+  /// (linear scan — capacity is single-digit) so rotating reference lists
+  /// against one zone snapshot all stay warm.
+  struct ResultEntry {
     std::uint64_t ref_fingerprint = 0;
     std::uint64_t idn_fingerprint = 0;
     std::uint64_t generation = 0;
@@ -220,11 +222,20 @@ struct Engine::CacheState {
     std::size_t workers = 0;
     bool inverted = false;
     std::shared_ptr<const DetectResponse> response;
+    std::uint64_t tick = 0;  // last-use time; smallest tick is evicted
+
+    [[nodiscard]] bool matches(std::uint64_t ref_fp, std::uint64_t idn_fp,
+                               std::uint64_t gen, Strategy s, std::size_t w,
+                               bool inv) const noexcept {
+      return ref_fingerprint == ref_fp && idn_fingerprint == idn_fp &&
+             generation == gen && strategy == s && workers == w && inverted == inv;
+    }
   };
 
   IdnSlot idn;
   RefSlot ref;
-  ResultSlot result;
+  std::vector<ResultEntry> results;
+  std::uint64_t result_tick = 0;
 
   /// SkeletonJoin::kAuto stability promotion: when the same IDN set shows
   /// up twice in a row it is treated as the stable snapshot and indexed
@@ -365,18 +376,21 @@ DetectResponse Engine::run(std::span<const RefString> references,
   out.stats.db_generation = generation;
   out.stats.index_generation = generation;
 
-  // L1: whole-response memo. Key covers everything the response depends
+  // L1: whole-response LRU. Key covers everything the response depends
   // on; on a hit the stored response is copied and its timing/cache
   // counters overwritten to describe *this* call (no build, no scan).
   if (use_cache) {
     std::lock_guard lock{cache_->mutex};
-    const auto& slot = cache_->result;
-    if (slot.valid && slot.ref_fingerprint == ref_fp &&
-        slot.idn_fingerprint == idn_fp && slot.generation == generation &&
-        slot.strategy == strategy && slot.workers == workers &&
-        slot.inverted == inverted) {
-      out = *slot.response;
+    const auto hit = std::find_if(
+        cache_->results.begin(), cache_->results.end(), [&](const auto& entry) {
+          return entry.matches(ref_fp, idn_fp, generation, strategy, workers,
+                               inverted);
+        });
+    if (hit != cache_->results.end()) {
+      hit->tick = ++cache_->result_tick;
+      out = *hit->response;
       out.stats.result_cache_hits = 1;
+      out.stats.result_cache_entries = cache_->results.size();
       out.stats.index_cache_hits = 0;
       out.stats.index_cache_rebuilds = 0;
       out.stats.index_cache_updates = 0;
@@ -400,12 +414,15 @@ DetectResponse Engine::run(std::span<const RefString> references,
   util::Stopwatch stage;
   std::shared_ptr<const LengthIndex> by_length;
   std::shared_ptr<const SkeletonIndex> skeleton;
+  const SkeletonIndexOptions index_opts{
+      .max_bucket_occupancy = options_.skeleton_bucket_cap};
 
   if (strategy == Strategy::kSkeleton) {
     if (!use_cache) {
       stage.reset();
-      skeleton = inverted ? std::make_shared<SkeletonIndex>(*db_, references)
-                          : std::make_shared<SkeletonIndex>(*db_, idns);
+      skeleton = inverted
+                     ? std::make_shared<SkeletonIndex>(*db_, references, index_opts)
+                     : std::make_shared<SkeletonIndex>(*db_, idns, index_opts);
       out.stats.skeleton_build_seconds = stage.seconds();
     } else if (!inverted) {
       std::lock_guard lock{cache_->mutex};
@@ -434,7 +451,7 @@ DetectResponse Engine::run(std::span<const RefString> references,
       }
       if (!ready) {
         stage.reset();
-        slot.skeleton = std::make_shared<SkeletonIndex>(*db_, idns);
+        slot.skeleton = std::make_shared<SkeletonIndex>(*db_, idns, index_opts);
         slot.skeleton_generation = generation;
         out.stats.index_cache_rebuilds = 1;
         out.stats.skeleton_build_seconds = stage.seconds();
@@ -470,7 +487,7 @@ DetectResponse Engine::run(std::span<const RefString> references,
       }
       if (!ready) {
         stage.reset();
-        slot.skeleton = std::make_shared<SkeletonIndex>(*db_, references);
+        slot.skeleton = std::make_shared<SkeletonIndex>(*db_, references, index_opts);
         slot.skeleton_generation = generation;
         out.stats.index_cache_rebuilds = 1;
         out.stats.skeleton_build_seconds = stage.seconds();
@@ -587,14 +604,30 @@ DetectResponse Engine::run(std::span<const RefString> references,
     out.stats.shards_used = shards;
   }
 
-  out.stats.seconds = total.seconds();
-
-  if (use_cache) {
-    auto response = std::make_shared<DetectResponse>(out);
+  if (use_cache && options_.result_cache_capacity > 0) {
     std::lock_guard lock{cache_->mutex};
-    cache_->result = {true,     ref_fp,  idn_fp,   generation,
-                      strategy, workers, inverted, std::move(response)};
+    auto& lru = cache_->results;
+    auto slot = std::find_if(lru.begin(), lru.end(), [&](const auto& entry) {
+      return entry.matches(ref_fp, idn_fp, generation, strategy, workers, inverted);
+    });
+    if (slot == lru.end()) {
+      if (lru.size() >= options_.result_cache_capacity) {
+        // Evict the least-recently-used entry (smallest tick).
+        slot = std::min_element(lru.begin(), lru.end(),
+                                [](const auto& x, const auto& y) {
+                                  return x.tick < y.tick;
+                                });
+      } else {
+        slot = lru.emplace(lru.end());
+      }
+    }
+    *slot = {ref_fp,   idn_fp,  generation, strategy,
+             workers,  inverted, nullptr,   ++cache_->result_tick};
+    out.stats.result_cache_entries = lru.size();
+    slot->response = std::make_shared<DetectResponse>(out);
   }
+
+  out.stats.seconds = total.seconds();
   return out;
 }
 

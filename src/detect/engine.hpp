@@ -100,6 +100,15 @@ struct EngineOptions {
   /// margin keeps a reusable IDN index worth building near the break-even
   /// point.
   std::size_t inverted_join_ratio = 4;
+  /// Response-memo LRU capacity: the last K distinct
+  /// (references, idns, generation, strategy, threads, join) responses are
+  /// kept, so rotating reference lists against one zone snapshot all hit.
+  /// 0 disables the response memo (index caching is unaffected).
+  std::size_t result_cache_capacity = 8;
+  /// Split skeleton-index buckets holding more than this many labels by a
+  /// secondary hash (0 = never split) — bounds verification cost when many
+  /// labels share one skeleton. Applies to engine-built skeleton indexes.
+  std::size_t skeleton_bucket_cap = 64;
 };
 
 /// One detection run: references (exactly one of the two spans may be

@@ -9,6 +9,9 @@ namespace {
 
 constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
 constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+/// Offset basis for the secondary (bucket-splitting) hash stream — any
+/// value distinct from kFnvOffset gives an independent hash family.
+constexpr std::uint64_t kFnv2Offset = 0x84222325cbf29ce4ULL;
 
 constexpr std::uint64_t fnv1a_u32(std::uint64_t h, std::uint32_t v) noexcept {
   for (int shift = 0; shift < 32; shift += 8) {
@@ -16,6 +19,17 @@ constexpr std::uint64_t fnv1a_u32(std::uint64_t h, std::uint32_t v) noexcept {
     h *= kFnvPrime;
   }
   return h;
+}
+
+/// Extra diffusion for the secondary stream: the primary already consumes
+/// the raw canonical values, so the secondary consumes a mixed image of
+/// them — labels colliding under the (possibly hash_bits-truncated)
+/// primary separate here unless their canonical streams are identical.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
 
 template <typename Char>
@@ -42,24 +56,54 @@ std::uint64_t SkeletonIndex::hash_impl(const String& label) const {
   return h & hash_mask_;
 }
 
+template <typename String>
+std::uint64_t SkeletonIndex::hash2_impl(const String& label) const {
+  // Full width (never masked by hash_bits): the secondary hash must keep
+  // separating labels precisely when the primary stopped doing so.
+  std::uint64_t h = fnv1a_u32(kFnv2Offset, static_cast<std::uint32_t>(label.size()));
+  for (const auto c : label) {
+    const auto mixed = mix64(db_->canonical(to_cp(c)));
+    h = fnv1a_u32(h, static_cast<std::uint32_t>(mixed));
+    h = fnv1a_u32(h, static_cast<std::uint32_t>(mixed >> 32));
+  }
+  return h;
+}
+
+void SkeletonIndex::refresh_split(Bucket& bucket) {
+  const bool was_split = bucket.split;
+  bucket.split = max_bucket_occupancy_ > 0 &&
+                 bucket.entries.size() > max_bucket_occupancy_;
+  if (bucket.split != was_split) split_buckets_ += bucket.split ? 1 : -1;
+  bucket.children.clear();
+  if (!bucket.split) return;
+  for (const auto x : bucket.entries) {
+    bucket.children[entry_h2_[x]].push_back(x);  // ascending: entries are
+  }
+}
+
 template <typename Label>
 void SkeletonIndex::build(std::span<const Label> labels) {
   entry_hashes_.resize(labels.size());
+  if (max_bucket_occupancy_ > 0) entry_h2_.resize(labels.size());
   buckets_.reserve(labels.size());
   std::vector<unicode::CodePoint> uniq;
   for (std::size_t x = 0; x < labels.size(); ++x) {
     const auto& label = label_of(labels[x]);
     const auto h = hash_impl(label);
     entry_hashes_[x] = h;
+    if (max_bucket_occupancy_ > 0) entry_h2_[x] = hash2_impl(label);
     auto& bucket = buckets_[h];
-    if (bucket.empty()) ++non_empty_buckets_;
-    bucket.push_back(x);  // ascending: x is monotonic
+    if (bucket.entries.empty()) ++non_empty_buckets_;
+    bucket.entries.push_back(x);  // ascending: x is monotonic
 
     uniq.clear();
     for (const auto c : label) uniq.push_back(to_cp(c));
     std::sort(uniq.begin(), uniq.end());
     uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
     for (const auto cp : uniq) entries_by_cp_[cp].push_back(x);
+  }
+  if (max_bucket_occupancy_ > 0) {
+    for (auto& [h, bucket] : buckets_) refresh_split(bucket);
   }
 }
 
@@ -75,18 +119,32 @@ std::size_t SkeletonIndex::rehash_impl(std::span<const Label> labels,
   std::sort(affected.begin(), affected.end());
   affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
 
+  std::vector<std::uint64_t> touched;
   for (const auto x : affected) {
     const auto old_hash = entry_hashes_[x];
     const auto new_hash = hash_impl(label_of(labels[x]));
-    if (new_hash == old_hash) continue;
-    auto& old_bucket = buckets_[old_hash];
+    if (max_bucket_occupancy_ > 0) entry_h2_[x] = hash2_impl(label_of(labels[x]));
+    if (new_hash == old_hash) {
+      // Same primary bucket, but under a cap the secondary hash (hence the
+      // child partition) may have moved.
+      if (max_bucket_occupancy_ > 0) touched.push_back(old_hash);
+      continue;
+    }
+    auto& old_bucket = buckets_[old_hash].entries;
     old_bucket.erase(std::find(old_bucket.begin(), old_bucket.end(), x));
     if (old_bucket.empty()) --non_empty_buckets_;  // stays in the table, empty
-    auto& new_bucket = buckets_[new_hash];
+    auto& new_bucket = buckets_[new_hash].entries;
     if (new_bucket.empty()) ++non_empty_buckets_;
     new_bucket.insert(std::upper_bound(new_bucket.begin(), new_bucket.end(), x), x);
     entry_hashes_[x] = new_hash;
+    if (max_bucket_occupancy_ > 0) {
+      touched.push_back(old_hash);
+      touched.push_back(new_hash);
+    }
   }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const auto h : touched) refresh_split(buckets_[h]);
   return affected.size();
 }
 
@@ -95,7 +153,8 @@ SkeletonIndex::SkeletonIndex(const homoglyph::HomoglyphDb& db,
                              SkeletonIndexOptions options)
     : db_{&db},
       hash_mask_{options.hash_bits >= 64 ? ~0ULL
-                                         : (1ULL << options.hash_bits) - 1} {
+                                         : (1ULL << options.hash_bits) - 1},
+      max_bucket_occupancy_{options.max_bucket_occupancy} {
   build(idns);
 }
 
@@ -104,7 +163,8 @@ SkeletonIndex::SkeletonIndex(const homoglyph::HomoglyphDb& db,
                              SkeletonIndexOptions options)
     : db_{&db},
       hash_mask_{options.hash_bits >= 64 ? ~0ULL
-                                         : (1ULL << options.hash_bits) - 1} {
+                                         : (1ULL << options.hash_bits) - 1},
+      max_bucket_occupancy_{options.max_bucket_occupancy} {
   build(labels);
 }
 
@@ -113,7 +173,8 @@ SkeletonIndex::SkeletonIndex(const homoglyph::HomoglyphDb& db,
                              SkeletonIndexOptions options)
     : db_{&db},
       hash_mask_{options.hash_bits >= 64 ? ~0ULL
-                                         : (1ULL << options.hash_bits) - 1} {
+                                         : (1ULL << options.hash_bits) - 1},
+      max_bucket_occupancy_{options.max_bucket_occupancy} {
   build(labels);
 }
 
@@ -123,6 +184,16 @@ std::uint64_t SkeletonIndex::hash_of(std::string_view reference) const {
 
 std::uint64_t SkeletonIndex::hash_of(const unicode::U32String& reference) const {
   return hash_impl(reference);
+}
+
+SkeletonHashes SkeletonIndex::hashes_of(std::string_view reference) const {
+  return {hash_impl(reference),
+          max_bucket_occupancy_ > 0 ? hash2_impl(reference) : 0};
+}
+
+SkeletonHashes SkeletonIndex::hashes_of(const unicode::U32String& reference) const {
+  return {hash_impl(reference),
+          max_bucket_occupancy_ > 0 ? hash2_impl(reference) : 0};
 }
 
 std::size_t SkeletonIndex::rehash_changed(std::span<const IdnEntry> labels,
@@ -147,8 +218,17 @@ std::vector<std::uint64_t> SkeletonIndex::occupancy_histogram(
   for (const auto& entry : buckets_) {
     // Vacated buckets (rehash_changed moved every entry out) stay in the
     // table; size() - 1 would underflow for them.
-    if (entry.second.empty()) continue;
-    const auto slot = std::min(entry.second.size() - 1, max_slots - 1);
+    if (entry.second.entries.empty()) continue;
+    if (entry.second.split) {
+      // A split bucket's probe-visible units are its children — counting
+      // them (not the parent union) is what shows the long tail shrink.
+      for (const auto& [h2, child] : entry.second.children) {
+        if (child.empty()) continue;
+        ++histogram[std::min(child.size() - 1, max_slots - 1)];
+      }
+      continue;
+    }
+    const auto slot = std::min(entry.second.entries.size() - 1, max_slots - 1);
     ++histogram[slot];
   }
   return histogram;

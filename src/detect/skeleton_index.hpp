@@ -50,6 +50,20 @@ struct SkeletonIndexOptions {
   /// keeps all 64; tests shrink it to force bucket collisions and exercise
   /// the verification path deterministically.
   unsigned hash_bits = 64;
+  /// Split any bucket holding more than this many entries into child
+  /// buckets keyed by a secondary, full-width hash (0 = never split).
+  /// Bounds per-probe verification cost when many labels share one
+  /// skeleton (or when hash_bits truncation piles distinct skeletons into
+  /// one bucket). Exact: a true match has equal canonical streams, hence
+  /// equal secondary hashes, so it always lands in the probed child.
+  std::size_t max_bucket_occupancy = 0;
+};
+
+/// Primary (bucket) and secondary (child-bucket) skeleton hashes of one
+/// label. Both are functions of the canonical code-point stream only.
+struct SkeletonHashes {
+  std::uint64_t primary = 0;
+  std::uint64_t secondary = 0;
 };
 
 class SkeletonIndex {
@@ -72,12 +86,37 @@ class SkeletonIndex {
   [[nodiscard]] std::uint64_t hash_of(std::string_view reference) const;
   [[nodiscard]] std::uint64_t hash_of(const unicode::U32String& reference) const;
 
+  /// Primary + secondary skeleton hashes of a probe label, for the
+  /// split-aware probe below.
+  [[nodiscard]] SkeletonHashes hashes_of(std::string_view reference) const;
+  [[nodiscard]] SkeletonHashes hashes_of(const unicode::U32String& reference) const;
+
   /// Entry indices bucketed under `hash`, ascending; nullptr when empty.
-  /// The bucket over-approximates (closure + collisions): exact-verify
-  /// every entry.
+  /// For a split bucket this is the full union of its children (legacy
+  /// probe — never misses, just unbounded). The bucket over-approximates
+  /// (closure + collisions): exact-verify every entry.
   [[nodiscard]] const std::vector<std::size_t>* probe(std::uint64_t hash) const {
     const auto it = buckets_.find(hash);
-    return it == buckets_.end() || it->second.empty() ? nullptr : &it->second;
+    return it == buckets_.end() || it->second.entries.empty() ? nullptr
+                                                              : &it->second.entries;
+  }
+
+  /// Split-aware probe: on a split bucket only the child keyed by the
+  /// secondary hash is returned, so occupancy stays under the cap even
+  /// when thousands of labels share one primary hash.
+  [[nodiscard]] const std::vector<std::size_t>* probe(SkeletonHashes hashes) const {
+    const auto it = buckets_.find(hashes.primary);
+    if (it == buckets_.end() || it->second.entries.empty()) return nullptr;
+    if (!it->second.split) return &it->second.entries;
+    const auto child = it->second.children.find(hashes.secondary);
+    return child == it->second.children.end() || child->second.empty()
+               ? nullptr
+               : &child->second;
+  }
+
+  /// Number of primary buckets currently split into secondary children.
+  [[nodiscard]] std::size_t split_bucket_count() const noexcept {
+    return split_buckets_;
   }
 
   /// Number of non-empty buckets (incremental maintenance can leave empty
@@ -103,25 +142,44 @@ class SkeletonIndex {
 
   /// Bucket-occupancy histogram: slot i counts buckets holding exactly
   /// i+1 entries; the final slot aggregates buckets of size >= max_slots.
+  /// Split buckets contribute their children (the probe-visible units),
+  /// not the parent union — that is the long tail the split removes.
   /// Empty buckets (possible after rehash_changed) are not counted.
   [[nodiscard]] std::vector<std::uint64_t> occupancy_histogram(
       std::size_t max_slots = 8) const;
 
  private:
+  /// `entries` is always the full ascending union (serves the legacy
+  /// probe); when `split`, `children` partitions it by secondary hash.
+  struct Bucket {
+    std::vector<std::size_t> entries;
+    bool split = false;
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> children;
+  };
+
   template <typename String>
   [[nodiscard]] std::uint64_t hash_impl(const String& label) const;
+  template <typename String>
+  [[nodiscard]] std::uint64_t hash2_impl(const String& label) const;
   template <typename Label>
   void build(std::span<const Label> labels);
   template <typename Label>
   std::size_t rehash_impl(std::span<const Label> labels,
                           std::span<const unicode::CodePoint> changed);
+  /// Re-derive a bucket's split state from its current entries (called on
+  /// every bucket rehash_changed touched, and after build).
+  void refresh_split(Bucket& bucket);
 
   const homoglyph::HomoglyphDb* db_;
   std::uint64_t hash_mask_;
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets_;
+  std::size_t max_bucket_occupancy_ = 0;
+  std::unordered_map<std::uint64_t, Bucket> buckets_;
   std::size_t non_empty_buckets_ = 0;
+  std::size_t split_buckets_ = 0;
   /// Hash currently keying each entry's bucket slot.
   std::vector<std::uint64_t> entry_hashes_;
+  /// Secondary hash per entry; filled only when max_bucket_occupancy > 0.
+  std::vector<std::uint64_t> entry_h2_;
   /// Raw code point -> entries whose label contains it (deduplicated,
   /// ascending). Keys are raw code points, not canonical representatives,
   /// so the postings stay valid across database updates.

@@ -1,0 +1,434 @@
+#include "simchar/pair_miner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "font/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sham::simchar {
+
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t pack_pair(std::uint32_t i, std::uint32_t j) noexcept {
+  return (static_cast<std::uint64_t>(i) << 32) | j;
+}
+
+/// Chunk count for deterministic parallel_for_chunks fan-out: enough
+/// chunks to load-balance irregular work without drowning in merge cost.
+std::size_t chunk_count(const util::ThreadPool& pool, std::size_t domain) {
+  if (domain == 0) return 1;
+  return std::min(domain, std::max<std::size_t>(1, pool.thread_count() * 4));
+}
+
+/// Per-chunk Step II output slot: owned by one chunk during the scan,
+/// merged in chunk order afterwards so the emitted sequence (and every
+/// counter) is independent of thread scheduling.
+struct ChunkResult {
+  std::vector<HomoglyphPair> found;
+  std::uint64_t delta_evaluations = 0;
+};
+
+void finish(std::vector<ChunkResult>& chunks, std::vector<HomoglyphPair>& pairs,
+            MinerStats* stats) {
+  std::size_t total = 0;
+  for (const auto& c : chunks) total += c.found.size();
+  pairs.reserve(total);
+  for (auto& c : chunks) {
+    pairs.insert(pairs.end(), c.found.begin(), c.found.end());
+    if (stats != nullptr) stats->delta_evaluations += c.delta_evaluations;
+  }
+  // Canonical output order: every strategy (and thread count) emits the
+  // byte-identical sequence.
+  std::sort(pairs.begin(), pairs.end());
+}
+
+}  // namespace
+
+std::string_view pair_strategy_name(PairStrategy strategy) noexcept {
+  switch (strategy) {
+    case PairStrategy::kAuto: return "auto";
+    case PairStrategy::kAllPairs: return "all-pairs";
+    case PairStrategy::kPopcountBand: return "popcount-band";
+    case PairStrategy::kBlockIndex: return "block-index";
+  }
+  return "unknown";
+}
+
+std::optional<PairStrategy> parse_pair_strategy(std::string_view name) noexcept {
+  if (name == "auto") return PairStrategy::kAuto;
+  if (name == "all-pairs" || name == "all") return PairStrategy::kAllPairs;
+  if (name == "popcount-band" || name == "band") return PairStrategy::kPopcountBand;
+  if (name == "block-index" || name == "block") return PairStrategy::kBlockIndex;
+  return std::nullopt;
+}
+
+PairMiner::PairMiner(std::span<const MinerGlyph> glyphs, int threshold,
+                     PairStrategy strategy, util::ThreadPool& pool)
+    : glyphs_{glyphs}, threshold_{threshold}, strategy_{strategy}, pool_{&pool} {
+  if (threshold < 0) throw std::invalid_argument{"PairMiner: threshold < 0"};
+  if (strategy == PairStrategy::kAuto) {
+    throw std::invalid_argument{"PairMiner: resolve kAuto before construction"};
+  }
+  // Pigeonhole needs θ + 1 blocks; at word granularity the 16-word bitmap
+  // caps that at θ ≤ 15. Beyond it, fall back to the band prune (still
+  // exact, just weaker).
+  if (strategy_ == PairStrategy::kBlockIndex &&
+      threshold_ + 1 > font::GlyphBitmap::kWords) {
+    strategy_ = PairStrategy::kPopcountBand;
+  }
+  switch (strategy_) {
+    case PairStrategy::kPopcountBand: build_popcount_order(); break;
+    case PairStrategy::kBlockIndex: build_block_tables(); break;
+    default: break;
+  }
+}
+
+void PairMiner::build_popcount_order() {
+  order_.resize(glyphs_.size());
+  for (std::uint32_t i = 0; i < glyphs_.size(); ++i) order_[i] = i;
+  std::sort(order_.begin(), order_.end(), [&](std::uint32_t x, std::uint32_t y) {
+    return glyphs_[x].popcount != glyphs_[y].popcount
+               ? glyphs_[x].popcount < glyphs_[y].popcount
+               : glyphs_[x].cp < glyphs_[y].cp;
+  });
+}
+
+std::uint64_t PairMiner::block_key(std::size_t glyph, std::size_t block) const {
+  const auto& words = glyphs_[glyph].glyph.words();
+  const auto [first, last] = block_spans_[block];
+  std::uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (int w = first; w < last; ++w) h = splitmix64(h ^ words[w]);
+  return h;
+}
+
+void PairMiner::build_block_tables() {
+  const int blocks = threshold_ + 1;
+  block_spans_.resize(blocks);
+  for (int b = 0; b < blocks; ++b) {
+    // Even partition of the 16 words: block b covers
+    // [b·16/B, (b+1)·16/B) — non-empty for every b when B ≤ 16.
+    block_spans_[b] = {b * font::GlyphBitmap::kWords / blocks,
+                       (b + 1) * font::GlyphBitmap::kWords / blocks};
+  }
+  tables_.resize(blocks);
+  // One task per table: each table is filled by exactly one chunk, in
+  // ascending glyph order, so bucket contents are deterministic.
+  pool_->parallel_for(0, static_cast<std::size_t>(blocks),
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t b = begin; b < end; ++b) {
+                          auto& table = tables_[b];
+                          table.buckets.reserve(glyphs_.size());
+                          for (std::uint32_t i = 0; i < glyphs_.size(); ++i) {
+                            table.buckets[block_key(i, b)].push_back(i);
+                          }
+                        }
+                      });
+}
+
+void PairMiner::fill_block_stats(MinerStats* stats) const {
+  if (stats == nullptr) return;
+  stats->block_tables = tables_.size();
+  constexpr std::size_t kSlots = 8;
+  stats->bucket_histogram.assign(kSlots, 0);
+  for (const auto& table : tables_) {
+    for (const auto& [key, bucket] : table.buckets) {
+      ++stats->bucket_histogram[std::min(bucket.size() - 1, kSlots - 1)];
+    }
+  }
+}
+
+std::vector<HomoglyphPair> PairMiner::verify_candidates(
+    std::vector<std::uint64_t>& packed, MinerStats* stats) const {
+  if (stats != nullptr) stats->candidates_emitted = packed.size();
+  // Dedupe (i, j) across tables: a pair matching in several blocks is
+  // emitted once per block. Sorting also fixes the verification order, so
+  // the merge below is deterministic for any thread count.
+  std::sort(packed.begin(), packed.end());
+  packed.erase(std::unique(packed.begin(), packed.end()), packed.end());
+  if (stats != nullptr) stats->candidates_deduped = packed.size();
+
+  struct VerifyChunk {
+    std::vector<HomoglyphPair> found;
+    std::uint64_t pruned = 0;
+    std::uint64_t evaluated = 0;
+    std::uint64_t rejected = 0;
+  };
+  const auto chunks = chunk_count(*pool_, packed.size());
+  std::vector<VerifyChunk> slots(chunks);
+  pool_->parallel_for_chunks(
+      0, packed.size(), chunks,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        auto& slot = slots[chunk];
+        for (std::size_t k = begin; k < end; ++k) {
+          const auto i = static_cast<std::uint32_t>(packed[k] >> 32);
+          const auto j = static_cast<std::uint32_t>(packed[k]);
+          const auto& gi = glyphs_[i];
+          const auto& gj = glyphs_[j];
+          // The popcount prune composes with the block index: ∆ ≥ |Δink|,
+          // so an over-threshold ink gap kills the candidate without a
+          // full ∆ evaluation.
+          if (std::abs(gi.popcount - gj.popcount) > threshold_) {
+            ++slot.pruned;
+            continue;
+          }
+          ++slot.evaluated;
+          const int d = font::delta_bounded(gi.glyph, gj.glyph, threshold_);
+          if (d <= threshold_) {
+            auto [a, b] = std::minmax(gi.cp, gj.cp);
+            slot.found.push_back({a, b, d});
+          } else {
+            ++slot.rejected;
+          }
+        }
+      });
+
+  std::vector<HomoglyphPair> pairs;
+  std::size_t total = 0;
+  for (const auto& s : slots) total += s.found.size();
+  pairs.reserve(total);
+  for (const auto& s : slots) {
+    pairs.insert(pairs.end(), s.found.begin(), s.found.end());
+    if (stats != nullptr) {
+      stats->candidates_pruned += s.pruned;
+      stats->delta_evaluations += s.evaluated;
+      stats->candidates_rejected += s.rejected;
+    }
+  }
+  if (stats != nullptr) {
+    stats->candidates_verified = stats->candidates_deduped -
+                                 stats->candidates_pruned -
+                                 stats->candidates_rejected;
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+std::vector<HomoglyphPair> PairMiner::mine_all(MinerStats* stats) const {
+  if (stats != nullptr) {
+    *stats = {};
+    stats->strategy = strategy_;
+    const std::uint64_t n = glyphs_.size();
+    stats->all_pairs_domain = n * (n - 1) / 2;
+  }
+  std::vector<HomoglyphPair> pairs;
+  const std::size_t n = glyphs_.size();
+  if (n >= 2) {
+    switch (strategy_) {
+      case PairStrategy::kAllPairs: {
+        const auto chunks = chunk_count(*pool_, n);
+        std::vector<ChunkResult> slots(chunks);
+        pool_->parallel_for_chunks(
+            0, n, chunks, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+              auto& slot = slots[chunk];
+              for (std::size_t i = begin; i < end; ++i) {
+                for (std::size_t j = i + 1; j < n; ++j) {
+                  ++slot.delta_evaluations;
+                  const int d = font::delta_bounded(glyphs_[i].glyph,
+                                                    glyphs_[j].glyph, threshold_);
+                  if (d <= threshold_) {
+                    auto [a, b] = std::minmax(glyphs_[i].cp, glyphs_[j].cp);
+                    slot.found.push_back({a, b, d});
+                  }
+                }
+              }
+            });
+        finish(slots, pairs, stats);
+        break;
+      }
+      case PairStrategy::kPopcountBand: {
+        const auto chunks = chunk_count(*pool_, n);
+        std::vector<ChunkResult> slots(chunks);
+        pool_->parallel_for_chunks(
+            0, n, chunks, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+              auto& slot = slots[chunk];
+              for (std::size_t p = begin; p < end; ++p) {
+                const auto& gi = glyphs_[order_[p]];
+                for (std::size_t q = p + 1; q < n; ++q) {
+                  const auto& gj = glyphs_[order_[q]];
+                  if (gj.popcount - gi.popcount > threshold_) break;
+                  ++slot.delta_evaluations;
+                  const int d = font::delta_bounded(gi.glyph, gj.glyph, threshold_);
+                  if (d <= threshold_) {
+                    auto [a, b] = std::minmax(gi.cp, gj.cp);
+                    slot.found.push_back({a, b, d});
+                  }
+                }
+              }
+            });
+        finish(slots, pairs, stats);
+        break;
+      }
+      case PairStrategy::kBlockIndex: {
+        // Candidate generation: every bucket collision, per table, in
+        // table order (cross-table duplicates removed in verification).
+        std::vector<std::vector<std::uint64_t>> per_table(tables_.size());
+        pool_->parallel_for(
+            0, tables_.size(), [&](std::size_t begin, std::size_t end) {
+              for (std::size_t t = begin; t < end; ++t) {
+                auto& out = per_table[t];
+                for (const auto& [key, bucket] : tables_[t].buckets) {
+                  if (bucket.size() < 2) continue;
+                  for (std::size_t x = 0; x < bucket.size(); ++x) {
+                    for (std::size_t y = x + 1; y < bucket.size(); ++y) {
+                      out.push_back(pack_pair(bucket[x], bucket[y]));
+                    }
+                  }
+                }
+              }
+            });
+        std::size_t total = 0;
+        for (const auto& v : per_table) total += v.size();
+        std::vector<std::uint64_t> packed;
+        packed.reserve(total);
+        for (const auto& v : per_table) {
+          packed.insert(packed.end(), v.begin(), v.end());
+        }
+        pairs = verify_candidates(packed, stats);
+        fill_block_stats(stats);
+        break;
+      }
+      case PairStrategy::kAuto: break;  // unreachable (constructor rejects)
+    }
+  }
+  if (stats != nullptr) {
+    stats->comparisons_avoided = stats->all_pairs_domain - stats->delta_evaluations;
+  }
+  return pairs;
+}
+
+std::vector<HomoglyphPair> PairMiner::mine_involving(
+    const std::unordered_set<unicode::CodePoint>& probes, MinerStats* stats) const {
+  const std::size_t n = glyphs_.size();
+  // Probe glyph indices, ascending; is_probe flags for the dedupe rule: a
+  // probe-probe pair is emitted only from its smaller-index side.
+  std::vector<std::uint32_t> probe_indices;
+  std::vector<char> is_probe(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (probes.contains(glyphs_[i].cp)) {
+      probe_indices.push_back(i);
+      is_probe[i] = 1;
+    }
+  }
+  if (stats != nullptr) {
+    *stats = {};
+    stats->strategy = strategy_;
+    const std::uint64_t total = n;
+    const std::uint64_t rest = n - probe_indices.size();
+    stats->all_pairs_domain = total * (total - 1) / 2 - rest * (rest - 1) / 2;
+  }
+  const auto skip = [&](std::uint32_t probe, std::uint32_t other) {
+    return other == probe || (is_probe[other] && other < probe);
+  };
+
+  std::vector<HomoglyphPair> pairs;
+  if (!probe_indices.empty() && n >= 2) {
+    switch (strategy_) {
+      case PairStrategy::kAllPairs: {
+        const auto chunks = chunk_count(*pool_, probe_indices.size());
+        std::vector<ChunkResult> slots(chunks);
+        pool_->parallel_for_chunks(
+            0, probe_indices.size(), chunks,
+            [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+              auto& slot = slots[chunk];
+              for (std::size_t k = begin; k < end; ++k) {
+                const auto pi = probe_indices[k];
+                const auto& gp = glyphs_[pi];
+                for (std::uint32_t j = 0; j < n; ++j) {
+                  if (skip(pi, j)) continue;
+                  ++slot.delta_evaluations;
+                  const int d =
+                      font::delta_bounded(gp.glyph, glyphs_[j].glyph, threshold_);
+                  if (d <= threshold_) {
+                    auto [a, b] = std::minmax(gp.cp, glyphs_[j].cp);
+                    slot.found.push_back({a, b, d});
+                  }
+                }
+              }
+            });
+        finish(slots, pairs, stats);
+        break;
+      }
+      case PairStrategy::kPopcountBand: {
+        const auto chunks = chunk_count(*pool_, probe_indices.size());
+        std::vector<ChunkResult> slots(chunks);
+        pool_->parallel_for_chunks(
+            0, probe_indices.size(), chunks,
+            [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+              auto& slot = slots[chunk];
+              for (std::size_t k = begin; k < end; ++k) {
+                const auto pi = probe_indices[k];
+                const auto& gp = glyphs_[pi];
+                // The ink-count window is a contiguous run of the sorted
+                // order: [pc − θ, pc + θ].
+                const auto lo = std::lower_bound(
+                    order_.begin(), order_.end(), gp.popcount - threshold_,
+                    [&](std::uint32_t idx, int value) {
+                      return glyphs_[idx].popcount < value;
+                    });
+                for (auto it = lo; it != order_.end(); ++it) {
+                  const auto j = *it;
+                  if (glyphs_[j].popcount - gp.popcount > threshold_) break;
+                  if (skip(pi, j)) continue;
+                  ++slot.delta_evaluations;
+                  const int d =
+                      font::delta_bounded(gp.glyph, glyphs_[j].glyph, threshold_);
+                  if (d <= threshold_) {
+                    auto [a, b] = std::minmax(gp.cp, glyphs_[j].cp);
+                    slot.found.push_back({a, b, d});
+                  }
+                }
+              }
+            });
+        finish(slots, pairs, stats);
+        break;
+      }
+      case PairStrategy::kBlockIndex: {
+        // Probe the prebuilt tables with only the added glyphs' blocks:
+        // cost scales with |probes| · bucket occupancy, not with n².
+        const auto chunks = chunk_count(*pool_, probe_indices.size());
+        std::vector<std::vector<std::uint64_t>> per_chunk(chunks);
+        pool_->parallel_for_chunks(
+            0, probe_indices.size(), chunks,
+            [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+              auto& out = per_chunk[chunk];
+              for (std::size_t k = begin; k < end; ++k) {
+                const auto pi = probe_indices[k];
+                for (std::size_t t = 0; t < tables_.size(); ++t) {
+                  const auto it = tables_[t].buckets.find(block_key(pi, t));
+                  if (it == tables_[t].buckets.end()) continue;
+                  for (const auto j : it->second) {
+                    if (skip(pi, j)) continue;
+                    out.push_back(pack_pair(std::min(pi, j), std::max(pi, j)));
+                  }
+                }
+              }
+            });
+        std::size_t total = 0;
+        for (const auto& v : per_chunk) total += v.size();
+        std::vector<std::uint64_t> packed;
+        packed.reserve(total);
+        for (const auto& v : per_chunk) {
+          packed.insert(packed.end(), v.begin(), v.end());
+        }
+        pairs = verify_candidates(packed, stats);
+        fill_block_stats(stats);
+        break;
+      }
+      case PairStrategy::kAuto: break;  // unreachable (constructor rejects)
+    }
+  }
+  if (stats != nullptr) {
+    stats->comparisons_avoided = stats->all_pairs_domain - stats->delta_evaluations;
+  }
+  return pairs;
+}
+
+}  // namespace sham::simchar

@@ -1,0 +1,162 @@
+// Step II pair mining: generate every glyph pair with ∆ ≤ θ from a
+// rendered repertoire. One candidate generator shared by the full
+// SimCharDb::build and the incremental update_with_new_characters path,
+// so both are tested (and optimized) once.
+//
+// Strategies:
+//   kAllPairs      the exhaustive O(n²/2) sweep, exactly as Section 3.3
+//                  describes it — the ground truth the others are checked
+//                  against;
+//   kPopcountBand  glyphs sorted by ink count; ∆(a, b) ≥ |pc(a) − pc(b)|,
+//                  so each glyph is compared only against the run within
+//                  ±θ ink pixels (the original bucket prune);
+//   kBlockIndex    pigeonhole multi-index hashing. The 1024-bit bitmap
+//                  (16 u64 words) is partitioned into θ + 1 contiguous
+//                  word blocks; a pair with ∆ ≤ θ has fewer than θ + 1
+//                  differing bits, so at least one block matches
+//                  *exactly*. One hash table per block keyed by the
+//                  block's words turns Step II into bucket-collision
+//                  candidate generation followed by exact re-verification
+//                  — zero recall loss, and on repertoires where ink
+//                  counts cluster (the popcount band's worst case) the
+//                  candidate set stays near the true pair count instead
+//                  of degenerating to O(n²).
+//
+// Every strategy returns the identical, canonically sorted pair list for
+// the same input, deterministic regardless of thread count: work is
+// chunked through util::ThreadPool with per-chunk result slots merged in
+// chunk order (no mutex-ordered insertion), and kBlockIndex sorts its
+// deduplicated candidates before verification.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "font/glyph.hpp"
+#include "unicode/codepoint.hpp"
+
+namespace sham::util {
+class ThreadPool;
+}
+
+namespace sham::simchar {
+
+struct HomoglyphPair {
+  unicode::CodePoint a = 0;  // canonical: a < b
+  unicode::CodePoint b = 0;
+  int delta = 0;
+
+  [[nodiscard]] auto operator<=>(const HomoglyphPair&) const = default;
+};
+
+enum class PairStrategy {
+  kAuto,          // resolved from BuildOptions (legacy use_bucket_pruning knob)
+  kAllPairs,      // exhaustive pairwise sweep
+  kPopcountBand,  // ink-count window prune (exact)
+  kBlockIndex,    // pigeonhole block hash tables (exact)
+};
+
+[[nodiscard]] std::string_view pair_strategy_name(PairStrategy strategy) noexcept;
+[[nodiscard]] std::optional<PairStrategy> parse_pair_strategy(
+    std::string_view name) noexcept;
+
+/// One rendered repertoire member, as the miner consumes it.
+struct MinerGlyph {
+  unicode::CodePoint cp = 0;
+  font::GlyphBitmap glyph;
+  int popcount = 0;
+};
+
+/// Per-mining-call observability. `delta_evaluations` is the number of
+/// full ∆ computations (the quantity Table 5 measures); the candidate
+/// counters are only populated by kBlockIndex (zero otherwise).
+struct MinerStats {
+  PairStrategy strategy = PairStrategy::kAllPairs;  // strategy actually used
+  std::uint64_t delta_evaluations = 0;  // delta_bounded calls performed
+  /// Pairs an all-pairs sweep over the same domain would have evaluated
+  /// (C(n,2) for mine_all; pairs touching a probe for mine_involving).
+  std::uint64_t all_pairs_domain = 0;
+  std::uint64_t comparisons_avoided = 0;  // all_pairs_domain - delta_evaluations
+
+  // kBlockIndex only:
+  std::size_t block_tables = 0;            // hash tables built (θ + 1)
+  std::uint64_t candidates_emitted = 0;    // bucket collisions, incl. cross-table dupes
+  std::uint64_t candidates_deduped = 0;    // unique (i, j) candidates verified
+  std::uint64_t candidates_pruned = 0;     // killed by the popcount prune pre-∆
+  std::uint64_t candidates_verified = 0;   // ∆ ≤ θ (kept)
+  std::uint64_t candidates_rejected = 0;   // ∆ > θ (bucket over-approximation)
+  /// Aggregate bucket-occupancy histogram across all block tables: slot i
+  /// counts buckets holding exactly i+1 glyphs, last slot aggregates the
+  /// tail (same convention as SkeletonIndex::occupancy_histogram).
+  std::vector<std::uint64_t> bucket_histogram;
+};
+
+/// Candidate generator over a fixed glyph set. Construction builds the
+/// strategy's index (popcount order, or the θ + 1 block tables); the
+/// incremental update path then probes those same tables with only the
+/// added glyphs' blocks instead of re-deriving its own window.
+///
+/// The glyph span must stay alive and unchanged for the miner's lifetime.
+/// Code points are assumed unique across the span (one glyph per cp, as
+/// FontSource::coverage guarantees).
+class PairMiner {
+ public:
+  /// `strategy` must be concrete (not kAuto — the caller resolves the
+  /// legacy BuildOptions knob). kBlockIndex needs θ + 1 ≤ 16 word blocks;
+  /// for θ > 15 it silently falls back to kPopcountBand (strategy()
+  /// reports the fallback). Throws std::invalid_argument on a negative
+  /// threshold or kAuto.
+  PairMiner(std::span<const MinerGlyph> glyphs, int threshold,
+            PairStrategy strategy, util::ThreadPool& pool);
+
+  /// The strategy mining actually runs under (after any fallback).
+  [[nodiscard]] PairStrategy strategy() const noexcept { return strategy_; }
+
+  /// Every pair {a, b} with ∆ ≤ θ, sorted by (a, b) — byte-identical
+  /// across strategies and thread counts.
+  [[nodiscard]] std::vector<HomoglyphPair> mine_all(MinerStats* stats = nullptr) const;
+
+  /// Every pair with ∆ ≤ θ and at least one endpoint in `probes`
+  /// (code points the font does not cover are ignored), sorted by (a, b).
+  /// This is the incremental-update path: under kBlockIndex only the
+  /// probes' blocks are hashed against the prebuilt tables.
+  [[nodiscard]] std::vector<HomoglyphPair> mine_involving(
+      const std::unordered_set<unicode::CodePoint>& probes,
+      MinerStats* stats = nullptr) const;
+
+ private:
+  /// One pigeonhole table: block words (hashed) -> glyph indices whose
+  /// block bits are (hash-)equal, ascending. Hash collisions between
+  /// distinct block contents only add candidates; verification absorbs
+  /// them, so correctness never depends on the hash.
+  struct BlockTable {
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+  };
+
+  void build_popcount_order();
+  void build_block_tables();
+  [[nodiscard]] std::uint64_t block_key(std::size_t glyph, std::size_t block) const;
+  [[nodiscard]] std::vector<HomoglyphPair> verify_candidates(
+      std::vector<std::uint64_t>& packed, MinerStats* stats) const;
+  void fill_block_stats(MinerStats* stats) const;
+
+  std::span<const MinerGlyph> glyphs_;
+  int threshold_ = 0;
+  PairStrategy strategy_ = PairStrategy::kAllPairs;
+  util::ThreadPool* pool_;
+
+  /// kPopcountBand: glyph indices sorted by (popcount, cp).
+  std::vector<std::uint32_t> order_;
+  /// kBlockIndex: word span [first, last) per block, one table per block.
+  std::vector<std::pair<int, int>> block_spans_;
+  std::vector<BlockTable> tables_;
+};
+
+}  // namespace sham::simchar

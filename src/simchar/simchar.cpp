@@ -1,13 +1,10 @@
 #include "simchar/simchar.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
-#include "font/metrics.hpp"
 #include "unicode/idna_properties.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
@@ -17,11 +14,47 @@ namespace sham::simchar {
 
 namespace {
 
-struct Rendered {
-  unicode::CodePoint cp = 0;
-  font::GlyphBitmap glyph;
-  int popcount = 0;
-};
+/// Resolve the legacy use_bucket_pruning knob: an explicit pair_strategy
+/// wins; kAuto preserves the historical behaviour of the bool.
+PairStrategy resolve_strategy(const BuildOptions& options) {
+  if (options.pair_strategy != PairStrategy::kAuto) return options.pair_strategy;
+  return options.use_bucket_pruning ? PairStrategy::kPopcountBand
+                                    : PairStrategy::kAllPairs;
+}
+
+/// Step I: render every IDNA-permitted (when requested) code point the
+/// font covers. Shared verbatim by the full build and the incremental
+/// update — the font is the repertoire authority for both.
+std::vector<MinerGlyph> render_repertoire(const font::FontSource& font,
+                                          const BuildOptions& options,
+                                          util::ThreadPool& pool,
+                                          BuildStats& stats) {
+  const auto coverage = font.coverage();
+  std::vector<unicode::CodePoint> repertoire;
+  repertoire.reserve(coverage.size());
+  for (const auto cp : coverage) {
+    if (!options.idna_only || unicode::is_idna_permitted(cp)) repertoire.push_back(cp);
+  }
+  stats.repertoire_size = repertoire.size();
+
+  std::vector<MinerGlyph> rendered(repertoire.size());
+  std::vector<char> covered(repertoire.size(), 0);
+  pool.parallel_for(0, repertoire.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto g = font.glyph(repertoire[i]);
+      if (!g) continue;
+      rendered[i] = MinerGlyph{repertoire[i], *g, g->popcount()};
+      covered[i] = 1;
+    }
+  });
+  std::vector<MinerGlyph> glyphs;
+  glyphs.reserve(rendered.size());
+  for (std::size_t i = 0; i < rendered.size(); ++i) {
+    if (covered[i]) glyphs.push_back(rendered[i]);
+  }
+  stats.glyphs_rendered = glyphs.size();
+  return glyphs;
+}
 
 }  // namespace
 
@@ -33,84 +66,14 @@ SimCharDb SimCharDb::build(const font::FontSource& font, const BuildOptions& opt
 
   // --- Step I: render the repertoire.
   util::Stopwatch watch;
-  const auto coverage = font.coverage();
-  std::vector<unicode::CodePoint> repertoire;
-  repertoire.reserve(coverage.size());
-  for (const auto cp : coverage) {
-    if (!options.idna_only || unicode::is_idna_permitted(cp)) repertoire.push_back(cp);
-  }
-  local_stats.repertoire_size = repertoire.size();
-
-  std::vector<Rendered> rendered(repertoire.size());
-  std::vector<char> covered(repertoire.size(), 0);
-  pool.parallel_for(0, repertoire.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto g = font.glyph(repertoire[i]);
-      if (!g) continue;
-      rendered[i] = Rendered{repertoire[i], *g, g->popcount()};
-      covered[i] = 1;
-    }
-  });
-  std::vector<Rendered> glyphs;
-  glyphs.reserve(rendered.size());
-  for (std::size_t i = 0; i < rendered.size(); ++i) {
-    if (covered[i]) glyphs.push_back(rendered[i]);
-  }
-  local_stats.glyphs_rendered = glyphs.size();
+  const auto glyphs = render_repertoire(font, options, pool, local_stats);
   local_stats.render_seconds = watch.seconds();
 
-  // --- Step II: pairwise ∆ ≤ θ.
+  // --- Step II: pairwise ∆ ≤ θ, via the shared pair miner.
   watch.reset();
-  const int threshold = options.threshold;
-  std::vector<HomoglyphPair> pairs;
-  std::mutex pairs_mutex;
-  std::atomic<std::uint64_t> compared{0};
-
-  if (options.use_bucket_pruning) {
-    // Sort by ink count; a pair can satisfy ∆ ≤ θ only when the counts
-    // differ by ≤ θ, so each glyph is compared only against the run of
-    // glyphs ahead of it within that margin.
-    std::sort(glyphs.begin(), glyphs.end(), [](const Rendered& x, const Rendered& y) {
-      return x.popcount != y.popcount ? x.popcount < y.popcount : x.cp < y.cp;
-    });
-    pool.parallel_for(0, glyphs.size(), [&](std::size_t begin, std::size_t end) {
-      std::vector<HomoglyphPair> found;
-      std::uint64_t n_compared = 0;
-      for (std::size_t i = begin; i < end; ++i) {
-        for (std::size_t j = i + 1; j < glyphs.size(); ++j) {
-          if (glyphs[j].popcount - glyphs[i].popcount > threshold) break;
-          ++n_compared;
-          const int d = font::delta_bounded(glyphs[i].glyph, glyphs[j].glyph, threshold);
-          if (d <= threshold) {
-            auto [a, b] = std::minmax(glyphs[i].cp, glyphs[j].cp);
-            found.push_back({a, b, d});
-          }
-        }
-      }
-      compared += n_compared;
-      std::lock_guard lock{pairs_mutex};
-      pairs.insert(pairs.end(), found.begin(), found.end());
-    });
-  } else {
-    pool.parallel_for(0, glyphs.size(), [&](std::size_t begin, std::size_t end) {
-      std::vector<HomoglyphPair> found;
-      std::uint64_t n_compared = 0;
-      for (std::size_t i = begin; i < end; ++i) {
-        for (std::size_t j = i + 1; j < glyphs.size(); ++j) {
-          ++n_compared;
-          const int d = font::delta_bounded(glyphs[i].glyph, glyphs[j].glyph, threshold);
-          if (d <= threshold) {
-            auto [a, b] = std::minmax(glyphs[i].cp, glyphs[j].cp);
-            found.push_back({a, b, d});
-          }
-        }
-      }
-      compared += n_compared;
-      std::lock_guard lock{pairs_mutex};
-      pairs.insert(pairs.end(), found.begin(), found.end());
-    });
-  }
-  local_stats.pairs_compared = compared.load();
+  const PairMiner miner{glyphs, options.threshold, resolve_strategy(options), pool};
+  auto pairs = miner.mine_all(&local_stats.mining);
+  local_stats.pairs_compared = local_stats.mining.delta_evaluations;
   local_stats.pairs_found = pairs.size();
   local_stats.compare_seconds = watch.seconds();
 
@@ -255,89 +218,19 @@ SimCharDb update_with_new_characters(const SimCharDb& existing,
 
   // Render the full (old ∪ new) repertoire — the font is the repertoire
   // authority, exactly as in the full build.
-  const auto coverage = font.coverage();
-  std::vector<unicode::CodePoint> repertoire;
-  repertoire.reserve(coverage.size());
-  for (const auto cp : coverage) {
-    if (!options.idna_only || unicode::is_idna_permitted(cp)) repertoire.push_back(cp);
-  }
-  local_stats.repertoire_size = repertoire.size();
-
-  std::vector<Rendered> rendered(repertoire.size());
-  std::vector<char> covered(repertoire.size(), 0);
-  pool.parallel_for(0, repertoire.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto g = font.glyph(repertoire[i]);
-      if (!g) continue;
-      rendered[i] = Rendered{repertoire[i], *g, g->popcount()};
-      covered[i] = 1;
-    }
-  });
-  std::vector<Rendered> glyphs;
-  glyphs.reserve(rendered.size());
-  for (std::size_t i = 0; i < rendered.size(); ++i) {
-    if (covered[i]) glyphs.push_back(rendered[i]);
-  }
-  local_stats.glyphs_rendered = glyphs.size();
+  const auto glyphs = render_repertoire(font, options, pool, local_stats);
   local_stats.render_seconds = watch.seconds();
 
   std::unordered_set<unicode::CodePoint> added_set;
   for (const auto cp : added) added_set.insert(cp);
 
-  // Compare each added glyph against the whole repertoire, pruned by ink
-  // count when enabled. Sort by popcount so the candidate window is a
-  // contiguous run.
+  // Compare only the added glyphs against the whole repertoire, through
+  // the same miner as the full build: under kBlockIndex this probes the
+  // block tables with just the added glyphs' blocks.
   watch.reset();
-  std::sort(glyphs.begin(), glyphs.end(), [](const Rendered& x, const Rendered& y) {
-    return x.popcount != y.popcount ? x.popcount < y.popcount : x.cp < y.cp;
-  });
-  std::vector<std::size_t> added_indices;
-  for (std::size_t i = 0; i < glyphs.size(); ++i) {
-    if (added_set.contains(glyphs[i].cp)) added_indices.push_back(i);
-  }
-
-  const int threshold = options.threshold;
-  std::vector<HomoglyphPair> new_pairs;
-  std::mutex pairs_mutex;
-  std::atomic<std::uint64_t> compared{0};
-
-  pool.parallel_for(0, added_indices.size(), [&](std::size_t begin, std::size_t end) {
-    std::vector<HomoglyphPair> found;
-    std::uint64_t n_compared = 0;
-    for (std::size_t k = begin; k < end; ++k) {
-      const auto& a = glyphs[added_indices[k]];
-      std::size_t lo = 0;
-      std::size_t hi = glyphs.size();
-      if (options.use_bucket_pruning) {
-        lo = static_cast<std::size_t>(
-            std::lower_bound(glyphs.begin(), glyphs.end(), a.popcount - threshold,
-                             [](const Rendered& g, int value) {
-                               return g.popcount < value;
-                             }) -
-            glyphs.begin());
-        hi = static_cast<std::size_t>(
-            std::upper_bound(glyphs.begin(), glyphs.end(), a.popcount + threshold,
-                             [](int value, const Rendered& g) {
-                               return value < g.popcount;
-                             }) -
-            glyphs.begin());
-      }
-      for (std::size_t j = lo; j < hi; ++j) {
-        const auto& b = glyphs[j];
-        if (b.cp == a.cp) continue;
-        ++n_compared;
-        const int d = font::delta_bounded(a.glyph, b.glyph, threshold);
-        if (d <= threshold) {
-          auto [x, y] = std::minmax(a.cp, b.cp);
-          found.push_back({x, y, d});
-        }
-      }
-    }
-    compared += n_compared;
-    std::lock_guard lock{pairs_mutex};
-    new_pairs.insert(new_pairs.end(), found.begin(), found.end());
-  });
-  local_stats.pairs_compared = compared.load();
+  const PairMiner miner{glyphs, options.threshold, resolve_strategy(options), pool};
+  auto new_pairs = miner.mine_involving(added_set, &local_stats.mining);
+  local_stats.pairs_compared = local_stats.mining.delta_evaluations;
   local_stats.pairs_found = new_pairs.size();
   local_stats.compare_seconds = watch.seconds();
 

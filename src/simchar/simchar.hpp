@@ -7,10 +7,12 @@
 //             combination and keep pairs with ∆ ≤ θ (paper: θ = 4);
 //   Step III  eliminate sparse characters (< 10 black pixels).
 //
-// The quadratic Step II is exact but is accelerated by an optional
-// pixel-count bucket prune: ∆(a, b) ≥ |popcount(a) − popcount(b)|, so only
-// glyph pairs whose ink counts differ by ≤ θ ever need a full comparison.
-// Tests cross-check the pruned build against the naive build.
+// The quadratic Step II is exact but is accelerated by a pluggable pair-
+// mining strategy (simchar/pair_miner.hpp): the original pixel-count band
+// prune — ∆(a, b) ≥ |popcount(a) − popcount(b)| — or a pigeonhole block
+// index that hashes θ + 1 word blocks of each bitmap and verifies only
+// bucket collisions. Both are exact; tests cross-check every strategy
+// against the naive all-pairs build.
 #pragma once
 
 #include <cstdint>
@@ -21,24 +23,21 @@
 #include <vector>
 
 #include "font/font_source.hpp"
+#include "simchar/pair_miner.hpp"
 #include "unicode/codepoint.hpp"
 
 namespace sham::simchar {
-
-struct HomoglyphPair {
-  unicode::CodePoint a = 0;  // canonical: a < b
-  unicode::CodePoint b = 0;
-  int delta = 0;
-
-  [[nodiscard]] auto operator<=>(const HomoglyphPair&) const = default;
-};
 
 struct BuildOptions {
   int threshold = 4;           // keep pairs with ∆ ≤ threshold (Step II)
   int min_black_pixels = 10;   // sparse-character cutoff (Step III)
   std::size_t threads = 0;     // 0 = hardware concurrency
+  /// Legacy knob, honored only when pair_strategy == kAuto:
+  /// true → kPopcountBand, false → kAllPairs.
   bool use_bucket_pruning = true;
   bool idna_only = true;       // intersect repertoire with IDNA-PVALID
+  /// Step II candidate generation strategy (see pair_miner.hpp).
+  PairStrategy pair_strategy = PairStrategy::kAuto;
 };
 
 struct BuildStats {
@@ -51,6 +50,10 @@ struct BuildStats {
   double render_seconds = 0.0;        // Table 5 row 1
   double compare_seconds = 0.0;       // Table 5 row 2
   double sparse_seconds = 0.0;        // Table 5 row 3
+  /// Per-strategy Step II counters (strategy actually used, candidate
+  /// funnel, bucket occupancy, comparisons avoided vs all-pairs).
+  /// mining.delta_evaluations == pairs_compared.
+  MinerStats mining;
 };
 
 /// The built homoglyph database (value type; cheap queries).

@@ -792,5 +792,161 @@ TEST(SkeletonIndex, OccupancyHistogramGuardsEmptyBuckets) {
   EXPECT_EQ(histogram[0], 2u);
 }
 
+TEST(EngineCache, ResultLruServesRotatingReferenceLists) {
+  const auto db = test_db();
+  const Engine engine{db, {.strategy = Strategy::kSkeleton, .threads = 1}};
+  const std::vector<std::vector<std::string>> ref_lists{
+      {"google"}, {"mail"}, {"ok"}};
+  const std::vector<IdnEntry> idns{
+      entry({'g', 0x043E, 'o', 'g', 'l', 'e'}),
+      entry({'m', 0x0430, 'i', 'l'}),
+      entry({0x0585, 'k'}),
+  };
+  // First round populates one LRU entry per reference list.
+  std::vector<DetectResponse> cold;
+  for (const auto& refs : ref_lists) {
+    cold.push_back(engine.detect({.references = refs, .idns = idns}));
+    EXPECT_EQ(cold.back().stats.result_cache_hits, 0u);
+  }
+  EXPECT_EQ(cold.back().stats.result_cache_entries, 3u);
+  // Second round: every rotated list hits (the old single-slot memo kept
+  // only the last query and would miss all but one).
+  for (std::size_t i = 0; i < ref_lists.size(); ++i) {
+    const auto warm = engine.detect({.references = ref_lists[i], .idns = idns});
+    EXPECT_EQ(warm.stats.result_cache_hits, 1u) << "list " << i;
+    EXPECT_EQ(warm.stats.result_cache_entries, 3u);
+    EXPECT_EQ(warm.matches, cold[i].matches);
+  }
+}
+
+TEST(EngineCache, ResultLruEvictsLeastRecentlyUsed) {
+  const auto db = test_db();
+  const Engine engine{
+      db, {.strategy = Strategy::kSkeleton, .threads = 1, .result_cache_capacity = 2}};
+  const std::vector<std::string> refs_a{"google"};
+  const std::vector<std::string> refs_b{"mail"};
+  const std::vector<std::string> refs_c{"ok"};
+  const std::vector<IdnEntry> idns{
+      entry({'g', 0x043E, 'o', 'g', 'l', 'e'}),
+      entry({'m', 0x0430, 'i', 'l'}),
+      entry({0x043E, 'k'}),
+  };
+  const auto q = [&](const std::vector<std::string>& refs) {
+    return engine.detect({.references = refs, .idns = idns});
+  };
+  EXPECT_EQ(q(refs_a).stats.result_cache_entries, 1u);
+  EXPECT_EQ(q(refs_b).stats.result_cache_entries, 2u);
+  // Capacity 2: storing C evicts A (least recently used), never grows.
+  EXPECT_EQ(q(refs_c).stats.result_cache_entries, 2u);
+  EXPECT_EQ(q(refs_b).stats.result_cache_hits, 1u);  // B survived
+  const auto a_again = q(refs_a);                    // A was evicted
+  EXPECT_EQ(a_again.stats.result_cache_hits, 0u);
+  EXPECT_EQ(a_again.stats.result_cache_entries, 2u);
+  // Storing A evicted C (B was refreshed by the hit above): both residents
+  // hit, and re-querying C misses.
+  EXPECT_EQ(q(refs_b).stats.result_cache_hits, 1u);
+  EXPECT_EQ(q(refs_a).stats.result_cache_hits, 1u);
+  EXPECT_EQ(q(refs_c).stats.result_cache_hits, 0u);
+}
+
+TEST(EngineCache, ResultCacheCapacityZeroDisablesMemo) {
+  const auto db = test_db();
+  const Engine engine{
+      db, {.strategy = Strategy::kSkeleton, .threads = 1, .result_cache_capacity = 0}};
+  const std::vector<std::string> refs{"google"};
+  const std::vector<IdnEntry> idns{entry({'g', 0x043E, 'o', 'g', 'l', 'e'})};
+  (void)engine.detect({.references = refs, .idns = idns});
+  const auto repeat = engine.detect({.references = refs, .idns = idns});
+  EXPECT_EQ(repeat.stats.result_cache_hits, 0u);
+  EXPECT_EQ(repeat.stats.result_cache_entries, 0u);
+  // The index cache is independent of the response memo and still works.
+  EXPECT_EQ(repeat.stats.index_cache_hits, 1u);
+}
+
+TEST(SkeletonIndex, OversizedBucketsSplitBySecondaryHash) {
+  // Truncate the primary hash to 1 bit so every label is forced into one
+  // of two buckets — the long-tail shape the cap is for.
+  const auto db = test_db();
+  std::vector<std::string> labels;
+  // 20 distinct skeletons into <= 2 primary buckets: one bucket holds
+  // >= 10 entries by pigeonhole, landing in the histogram tail slot.
+  for (char c = 'a'; c < 'a' + 20; ++c) labels.push_back({c, c});
+  const SkeletonIndex flat{db, labels, {.hash_bits = 1}};
+  const SkeletonIndex capped{db, labels, {.hash_bits = 1, .max_bucket_occupancy = 2}};
+  EXPECT_EQ(flat.split_bucket_count(), 0u);
+  EXPECT_GE(capped.split_bucket_count(), 1u);
+
+  // Histogram long tail: uncapped piles >= 8 entries into the last slot;
+  // splitting redistributes them into child buckets under the cap + tiny
+  // secondary-collision noise.
+  const auto flat_hist = flat.occupancy_histogram(8);
+  const auto capped_hist = capped.occupancy_histogram(8);
+  EXPECT_GE(flat_hist[7], 1u);
+  EXPECT_EQ(capped_hist[7], 0u);
+  std::uint64_t small = 0;
+  for (std::size_t i = 0; i < 4; ++i) small += capped_hist[i];
+  EXPECT_GE(small, capped.bucket_count());
+
+  // Exactness: the split-aware probe still finds every entry whose
+  // canonical stream equals the probe's (here: the label itself), and the
+  // legacy hash probe still sees the full union.
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto* child = capped.probe(capped.hashes_of(labels[i]));
+    ASSERT_NE(child, nullptr) << labels[i];
+    EXPECT_NE(std::find(child->begin(), child->end(), i), child->end());
+    EXPECT_LE(child->size(), 3u);  // far below the 12-entry parent
+    const auto* whole = capped.probe(capped.hash_of(labels[i]));
+    ASSERT_NE(whole, nullptr);
+    EXPECT_GE(whole->size(), child->size());
+  }
+}
+
+TEST(SkeletonIndex, SplitBucketsKeepEngineMatchesExact) {
+  // Force splits at the engine level (cap 1 splits every multi-entry
+  // bucket) and check the skeleton strategy still reproduces the serial
+  // match list in both join directions, warm and cold.
+  const auto db = test_db();
+  const Engine engine{
+      db, {.strategy = Strategy::kSkeleton, .threads = 1, .skeleton_bucket_cap = 1}};
+  std::vector<std::string> refs{"google", "mail", "ok"};
+  std::vector<IdnEntry> idns;
+  for (const CodePoint o : {CodePoint{0x043E}, CodePoint{0x0585}, CodePoint{'o'}}) {
+    idns.push_back(entry({'g', o, 'o', 'g', 'l', 'e'}));
+    idns.push_back(entry({'m', 0x0430, 'i', 'l'}));
+    idns.push_back(entry({o, 'k'}));
+  }
+  const auto expected = fresh_serial(db, refs, idns);
+  for (const auto join : {SkeletonJoin::kIdnIndex, SkeletonJoin::kReferenceIndex}) {
+    const auto cold = engine.detect({.references = refs, .idns = idns, .join = join});
+    const auto warm = engine.detect({.references = refs, .idns = idns, .join = join});
+    EXPECT_EQ(cold.matches, expected);
+    EXPECT_EQ(warm.matches, expected);
+  }
+  EXPECT_FALSE(expected.empty());
+}
+
+TEST(SkeletonIndex, SplitStateSurvivesIncrementalRehash) {
+  // rehash_changed must keep child partitions consistent: entries whose
+  // canonical stream moved change both primary bucket and child.
+  homoglyph::HomoglyphDb db;  // no pairs yet
+  std::vector<U32String> labels;
+  for (int i = 0; i < 6; ++i) labels.push_back({'b'});  // six identical labels
+  labels.push_back({'a'});
+  SkeletonIndex index{db, labels, {.max_bucket_occupancy = 2}};
+  // All six "b" labels share one skeleton: one oversized bucket, split
+  // into a single child of 6 (identical secondary hashes — the split
+  // cannot help identical labels, only distinct colliding skeletons).
+  EXPECT_EQ(index.split_bucket_count(), 1u);
+
+  // {a, b}: every "b" label's canonical stream moves to a's bucket, which
+  // then exceeds the cap and splits; probes must still find all 7.
+  const simchar::HomoglyphPair added[] = {{'a', 'b', 1}};
+  const auto update = db.apply_update(added);
+  EXPECT_EQ(index.rehash_changed(labels, update.canonical_changed), 6u);
+  const auto* merged = index.probe(index.hashes_of(labels[0]));
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->size(), 7u);  // all labels, one canonical stream
+}
+
 }  // namespace
 }  // namespace sham::detect

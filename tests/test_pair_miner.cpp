@@ -1,0 +1,297 @@
+// Randomized property suite for simchar::PairMiner: every strategy must
+// emit the byte-identical, canonically sorted pair list — across seeds,
+// thresholds 0–8, thread counts, and adversarial glyph sets where the
+// popcount-band prune degenerates to all-pairs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "simchar/pair_miner.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sham::simchar {
+namespace {
+
+using unicode::CodePoint;
+
+constexpr int kPixels = font::GlyphBitmap::kSize * font::GlyphBitmap::kSize;
+
+font::GlyphBitmap random_glyph(util::Rng& rng) {
+  font::GlyphBitmap g;
+  for (auto& w : g.words()) w = rng.next();
+  return g;
+}
+
+/// A glyph with exactly `popcount` black pixels (uniformly placed).
+font::GlyphBitmap fixed_popcount_glyph(util::Rng& rng, int popcount) {
+  font::GlyphBitmap g;
+  int placed = 0;
+  while (placed < popcount) {
+    const int bit = static_cast<int>(rng.next() % kPixels);
+    const int x = bit % font::GlyphBitmap::kSize;
+    const int y = bit / font::GlyphBitmap::kSize;
+    if (g.get(x, y)) continue;
+    g.set(x, y);
+    ++placed;
+  }
+  return g;
+}
+
+/// Flip `count` pixels of `base`, never the same pixel twice: ∆ == count.
+font::GlyphBitmap flipped(util::Rng& rng, const font::GlyphBitmap& base, int count) {
+  auto g = base;
+  int done = 0;
+  std::vector<char> used(kPixels, 0);
+  while (done < count) {
+    const int bit = static_cast<int>(rng.next() % kPixels);
+    if (used[bit]) continue;
+    used[bit] = 1;
+    g.flip(bit % font::GlyphBitmap::kSize, bit / font::GlyphBitmap::kSize);
+    ++done;
+  }
+  return g;
+}
+
+/// Move one black pixel to a white position: ∆ == 2, popcount unchanged.
+font::GlyphBitmap pixel_moved(util::Rng& rng, const font::GlyphBitmap& base) {
+  auto g = base;
+  for (;;) {
+    const int bit = static_cast<int>(rng.next() % kPixels);
+    const int x = bit % font::GlyphBitmap::kSize;
+    const int y = bit / font::GlyphBitmap::kSize;
+    if (!g.get(x, y)) continue;
+    g.set(x, y, false);
+    for (;;) {
+      const int to = static_cast<int>(rng.next() % kPixels);
+      const int tx = to % font::GlyphBitmap::kSize;
+      const int ty = to / font::GlyphBitmap::kSize;
+      if (g.get(tx, ty)) continue;
+      g.set(tx, ty);
+      return g;
+    }
+  }
+}
+
+void push(std::vector<MinerGlyph>& glyphs, CodePoint cp, font::GlyphBitmap g) {
+  glyphs.push_back({cp, g, g.popcount()});
+}
+
+/// Random repertoire: independent noise glyphs (expected pairwise ∆ in the
+/// hundreds) plus planted near-duplicate clusters at controlled distances.
+std::vector<MinerGlyph> random_repertoire(std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<MinerGlyph> glyphs;
+  CodePoint cp = 0x100;
+  for (int i = 0; i < 40; ++i) push(glyphs, cp++, random_glyph(rng));
+  for (int cluster = 0; cluster < 6; ++cluster) {
+    const auto base = random_glyph(rng);
+    push(glyphs, cp++, base);
+    for (const int d : {0, 1, 2, 4, 6, 8, 9}) {
+      push(glyphs, cp++, flipped(rng, base, d));
+    }
+  }
+  return glyphs;
+}
+
+/// Worst case for the popcount band: every glyph has the same ink count,
+/// so the band prune admits all C(n, 2) pairs.
+std::vector<MinerGlyph> equal_popcount_repertoire(std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<MinerGlyph> glyphs;
+  CodePoint cp = 0x2000;
+  for (int i = 0; i < 48; ++i) push(glyphs, cp++, fixed_popcount_glyph(rng, 100));
+  for (int cluster = 0; cluster < 5; ++cluster) {
+    const auto base = fixed_popcount_glyph(rng, 100);
+    push(glyphs, cp++, base);
+    push(glyphs, cp++, pixel_moved(rng, base));        // ∆ = 2
+    push(glyphs, cp++, pixel_moved(rng, pixel_moved(rng, base)));  // ∆ <= 4
+  }
+  return glyphs;
+}
+
+constexpr PairStrategy kConcrete[] = {PairStrategy::kAllPairs,
+                                      PairStrategy::kPopcountBand,
+                                      PairStrategy::kBlockIndex};
+
+constexpr std::uint64_t kSeeds[] = {11, 22, 33, 44, 55};
+
+TEST(PairMinerProperty, StrategiesAgreeOnRandomRepertoires) {
+  util::ThreadPool pool{4};
+  for (const auto seed : kSeeds) {
+    const auto glyphs = random_repertoire(seed);
+    for (int threshold = 0; threshold <= 8; ++threshold) {
+      const PairMiner truth{glyphs, threshold, PairStrategy::kAllPairs, pool};
+      MinerStats truth_stats;
+      const auto expected = truth.mine_all(&truth_stats);
+      EXPECT_EQ(truth_stats.delta_evaluations,
+                glyphs.size() * (glyphs.size() - 1) / 2);
+      for (const auto strategy : kConcrete) {
+        const PairMiner miner{glyphs, threshold, strategy, pool};
+        MinerStats stats;
+        EXPECT_EQ(miner.mine_all(&stats), expected)
+            << pair_strategy_name(strategy) << " seed " << seed << " threshold "
+            << threshold;
+        EXPECT_EQ(stats.strategy, strategy);
+        EXPECT_LE(stats.delta_evaluations, stats.all_pairs_domain);
+        EXPECT_EQ(stats.comparisons_avoided,
+                  stats.all_pairs_domain - stats.delta_evaluations);
+      }
+    }
+  }
+}
+
+TEST(PairMinerProperty, StrategiesAgreeWhenAllPopcountsCollide) {
+  util::ThreadPool pool{4};
+  for (const auto seed : kSeeds) {
+    const auto glyphs = equal_popcount_repertoire(seed);
+    const auto domain = glyphs.size() * (glyphs.size() - 1) / 2;
+    for (int threshold = 0; threshold <= 8; ++threshold) {
+      const PairMiner truth{glyphs, threshold, PairStrategy::kAllPairs, pool};
+      const auto expected = truth.mine_all();
+      if (threshold >= 2) {
+        EXPECT_GE(expected.size(), 5u);  // the planted ∆ = 2 pairs
+      }
+      for (const auto strategy : kConcrete) {
+        const PairMiner miner{glyphs, threshold, strategy, pool};
+        MinerStats stats;
+        EXPECT_EQ(miner.mine_all(&stats), expected)
+            << pair_strategy_name(strategy) << " seed " << seed << " threshold "
+            << threshold;
+        if (strategy == PairStrategy::kPopcountBand) {
+          // Degenerate: one shared ink count means the band admits
+          // everything — this is the case the block index exists for.
+          EXPECT_EQ(stats.delta_evaluations, domain);
+        }
+        if (strategy == PairStrategy::kBlockIndex) {
+          EXPECT_LT(stats.delta_evaluations, domain / 4);
+        }
+      }
+    }
+  }
+}
+
+TEST(PairMinerProperty, ThreadCountNeverChangesTheSequence) {
+  const auto glyphs = random_repertoire(kSeeds[0]);
+  for (const auto strategy : kConcrete) {
+    util::ThreadPool single{1};
+    const PairMiner reference{glyphs, 4, strategy, single};
+    MinerStats ref_stats;
+    const auto expected = reference.mine_all(&ref_stats);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      util::ThreadPool pool{threads};
+      const PairMiner miner{glyphs, 4, strategy, pool};
+      MinerStats stats;
+      // Byte-identical sequence AND identical counters: the per-chunk
+      // merge is in chunk order, never scheduling order.
+      EXPECT_EQ(miner.mine_all(&stats), expected)
+          << pair_strategy_name(strategy) << " @ " << threads;
+      EXPECT_EQ(stats.delta_evaluations, ref_stats.delta_evaluations);
+    }
+  }
+}
+
+TEST(PairMinerProperty, MineInvolvingEqualsFilteredMineAll) {
+  util::ThreadPool pool{4};
+  for (const auto seed : kSeeds) {
+    const auto glyphs = random_repertoire(seed);
+    // Probe a slice of the repertoire, plus a code point the glyph set
+    // does not contain (must be ignored).
+    std::unordered_set<CodePoint> probes{0xFFFFF};
+    for (std::size_t i = glyphs.size() - 9; i < glyphs.size(); ++i) {
+      probes.insert(glyphs[i].cp);
+    }
+    const PairMiner truth{glyphs, 4, PairStrategy::kAllPairs, pool};
+    auto expected = truth.mine_all();
+    std::erase_if(expected, [&](const HomoglyphPair& p) {
+      return !probes.contains(p.a) && !probes.contains(p.b);
+    });
+    for (const auto strategy : kConcrete) {
+      const PairMiner miner{glyphs, 4, strategy, pool};
+      MinerStats stats;
+      EXPECT_EQ(miner.mine_involving(probes, &stats), expected)
+          << pair_strategy_name(strategy) << " seed " << seed;
+      // The probe-side domain is C(n,2) - C(n-|P|,2); every strategy must
+      // stay within it.
+      EXPECT_LE(stats.delta_evaluations, stats.all_pairs_domain);
+    }
+  }
+}
+
+TEST(PairMiner, BlockIndexStatsFunnelIsConsistent) {
+  util::ThreadPool pool{2};
+  const auto glyphs = random_repertoire(kSeeds[1]);
+  const PairMiner miner{glyphs, 4, PairStrategy::kBlockIndex, pool};
+  MinerStats stats;
+  const auto pairs = miner.mine_all(&stats);
+  EXPECT_EQ(stats.block_tables, 5u);  // θ + 1
+  EXPECT_GE(stats.candidates_emitted, stats.candidates_deduped);
+  EXPECT_EQ(stats.candidates_deduped, stats.candidates_pruned +
+                                          stats.candidates_verified +
+                                          stats.candidates_rejected);
+  EXPECT_EQ(stats.delta_evaluations,
+            stats.candidates_verified + stats.candidates_rejected);
+  // Every kept pair came through the candidate funnel exactly once.
+  EXPECT_EQ(stats.candidates_verified, pairs.size());
+  std::uint64_t buckets = 0;
+  for (const auto n : stats.bucket_histogram) buckets += n;
+  EXPECT_GT(buckets, 0u);
+}
+
+TEST(PairMiner, OversizedThresholdFallsBackToPopcountBand) {
+  util::ThreadPool pool{2};
+  const auto glyphs = random_repertoire(kSeeds[2]);
+  // θ + 1 > 16 word blocks: pigeonhole at word granularity is impossible,
+  // the miner must fall back (and report it) rather than lose recall.
+  const PairMiner miner{glyphs, 16, PairStrategy::kBlockIndex, pool};
+  EXPECT_EQ(miner.strategy(), PairStrategy::kPopcountBand);
+  const PairMiner truth{glyphs, 16, PairStrategy::kAllPairs, pool};
+  EXPECT_EQ(miner.mine_all(), truth.mine_all());
+  // θ = 15 is the largest block-indexable threshold.
+  const PairMiner edge{glyphs, 15, PairStrategy::kBlockIndex, pool};
+  EXPECT_EQ(edge.strategy(), PairStrategy::kBlockIndex);
+  const PairMiner truth15{glyphs, 15, PairStrategy::kAllPairs, pool};
+  EXPECT_EQ(edge.mine_all(), truth15.mine_all());
+}
+
+TEST(PairMiner, RejectsAutoAndNegativeThreshold) {
+  util::ThreadPool pool{1};
+  const std::vector<MinerGlyph> glyphs;
+  EXPECT_THROW((PairMiner{glyphs, 4, PairStrategy::kAuto, pool}),
+               std::invalid_argument);
+  EXPECT_THROW((PairMiner{glyphs, -1, PairStrategy::kAllPairs, pool}),
+               std::invalid_argument);
+}
+
+TEST(PairMiner, EmptyAndSingletonInputs) {
+  util::ThreadPool pool{2};
+  util::Rng rng{7};
+  const std::vector<MinerGlyph> none;
+  std::vector<MinerGlyph> one;
+  push(one, 'x', random_glyph(rng));
+  const std::unordered_set<CodePoint> probe_x{'x'};
+  for (const auto strategy : kConcrete) {
+    const PairMiner empty{none, 4, strategy, pool};
+    MinerStats stats;
+    EXPECT_TRUE(empty.mine_all(&stats).empty());
+    EXPECT_EQ(stats.delta_evaluations, 0u);
+    const PairMiner single{one, 4, strategy, pool};
+    EXPECT_TRUE(single.mine_all().empty());
+    EXPECT_TRUE(single.mine_involving(probe_x).empty());
+  }
+}
+
+TEST(PairMiner, ParseAndNameRoundTrip) {
+  for (const auto strategy :
+       {PairStrategy::kAuto, PairStrategy::kAllPairs, PairStrategy::kPopcountBand,
+        PairStrategy::kBlockIndex}) {
+    EXPECT_EQ(parse_pair_strategy(pair_strategy_name(strategy)), strategy);
+  }
+  EXPECT_EQ(parse_pair_strategy("block"), PairStrategy::kBlockIndex);
+  EXPECT_EQ(parse_pair_strategy("band"), PairStrategy::kPopcountBand);
+  EXPECT_FALSE(parse_pair_strategy("simd").has_value());
+}
+
+}  // namespace
+}  // namespace sham::simchar
