@@ -190,7 +190,11 @@ int main(int argc, char** argv) {
   const auto& env = bench::standard_env();
   const auto& ctx = bench::standard_wild();
 
-  const detect::HomographDetector detector{env.db_union};
+  // Cache-free engines so every row pays full cost (measurement, not reuse).
+  const detect::Engine naive_engine{env.db_union,
+                                    {.strategy = detect::Strategy::kSerial, .cache = false}};
+  const detect::Engine indexed_engine{
+      env.db_union, {.strategy = detect::Strategy::kIndexed, .cache = false}};
 
   util::TextTable t{{"refs", "IDNs", "variant", "seconds", "s/ref", "matches"},
                     {util::Align::kRight, util::Align::kRight, util::Align::kLeft,
@@ -201,18 +205,18 @@ int main(int argc, char** argv) {
   for (const std::size_t ref_count : {100u, 300u, 1000u}) {
     std::span<const std::string> refs{ctx.scenario.references.data(),
                                       std::min(ref_count, ctx.scenario.references.size())};
-    detect::DetectionStats naive_stats;
-    const auto naive = detector.detect(refs, ctx.idns, &naive_stats);
-    detect::DetectionStats indexed_stats;
-    const auto indexed = detector.detect_indexed(refs, ctx.idns, &indexed_stats);
+    const auto naive = naive_engine.detect({.references = refs, .idns = ctx.idns});
+    const auto& naive_stats = naive.stats;
+    const auto indexed = indexed_engine.detect({.references = refs, .idns = ctx.idns});
+    const auto& indexed_stats = indexed.stats;
     t.add_row({std::to_string(refs.size()), util::with_commas(ctx.idns.size()), "naive",
                util::fixed(naive_stats.seconds, 4),
                util::fixed(naive_stats.seconds / refs.size() * 1e3, 4) + " ms",
-               util::with_commas(naive.size())});
+               util::with_commas(naive.matches.size())});
     t.add_row({std::to_string(refs.size()), util::with_commas(ctx.idns.size()), "indexed",
                util::fixed(indexed_stats.seconds, 4),
                util::fixed(indexed_stats.seconds / refs.size() * 1e3, 4) + " ms",
-               util::with_commas(indexed.size())});
+               util::with_commas(indexed.matches.size())});
     if (refs.size() == 1000u) {
       naive_full = naive_stats.seconds;
       indexed_full = indexed_stats.seconds;

@@ -9,7 +9,7 @@
 
 #include "bench_common.hpp"
 #include "core/browser_policy.hpp"
-#include "detect/detector.hpp"
+#include "detect/engine.hpp"
 #include "idna/idna.hpp"
 #include "util/rng.hpp"
 
@@ -66,11 +66,13 @@ int main() {
     ++benign;
   }
 
-  const detect::HomographDetector detector{env.db_union};
-  detect::DetectionStats stats;
-  const auto matches = detector.detect_unicode(references, idns, &stats);
+  const detect::Engine engine{env.db_union,
+                              {.strategy = detect::Strategy::kIndexed, .cache = false}};
+  const auto response = engine.detect(
+      {.unicode_references = references, .idns = idns});
+  const auto& stats = response.stats;
   std::unordered_set<std::size_t> detected;
-  for (const auto& m : matches) detected.insert(m.idn_index);
+  for (const auto& m : response.matches) detected.insert(m.idn_index);
 
   // How would the browser mixed-script policy fare on the same labels?
   std::size_t attacks_flagged_by_browser = 0;

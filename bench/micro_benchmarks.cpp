@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "detect/detector.hpp"
+#include "detect/engine.hpp"
 #include "dns/zone_file.hpp"
 #include "font/metrics.hpp"
 #include "font/paper_font.hpp"
@@ -140,7 +141,8 @@ void BM_ExtractIdnPredicate(benchmark::State& state) {
 BENCHMARK(BM_ExtractIdnPredicate);
 
 void BM_DetectUnicodeRefs(benchmark::State& state) {
-  const detect::HomographDetector detector{env().db_union};
+  const detect::Engine engine{env().db_union,
+                              {.strategy = detect::Strategy::kIndexed, .cache = false}};
   std::vector<unicode::U32String> refs;
   util::Rng rng{9};
   for (int i = 0; i < 100; ++i) {
@@ -157,7 +159,8 @@ void BM_DetectUnicodeRefs(benchmark::State& state) {
     idns.push_back({idna::to_a_label(label), label});
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(detector.detect_unicode(refs, idns));
+    benchmark::DoNotOptimize(
+        engine.detect({.unicode_references = refs, .idns = idns}));
   }
   state.SetItemsProcessed(state.iterations() * 500);
 }

@@ -1,0 +1,171 @@
+// Resident-service replay benchmark: N closed-loop client threads drive
+// a DetectionServer with a mixed cold/warm workload (rotating reference
+// lists × alternating zone snapshots) and the driver reports request
+// latency percentiles, throughput, shed rate, and the same-snapshot
+// coalescing ratio, written to BENCH_serve.json.
+//
+// Every kOk response is verified byte-identical to the serial cache-free
+// engine: the serve path adds scheduling, never changes detection output.
+//
+// `serve_replay --smoke` runs a seconds-scale correctness pass instead
+// (tiny workload, verification on, drain checked) — registered under the
+// `perf_smoke` ctest label.
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "serve/replay.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace sham;
+
+homoglyph::HomoglyphDb make_db() {
+  simchar::SimCharDb sim{{
+      {'o', 0x043E, 0},
+      {'o', 0x0585, 2},
+      {'e', 0x00E9, 3},
+      {'a', 0x0430, 1},
+      {'i', 0x0131, 2},
+  }};
+  homoglyph::DbConfig config;
+  config.use_uc = false;
+  return homoglyph::HomoglyphDb{sim, unicode::ConfusablesDb::embedded(), config};
+}
+
+int run_smoke() {
+  const auto db = make_db();
+  const auto workload = serve::make_replay_workload(db, 8, 6, 2, 300, 20260808);
+  serve::DetectionServer server{db, {}, {.slots = 2, .queue_capacity = 64}};
+  serve::ReplayConfig config;
+  config.clients = 4;
+  config.requests_per_client = 16;
+  const auto report = serve::run_replay(server, db, workload, config);
+  const auto stats = server.stats();
+  std::printf("smoke: %zu clients x %zu requests, %llu ok, %llu shed, "
+              "%llu expired, coalescing %.2f\n",
+              config.clients, config.requests_per_client,
+              static_cast<unsigned long long>(report.ok),
+              static_cast<unsigned long long>(report.shed),
+              static_cast<unsigned long long>(report.expired),
+              report.coalescing_ratio);
+  bool ok = true;
+  const auto check = [&](const char* what, bool pass) {
+    std::printf("  %-52s [%s]\n", what, pass ? "OK" : "FAIL");
+    ok = ok && pass;
+  };
+  check("every response accounted for", report.sent == config.clients *
+                                                          config.requests_per_client &&
+                                            report.ok + report.shed + report.expired +
+                                                    report.other ==
+                                                report.sent);
+  check("all ok responses byte-identical to serial engine",
+        report.verified && report.mismatches == 0 && report.ok > 0);
+  check("server counters consistent with replay",
+        stats.served == report.ok && stats.queue_depth == 0);
+  server.stop();
+  check("drained on stop", !server.stats().running);
+  std::printf("smoke: %s\n", ok ? "serve path byte-identical and drained" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
+
+  bench::header("Resident detection service: slot-scheduled replay");
+  const auto db = make_db();
+  // 16 reference lists (beyond the engine's 8-entry response memo, so
+  // warm-index scans actually run) x 2 zone snapshots of 2,000 IDNs.
+  const auto workload = serve::make_replay_workload(db, 16, 12, 2, 2000, 20260808);
+
+  // --- Slot sweep: same traffic, growing slot pool ----------------------
+  util::TextTable t{{"slots", "ok", "p50 ms", "p95 ms", "p99 ms", "rps",
+                     "coalescing", "verified"},
+                    {util::Align::kRight, util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kLeft}};
+  serve::ReplayConfig config;
+  config.clients = 4;
+  config.requests_per_client = 64;
+  bool all_verified = true;
+  double coalescing_single_slot = 0.0;
+  double p99_best = 0.0;
+  std::vector<std::pair<std::size_t, serve::ReplayReport>> sweep;
+  for (const std::size_t slots : {1u, 2u, 4u}) {
+    serve::DetectionServer server{db, {}, {.slots = slots, .queue_capacity = 128}};
+    const auto report = serve::run_replay(server, db, workload, config);
+    all_verified = all_verified && report.verified && report.ok > 0;
+    if (slots == 1) coalescing_single_slot = report.coalescing_ratio;
+    p99_best = report.p99_ms;
+    t.add_row({std::to_string(slots), std::to_string(report.ok),
+               util::fixed(report.p50_ms, 3), util::fixed(report.p95_ms, 3),
+               util::fixed(report.p99_ms, 3), util::fixed(report.throughput_rps, 0),
+               util::fixed(report.coalescing_ratio, 2),
+               report.verified ? "yes" : "NO"});
+    sweep.emplace_back(slots, report);
+  }
+  std::printf("slot sweep (%zu clients x %zu requests, %zu ref lists x %zu zones "
+              "of %zu IDNs):\n%s\n",
+              config.clients, config.requests_per_client,
+              workload.reference_lists.size(), workload.zones.size(),
+              workload.zones.front()->size(), t.str().c_str());
+
+  // --- Overload: tiny queue, twice the clients, shedding on -------------
+  serve::ReplayReport pressure;
+  {
+    serve::DetectionServer server{
+        db,
+        {},
+        {.slots = 1, .queue_capacity = 2, .overload = serve::OverloadPolicy::kRejectWhenFull}};
+    serve::ReplayConfig heavy;
+    heavy.clients = 8;
+    heavy.requests_per_client = 32;
+    pressure = serve::run_replay(server, db, workload, heavy);
+    std::printf("overload (1 slot, queue capacity 2, 8 clients): %llu ok, "
+                "%llu shed (%.0f%%), verified %s\n\n",
+                static_cast<unsigned long long>(pressure.ok),
+                static_cast<unsigned long long>(pressure.shed),
+                pressure.shed_rate * 100.0, pressure.verified ? "yes" : "NO");
+  }
+
+  {
+    util::JsonWriter w{2};
+    w.begin_object();
+    w.field("bench", "serve_replay");
+    w.field("hardware_concurrency",
+            static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+    w.field("reference_lists",
+            static_cast<std::uint64_t>(workload.reference_lists.size()));
+    w.field("zones", static_cast<std::uint64_t>(workload.zones.size()));
+    w.field("idns_per_zone",
+            static_cast<std::uint64_t>(workload.zones.front()->size()));
+    w.key("slot_sweep").begin_array();
+    for (const auto& [slots, report] : sweep) {
+      w.begin_object();
+      w.field("slots", static_cast<std::uint64_t>(slots));
+      w.key("report").raw(report.to_json());
+      w.end_object();
+    }
+    w.end_array();
+    w.key("overload").raw(pressure.to_json());
+    w.end_object();
+    if (std::FILE* f = std::fopen("BENCH_serve.json", "w")) {
+      std::fprintf(f, "%s\n", w.str().c_str());
+      std::fclose(f);
+      std::printf("wrote BENCH_serve.json\n");
+    }
+  }
+
+  bench::shape("every admitted response byte-identical to the serial engine",
+               all_verified && pressure.verified);
+  bench::shape("same-snapshot coalescing amortizes (ratio > 1.0 at 1 slot)",
+               coalescing_single_slot > 1.0);
+  bench::shape("overload sheds instead of queueing without bound",
+               pressure.shed > 0);
+  bench::shape("p99 stays in interactive range (< 1 s)", p99_best < 1000.0);
+  return 0;
+}

@@ -5,11 +5,14 @@
 //   revert <domain>                         recover the original (Section 6.4)
 //   inspect <utf8-char-or-U+XXXX>           character dossier + homoglyphs
 //   policy <domain>                         browser display-policy decisions
+//   serve --refs a,b,c                      resident service over stdin domains
+//   replay                                  closed-loop replay + latency report
 //
 // The homoglyph database is built once per invocation from the system font
 // (or the synthetic font without FreeType).
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -20,6 +23,8 @@
 #include "font/freetype_font.hpp"
 #include "font/paper_font.hpp"
 #include "idna/idna.hpp"
+#include "serve/replay.hpp"
+#include "serve/server.hpp"
 #include "unicode/blocks.hpp"
 #include "unicode/idna_properties.hpp"
 #include "unicode/utf8.hpp"
@@ -44,10 +49,18 @@ int usage() {
                "        [--repeat N]             run the query N times (shows the\n"
                "                                 engine's index/result cache at work)\n"
                "        [--join auto|idn|refs]   skeleton join direction\n"
+               "        [--stats-json]           print DetectionStats as JSON\n"
                "  candidates <brand> [max]       enumerate registerable homographs\n"
                "  revert <domain>                recover the spoofed original\n"
                "  inspect <char|U+XXXX>          character dossier\n"
-               "  policy <domain>                browser display decisions\n");
+               "  policy <domain>                browser display decisions\n"
+               "  serve --refs a,b,c             read one IDN per stdin line, detect\n"
+               "        [--slots N] [--queue N]  each through the resident server,\n"
+               "        [--policy reject|block]  report per-domain verdicts and the\n"
+               "        [--stats-json]           server stats on EOF\n"
+               "  replay [--clients N] [--requests N] [--slots N] [--seed N]\n"
+               "        [--no-verify]            synthetic closed-loop replay; prints\n"
+               "                                 the latency/coalescing report JSON\n");
   return 2;
 }
 
@@ -59,7 +72,17 @@ std::optional<unicode::U32String> label_of(const std::string& domain) {
   return unicode::decode_utf8(label);
 }
 
-int cmd_check(const std::vector<std::string>& args) {
+int cmd_check(const std::vector<std::string>& raw_args) {
+  if (raw_args.empty()) return usage();
+  bool stats_json = false;
+  std::vector<std::string> args;
+  for (const auto& arg : raw_args) {
+    if (arg == "--stats-json") {
+      stats_json = true;
+    } else {
+      args.push_back(arg);
+    }
+  }
   if (args.empty()) return usage();
   std::vector<std::string> refs;
   core::ShamFinderConfig config;
@@ -140,6 +163,8 @@ int cmd_check(const std::vector<std::string>& args) {
                  (stats.index_build_seconds + stats.skeleton_build_seconds) * 1e3,
                  static_cast<unsigned long long>(stats.db_generation));
   }
+  // Same versioned schema the serve stats and benches emit.
+  if (stats_json) std::printf("%s\n", stats.to_json(2).c_str());
   if (matches.empty()) {
     std::printf("%s: no homograph of the given references detected\n",
                 args[0].c_str());
@@ -233,6 +258,139 @@ int cmd_policy(const std::vector<std::string>& args) {
   return 0;
 }
 
+bool parse_count(const std::string& value, std::size_t* out) {
+  if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *out = std::stoul(value);
+  return true;
+}
+
+/// Resident service: one server over the font-built database, one request
+/// per stdin line. Lines are submitted as they arrive (the slots work
+/// concurrently); verdicts print in input order on EOF.
+int cmd_serve(const std::vector<std::string>& args) {
+  std::vector<std::string> refs;
+  serve::ServerOptions options;
+  bool stats_json = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--stats-json") {
+      stats_json = true;
+    } else if (args[i] == "--refs" && i + 1 < args.size()) {
+      for (const auto part : util::split(args[++i], ',')) refs.emplace_back(part);
+    } else if (args[i] == "--slots" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], &options.slots)) {
+        std::fprintf(stderr, "serve: --slots needs a positive integer\n");
+        return 2;
+      }
+    } else if (args[i] == "--queue" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], &options.queue_capacity)) {
+        std::fprintf(stderr, "serve: --queue needs a positive integer\n");
+        return 2;
+      }
+    } else if (args[i] == "--policy" && i + 1 < args.size()) {
+      const auto& value = args[++i];
+      if (value == "reject") {
+        options.overload = serve::OverloadPolicy::kRejectWhenFull;
+      } else if (value == "block") {
+        options.overload = serve::OverloadPolicy::kBlock;
+      } else {
+        std::fprintf(stderr, "serve: unknown policy %s (reject|block)\n", value.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "serve: unknown argument %s\n", args[i].c_str());
+      return 2;
+    }
+  }
+  if (refs.empty()) {
+    std::fprintf(stderr, "serve: need --refs name1,name2,...\n");
+    return 2;
+  }
+  const auto finder = make_finder();
+  serve::DetectionServer server{finder.db(), finder.engine_options(), options};
+  std::fprintf(stderr, "[serve] %zu slot(s), queue %zu, %s; reading domains "
+               "from stdin ...\n",
+               server.options().slots, server.options().queue_capacity,
+               std::string{serve::overload_policy_name(server.options().overload)}
+                   .c_str());
+
+  std::vector<std::pair<std::string, serve::ResponseFuture>> in_flight;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    const auto label = label_of(line);
+    if (!label) {
+      std::fprintf(stderr, "serve: cannot decode %s, skipped\n", line.c_str());
+      continue;
+    }
+    auto zone = std::make_shared<std::vector<detect::IdnEntry>>();
+    zone->push_back({idna::to_a_label(*label), *label});
+    serve::ServeRequest request;
+    request.references = refs;
+    request.idns = std::move(zone);
+    in_flight.emplace_back(line, server.submit(std::move(request)));
+  }
+  int found = 0;
+  for (auto& [domain, future] : in_flight) {
+    auto response = future.get();
+    if (response.status != serve::ServeStatus::kOk) {
+      std::printf("%-30s %s\n", domain.c_str(),
+                  std::string{serve::status_name(response.status)}.c_str());
+      continue;
+    }
+    if (response.matches.empty()) {
+      std::printf("%-30s clean\n", domain.c_str());
+    } else {
+      ++found;
+      std::printf("%-30s HOMOGRAPH of %s\n", domain.c_str(),
+                  refs[response.matches.front().reference_index].c_str());
+    }
+  }
+  if (stats_json) std::printf("%s\n", server.stats().to_json(2).c_str());
+  return found > 0 ? 1 : 0;
+}
+
+/// Synthetic closed-loop replay against a resident server (the library's
+/// own workload generator); prints the ReplayReport JSON.
+int cmd_replay(const std::vector<std::string>& args) {
+  serve::ReplayConfig config;
+  serve::ServerOptions options;
+  options.queue_capacity = 128;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto need = [&](std::size_t* out, const char* what) {
+      if (i + 1 >= args.size() || !parse_count(args[++i], out)) {
+        std::fprintf(stderr, "replay: %s needs a positive integer\n", what);
+        return false;
+      }
+      return true;
+    };
+    if (args[i] == "--no-verify") {
+      config.verify = false;
+    } else if (args[i] == "--clients") {
+      if (!need(&config.clients, "--clients")) return 2;
+    } else if (args[i] == "--requests") {
+      if (!need(&config.requests_per_client, "--requests")) return 2;
+    } else if (args[i] == "--slots") {
+      if (!need(&options.slots, "--slots")) return 2;
+    } else if (args[i] == "--seed") {
+      std::size_t seed = 0;
+      if (!need(&seed, "--seed")) return 2;
+      config.seed = seed;
+    } else {
+      std::fprintf(stderr, "replay: unknown argument %s\n", args[i].c_str());
+      return 2;
+    }
+  }
+  const auto finder = make_finder();
+  const auto workload =
+      serve::make_replay_workload(finder.db(), 16, 12, 2, 2000, config.seed);
+  serve::DetectionServer server{finder.db(), finder.engine_options(), options};
+  const auto report = serve::run_replay(server, finder.db(), workload, config);
+  std::printf("%s\n", report.to_json(2).c_str());
+  return report.verified ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -246,5 +404,7 @@ int main(int argc, char** argv) {
   if (command == "revert") return cmd_revert(args);
   if (command == "inspect") return cmd_inspect(args);
   if (command == "policy") return cmd_policy(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "replay") return cmd_replay(args);
   return usage();
 }

@@ -66,6 +66,11 @@ class ShamFinder {
   /// parallel sharded scan; Strategy::kSkeleton swaps in the skeleton-hash
   /// candidate index for zone-scale reference lists; output is identical
   /// under every strategy).
+  ///
+  /// detect::Engine::detect(DetectRequest) — reached through this facade,
+  /// directly, or through serve::DetectionServer — is the single supported
+  /// list-vs-list detection entry point; the old HomographDetector
+  /// detect/detect_indexed/detect_unicode wrappers no longer exist.
   [[nodiscard]] std::vector<detect::Match> find_homographs(
       std::span<const std::string> references, std::span<const detect::IdnEntry> idns,
       detect::DetectionStats* stats = nullptr) const;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
-#include "detect/engine.hpp"
+#include "util/json.hpp"
 #include "util/stopwatch.hpp"
 
 namespace sham::detect {
@@ -43,35 +43,41 @@ bool HomographDetector::match_pair(const unicode::U32String& reference,
   return match_impl(*db_, reference, idn, diffs);
 }
 
-// The detect / detect_indexed / detect_unicode triplet below is kept as
-// thin deprecated wrappers over detect::Engine so existing callers compile
-// unchanged; new code should construct an Engine and call detect().
-
-std::vector<Match> HomographDetector::detect_unicode(
-    std::span<const unicode::U32String> references, std::span<const IdnEntry> idns,
-    DetectionStats* stats) const {
-  const Engine engine{*db_, {.strategy = Strategy::kIndexed, .threads = 1, .cache = false}};
-  auto response = engine.detect({.unicode_references = references, .idns = idns});
-  if (stats != nullptr) *stats = std::move(response.stats);
-  return std::move(response.matches);
-}
-
-std::vector<Match> HomographDetector::detect(std::span<const std::string> references,
-                                             std::span<const IdnEntry> idns,
-                                             DetectionStats* stats) const {
-  const Engine engine{*db_, {.strategy = Strategy::kSerial, .threads = 1, .cache = false}};
-  auto response = engine.detect({.references = references, .idns = idns});
-  if (stats != nullptr) *stats = std::move(response.stats);
-  return std::move(response.matches);
-}
-
-std::vector<Match> HomographDetector::detect_indexed(
-    std::span<const std::string> references, std::span<const IdnEntry> idns,
-    DetectionStats* stats) const {
-  const Engine engine{*db_, {.strategy = Strategy::kIndexed, .threads = 1, .cache = false}};
-  auto response = engine.detect({.references = references, .idns = idns});
-  if (stats != nullptr) *stats = std::move(response.stats);
-  return std::move(response.matches);
+std::string DetectionStats::to_json(int indent) const {
+  util::JsonWriter w{indent};
+  w.begin_object();
+  w.field("schema_version", kSchemaVersion);
+  w.field("seconds", seconds);
+  w.field("length_bucket_hits", length_bucket_hits);
+  w.field("char_comparisons", char_comparisons);
+  w.field("index_build_seconds", index_build_seconds);
+  w.field("match_seconds", match_seconds);
+  w.field("merge_seconds", merge_seconds);
+  w.field("threads_used", static_cast<std::uint64_t>(threads_used));
+  w.field("shards_used", static_cast<std::uint64_t>(shards_used));
+  w.key("shard_candidates").begin_array();
+  for (const auto c : shard_candidates) w.value(c);
+  w.end_array();
+  w.field("skeleton_build_seconds", skeleton_build_seconds);
+  w.field("skeleton_candidates", skeleton_candidates);
+  w.field("skeleton_rejected", skeleton_rejected);
+  w.field("skeleton_rejection_rate", skeleton_rejection_rate());
+  w.field("skeleton_buckets", static_cast<std::uint64_t>(skeleton_buckets));
+  w.key("skeleton_bucket_histogram").begin_array();
+  for (const auto n : skeleton_bucket_histogram) w.value(n);
+  w.end_array();
+  w.field("index_cache_hits", index_cache_hits);
+  w.field("index_cache_rebuilds", index_cache_rebuilds);
+  w.field("index_cache_updates", index_cache_updates);
+  w.field("index_entries_rehashed", index_entries_rehashed);
+  w.field("index_update_seconds", index_update_seconds);
+  w.field("result_cache_hits", result_cache_hits);
+  w.field("result_cache_entries", result_cache_entries);
+  w.field("db_generation", db_generation);
+  w.field("index_generation", index_generation);
+  w.field("inverted_join", inverted_join);
+  w.end_object();
+  return w.str();
 }
 
 std::vector<Match> detect_by_skeleton(const unicode::ConfusablesDb& uc,

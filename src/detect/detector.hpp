@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -50,6 +51,13 @@ struct Match {
 /// stage named (never a sum over shards), so under parallel execution
 /// match_seconds shrinks with thread count while the counters do not move.
 struct DetectionStats {
+  /// Schema version of the to_json() serialization. Bump whenever a field
+  /// is renamed, removed, or changes meaning (adding fields is
+  /// backward-compatible and does not require a bump). Consumers — the CLI
+  /// `check --stats-json`, the serve stats endpoint, and the BENCH_*.json
+  /// artifacts — key on this to stay in sync.
+  static constexpr std::uint32_t kSchemaVersion = 1;
+
   std::uint64_t length_bucket_hits = 0;  // candidate (ref, IDN) pairs examined
   std::uint64_t char_comparisons = 0;
   double seconds = 0.0;                  // wall clock for the whole run
@@ -105,28 +113,25 @@ struct DetectionStats {
                : static_cast<double>(skeleton_rejected) /
                      static_cast<double>(skeleton_candidates);
   }
+
+  /// One JSON object covering every field above plus kSchemaVersion (as
+  /// "schema_version"). The single serialization used by the CLI, the
+  /// serve stats endpoint, and the bench artifacts. `indent` as in
+  /// util::JsonWriter (0 = compact).
+  [[nodiscard]] std::string to_json(int indent = 0) const;
 };
 
+/// Single-pair matcher used by detect::Engine and by callers that probe
+/// one (reference, IDN) pair at a time (candidate generation, warnings).
+///
+/// List-vs-list detection goes through detect::Engine exclusively — the
+/// detect / detect_indexed / detect_unicode wrappers that used to live
+/// here were removed once every caller migrated to
+/// Engine::detect(DetectRequest).
 class HomographDetector {
  public:
   /// The database must outlive the detector.
   explicit HomographDetector(const homoglyph::HomoglyphDb& db) : db_{&db} {}
-
-  /// Algorithm 1 as printed: outer loop over references, restricted to
-  /// same-length IDNs.
-  /// Deprecated: thin wrapper over detect::Engine with Strategy::kSerial;
-  /// prefer Engine::detect(DetectRequest) for new code.
-  [[nodiscard]] std::vector<Match> detect(std::span<const std::string> references,
-                                          std::span<const IdnEntry> idns,
-                                          DetectionStats* stats = nullptr) const;
-
-  /// Same results via a length-bucketed index over the IDN set (builds the
-  /// same-length candidate sets once instead of per reference).
-  /// Deprecated: thin wrapper over detect::Engine with Strategy::kIndexed;
-  /// prefer Engine::detect(DetectRequest) for new code.
-  [[nodiscard]] std::vector<Match> detect_indexed(
-      std::span<const std::string> references, std::span<const IdnEntry> idns,
-      DetectionStats* stats = nullptr) const;
 
   /// Match a single (reference, IDN) pair; empty diffs => no match
   /// (returns true only for genuine homograph matches with ≥1 diff).
@@ -140,13 +145,6 @@ class HomographDetector {
   [[nodiscard]] bool match_pair(const unicode::U32String& reference,
                                 const unicode::U32String& idn,
                                 std::vector<DiffChar>* diffs = nullptr) const;
-
-  /// Detect against Unicode reference labels (length-bucketed).
-  /// Deprecated: thin wrapper over detect::Engine with Strategy::kIndexed;
-  /// prefer Engine::detect(DetectRequest) for new code.
-  [[nodiscard]] std::vector<Match> detect_unicode(
-      std::span<const unicode::U32String> references, std::span<const IdnEntry> idns,
-      DetectionStats* stats = nullptr) const;
 
  private:
   const homoglyph::HomoglyphDb* db_;

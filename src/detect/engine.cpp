@@ -273,7 +273,7 @@ std::optional<Strategy> parse_strategy(std::string_view name) noexcept {
   return std::nullopt;
 }
 
-DetectResponse Engine::detect(const DetectRequest& request) const {
+void validate_request(const DetectRequest& request) {
   if (!request.references.empty() && !request.unicode_references.empty()) {
     throw std::invalid_argument{
         "DetectRequest: supply ASCII references or unicode_references, not both"};
@@ -282,6 +282,10 @@ DetectResponse Engine::detect(const DetectRequest& request) const {
   // UTF-8 byte would silently diverge from per-code-point semantics, so
   // reject it here at the API boundary (satellite bugfix: hash asymmetry).
   for (std::size_t r = 0; r < request.references.size(); ++r) {
+    if (request.references[r].empty()) {
+      throw std::invalid_argument{"DetectRequest: references[" + std::to_string(r) +
+                                  "] is empty; reference labels must be non-empty"};
+    }
     for (const char c : request.references[r]) {
       const auto byte = static_cast<unsigned char>(c);
       if (byte >= 0x80) {
@@ -292,6 +296,32 @@ DetectResponse Engine::detect(const DetectRequest& request) const {
       }
     }
   }
+  for (std::size_t r = 0; r < request.unicode_references.size(); ++r) {
+    if (request.unicode_references[r].empty()) {
+      throw std::invalid_argument{"DetectRequest: unicode_references[" +
+                                  std::to_string(r) +
+                                  "] is empty; reference labels must be non-empty"};
+    }
+  }
+}
+
+std::uint64_t label_set_fingerprint(std::span<const IdnEntry> idns) noexcept {
+  return fingerprint_of(idns);
+}
+
+std::uint64_t label_set_fingerprint(std::span<const std::string> references) noexcept {
+  return fingerprint_of(references);
+}
+
+std::uint64_t label_set_fingerprint(
+    std::span<const unicode::U32String> references) noexcept {
+  return fingerprint_of(references);
+}
+
+DetectResponse Engine::detect(const DetectRequest& request) const {
+  // Validation runs before the empty-input short-circuit so malformed
+  // requests fail identically under every strategy and input size.
+  validate_request(request);
   const auto strategy = request.strategy.value_or(options_.strategy);
   const auto threads = request.threads.value_or(options_.threads);
   const auto join = request.join.value_or(options_.join);

@@ -1,6 +1,6 @@
-// The detection engine: a single detect(DetectRequest) entry point over
-// Algorithm 1, replacing the detect / detect_indexed / detect_unicode
-// triplet of HomographDetector (kept as thin wrappers over this engine).
+// The detection engine: the single detect(DetectRequest) entry point over
+// Algorithm 1. The old detect / detect_indexed / detect_unicode triplet of
+// HomographDetector is gone — every list-vs-list caller goes through here.
 //
 // Execution strategies:
 //   kSerial    Algorithm 1 as printed — outer loop over references, inner
@@ -51,6 +51,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -117,7 +118,11 @@ struct EngineOptions {
 /// ASCII `references` must be pure ASCII: non-ASCII bytes are rejected
 /// with std::invalid_argument (put such labels in unicode_references —
 /// byte-wise matching of multi-byte UTF-8 would silently diverge from
-/// the per-code-point semantics of Algorithm 1).
+/// the per-code-point semantics of Algorithm 1). Zero-length reference
+/// labels are rejected the same way: an empty label is never a domain
+/// label, and letting it through would hash an empty skeleton stream.
+/// See validate_request for the exact rules — they hold identically under
+/// all four strategies and through the serving layer.
 struct DetectRequest {
   std::span<const std::string> references{};                 // ASCII (LDH) names
   std::span<const unicode::U32String> unicode_references{};  // non-Latin refs
@@ -132,6 +137,29 @@ struct DetectResponse {
   DetectionStats stats;
 };
 
+/// Uniform boundary validation, shared by every strategy and by the
+/// serving layer (serve::DetectionServer validates at admission time with
+/// this exact function). Throws std::invalid_argument when
+///   - both reference spans are non-empty (ambiguous request),
+///   - an ASCII reference contains a non-ASCII byte, or
+///   - any reference label (ASCII or Unicode) is zero-length.
+/// A well-formed request with no references or no IDNs passes — detect()
+/// short-circuits it to an empty response with zeroed stats.
+void validate_request(const DetectRequest& request);
+
+/// Content fingerprint of a label set — the key the engine caches indexes
+/// under, exposed so the serving layer can group same-snapshot requests
+/// (fingerprint + HomoglyphDb generation) without duplicating the scheme.
+/// Equal contents fingerprint equally regardless of buffer address; the
+/// three overloads are type-tagged so payload-identical sets of different
+/// kinds never collide.
+[[nodiscard]] std::uint64_t label_set_fingerprint(
+    std::span<const IdnEntry> idns) noexcept;
+[[nodiscard]] std::uint64_t label_set_fingerprint(
+    std::span<const std::string> references) noexcept;
+[[nodiscard]] std::uint64_t label_set_fingerprint(
+    std::span<const unicode::U32String> references) noexcept;
+
 class Engine {
  public:
   /// The database must outlive the engine. The engine observes database
@@ -145,9 +173,9 @@ class Engine {
 
   [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
 
-  /// Run Algorithm 1 under the requested strategy. Throws
-  /// std::invalid_argument if both reference spans are non-empty or if an
-  /// ASCII reference contains a non-ASCII byte. Empty references or IDNs
+  /// Run Algorithm 1 under the requested strategy. Applies
+  /// validate_request() first (std::invalid_argument on malformed input,
+  /// identically across strategies); empty references or IDNs then
   /// short-circuit to an empty response with fully-zeroed stats.
   [[nodiscard]] DetectResponse detect(const DetectRequest& request) const;
 

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "core/shamfinder.hpp"
+#include "detect/engine.hpp"
 #include "dns/langid.hpp"
 #include "idna/idna.hpp"
 #include "unicode/utf8.hpp"
@@ -33,15 +34,19 @@ WildContext make_wild_context(const Environment& env,
   ctx.scenario = internet::generate_scenario(env.db_union, config);
   ctx.idns = core::ShamFinder::extract_idns(ctx.scenario.domains, "com");
 
-  const detect::HomographDetector det_uc{env.db_uc};
-  const detect::HomographDetector det_sim{env.db_sim};
-  const detect::HomographDetector det_union{env.db_union};
+  // One-shot engines per database flavour; kIndexed mirrors the original
+  // detect_indexed measurement path (single thread, length buckets).
+  const detect::EngineOptions opts{.strategy = detect::Strategy::kIndexed,
+                                   .cache = false};
+  const detect::DetectRequest request{.references = ctx.scenario.references,
+                                      .idns = ctx.idns};
+  const detect::Engine eng_uc{env.db_uc, opts};
+  const detect::Engine eng_sim{env.db_sim, opts};
+  const detect::Engine eng_union{env.db_union, opts};
 
-  ctx.detected_uc =
-      unique_idn_indices(det_uc.detect_indexed(ctx.scenario.references, ctx.idns));
-  ctx.detected_sim =
-      unique_idn_indices(det_sim.detect_indexed(ctx.scenario.references, ctx.idns));
-  ctx.union_matches = det_union.detect_indexed(ctx.scenario.references, ctx.idns);
+  ctx.detected_uc = unique_idn_indices(eng_uc.detect(request).matches);
+  ctx.detected_sim = unique_idn_indices(eng_sim.detect(request).matches);
+  ctx.union_matches = eng_union.detect(request).matches;
   ctx.detected_union = unique_idn_indices(ctx.union_matches);
   return ctx;
 }

@@ -1,0 +1,136 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sham::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline(std::size_t depth) {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(depth * static_cast<std::size_t>(indent_), ' ');
+}
+
+void JsonWriter::separate() {
+  if (stack_.empty()) return;
+  auto& level = stack_.back();
+  if (level.key_pending) {
+    // key() already wrote the separator and the key itself.
+    level.key_pending = false;
+    return;
+  }
+  if (level.members > 0) out_ += ',';
+  newline(stack_.size());
+  ++level.members;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  out_ += '{';
+  stack_.push_back({'{', 0, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had_members = !stack_.empty() && stack_.back().members > 0;
+  stack_.pop_back();
+  if (had_members) newline(stack_.size());
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  out_ += '[';
+  stack_.push_back({'[', 0, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had_members = !stack_.empty() && stack_.back().members > 0;
+  stack_.pop_back();
+  if (had_members) newline(stack_.size());
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  auto& level = stack_.back();
+  if (level.members > 0) out_ += ',';
+  newline(stack_.size());
+  ++level.members;
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += indent_ > 0 ? "\": " : "\":";
+  level.key_pending = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no inf/nan
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  separate();
+  out_ += json;
+  return *this;
+}
+
+}  // namespace sham::util

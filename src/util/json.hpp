@@ -1,0 +1,75 @@
+// Minimal streaming JSON writer shared by the stats serializers
+// (DetectionStats::to_json, serve::ServerStats::to_json) and the bench
+// binaries that persist BENCH_*.json artifacts — replaces the hand-rolled
+// snprintf JSON rows that used to live in each bench.
+//
+// Commas, quoting and escaping are handled by the writer; the caller only
+// sequences begin/end/key/value calls. With a nonzero indent the output is
+// pretty-printed (one element per line), otherwise compact. The writer is
+// append-only and single-threaded; build one per document.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sham::util {
+
+/// Escape `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes): ", \, control characters.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  /// indent = 0 renders compact; indent > 0 pretty-prints with that many
+  /// spaces per nesting level.
+  explicit JsonWriter(int indent = 0) : indent_{indent} {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value (or a
+  /// begin_object / begin_array).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view{v}); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+
+  /// Splice a pre-rendered JSON value (e.g. another serializer's output)
+  /// in value position, verbatim.
+  JsonWriter& raw(std::string_view json);
+
+  template <typename T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// The rendered document. Valid once every begin_* has been closed.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  struct Level {
+    char kind = '{';           // '{' or '['
+    std::size_t members = 0;   // values emitted at this level
+    bool key_pending = false;  // key() emitted, awaiting its value
+  };
+
+  void separate();  // comma + newline/indent bookkeeping before an element
+  void newline(std::size_t depth);
+
+  std::string out_;
+  std::vector<Level> stack_;
+  int indent_;
+};
+
+}  // namespace sham::util

@@ -1,8 +1,32 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <memory>
 
 namespace sham::util {
+
+namespace {
+
+/// Per-call completion latch for the parallel_for family: each call counts
+/// down its own tasks, so concurrent callers sharing one pool never wait on
+/// each other's work (the pool-wide in-flight counter would).
+struct Completion {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t remaining = 0;
+
+  void arrive() {
+    std::lock_guard lock{mutex};
+    if (--remaining == 0) done.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock lock{mutex};
+    done.wait(lock, [this] { return remaining == 0; });
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -41,11 +65,16 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (chunks == 0) chunks = thread_count() * 4;
   chunks = std::min(chunks, n);
   const std::size_t step = (n + chunks - 1) / chunks;
+  const auto state = std::make_shared<Completion>();
+  state->remaining = (n + step - 1) / step;
   for (std::size_t c = begin; c < end; c += step) {
     const std::size_t c_end = std::min(c + step, end);
-    submit([&body, c, c_end] { body(c, c_end); });
+    submit([&body, state, c, c_end] {
+      body(c, c_end);
+      state->arrive();
+    });
   }
-  wait_idle();
+  state->wait();
 }
 
 void ThreadPool::parallel_for_chunks(
@@ -54,13 +83,18 @@ void ThreadPool::parallel_for_chunks(
   if (begin >= end || chunks == 0) return;
   const std::size_t n = end - begin;
   const std::size_t step = (n + chunks - 1) / chunks;
+  const auto state = std::make_shared<Completion>();
+  state->remaining = std::min(chunks, (n + step - 1) / step);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t c_begin = begin + c * step;
     if (c_begin >= end) break;
     const std::size_t c_end = std::min(c_begin + step, end);
-    submit([&body, c, c_begin, c_end] { body(c, c_begin, c_end); });
+    submit([&body, state, c, c_begin, c_end] {
+      body(c, c_begin, c_end);
+      state->arrive();
+    });
   }
-  wait_idle();
+  state->wait();
 }
 
 void ThreadPool::worker_loop() {

@@ -1,6 +1,11 @@
 // Fixed-size worker pool with a blocking parallel_for, used to parallelise
 // the pairwise glyph-distance computation (the paper used 15 concurrent
 // processes for the same step; see Table 5).
+//
+// parallel_for / parallel_for_chunks track completion per call (not via the
+// pool-wide in-flight counter), so independent callers may drive one shared
+// pool concurrently — the serving layer relies on this. wait_idle() still
+// waits for *everything*, including tasks enqueued with submit().
 #pragma once
 
 #include <condition_variable>
@@ -31,8 +36,9 @@ class ThreadPool {
   void wait_idle();
 
   /// Split [begin, end) into chunks and run `body(chunk_begin, chunk_end)`
-  /// on the pool; blocks until every chunk is done. `chunks` of 0 picks
-  /// 4× the worker count for load balancing of irregular work.
+  /// on the pool; blocks until every chunk of *this call* is done (other
+  /// callers' tasks are not waited for). `chunks` of 0 picks 4× the worker
+  /// count for load balancing of irregular work.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& body,
                     std::size_t chunks = 0);

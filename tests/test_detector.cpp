@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "detect/candidates.hpp"
 #include "detect/detector.hpp"
 #include "detect/engine.hpp"
@@ -33,15 +36,23 @@ IdnEntry entry(const U32String& label) {
   return {idna::to_a_label(label), label};
 }
 
+/// Cache-free single-threaded engine under the given strategy — the
+/// test-local stand-in for the removed detect()/detect_indexed()/
+/// detect_unicode() wrappers.
+Engine one_shot(const homoglyph::HomoglyphDb& db,
+                Strategy strategy = Strategy::kSerial) {
+  return Engine{db, {.strategy = strategy, .threads = 1, .cache = false}};
+}
+
 TEST(Detector, Figure2PositiveExample) {
   // reference "google", IDN "gооgle"/"goоgle" variants match.
   const auto db = test_db();
-  const HomographDetector detector{db};
   const std::vector<std::string> refs{"google"};
   const std::vector<IdnEntry> idns{
       entry({'g', 0x043E, 0x0585, 'g', 'l', 'e'}),  // both о and օ
   };
-  const auto matches = detector.detect(refs, idns);
+  const auto matches =
+      one_shot(db).detect({.references = refs, .idns = idns}).matches;
   ASSERT_EQ(matches.size(), 1u);
   EXPECT_EQ(matches[0].reference_index, 0u);
   EXPECT_EQ(matches[0].idn_index, 0u);
@@ -56,23 +67,21 @@ TEST(Detector, Figure2NegativeExample) {
   // "goc aié"-style string: same length as "google" but containing a
   // character with no homoglyph relation.
   const auto db = test_db();
-  const HomographDetector detector{db};
   const std::vector<std::string> refs{"google"};
   const std::vector<IdnEntry> idns{
       entry({'g', 0x043E, 'c', 'a', 'i', 0x00E9}),
   };
-  EXPECT_TRUE(detector.detect(refs, idns).empty());
+  EXPECT_TRUE(one_shot(db).detect({.references = refs, .idns = idns}).matches.empty());
 }
 
 TEST(Detector, LengthMismatchNeverMatches) {
   const auto db = test_db();
-  const HomographDetector detector{db};
   const std::vector<std::string> refs{"google"};
   const std::vector<IdnEntry> idns{
       entry({'g', 0x043E, 0x043E, 'g', 'l', 'e', 's'}),  // 7 chars
       entry({'g', 0x043E, 0x043E, 'g', 'l'}),            // 5 chars
   };
-  EXPECT_TRUE(detector.detect(refs, idns).empty());
+  EXPECT_TRUE(one_shot(db).detect({.references = refs, .idns = idns}).matches.empty());
 }
 
 TEST(Detector, IdenticalStringIsNotAHomograph) {
@@ -94,7 +103,6 @@ TEST(Detector, AllPositionsMustMatchOrPair) {
 
 TEST(Detector, MultipleReferencesAndIdns) {
   const auto db = test_db();
-  const HomographDetector detector{db};
   const std::vector<std::string> refs{"google", "apple", "pie"};
   const std::vector<IdnEntry> idns{
       entry({'g', 0x043E, 'o', 'g', 'l', 'e'}),
@@ -102,13 +110,13 @@ TEST(Detector, MultipleReferencesAndIdns) {
       entry({'p', 0x0131, 'e'}),
       entry({0x4E00, 0x4E8C}),  // unrelated CJK
   };
-  const auto matches = detector.detect(refs, idns);
+  const auto matches =
+      one_shot(db).detect({.references = refs, .idns = idns}).matches;
   EXPECT_EQ(matches.size(), 3u);
 }
 
 TEST(Detector, IndexedMatchesNaive) {
   const auto db = test_db();
-  const HomographDetector detector{db};
   util::Rng rng{77};
 
   std::vector<std::string> refs;
@@ -132,21 +140,21 @@ TEST(Detector, IndexedMatchesNaive) {
     idns.push_back(entry(label));
   }
 
-  DetectionStats naive_stats;
-  DetectionStats indexed_stats;
-  auto naive = detector.detect(refs, idns, &naive_stats);
-  auto indexed = detector.detect_indexed(refs, idns, &indexed_stats);
+  const auto naive =
+      one_shot(db).detect({.references = refs, .idns = idns});
+  const auto indexed =
+      one_shot(db, Strategy::kIndexed).detect({.references = refs, .idns = idns});
 
   const auto key = [](const Match& m) {
     return std::make_pair(m.reference_index, m.idn_index);
   };
   std::vector<std::pair<std::size_t, std::size_t>> a, b;
-  for (const auto& m : naive) a.push_back(key(m));
-  for (const auto& m : indexed) b.push_back(key(m));
+  for (const auto& m : naive.matches) a.push_back(key(m));
+  for (const auto& m : indexed.matches) b.push_back(key(m));
   std::sort(a.begin(), a.end());
   std::sort(b.begin(), b.end());
   EXPECT_EQ(a, b);
-  EXPECT_GT(naive_stats.length_bucket_hits, 0u);
+  EXPECT_GT(naive.stats.length_bucket_hits, 0u);
 }
 
 TEST(Detector, DiffProvenanceIsReported) {
@@ -176,10 +184,9 @@ TEST(Detector, SkeletonBaselineFindsUcHomographs) {
 
 TEST(Detector, EmptyInputs) {
   const auto db = test_db();
-  const HomographDetector detector{db};
-  EXPECT_TRUE(detector.detect({}, {}).empty());
+  EXPECT_TRUE(one_shot(db).detect({}).matches.empty());
   const std::vector<std::string> refs{"google"};
-  EXPECT_TRUE(detector.detect(refs, {}).empty());
+  EXPECT_TRUE(one_shot(db).detect({.references = refs}).matches.empty());
 }
 
 // --- Engine (unified detect() + parallel sharding) --------------------
@@ -231,9 +238,10 @@ const EngineWorkload& paper_font_workload() {
 
 TEST(Engine, ParallelIsByteIdenticalToSerialIndexedOnPaperFontWorkload) {
   const auto& w = paper_font_workload();
-  const HomographDetector detector{w.db};
-  DetectionStats serial_stats;
-  const auto serial = detector.detect_indexed(w.refs, w.idns, &serial_stats);
+  const auto indexed = one_shot(w.db, Strategy::kIndexed)
+                           .detect({.references = w.refs, .idns = w.idns});
+  const auto& serial = indexed.matches;
+  const auto& serial_stats = indexed.stats;
   ASSERT_FALSE(serial.empty());  // workload must exercise the match path
 
   const Engine engine{w.db};
@@ -266,8 +274,9 @@ TEST(Engine, AllStrategiesAgreeOnUnicodeReferences) {
     for (const char c : ref) u.push_back(static_cast<unsigned char>(c));
     urefs.push_back(u);
   }
-  const HomographDetector detector{w.db};
-  const auto serial = detector.detect_unicode(urefs, w.idns);
+  const auto serial = one_shot(w.db, Strategy::kIndexed)
+                          .detect({.unicode_references = urefs, .idns = w.idns})
+                          .matches;
 
   const Engine engine{w.db};
   for (const auto strategy : {Strategy::kSerial, Strategy::kIndexed, Strategy::kParallel}) {
@@ -295,8 +304,9 @@ TEST(Engine, SingleReferenceUsesSingleShard) {
   const auto db = test_db();
   const std::vector<std::string> refs{"google"};
   const std::vector<IdnEntry> idns{entry({'g', 0x043E, 0x0585, 'g', 'l', 'e'})};
-  const HomographDetector detector{db};
-  const auto serial = detector.detect_indexed(refs, idns);
+  const auto serial = one_shot(db, Strategy::kIndexed)
+                          .detect({.references = refs, .idns = idns})
+                          .matches;
 
   const Engine engine{db, {.strategy = Strategy::kParallel, .threads = 8}};
   const auto r = engine.detect({.references = refs, .idns = idns});
@@ -946,6 +956,153 @@ TEST(SkeletonIndex, SplitStateSurvivesIncrementalRehash) {
   const auto* merged = index.probe(index.hashes_of(labels[0]));
   ASSERT_NE(merged, nullptr);
   EXPECT_EQ(merged->size(), 7u);  // all labels, one canonical stream
+}
+
+// --- Uniform DetectRequest boundary validation ------------------------------
+
+TEST(Validation, EmptyAsciiReferenceThrowsUnderEveryStrategy) {
+  const auto db = test_db();
+  const std::vector<std::string> refs{"google", ""};
+  const std::vector<IdnEntry> idns{entry({'g', 0x043E, 'o', 'g', 'l', 'e'})};
+  for (const auto strategy : {Strategy::kSerial, Strategy::kIndexed,
+                              Strategy::kParallel, Strategy::kSkeleton}) {
+    const Engine engine{db, {.strategy = strategy, .threads = 1}};
+    EXPECT_THROW((void)engine.detect({.references = refs, .idns = idns}),
+                 std::invalid_argument)
+        << strategy_name(strategy);
+  }
+}
+
+TEST(Validation, EmptyUnicodeReferenceThrowsUnderEveryStrategy) {
+  const auto db = test_db();
+  const std::vector<U32String> urefs{{'g', 'o', 'o', 'g', 'l', 'e'}, {}};
+  const std::vector<IdnEntry> idns{entry({'g', 0x043E, 'o', 'g', 'l', 'e'})};
+  for (const auto strategy : {Strategy::kSerial, Strategy::kIndexed,
+                              Strategy::kParallel, Strategy::kSkeleton}) {
+    const Engine engine{db, {.strategy = strategy, .threads = 1}};
+    EXPECT_THROW(
+        (void)engine.detect({.unicode_references = urefs, .idns = idns}),
+        std::invalid_argument)
+        << strategy_name(strategy);
+  }
+}
+
+TEST(Validation, EngineThrowsTheExactValidateRequestMessage) {
+  // Engine::detect and the standalone validate_request are one boundary:
+  // identical exception type AND identical message, whatever the strategy.
+  const auto db = test_db();
+  const std::vector<std::string> refs{""};
+  const std::vector<IdnEntry> idns{entry({'g', 0x043E, 'o', 'g', 'l', 'e'})};
+  const DetectRequest request{.references = refs, .idns = idns};
+  std::string expected;
+  try {
+    validate_request(request);
+    FAIL() << "validate_request accepted an empty reference";
+  } catch (const std::invalid_argument& error) {
+    expected = error.what();
+  }
+  for (const auto strategy : {Strategy::kSerial, Strategy::kIndexed,
+                              Strategy::kParallel, Strategy::kSkeleton}) {
+    const Engine engine{db, {.strategy = strategy, .threads = 1}};
+    try {
+      (void)engine.detect(request);
+      FAIL() << strategy_name(strategy) << " accepted an empty reference";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_EQ(std::string{error.what()}, expected) << strategy_name(strategy);
+    }
+  }
+}
+
+TEST(Validation, BothReferenceSpansSetThrowsEvenWithEmptyZone) {
+  // Validation runs before the empty-input short-circuit: a malformed
+  // request fails the same way regardless of input size.
+  const auto db = test_db();
+  const std::vector<std::string> refs{"google"};
+  const std::vector<U32String> urefs{{'p', 'i', 'e'}};
+  const Engine engine{db, {.strategy = Strategy::kSerial, .threads = 1}};
+  EXPECT_THROW(
+      (void)engine.detect({.references = refs, .unicode_references = urefs}),
+      std::invalid_argument);
+  EXPECT_THROW((void)engine.detect({.references = std::vector<std::string>{""}}),
+               std::invalid_argument);
+}
+
+// --- Concurrent detect() on one shared engine -------------------------------
+
+// N threads hammer a single cached Engine with a randomized mix of
+// requests — cold index builds, warm index hits, and response-memo hits
+// interleave freely — and every response must be byte-identical to the
+// serial cache-free ground truth. Runs under -DSHAM_SANITIZE=thread to
+// certify the engine's internal cache against data races.
+TEST(ConcurrentEngine, RandomizedInterleavingsMatchSerialGroundTruth) {
+  const auto& w = paper_font_workload();
+
+  // Request variants: three reference lists × two IDN snapshots. Two IDN
+  // sets force index swaps (cold rebuilds) while repeats hit warm paths.
+  std::vector<std::vector<std::string>> ref_lists;
+  ref_lists.emplace_back(w.refs.begin(), w.refs.end());
+  ref_lists.emplace_back(w.refs.begin(), w.refs.begin() + 40);
+  ref_lists.emplace_back(w.refs.begin() + 40, w.refs.begin() + 80);
+  std::vector<std::vector<IdnEntry>> idn_sets;
+  idn_sets.emplace_back(w.idns.begin(), w.idns.end());
+  idn_sets.emplace_back(w.idns.begin(), w.idns.begin() + w.idns.size() / 3);
+
+  std::vector<std::vector<std::vector<Match>>> truth(ref_lists.size());
+  for (std::size_t r = 0; r < ref_lists.size(); ++r) {
+    for (const auto& idns : idn_sets) {
+      truth[r].push_back(fresh_serial(w.db, ref_lists[r], idns));
+    }
+  }
+  ASSERT_FALSE(truth[0][0].empty());  // the workload must produce matches
+
+  constexpr Strategy kMix[] = {Strategy::kSerial, Strategy::kIndexed,
+                               Strategy::kParallel, Strategy::kSkeleton};
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRequestsPerThread = 16;
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    const Engine engine{w.db, {.threads = 2}};  // shared; caching on
+    std::atomic<std::uint64_t> mismatches{0};
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        util::Rng rng{seed * 6364136223846793005ULL + t};
+        for (std::size_t i = 0; i < kRequestsPerThread; ++i) {
+          const auto r = rng.below(ref_lists.size());
+          const auto z = rng.below(idn_sets.size());
+          const auto result =
+              engine.detect({.references = ref_lists[r],
+                             .idns = idn_sets[z],
+                             .strategy = kMix[rng.below(std::size(kMix))]});
+          if (result.matches != truth[r][z]) mismatches.fetch_add(1);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(mismatches.load(), 0u) << "seed=" << seed;
+  }
+}
+
+TEST(ConcurrentEngine, SharedEngineBehindServeAndDirectCallersAgree) {
+  // The serve path and direct Engine::detect share one engine type; a
+  // thread mixing both entry points must still see ground-truth results.
+  const auto& w = paper_font_workload();
+  const std::vector<std::string> refs{w.refs.begin(), w.refs.begin() + 40};
+  const auto expected = fresh_serial(w.db, refs, w.idns);
+  ASSERT_FALSE(expected.empty());
+
+  const Engine engine{w.db};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 8; ++i) {
+        const auto result = engine.detect({.references = refs, .idns = w.idns});
+        if (result.matches != expected) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "detect/engine.hpp"
 #include "detect/ranking.hpp"
 #include "dns/zone_file.hpp"
 #include "font/synthetic_font.hpp"
@@ -46,7 +47,8 @@ TEST(NonLatinDetection, KatakanaSpoofOfIdeographLabel) {
 
 TEST(NonLatinDetection, DetectUnicodeOverLists) {
   const auto db = cjk_db();
-  const detect::HomographDetector detector{db};
+  const detect::Engine engine{
+      db, {.strategy = detect::Strategy::kIndexed, .cache = false}};
   const std::vector<U32String> references{
       {0x5DE5, 0x696D, 0x5927, 0x5B66},  // 工業大学
       {0x53E3, 0x5EA7},                  // 口座
@@ -59,10 +61,9 @@ TEST(NonLatinDetection, DetectUnicodeOverLists) {
   idns.push_back({idna::to_a_label(a2), a2});
   idns.push_back({idna::to_a_label(benign), benign});
 
-  detect::DetectionStats stats;
-  const auto matches = detector.detect_unicode(references, idns, &stats);
-  EXPECT_EQ(matches.size(), 2u);
-  EXPECT_GT(stats.length_bucket_hits, 0u);
+  const auto r = engine.detect({.unicode_references = references, .idns = idns});
+  EXPECT_EQ(r.matches.size(), 2u);
+  EXPECT_GT(r.stats.length_bucket_hits, 0u);
 }
 
 TEST(NonLatinDetection, ExactIdeographStringIsNotAHomograph) {
@@ -83,7 +84,8 @@ TEST(Ranking, MostDeceptiveFirst) {
   homoglyph::DbConfig config;
   config.use_uc = false;
   const homoglyph::HomoglyphDb db{sim, unicode::ConfusablesDb::embedded(), config};
-  const detect::HomographDetector detector{db};
+  const detect::Engine engine{
+      db, {.strategy = detect::Strategy::kIndexed, .cache = false}};
 
   const std::vector<std::string> refs{"oe"};
   std::vector<detect::IdnEntry> idns;
@@ -93,7 +95,7 @@ TEST(Ranking, MostDeceptiveFirst) {
   for (const auto& label : {accented, pixel_clone, middling}) {
     idns.push_back({idna::to_a_label(label), label});
   }
-  const auto matches = detector.detect_indexed(refs, idns);
+  const auto matches = engine.detect({.references = refs, .idns = idns}).matches;
   ASSERT_EQ(matches.size(), 3u);
 
   const auto ranked = detect::rank_matches(*font, matches, refs, idns);

@@ -103,7 +103,8 @@ class DetectorInvariance : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(DetectorInvariance, IdnOrderPermutationPreservesMatchSet) {
   util::Rng rng{GetParam()};
   const auto db = property_db();
-  const detect::HomographDetector detector{db};
+  const detect::Engine engine{
+      db, {.strategy = detect::Strategy::kIndexed, .cache = false}};
   const std::vector<std::string> refs{"oe", "ooze", "geese", "noodle"};
   auto idns = random_idns(rng, 120);
 
@@ -117,20 +118,23 @@ TEST_P(DetectorInvariance, IdnOrderPermutationPreservesMatchSet) {
     return keys;
   };
 
-  const auto before = key_set(detector.detect_indexed(refs, idns), idns);
+  const auto before =
+      key_set(engine.detect({.references = refs, .idns = idns}).matches, idns);
   auto shuffled = idns;
   rng.shuffle(shuffled);
-  const auto after = key_set(detector.detect_indexed(refs, shuffled), shuffled);
+  const auto after = key_set(
+      engine.detect({.references = refs, .idns = shuffled}).matches, shuffled);
   EXPECT_EQ(before, after);
 }
 
 TEST_P(DetectorInvariance, MatchImpliesSkeletalAgreementOfLengths) {
   util::Rng rng{GetParam()};
   const auto db = property_db();
-  const detect::HomographDetector detector{db};
+  const detect::Engine engine{
+      db, {.strategy = detect::Strategy::kIndexed, .cache = false}};
   const std::vector<std::string> refs{"oe", "ooze", "geese"};
   const auto idns = random_idns(rng, 80);
-  for (const auto& m : detector.detect_indexed(refs, idns)) {
+  for (const auto& m : engine.detect({.references = refs, .idns = idns}).matches) {
     EXPECT_EQ(refs[m.reference_index].size(), idns[m.idn_index].unicode.size());
     EXPECT_FALSE(m.diffs.empty());
     for (const auto& d : m.diffs) {
