@@ -7,6 +7,7 @@
 //
 //   $ ./bench/simchar_pairs          # full grid + JSON
 //   $ ./bench/simchar_pairs --smoke  # tiny equivalence grid (perf_smoke)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "kernels/kernels.hpp"
 #include "simchar/pair_miner.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -112,6 +114,26 @@ int run_smoke() {
       const bool same = parallel.mine_all() == truth && single.mine_all() == truth;
       std::printf("  θ=%d %-13s %s\n", threshold,
                   std::string{simchar::pair_strategy_name(strategy)}.c_str(),
+                  same ? "identical" : "MISMATCH");
+      ok = ok && same;
+    }
+  }
+  // Kernel-dispatch sweep: the pair set must be identical at every kernel
+  // level the host can run, for every strategy (θ = 4, the paper default).
+  {
+    const PairMiner truth_miner{glyphs, 4, PairStrategy::kAllPairs, pool};
+    const auto truth = truth_miner.mine_all();
+    for (const auto level : kernels::supported_levels()) {
+      kernels::ScopedKernelLevel pin{level};
+      bool same = pin.forced();
+      for (const auto strategy :
+           {PairStrategy::kAllPairs, PairStrategy::kPopcountBand,
+            PairStrategy::kBlockIndex}) {
+        const PairMiner miner{glyphs, 4, strategy, pool};
+        same = same && miner.mine_all() == truth;
+      }
+      std::printf("  kernel level %-6s %s\n",
+                  std::string{kernels::level_name(level)}.c_str(),
                   same ? "identical" : "MISMATCH");
       ok = ok && same;
     }
@@ -215,6 +237,38 @@ int main(int argc, char** argv) {
   bench::shape("block index ≥10x fewer ∆ than band prune at θ=4 (largest repertoire)",
                ratio_theta4 >= 10.0);
 
+  // Parallel speedup on the heaviest cell (all-pairs, θ=4, largest
+  // repertoire). Recorded hardware_skipped only on a single-core host —
+  // any multi-core box must beat the serial pool.
+  const unsigned hw = std::thread::hardware_concurrency();
+  double parallel_speedup = 0.0;
+  bool parallel_identical = true;
+  {
+    util::ThreadPool serial{1};
+    const auto glyphs = make_repertoire(largest, 20260805);
+    const PairMiner serial_miner{glyphs, 4, PairStrategy::kAllPairs, serial};
+    util::Stopwatch serial_watch;
+    const auto serial_pairs = serial_miner.mine_all();
+    const double serial_seconds = serial_watch.seconds();
+    const PairMiner parallel_miner{glyphs, 4, PairStrategy::kAllPairs, pool};
+    util::Stopwatch parallel_watch;
+    const auto parallel_pairs = parallel_miner.mine_all();
+    const double parallel_seconds = parallel_watch.seconds();
+    parallel_speedup = serial_seconds / std::max(parallel_seconds, 1e-9);
+    parallel_identical = parallel_pairs == serial_pairs;
+    std::printf("parallel mine_all (θ=4, %s glyphs): serial %.3fs, pool %.3fs "
+                "-> %.2fx (%u hardware threads)\n",
+                util::with_commas(largest).c_str(), serial_seconds,
+                parallel_seconds, parallel_speedup, hw);
+    if (hw >= 2) {
+      bench::shape("thread pool beats the serial miner on the heaviest cell",
+                   parallel_speedup >= 1.2);
+    } else {
+      std::printf("  shape: thread-pool speedup on the heaviest cell       "
+                  "[SKIPPED: single-core host]\n");
+    }
+  }
+
   std::string grid_json;
   for (const auto& cell : cells) {
     char buf[512];
@@ -245,14 +299,20 @@ int main(int argc, char** argv) {
                  "  \"band_vs_block_delta_ratio\": {%s},\n"
                  "  \"band_vs_block_delta_ratio_theta4\": %.1f,\n"
                  "  \"identical_to_all_pairs_in_every_cell\": %s,\n"
+                 "  \"parallel_speedup_theta4\": %.2f,\n"
+                 "  \"parallel_identical_to_serial\": %s,\n"
+                 "  \"parallel_speedup_criterion\": \"%s\",\n"
                  "  \"block_index_10x_criterion\": \"%s\"\n"
                  "}\n",
                  std::thread::hardware_concurrency(), grid_json.c_str(), largest,
                  ratio_json.c_str(), ratio_theta4,
-                 all_identical ? "true" : "false",
+                 all_identical ? "true" : "false", parallel_speedup,
+                 parallel_identical ? "true" : "false",
+                 hw >= 2 ? (parallel_speedup >= 1.2 ? "met" : "FAILED")
+                         : "hardware_skipped",
                  all_identical && ratio_theta4 >= 10.0 ? "met" : "FAILED");
     std::fclose(f);
     std::printf("wrote BENCH_simchar.json\n");
   }
-  return all_identical ? 0 : 1;
+  return all_identical && parallel_identical ? 0 : 1;
 }

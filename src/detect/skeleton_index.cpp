@@ -1,25 +1,19 @@
 #include "detect/skeleton_index.hpp"
 
 #include <algorithm>
+#include <array>
 #include <type_traits>
+
+#include "kernels/kernels.hpp"
 
 namespace sham::detect {
 
 namespace {
 
 constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
 /// Offset basis for the secondary (bucket-splitting) hash stream — any
 /// value distinct from kFnvOffset gives an independent hash family.
 constexpr std::uint64_t kFnv2Offset = 0x84222325cbf29ce4ULL;
-
-constexpr std::uint64_t fnv1a_u32(std::uint64_t h, std::uint32_t v) noexcept {
-  for (int shift = 0; shift < 32; shift += 8) {
-    h ^= (v >> shift) & 0xFF;
-    h *= kFnvPrime;
-  }
-  return h;
-}
 
 /// Extra diffusion for the secondary stream: the primary already consumes
 /// the raw canonical values, so the secondary consumes a mixed image of
@@ -43,16 +37,53 @@ const unicode::U32String& label_of(const IdnEntry& entry) { return entry.unicode
 const std::string& label_of(const std::string& label) { return label; }
 const unicode::U32String& label_of(const unicode::U32String& label) { return label; }
 
+/// Materialize the u32 stream the primary hash consumes: [length,
+/// canonical(c)...]. The length prefix is just the first stream value, so
+/// feeding this to fnv1a_span reproduces the historical hash bit-exactly.
+template <typename String>
+void primary_stream(const homoglyph::HomoglyphDb& db, const String& label,
+                    std::vector<std::uint32_t>& out) {
+  out.clear();
+  out.reserve(label.size() + 1);
+  out.push_back(static_cast<std::uint32_t>(label.size()));
+  for (const auto c : label) out.push_back(db.canonical(to_cp(c)));
+}
+
+/// The secondary stream: [length, lo(mix64(canonical)), hi(...), ...].
+template <typename String>
+void secondary_stream(const homoglyph::HomoglyphDb& db, const String& label,
+                      std::vector<std::uint32_t>& out) {
+  out.clear();
+  out.reserve(2 * label.size() + 1);
+  out.push_back(static_cast<std::uint32_t>(label.size()));
+  for (const auto c : label) {
+    const auto mixed = mix64(db.canonical(to_cp(c)));
+    out.push_back(static_cast<std::uint32_t>(mixed));
+    out.push_back(static_cast<std::uint32_t>(mixed >> 32));
+  }
+}
+
 }  // namespace
 
 template <typename String>
 std::uint64_t SkeletonIndex::hash_impl(const String& label) const {
   // Length-prefixed so equal-hash buckets are (length, skeleton) buckets up
-  // to genuine FNV collisions (which verification absorbs).
-  std::uint64_t h = fnv1a_u32(kFnvOffset, static_cast<std::uint32_t>(label.size()));
+  // to genuine FNV collisions (which verification absorbs). The canonical
+  // stream flows through the kernel in stack-buffer chunks — the chain
+  // resumes from the previous flush's value, so chunking is exact (and the
+  // path stays allocation-free and thread-safe for concurrent hash_of).
+  std::array<std::uint32_t, 64> buf;
+  std::size_t fill = 0;
+  std::uint64_t h = kFnvOffset;
+  buf[fill++] = static_cast<std::uint32_t>(label.size());
   for (const auto c : label) {
-    h = fnv1a_u32(h, db_->canonical(to_cp(c)));
+    if (fill == buf.size()) {
+      h = kernels::fnv1a_span(h, buf.data(), fill);
+      fill = 0;
+    }
+    buf[fill++] = db_->canonical(to_cp(c));
   }
+  h = kernels::fnv1a_span(h, buf.data(), fill);
   return h & hash_mask_;
 }
 
@@ -60,12 +91,20 @@ template <typename String>
 std::uint64_t SkeletonIndex::hash2_impl(const String& label) const {
   // Full width (never masked by hash_bits): the secondary hash must keep
   // separating labels precisely when the primary stopped doing so.
-  std::uint64_t h = fnv1a_u32(kFnv2Offset, static_cast<std::uint32_t>(label.size()));
+  std::array<std::uint32_t, 64> buf;
+  std::size_t fill = 0;
+  std::uint64_t h = kFnv2Offset;
+  buf[fill++] = static_cast<std::uint32_t>(label.size());
   for (const auto c : label) {
+    if (fill + 2 > buf.size()) {
+      h = kernels::fnv1a_span(h, buf.data(), fill);
+      fill = 0;
+    }
     const auto mixed = mix64(db_->canonical(to_cp(c)));
-    h = fnv1a_u32(h, static_cast<std::uint32_t>(mixed));
-    h = fnv1a_u32(h, static_cast<std::uint32_t>(mixed >> 32));
+    buf[fill++] = static_cast<std::uint32_t>(mixed);
+    buf[fill++] = static_cast<std::uint32_t>(mixed >> 32);
   }
+  h = kernels::fnv1a_span(h, buf.data(), fill);
   return h;
 }
 
@@ -83,24 +122,59 @@ void SkeletonIndex::refresh_split(Bucket& bucket) {
 
 template <typename Label>
 void SkeletonIndex::build(std::span<const Label> labels) {
-  entry_hashes_.resize(labels.size());
-  if (max_bucket_occupancy_ > 0) entry_h2_.resize(labels.size());
-  buckets_.reserve(labels.size());
+  const std::size_t n = labels.size();
+  entry_hashes_.resize(n);
+  if (max_bucket_occupancy_ > 0) entry_h2_.resize(n);
+  buckets_.reserve(n);
+
+  // Pass 1: hash four labels per kernel call — four independent FNV
+  // chains, which the dispatch table runs in SIMD lanes where available.
+  // Remainder entries (< 4) go through the single-chain path; both produce
+  // the identical historical hash.
+  std::array<std::vector<std::uint32_t>, 4> streams;
+  std::size_t x = 0;
+  for (; x + 4 <= n; x += 4) {
+    const std::uint32_t* ptrs[4];
+    std::size_t lens[4];
+    std::uint64_t seeds[4];
+    std::uint64_t out[4];
+    for (int c = 0; c < 4; ++c) {
+      primary_stream(*db_, label_of(labels[x + c]), streams[c]);
+      ptrs[c] = streams[c].data();
+      lens[c] = streams[c].size();
+      seeds[c] = kFnvOffset;
+    }
+    kernels::fnv1a_batch4(ptrs, lens, seeds, out);
+    for (int c = 0; c < 4; ++c) entry_hashes_[x + c] = out[c] & hash_mask_;
+    if (max_bucket_occupancy_ > 0) {
+      for (int c = 0; c < 4; ++c) {
+        secondary_stream(*db_, label_of(labels[x + c]), streams[c]);
+        ptrs[c] = streams[c].data();
+        lens[c] = streams[c].size();
+        seeds[c] = kFnv2Offset;
+      }
+      kernels::fnv1a_batch4(ptrs, lens, seeds, out);
+      for (int c = 0; c < 4; ++c) entry_h2_[x + c] = out[c];
+    }
+  }
+  for (; x < n; ++x) {
+    entry_hashes_[x] = hash_impl(label_of(labels[x]));
+    if (max_bucket_occupancy_ > 0) entry_h2_[x] = hash2_impl(label_of(labels[x]));
+  }
+
+  // Pass 2: bucket and posting insertion, ascending x (deterministic).
   std::vector<unicode::CodePoint> uniq;
-  for (std::size_t x = 0; x < labels.size(); ++x) {
-    const auto& label = label_of(labels[x]);
-    const auto h = hash_impl(label);
-    entry_hashes_[x] = h;
-    if (max_bucket_occupancy_ > 0) entry_h2_[x] = hash2_impl(label);
-    auto& bucket = buckets_[h];
+  for (std::size_t y = 0; y < n; ++y) {
+    const auto& label = label_of(labels[y]);
+    auto& bucket = buckets_[entry_hashes_[y]];
     if (bucket.entries.empty()) ++non_empty_buckets_;
-    bucket.entries.push_back(x);  // ascending: x is monotonic
+    bucket.entries.push_back(y);  // ascending: y is monotonic
 
     uniq.clear();
     for (const auto c : label) uniq.push_back(to_cp(c));
     std::sort(uniq.begin(), uniq.end());
     uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
-    for (const auto cp : uniq) entries_by_cp_[cp].push_back(x);
+    for (const auto cp : uniq) entries_by_cp_[cp].push_back(y);
   }
   if (max_bucket_occupancy_ > 0) {
     for (auto& [h, bucket] : buckets_) refresh_split(bucket);

@@ -4,16 +4,19 @@
 #include <cmath>
 #include <limits>
 
+#include "kernels/kernels.hpp"
+
 namespace sham::font {
 
+static_assert(static_cast<std::size_t>(GlyphBitmap::kWords) ==
+              kernels::kGlyphWords);
+
 int delta(const GlyphBitmap& a, const GlyphBitmap& b) noexcept {
-  int sum = 0;
-  for (int w = 0; w < GlyphBitmap::kWords; ++w) {
-    sum += std::popcount(a.words()[w] ^ b.words()[w]);
-  }
-  return sum;
+  return kernels::delta_u1024(a.words().data(), b.words().data());
 }
 
+// Stays scalar: the early-exit return value past `limit` is unspecified
+// but must not vary with the kernel dispatch level.
 int delta_bounded(const GlyphBitmap& a, const GlyphBitmap& b, int limit) noexcept {
   int sum = 0;
   for (int w = 0; w < GlyphBitmap::kWords; ++w) {

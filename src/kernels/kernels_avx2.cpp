@@ -1,0 +1,177 @@
+// AVX2 kernel variants. Compiled with -mavx2 -mpopcnt in its own TU; the
+// dispatcher only hands out this table when cpuid reports AVX2, so no
+// function here runs on a host without it.
+//
+//   delta_batch  4 glyphs per pass: one 256-bit load per word row XORed
+//                against the broadcast query word, bytewise popcount via
+//                the classic nibble-LUT pshufb, horizontal-summed with
+//                psadbw into 4 u64 lanes. Byte accumulators are safe: 16
+//                words x <= 8 set bits per byte = 128 < 256.
+//   block_hash   4 independent splitmix64 chains in the 4 u64 lanes; the
+//                64x64 multiply is emulated with _mm256_mul_epu32
+//                (lo*lo + ((lo*hi + hi*lo) << 32), exact mod 2^64).
+//   fnv1a4       4 independent FNV-1a chains in the 4 u64 lanes with the
+//                same multiply emulation; chains longer than the shortest
+//                input finish on the scalar reference.
+//   fnv1a        single chain — inherently serial (see kernels.hpp), so
+//                this table reuses the scalar reference.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/kernel_table.hpp"
+
+namespace sham::kernels::detail {
+
+namespace {
+
+/// Exact 64-bit lane multiply (AVX2 has no _mm256_mullo_epi64).
+inline __m256i mul64(__m256i a, __m256i b) noexcept {
+  const __m256i lo_lo = _mm256_mul_epu32(a, b);
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a_hi, b),
+                                         _mm256_mul_epu32(a, b_hi));
+  return _mm256_add_epi64(lo_lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// Per-byte popcount of a 256-bit register (nibble lookup).
+inline __m256i popcount_bytes(__m256i v) noexcept {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+                                       3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2,
+                                       2, 3, 2, 3, 3, 4);
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(v, mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+void delta_batch_avx2(const std::uint64_t* query, const std::uint64_t* rows,
+                      std::size_t stride, std::size_t begin, std::size_t end,
+                      std::int32_t* out) {
+  __m256i q[kGlyphWords];
+  for (std::size_t w = 0; w < kGlyphWords; ++w) {
+    q[w] = _mm256_set1_epi64x(static_cast<long long>(query[w]));
+  }
+  std::size_t g = begin;
+  for (; g + 4 <= end; g += 4) {
+    __m256i acc = _mm256_setzero_si256();
+    for (std::size_t w = 0; w < kGlyphWords; ++w) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(rows + w * stride + g));
+      acc = _mm256_add_epi8(acc, popcount_bytes(_mm256_xor_si256(v, q[w])));
+    }
+    const __m256i sums = _mm256_sad_epu8(acc, _mm256_setzero_si256());
+    alignas(32) std::uint64_t lane[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane), sums);
+    std::int32_t* o = out + (g - begin);
+    o[0] = static_cast<std::int32_t>(lane[0]);
+    o[1] = static_cast<std::int32_t>(lane[1]);
+    o[2] = static_cast<std::int32_t>(lane[2]);
+    o[3] = static_cast<std::int32_t>(lane[3]);
+  }
+  // Tail columns (< 4): hardware-popcnt scalar, same values.
+  for (; g < end; ++g) {
+    int sum = 0;
+    for (std::size_t w = 0; w < kGlyphWords; ++w) {
+      sum += static_cast<int>(
+          _mm_popcnt_u64(rows[w * stride + g] ^ query[w]));
+    }
+    out[g - begin] = sum;
+  }
+}
+
+int delta_one_avx2(const std::uint64_t* a, const std::uint64_t* b) {
+  __m256i acc = _mm256_setzero_si256();
+  for (std::size_t w = 0; w < kGlyphWords; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    acc = _mm256_add_epi8(acc, popcount_bytes(_mm256_xor_si256(va, vb)));
+  }
+  const __m256i sums = _mm256_sad_epu8(acc, _mm256_setzero_si256());
+  alignas(32) std::uint64_t lane[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane), sums);
+  return static_cast<int>(lane[0] + lane[1] + lane[2] + lane[3]);
+}
+
+/// Vector splitmix64, bit-exact per 64-bit lane.
+inline __m256i splitmix64_vec(__m256i x) noexcept {
+  x = _mm256_add_epi64(x, _mm256_set1_epi64x(0x9e3779b97f4a7c15LL));
+  x = mul64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)),
+            _mm256_set1_epi64x(static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+  x = mul64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)),
+            _mm256_set1_epi64x(static_cast<long long>(0x94d049bb133111ebULL)));
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+void block_hash_avx2(const std::uint64_t* rows, std::size_t stride,
+                     std::size_t count, unsigned first_word,
+                     unsigned last_word, std::uint64_t* out) {
+  const __m256i seed =
+      _mm256_set1_epi64x(static_cast<long long>(kBlockHashSeed));
+  std::size_t g = 0;
+  for (; g + 4 <= count; g += 4) {
+    __m256i h = seed;
+    for (unsigned w = first_word; w < last_word; ++w) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(rows + w * stride + g));
+      h = splitmix64_vec(_mm256_xor_si256(h, v));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + g), h);
+  }
+  for (; g < count; ++g) {
+    std::uint64_t h = kBlockHashSeed;
+    for (unsigned w = first_word; w < last_word; ++w) {
+      h = splitmix64(h ^ rows[w * stride + g]);
+    }
+    out[g] = h;
+  }
+}
+
+void fnv1a4_avx2(const std::uint32_t* const values[4],
+                 const std::size_t lengths[4], const std::uint64_t seeds[4],
+                 std::uint64_t out[4]) {
+  const std::size_t common =
+      std::min(std::min(lengths[0], lengths[1]), std::min(lengths[2], lengths[3]));
+  __m256i h = _mm256_set_epi64x(
+      static_cast<long long>(seeds[3]), static_cast<long long>(seeds[2]),
+      static_cast<long long>(seeds[1]), static_cast<long long>(seeds[0]));
+  const __m256i prime = _mm256_set1_epi64x(static_cast<long long>(kFnvPrime));
+  const __m256i byte_mask = _mm256_set1_epi64x(0xFF);
+  for (std::size_t i = 0; i < common; ++i) {
+    const __m256i v = _mm256_set_epi64x(values[3][i], values[2][i],
+                                        values[1][i], values[0][i]);
+    for (int shift = 0; shift < 32; shift += 8) {
+      const __m256i b =
+          _mm256_and_si256(_mm256_srli_epi64(v, shift), byte_mask);
+      h = mul64(_mm256_xor_si256(h, b), prime);
+    }
+  }
+  alignas(32) std::uint64_t lane[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane), h);
+  for (int c = 0; c < 4; ++c) {
+    out[c] = fnv1a_scalar(lane[c], values[c] + common, lengths[c] - common);
+  }
+}
+
+constexpr KernelTable kAvx2Table{
+    Level::kAvx2,    delta_batch_avx2, delta_one_avx2,
+    block_hash_avx2, fnv1a_scalar,     fnv1a4_avx2,
+};
+
+}  // namespace
+
+const KernelTable* avx2_table() noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") ? &kAvx2Table : nullptr;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace sham::kernels::detail

@@ -3,19 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "font/metrics.hpp"
+#include "kernels/kernels.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sham::simchar {
 
 namespace {
-
-constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
 
 constexpr std::uint64_t pack_pair(std::uint32_t i, std::uint32_t j) noexcept {
   return (static_cast<std::uint64_t>(i) << 32) | j;
@@ -84,11 +77,9 @@ PairMiner::PairMiner(std::span<const MinerGlyph> glyphs, int threshold,
       threshold_ + 1 > font::GlyphBitmap::kWords) {
     strategy_ = PairStrategy::kPopcountBand;
   }
-  switch (strategy_) {
-    case PairStrategy::kPopcountBand: build_popcount_order(); break;
-    case PairStrategy::kBlockIndex: build_block_tables(); break;
-    default: break;
-  }
+  if (strategy_ == PairStrategy::kPopcountBand) build_popcount_order();
+  build_panel();
+  if (strategy_ == PairStrategy::kBlockIndex) build_block_tables();
 }
 
 void PairMiner::build_popcount_order() {
@@ -101,12 +92,29 @@ void PairMiner::build_popcount_order() {
   });
 }
 
+void PairMiner::build_panel() {
+  const std::size_t n = glyphs_.size();
+  panel_.reset(n);
+  if (strategy_ == PairStrategy::kPopcountBand) {
+    sorted_popcounts_.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      panel_.set_glyph(k, glyphs_[order_[k]].glyph.words().data());
+      sorted_popcounts_[k] = glyphs_[order_[k]].popcount;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      panel_.set_glyph(i, glyphs_[i].glyph.words().data());
+    }
+  }
+}
+
 std::uint64_t PairMiner::block_key(std::size_t glyph, std::size_t block) const {
-  const auto& words = glyphs_[glyph].glyph.words();
   const auto [first, last] = block_spans_[block];
-  std::uint64_t h = 0x9ae16a3b2f90404fULL;
-  for (int w = first; w < last; ++w) h = splitmix64(h ^ words[w]);
-  return h;
+  // Scalar reference on the probe side — pinned bit-identical to the
+  // batched table build at every dispatch level by the differential suite.
+  return kernels::block_hash_u1024(glyphs_[glyph].glyph.words().data(),
+                                   static_cast<unsigned>(first),
+                                   static_cast<unsigned>(last));
 }
 
 void PairMiner::build_block_tables() {
@@ -120,17 +128,23 @@ void PairMiner::build_block_tables() {
   }
   tables_.resize(blocks);
   // One task per table: each table is filled by exactly one chunk, in
-  // ascending glyph order, so bucket contents are deterministic.
-  pool_->parallel_for(0, static_cast<std::size_t>(blocks),
-                      [&](std::size_t begin, std::size_t end) {
-                        for (std::size_t b = begin; b < end; ++b) {
-                          auto& table = tables_[b];
-                          table.buckets.reserve(glyphs_.size());
-                          for (std::uint32_t i = 0; i < glyphs_.size(); ++i) {
-                            table.buckets[block_key(i, b)].push_back(i);
-                          }
-                        }
-                      });
+  // ascending glyph order, so bucket contents are deterministic. Keys come
+  // from the batched kernel (panel_ is in natural glyph order here).
+  pool_->parallel_for(
+      0, static_cast<std::size_t>(blocks),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<std::uint64_t> keys(glyphs_.size());
+        for (std::size_t b = begin; b < end; ++b) {
+          const auto [first, last] = block_spans_[b];
+          kernels::block_hash_batch(panel_, static_cast<unsigned>(first),
+                                    static_cast<unsigned>(last), keys.data());
+          auto& table = tables_[b];
+          table.buckets.reserve(glyphs_.size());
+          for (std::uint32_t i = 0; i < glyphs_.size(); ++i) {
+            table.buckets[keys[i]].push_back(i);
+          }
+        }
+      });
 }
 
 void PairMiner::fill_block_stats(MinerStats* stats) const {
@@ -180,7 +194,8 @@ std::vector<HomoglyphPair> PairMiner::verify_candidates(
             continue;
           }
           ++slot.evaluated;
-          const int d = font::delta_bounded(gi.glyph, gj.glyph, threshold_);
+          const int d = kernels::delta_u1024(gi.glyph.words().data(),
+                                             gj.glyph.words().data());
           if (d <= threshold_) {
             auto [a, b] = std::minmax(gi.cp, gj.cp);
             slot.found.push_back({a, b, d});
@@ -228,13 +243,18 @@ std::vector<HomoglyphPair> PairMiner::mine_all(MinerStats* stats) const {
         pool_->parallel_for_chunks(
             0, n, chunks, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
               auto& slot = slots[chunk];
+              std::vector<std::int32_t> deltas(n);
               for (std::size_t i = begin; i < end; ++i) {
+                const auto& gi = glyphs_[i];
+                if (i + 1 >= n) continue;
+                // One batched ∆ row: glyph i against every later column.
+                kernels::delta_batch_u1024(gi.glyph.words().data(), panel_,
+                                           i + 1, n, deltas.data());
+                slot.delta_evaluations += n - i - 1;
                 for (std::size_t j = i + 1; j < n; ++j) {
-                  ++slot.delta_evaluations;
-                  const int d = font::delta_bounded(glyphs_[i].glyph,
-                                                    glyphs_[j].glyph, threshold_);
+                  const int d = deltas[j - i - 1];
                   if (d <= threshold_) {
-                    auto [a, b] = std::minmax(glyphs_[i].cp, glyphs_[j].cp);
+                    auto [a, b] = std::minmax(gi.cp, glyphs_[j].cp);
                     slot.found.push_back({a, b, d});
                   }
                 }
@@ -249,15 +269,25 @@ std::vector<HomoglyphPair> PairMiner::mine_all(MinerStats* stats) const {
         pool_->parallel_for_chunks(
             0, n, chunks, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
               auto& slot = slots[chunk];
+              std::vector<std::int32_t> deltas(n);
               for (std::size_t p = begin; p < end; ++p) {
                 const auto& gi = glyphs_[order_[p]];
-                for (std::size_t q = p + 1; q < n; ++q) {
-                  const auto& gj = glyphs_[order_[q]];
-                  if (gj.popcount - gi.popcount > threshold_) break;
-                  ++slot.delta_evaluations;
-                  const int d = font::delta_bounded(gi.glyph, gj.glyph, threshold_);
+                // The ink window ends at the first later position whose
+                // popcount exceeds pc + θ; panel columns follow order_, so
+                // the window is one contiguous batched row.
+                const std::size_t run_end = static_cast<std::size_t>(
+                    std::upper_bound(sorted_popcounts_.begin() + p + 1,
+                                     sorted_popcounts_.end(),
+                                     gi.popcount + threshold_) -
+                    sorted_popcounts_.begin());
+                if (run_end <= p + 1) continue;
+                kernels::delta_batch_u1024(gi.glyph.words().data(), panel_,
+                                           p + 1, run_end, deltas.data());
+                slot.delta_evaluations += run_end - p - 1;
+                for (std::size_t q = p + 1; q < run_end; ++q) {
+                  const int d = deltas[q - p - 1];
                   if (d <= threshold_) {
-                    auto [a, b] = std::minmax(gi.cp, gj.cp);
+                    auto [a, b] = std::minmax(gi.cp, glyphs_[order_[q]].cp);
                     slot.found.push_back({a, b, d});
                   }
                 }
@@ -338,14 +368,19 @@ std::vector<HomoglyphPair> PairMiner::mine_involving(
             0, probe_indices.size(), chunks,
             [&](std::size_t chunk, std::size_t begin, std::size_t end) {
               auto& slot = slots[chunk];
+              std::vector<std::int32_t> deltas(n);
               for (std::size_t k = begin; k < end; ++k) {
                 const auto pi = probe_indices[k];
                 const auto& gp = glyphs_[pi];
+                // Batch the whole row; skipped columns are computed but
+                // neither emitted nor counted (the counters stay the
+                // logical evaluation count the stats tests pin down).
+                kernels::delta_batch_u1024(gp.glyph.words().data(), panel_, 0,
+                                           n, deltas.data());
                 for (std::uint32_t j = 0; j < n; ++j) {
                   if (skip(pi, j)) continue;
                   ++slot.delta_evaluations;
-                  const int d =
-                      font::delta_bounded(gp.glyph, glyphs_[j].glyph, threshold_);
+                  const int d = deltas[j];
                   if (d <= threshold_) {
                     auto [a, b] = std::minmax(gp.cp, glyphs_[j].cp);
                     slot.found.push_back({a, b, d});
@@ -363,23 +398,30 @@ std::vector<HomoglyphPair> PairMiner::mine_involving(
             0, probe_indices.size(), chunks,
             [&](std::size_t chunk, std::size_t begin, std::size_t end) {
               auto& slot = slots[chunk];
+              std::vector<std::int32_t> deltas(n);
               for (std::size_t k = begin; k < end; ++k) {
                 const auto pi = probe_indices[k];
                 const auto& gp = glyphs_[pi];
-                // The ink-count window is a contiguous run of the sorted
-                // order: [pc − θ, pc + θ].
-                const auto lo = std::lower_bound(
-                    order_.begin(), order_.end(), gp.popcount - threshold_,
-                    [&](std::uint32_t idx, int value) {
-                      return glyphs_[idx].popcount < value;
-                    });
-                for (auto it = lo; it != order_.end(); ++it) {
-                  const auto j = *it;
-                  if (glyphs_[j].popcount - gp.popcount > threshold_) break;
+                // The ink-count window [pc − θ, pc + θ] is a contiguous
+                // run of the sorted panel: one batched row per probe.
+                const std::size_t lo = static_cast<std::size_t>(
+                    std::lower_bound(sorted_popcounts_.begin(),
+                                     sorted_popcounts_.end(),
+                                     gp.popcount - threshold_) -
+                    sorted_popcounts_.begin());
+                const std::size_t run_end = static_cast<std::size_t>(
+                    std::upper_bound(sorted_popcounts_.begin() + lo,
+                                     sorted_popcounts_.end(),
+                                     gp.popcount + threshold_) -
+                    sorted_popcounts_.begin());
+                if (lo >= run_end) continue;
+                kernels::delta_batch_u1024(gp.glyph.words().data(), panel_, lo,
+                                           run_end, deltas.data());
+                for (std::size_t q = lo; q < run_end; ++q) {
+                  const auto j = order_[q];
                   if (skip(pi, j)) continue;
                   ++slot.delta_evaluations;
-                  const int d =
-                      font::delta_bounded(gp.glyph, glyphs_[j].glyph, threshold_);
+                  const int d = deltas[q - lo];
                   if (d <= threshold_) {
                     auto [a, b] = std::minmax(gp.cp, glyphs_[j].cp);
                     slot.found.push_back({a, b, d});

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "font/glyph.hpp"
+#include "kernels/glyph_panel.hpp"
 #include "unicode/codepoint.hpp"
 
 namespace sham::util {
@@ -141,6 +142,7 @@ class PairMiner {
   };
 
   void build_popcount_order();
+  void build_panel();
   void build_block_tables();
   [[nodiscard]] std::uint64_t block_key(std::size_t glyph, std::size_t block) const;
   [[nodiscard]] std::vector<HomoglyphPair> verify_candidates(
@@ -154,6 +156,13 @@ class PairMiner {
 
   /// kPopcountBand: glyph indices sorted by (popcount, cp).
   std::vector<std::uint32_t> order_;
+  /// SoA copy of the glyph bitmaps for the batched kernels. Column k holds
+  /// glyph k — except under kPopcountBand, where columns follow order_ so
+  /// the ink window is a contiguous panel range.
+  kernels::GlyphPanel panel_;
+  /// kPopcountBand: popcounts in panel/order_ position (ascending), for
+  /// binary-searching the window ends.
+  std::vector<int> sorted_popcounts_;
   /// kBlockIndex: word span [first, last) per block, one table per block.
   std::vector<std::pair<int, int>> block_spans_;
   std::vector<BlockTable> tables_;

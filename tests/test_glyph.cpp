@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdlib>
+#include <utility>
 
 #include "font/glyph.hpp"
 #include "font/metrics.hpp"
@@ -199,6 +202,86 @@ TEST(Metrics, SsimDecreasesWithDistance) {
     far.flip(static_cast<int>(rng.below(32)), static_cast<int>(rng.below(32)));
   }
   EXPECT_GT(ssim(a, near), ssim(a, far));
+}
+
+// --- Edge cases the kernel layer must honor ------------------------------
+//
+// delta() now routes through the dispatched kernel; these regressions pin
+// the glyph-level contract at whatever level is active: every bit position
+// (including the tail words past bit 512), flip/set round trips, and the
+// metric identities on paper-font-shaped bitmaps.
+
+TEST(GlyphBitmap, FlipRoundTripsEveryBitPosition) {
+  GlyphBitmap g;
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      ASSERT_FALSE(g.get(x, y));
+      g.flip(x, y);
+      ASSERT_TRUE(g.get(x, y));
+      ASSERT_EQ(g.popcount(), 1);
+      ASSERT_EQ(delta(g, GlyphBitmap{}), 1) << "x=" << x << " y=" << y;
+      g.flip(x, y);
+      ASSERT_FALSE(g.get(x, y));
+      ASSERT_EQ(g.popcount(), 0);
+    }
+  }
+}
+
+TEST(GlyphBitmap, SetWritesTheExpectedWord) {
+  // Bit (x, y) lives in word (y * 32 + x) / 64 — including the tail words
+  // past bit 512 that a partial-span kernel must not drop.
+  for (const auto& [x, y] : {std::pair{0, 0}, {31, 0}, {0, 1}, {31, 15},
+                             {0, 16}, {31, 31}, {0, 31}}) {
+    GlyphBitmap g;
+    g.set(x, y);
+    const int bit = y * 32 + x;
+    for (int w = 0; w < GlyphBitmap::kWords; ++w) {
+      EXPECT_EQ(g.words()[w] != 0, w == bit / 64) << "x=" << x << " y=" << y;
+    }
+    EXPECT_EQ(g.words()[bit / 64], 1ULL << (bit % 64));
+  }
+}
+
+TEST(Metrics, DeltaExtremesAllZeroAllOne) {
+  GlyphBitmap zero;
+  GlyphBitmap full;
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) full.set(x, y);
+  }
+  EXPECT_EQ(delta(zero, zero), 0);
+  EXPECT_EQ(delta(full, full), 0);
+  EXPECT_EQ(delta(zero, full), 32 * 32);
+  EXPECT_EQ(delta(full, zero), 32 * 32);
+  EXPECT_EQ(delta_bounded(zero, full, 4) > 4, true);
+}
+
+TEST(Metrics, DeltaSymmetryAndTriangleOnRandomizedGlyphs) {
+  util::Rng rng{44};
+  for (int i = 0; i < 50; ++i) {
+    const auto a = random_glyph(rng);
+    const auto b = random_glyph(rng);
+    const auto c = random_glyph(rng);
+    ASSERT_EQ(delta(a, b), delta(b, a));
+    ASSERT_LE(delta(a, c), delta(a, b) + delta(b, c));
+    // ∆ ≥ |popcount difference| — the band prune's soundness condition.
+    ASSERT_GE(delta(a, b), std::abs(a.popcount() - b.popcount()));
+    ASSERT_EQ(delta(a, a), 0);
+  }
+}
+
+TEST(Metrics, DeltaAgreesWithNaivePopcountAtActiveKernelLevel) {
+  util::Rng rng{45};
+  for (int i = 0; i < 50; ++i) {
+    const auto a = random_glyph(rng, 0.1 + 0.2 * (i % 4));
+    const auto b = random_glyph(rng, 0.1 + 0.2 * ((i + 1) % 4));
+    int naive = 0;
+    for (int w = 0; w < GlyphBitmap::kWords; ++w) {
+      naive += std::popcount(a.words()[w] ^ b.words()[w]);
+    }
+    ASSERT_EQ(delta(a, b), naive);
+    const int bounded = delta_bounded(a, b, naive);
+    ASSERT_EQ(bounded, naive);  // exact when the bound is not exceeded
+  }
 }
 
 }  // namespace

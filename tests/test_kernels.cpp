@@ -1,0 +1,471 @@
+// Differential correctness harness for the SIMD kernel layer.
+//
+// Every kernel is checked bit-exact against a test-local naive reference
+// (written here, independent of src/kernels) at EVERY dispatch level the
+// host can run — scalar always, AVX2/NEON when supported — over
+// randomized, adversarial (all-zero, all-one, single-bit, tail-partial
+// panel sizes), and real paper-font bitmaps. The end-to-end sections then
+// pin the consumers: SimChar pair sets, skeleton-index hashes/buckets,
+// and Engine detect() output must be byte-identical across levels.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "detect/engine.hpp"
+#include "detect/skeleton_index.hpp"
+#include "font/glyph.hpp"
+#include "font/paper_font.hpp"
+#include "kernels/kernels.hpp"
+#include "simchar/simchar.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sham::kernels {
+namespace {
+
+using Words = std::array<std::uint64_t, kGlyphWords>;
+
+// --- Test-local references (independent of src/kernels internals) -------
+
+int naive_delta(const Words& a, const Words& b) {
+  int sum = 0;
+  for (std::size_t w = 0; w < kGlyphWords; ++w) {
+    sum += std::popcount(a[w] ^ b[w]);
+  }
+  return sum;
+}
+
+std::uint64_t naive_splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t naive_block_hash(const Words& words, unsigned first, unsigned last) {
+  std::uint64_t h = kBlockHashSeed;
+  for (unsigned w = first; w < last; ++w) h = naive_splitmix64(h ^ words[w]);
+  return h;
+}
+
+std::uint64_t naive_fnv1a(std::uint64_t seed, const std::vector<std::uint32_t>& v) {
+  std::uint64_t h = seed;
+  for (const auto x : v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      h = (h ^ ((x >> shift) & 0xFF)) * 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+// --- Inputs --------------------------------------------------------------
+
+/// Adversarial + randomized glyph word sets. Includes all-zero, all-one,
+/// every-other-bit, and single-bit bitmaps at word and bitmap boundaries.
+std::vector<Words> glyph_corpus(std::uint64_t seed, std::size_t random_count) {
+  std::vector<Words> corpus;
+  corpus.push_back(Words{});                                   // all zero
+  Words ones;
+  ones.fill(~0ULL);
+  corpus.push_back(ones);                                      // all one
+  Words alt;
+  alt.fill(0xAAAAAAAAAAAAAAAAULL);
+  corpus.push_back(alt);
+  for (const std::size_t bit : {0u, 1u, 63u, 64u, 65u, 512u, 1022u, 1023u}) {
+    Words g{};
+    g[bit / 64] = 1ULL << (bit % 64);
+    corpus.push_back(g);                                       // single bit
+  }
+  util::Rng rng{seed};
+  for (std::size_t i = 0; i < random_count; ++i) {
+    Words g;
+    for (auto& w : g) w = rng.next();
+    corpus.push_back(g);
+  }
+  return corpus;
+}
+
+GlyphPanel panel_of(const std::vector<Words>& glyphs) {
+  GlyphPanel panel(glyphs.size());
+  for (std::size_t i = 0; i < glyphs.size(); ++i) {
+    panel.set_glyph(i, glyphs[i].data());
+  }
+  return panel;
+}
+
+/// Bitmaps of the paper-scale synthetic font — the kernels' real diet.
+const std::vector<Words>& paper_font_words() {
+  static const auto* words = [] {
+    auto* out = new std::vector<Words>;
+    font::PaperFontConfig config;
+    config.scale = 0.05;
+    const auto paper = font::make_paper_font(config);
+    for (const auto cp : paper.font->coverage()) {
+      const auto glyph = paper.font->glyph(cp);
+      if (glyph.has_value()) out->push_back(glyph->words());
+    }
+    return out;
+  }();
+  return *words;
+}
+
+// --- Dispatch plumbing ---------------------------------------------------
+
+TEST(KernelDispatch, LevelNamesRoundTrip) {
+  for (const Level level : {Level::kScalar, Level::kAvx2, Level::kNeon}) {
+    const auto parsed = parse_level(level_name(level));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(parse_level("sse9").has_value());
+  EXPECT_FALSE(parse_level("").has_value());
+  EXPECT_FALSE(parse_level("SCALAR").has_value());
+}
+
+TEST(KernelDispatch, SupportedLevelsStartWithScalarAndAreRunnable) {
+  const auto levels = supported_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), Level::kScalar);
+  for (const Level level : levels) {
+    EXPECT_TRUE(force_level(level)) << level_name(level);
+  }
+  reset_level();
+}
+
+TEST(KernelDispatch, ForceRejectsUnsupportedAndKeepsActive) {
+  const auto levels = supported_levels();
+  ASSERT_TRUE(force_level(Level::kScalar));
+  for (const Level level : {Level::kAvx2, Level::kNeon}) {
+    if (std::find(levels.begin(), levels.end(), level) != levels.end()) continue;
+    EXPECT_FALSE(force_level(level)) << level_name(level);
+    EXPECT_EQ(active_level(), Level::kScalar);  // untouched on failure
+  }
+  reset_level();
+}
+
+TEST(KernelDispatch, ScopedLevelRestoresOnExit) {
+  const auto before = active_level();
+  {
+    ScopedKernelLevel pin{Level::kScalar};
+    ASSERT_TRUE(pin.forced());
+    EXPECT_EQ(active_level(), Level::kScalar);
+  }
+  EXPECT_EQ(active_level(), before);
+}
+
+// --- GlyphPanel ----------------------------------------------------------
+
+TEST(GlyphPanel, LayoutRoundTripAndZeroPadding) {
+  const auto glyphs = glyph_corpus(7, 5);
+  const auto panel = panel_of(glyphs);
+  ASSERT_EQ(panel.size(), glyphs.size());
+  ASSERT_GE(panel.stride(), panel.size());
+  EXPECT_EQ(panel.stride() % kPanelPad, 0u);
+  for (std::size_t w = 0; w < kGlyphWords; ++w) {
+    const auto* row = panel.word_row(w);
+    for (std::size_t g = 0; g < glyphs.size(); ++g) {
+      EXPECT_EQ(row[g], glyphs[g][w]) << "w=" << w << " g=" << g;
+    }
+    // Padding columns must stay zero: vector tails may read them.
+    for (std::size_t g = glyphs.size(); g < panel.stride(); ++g) {
+      EXPECT_EQ(row[g], 0u);
+    }
+  }
+}
+
+TEST(GlyphPanel, CopyAndMovePreserveWords) {
+  const auto glyphs = glyph_corpus(9, 3);
+  const auto panel = panel_of(glyphs);
+  GlyphPanel copy{panel};
+  ASSERT_EQ(copy.size(), panel.size());
+  EXPECT_EQ(copy.word_row(5)[2], panel.word_row(5)[2]);
+
+  GlyphPanel moved{std::move(copy)};
+  EXPECT_EQ(moved.size(), panel.size());
+  EXPECT_EQ(moved.word_row(5)[2], panel.word_row(5)[2]);
+  EXPECT_EQ(copy.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+// --- Differential: ∆ kernels --------------------------------------------
+
+class KernelLevels : public ::testing::TestWithParam<Level> {
+ protected:
+  void SetUp() override {
+    pin_ = std::make_unique<ScopedKernelLevel>(GetParam());
+    ASSERT_TRUE(pin_->forced());
+  }
+  void TearDown() override { pin_.reset(); }
+
+ private:
+  std::unique_ptr<ScopedKernelLevel> pin_;
+};
+
+TEST_P(KernelLevels, DeltaBatchMatchesNaiveOnCorpusPanels) {
+  const auto glyphs = glyph_corpus(11, 40);
+  const auto panel = panel_of(glyphs);
+  std::vector<std::int32_t> out(glyphs.size());
+  for (const auto& query : glyphs) {
+    // Full range plus tail-partial subranges around the vector width.
+    const std::size_t n = glyphs.size();
+    const std::array<std::pair<std::size_t, std::size_t>, 7> ranges{{
+        {0, n}, {0, 1}, {0, 3}, {1, 5}, {3, 3}, {n - 9, n}, {n - 1, n},
+    }};
+    for (const auto& [begin, end] : ranges) {
+      std::fill(out.begin(), out.end(), -1);
+      delta_batch_u1024(query.data(), panel, begin, end, out.data());
+      for (std::size_t k = 0; k < end - begin; ++k) {
+        ASSERT_EQ(out[k], naive_delta(query, glyphs[begin + k]))
+            << level_name(GetParam()) << " range [" << begin << "," << end
+            << ") k=" << k;
+      }
+    }
+  }
+}
+
+TEST_P(KernelLevels, DeltaBatchMatchesNaiveOnEverySmallPanelSize) {
+  // n = 1..9 exercises every vector-width tail case on both 4-lane (AVX2)
+  // and 2-lane (NEON) batches.
+  const auto corpus = glyph_corpus(13, 16);
+  for (std::size_t n = 1; n <= 9; ++n) {
+    const std::vector<Words> glyphs(corpus.begin(), corpus.begin() + n);
+    const auto panel = panel_of(glyphs);
+    std::vector<std::int32_t> out(n);
+    delta_batch_u1024(corpus[10].data(), panel, 0, n, out.data());
+    for (std::size_t k = 0; k < n; ++k) {
+      ASSERT_EQ(out[k], naive_delta(corpus[10], glyphs[k])) << "n=" << n;
+    }
+  }
+}
+
+TEST_P(KernelLevels, DeltaOneMatchesNaiveOnCorpusAndPaperFont) {
+  const auto corpus = glyph_corpus(17, 25);
+  for (const auto& a : corpus) {
+    for (const auto& b : corpus) {
+      ASSERT_EQ(delta_u1024(a.data(), b.data()), naive_delta(a, b));
+    }
+  }
+  const auto& paper = paper_font_words();
+  ASSERT_GT(paper.size(), 10u);
+  for (std::size_t i = 0; i + 1 < std::min<std::size_t>(paper.size(), 64); ++i) {
+    ASSERT_EQ(delta_u1024(paper[i].data(), paper[i + 1].data()),
+              naive_delta(paper[i], paper[i + 1]));
+  }
+}
+
+TEST_P(KernelLevels, DeltaBatchMatchesNaiveOnPaperFontPanel) {
+  const auto& paper = paper_font_words();
+  const auto panel = panel_of(paper);
+  std::vector<std::int32_t> out(paper.size());
+  for (std::size_t q = 0; q < std::min<std::size_t>(paper.size(), 24); ++q) {
+    delta_batch_u1024(paper[q].data(), panel, 0, paper.size(), out.data());
+    for (std::size_t k = 0; k < paper.size(); ++k) {
+      ASSERT_EQ(out[k], naive_delta(paper[q], paper[k])) << "q=" << q;
+    }
+  }
+}
+
+// --- Differential: block-hash kernels -----------------------------------
+
+TEST_P(KernelLevels, BlockHashBatchMatchesNaiveAndScalarProbe) {
+  const auto glyphs = glyph_corpus(19, 30);
+  const auto panel = panel_of(glyphs);
+  std::vector<std::uint64_t> keys(glyphs.size());
+  // Every partition the miner can produce (θ + 1 blocks, θ = 0..15), plus
+  // degenerate spans.
+  std::vector<std::pair<unsigned, unsigned>> spans{{0, 0}, {5, 5}, {0, 16}};
+  for (int blocks = 1; blocks <= 16; ++blocks) {
+    for (int b = 0; b < blocks; ++b) {
+      spans.emplace_back(b * 16 / blocks, (b + 1) * 16 / blocks);
+    }
+  }
+  for (const auto& [first, last] : spans) {
+    block_hash_batch(panel, first, last, keys.data());
+    for (std::size_t g = 0; g < glyphs.size(); ++g) {
+      const auto expected = naive_block_hash(glyphs[g], first, last);
+      ASSERT_EQ(keys[g], expected)
+          << "span [" << first << "," << last << ") g=" << g;
+      // Table-build (batch) and probe (scalar reference) must agree, or
+      // the pigeonhole index would silently lose recall at this level.
+      ASSERT_EQ(block_hash_u1024(glyphs[g].data(), first, last), expected);
+    }
+  }
+}
+
+// --- Differential: FNV kernels ------------------------------------------
+
+TEST_P(KernelLevels, Fnv1aSpanMatchesNaiveAndChunksExactly) {
+  util::Rng rng{23};
+  for (const std::size_t len : {0u, 1u, 2u, 5u, 63u, 64u, 65u, 200u}) {
+    std::vector<std::uint32_t> values(len);
+    for (auto& v : values) v = static_cast<std::uint32_t>(rng.next());
+    const auto expected = naive_fnv1a(0xcbf29ce484222325ULL, values);
+    ASSERT_EQ(fnv1a_span(0xcbf29ce484222325ULL, values.data(), len), expected);
+    // The chain property: feeding in two chunks resumes exactly.
+    const std::size_t cut = len / 3;
+    const auto partial = fnv1a_span(0xcbf29ce484222325ULL, values.data(), cut);
+    ASSERT_EQ(fnv1a_span(partial, values.data() + cut, len - cut), expected);
+  }
+}
+
+TEST_P(KernelLevels, Fnv1aBatch4MatchesFourSingleChains) {
+  util::Rng rng{29};
+  // Mixed lengths (including empty) force the common-prefix + scalar-tail
+  // split in the vectorized variant.
+  const std::array<std::array<std::size_t, 4>, 4> length_sets{{
+      {0, 0, 0, 0},
+      {1, 2, 3, 4},
+      {64, 64, 64, 64},
+      {0, 7, 64, 129},
+  }};
+  for (const auto& lengths : length_sets) {
+    std::array<std::vector<std::uint32_t>, 4> streams;
+    const std::uint32_t* ptrs[4];
+    std::size_t lens[4];
+    std::uint64_t seeds[4];
+    for (int c = 0; c < 4; ++c) {
+      streams[c].resize(lengths[c]);
+      for (auto& v : streams[c]) v = static_cast<std::uint32_t>(rng.next());
+      ptrs[c] = streams[c].data();
+      lens[c] = streams[c].size();
+      seeds[c] = rng.next();
+    }
+    std::uint64_t out[4];
+    fnv1a_batch4(ptrs, lens, seeds, out);
+    for (int c = 0; c < 4; ++c) {
+      ASSERT_EQ(out[c], naive_fnv1a(seeds[c], streams[c])) << "chain " << c;
+    }
+  }
+}
+
+// --- End-to-end: consumers byte-identical across levels ------------------
+
+std::vector<Level> reachable_levels() { return supported_levels(); }
+
+TEST(KernelEndToEnd, SimCharPairSetsIdenticalAcrossLevelsAndStrategies) {
+  font::PaperFontConfig config;
+  config.scale = 0.05;
+  const auto paper = font::make_paper_font(config);
+
+  for (const auto strategy :
+       {simchar::PairStrategy::kAllPairs, simchar::PairStrategy::kPopcountBand,
+        simchar::PairStrategy::kBlockIndex}) {
+    std::optional<std::vector<simchar::HomoglyphPair>> baseline;
+    for (const Level level : reachable_levels()) {
+      ScopedKernelLevel pin{level};
+      ASSERT_TRUE(pin.forced());
+      simchar::BuildOptions options;
+      options.pair_strategy = strategy;
+      options.threads = 2;
+      const auto db = simchar::SimCharDb::build(*paper.font, options);
+      if (!baseline.has_value()) {
+        baseline = db.pairs();
+        ASSERT_FALSE(baseline->empty());
+      } else {
+        ASSERT_EQ(db.pairs(), *baseline)
+            << pair_strategy_name(strategy) << " @ " << level_name(level);
+      }
+    }
+  }
+}
+
+TEST(KernelEndToEnd, SkeletonIndexHashesAndBucketsIdenticalAcrossLevels) {
+  const simchar::SimCharDb sim{{
+      {'o', 0x043E, 0}, {'o', 0x0585, 2}, {'e', 0x00E9, 3},
+      {'a', 0x0430, 1}, {'i', 0x0131, 2},
+  }};
+  const homoglyph::HomoglyphDb db{sim, unicode::ConfusablesDb::embedded(), {}};
+  util::Rng rng{31};
+  std::vector<std::string> labels;
+  for (int i = 0; i < 200; ++i) {
+    std::string label;
+    const int n = 1 + static_cast<int>(rng.below(20));
+    for (int j = 0; j < n; ++j) label += static_cast<char>('a' + rng.below(26));
+    labels.push_back(label);
+  }
+
+  std::vector<std::uint64_t> baseline_hashes;
+  std::size_t baseline_buckets = 0;
+  for (const Level level : reachable_levels()) {
+    ScopedKernelLevel pin{level};
+    ASSERT_TRUE(pin.forced());
+    // A small cap exercises the secondary-hash (fnv1a_batch4) path too.
+    const detect::SkeletonIndex index{db, labels, {.max_bucket_occupancy = 2}};
+    std::vector<std::uint64_t> hashes(index.entry_count());
+    for (std::size_t i = 0; i < index.entry_count(); ++i) {
+      hashes[i] = index.entry_hash(i);
+    }
+    if (baseline_hashes.empty()) {
+      baseline_hashes = hashes;
+      baseline_buckets = index.bucket_count();
+    } else {
+      ASSERT_EQ(hashes, baseline_hashes) << level_name(level);
+      ASSERT_EQ(index.bucket_count(), baseline_buckets) << level_name(level);
+    }
+    // Probe side must agree with build side at this level.
+    for (const auto& label : labels) {
+      ASSERT_EQ(index.hash_of(label),
+                baseline_hashes[&label - labels.data()]);
+    }
+  }
+}
+
+TEST(KernelEndToEnd, DetectOutputIdenticalAcrossLevels) {
+  font::PaperFontConfig config;
+  config.scale = 0.05;
+  const auto paper = font::make_paper_font(config);
+  const auto sim = simchar::SimCharDb::build(*paper.font);
+  const homoglyph::HomoglyphDb db{sim, unicode::ConfusablesDb::embedded(), {}};
+
+  util::Rng rng{2019};
+  std::vector<std::string> refs;
+  for (int i = 0; i < 40; ++i) {
+    std::string name;
+    const int n = 3 + static_cast<int>(rng.below(9));
+    for (int j = 0; j < n; ++j) name += static_cast<char>('a' + rng.below(26));
+    refs.push_back(name);
+  }
+  std::vector<detect::IdnEntry> idns;
+  for (int i = 0; i < 400; ++i) {
+    const auto& ref = refs[rng.below(refs.size())];
+    unicode::U32String label;
+    for (const char c : ref) label.push_back(static_cast<unsigned char>(c));
+    const auto pos = rng.below(label.size());
+    const auto subs = db.homoglyphs_of(label[pos]);
+    label[pos] = (!subs.empty() && rng.below(2) == 0)
+                     ? subs[rng.below(subs.size())]
+                     : static_cast<unicode::CodePoint>(0x3042 + rng.below(64));
+    idns.push_back({"", label});
+  }
+
+  std::optional<std::vector<detect::Match>> baseline;
+  for (const Level level : reachable_levels()) {
+    ScopedKernelLevel pin{level};
+    ASSERT_TRUE(pin.forced());
+    const detect::Engine engine{
+        db, {.strategy = detect::Strategy::kIndexed, .threads = 1, .cache = false}};
+    const auto result = engine.detect({.references = refs, .idns = idns});
+    if (!baseline.has_value()) {
+      baseline = result.matches;
+      ASSERT_FALSE(baseline->empty());  // workload must exercise matches
+    } else {
+      ASSERT_EQ(result.matches, *baseline) << level_name(level);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, KernelLevels,
+                         ::testing::ValuesIn(supported_levels()),
+                         [](const ::testing::TestParamInfo<Level>& info) {
+                           return std::string{level_name(info.param)};
+                         });
+
+}  // namespace
+}  // namespace sham::kernels

@@ -8,6 +8,7 @@
 #include "detect/skeleton_index.hpp"
 #include "font/synthetic_font.hpp"
 #include "idna/idna.hpp"
+#include "kernels/kernels.hpp"
 #include "simchar/simchar.hpp"
 #include "util/rng.hpp"
 
@@ -334,6 +335,128 @@ TEST_P(SerializationSweep, SimCharSerializeParseIsIdentityAtEveryTheta) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Thetas, SerializationSweep, ::testing::Values(0, 2, 4, 8));
+
+// --- Kernel-level equivalence -------------------------------------------
+//
+// Randomized differential property: for every dispatch level the host can
+// run, the three kernels agree bit-exact with the scalar reference on
+// randomized panels/streams. Complements the adversarial fixed cases in
+// test_kernels.cpp with seed-parameterized fuzzing.
+
+class KernelEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KernelEquivalence, DeltaBatchAgreesWithScalarOnRandomPanels) {
+  util::Rng rng{GetParam()};
+  // Sizes straddle the 2- and 4-lane widths and their tails.
+  const std::size_t n = 1 + rng.below(70);
+  std::vector<std::array<std::uint64_t, kernels::kGlyphWords>> glyphs(n);
+  kernels::GlyphPanel panel(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& w : glyphs[i]) w = rng.next();
+    panel.set_glyph(i, glyphs[i].data());
+  }
+  std::array<std::uint64_t, kernels::kGlyphWords> query;
+  for (auto& w : query) w = rng.next();
+
+  std::vector<std::int32_t> expected(n);
+  {
+    kernels::ScopedKernelLevel pin{kernels::Level::kScalar};
+    ASSERT_TRUE(pin.forced());
+    kernels::delta_batch_u1024(query.data(), panel, 0, n, expected.data());
+  }
+  for (const auto level : kernels::supported_levels()) {
+    kernels::ScopedKernelLevel pin{level};
+    ASSERT_TRUE(pin.forced());
+    std::vector<std::int32_t> out(n);
+    kernels::delta_batch_u1024(query.data(), panel, 0, n, out.data());
+    EXPECT_EQ(out, expected) << kernels::level_name(level);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(kernels::delta_u1024(query.data(), glyphs[i].data()),
+                expected[i])
+          << kernels::level_name(level) << " i=" << i;
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, BlockHashAgreesWithScalarOnRandomPanels) {
+  util::Rng rng{GetParam() ^ 0xb10cULL};
+  const std::size_t n = 1 + rng.below(50);
+  kernels::GlyphPanel panel(n);
+  std::vector<std::array<std::uint64_t, kernels::kGlyphWords>> glyphs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& w : glyphs[i]) w = rng.next();
+    panel.set_glyph(i, glyphs[i].data());
+  }
+  const unsigned first = static_cast<unsigned>(rng.below(17));
+  const unsigned last =
+      first + static_cast<unsigned>(rng.below(17 - first));
+
+  std::vector<std::uint64_t> expected(n);
+  {
+    kernels::ScopedKernelLevel pin{kernels::Level::kScalar};
+    ASSERT_TRUE(pin.forced());
+    kernels::block_hash_batch(panel, first, last, expected.data());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // The undispatched probe-side reference must agree with the scalar
+    // batch — they key the same pigeonhole tables.
+    ASSERT_EQ(kernels::block_hash_u1024(glyphs[i].data(), first, last),
+              expected[i]);
+  }
+  for (const auto level : kernels::supported_levels()) {
+    kernels::ScopedKernelLevel pin{level};
+    ASSERT_TRUE(pin.forced());
+    std::vector<std::uint64_t> out(n);
+    kernels::block_hash_batch(panel, first, last, out.data());
+    EXPECT_EQ(out, expected)
+        << kernels::level_name(level) << " span [" << first << "," << last << ")";
+  }
+}
+
+TEST_P(KernelEquivalence, FnvKernelsAgreeWithScalarOnRandomStreams) {
+  util::Rng rng{GetParam() ^ 0xf2f2ULL};
+  std::array<std::vector<std::uint32_t>, 4> streams;
+  const std::uint32_t* ptrs[4];
+  std::size_t lens[4];
+  std::uint64_t seeds[4];
+  for (int c = 0; c < 4; ++c) {
+    streams[c].resize(rng.below(130));
+    for (auto& v : streams[c]) v = static_cast<std::uint32_t>(rng.next());
+    ptrs[c] = streams[c].data();
+    lens[c] = streams[c].size();
+    seeds[c] = rng.next();
+  }
+
+  std::uint64_t expected_span[4];
+  std::uint64_t expected_batch[4];
+  {
+    kernels::ScopedKernelLevel pin{kernels::Level::kScalar};
+    ASSERT_TRUE(pin.forced());
+    for (int c = 0; c < 4; ++c) {
+      expected_span[c] = kernels::fnv1a_span(seeds[c], ptrs[c], lens[c]);
+    }
+    kernels::fnv1a_batch4(ptrs, lens, seeds, expected_batch);
+  }
+  // batch4 == 4 independent spans, by definition.
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(expected_batch[c], expected_span[c]);
+
+  for (const auto level : kernels::supported_levels()) {
+    kernels::ScopedKernelLevel pin{level};
+    ASSERT_TRUE(pin.forced());
+    std::uint64_t out[4];
+    kernels::fnv1a_batch4(ptrs, lens, seeds, out);
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_EQ(out[c], expected_span[c])
+          << kernels::level_name(level) << " chain " << c;
+      EXPECT_EQ(kernels::fnv1a_span(seeds[c], ptrs[c], lens[c]),
+                expected_span[c])
+          << kernels::level_name(level) << " chain " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelEquivalence,
+                         ::testing::Values(11, 22, 33, 44, 55));
 
 }  // namespace
 }  // namespace sham

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Sweep the SIMD kernel layer across every dispatch level the host can run:
+# build the tree, then pin each level via SHAM_KERNEL_LEVEL and re-run the
+# differential kernel suite plus the kernel/pair-mining smokes. Proves the
+# scalar reference and the vector variants are byte-identical end to end.
+#
+#   $ tools/check_kernels.sh            # uses ./build (configures if absent)
+#   $ BUILD_DIR=build-asan tools/check_kernels.sh
+set -e
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target test_kernels kernel_sweep simchar_pairs -j >/dev/null
+
+levels=$("$BUILD_DIR"/bench/kernel_sweep --levels)
+echo "kernel levels on this host: $(echo "$levels" | tr '\n' ' ')"
+
+for level in $levels; do
+  echo "=== SHAM_KERNEL_LEVEL=$level ==="
+  SHAM_KERNEL_LEVEL="$level" "$BUILD_DIR"/tests/test_kernels --gtest_brief=1
+  SHAM_KERNEL_LEVEL="$level" "$BUILD_DIR"/bench/kernel_sweep --smoke
+  SHAM_KERNEL_LEVEL="$level" "$BUILD_DIR"/bench/simchar_pairs --smoke >/dev/null
+  echo "    simchar pair-mining smoke: PASS"
+done
+
+echo "all kernel levels identical: PASS"
