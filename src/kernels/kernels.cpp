@@ -117,9 +117,16 @@ std::atomic<const KernelTable*> g_active{nullptr};
 const KernelTable& active() noexcept {
   const auto* table = g_active.load(std::memory_order_acquire);
   if (table == nullptr) {
-    // Benign race: every thread computes the same deterministic pick.
+    // First-touch init must not clobber a concurrent force_level(): only
+    // install the startup pick if the slot is still empty, otherwise adopt
+    // whatever won the exchange.
+    const KernelTable* expected = nullptr;
     table = startup_table();
-    g_active.store(table, std::memory_order_release);
+    if (!g_active.compare_exchange_strong(expected, table,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      table = expected;
+    }
   }
   return *table;
 }

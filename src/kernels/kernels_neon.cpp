@@ -17,7 +17,7 @@ namespace {
 
 /// popcount of one 128-bit register, widened to a single u64.
 inline std::uint64_t popcount_u128(uint8x16_t v) noexcept {
-  return vaddvq_u8(vcntq_u8(v));
+  return vaddlvq_u8(vcntq_u8(v));
 }
 
 void delta_batch_neon(const std::uint64_t* query, const std::uint64_t* rows,
@@ -56,7 +56,9 @@ int delta_one_neon(const std::uint64_t* a, const std::uint64_t* b) {
     const uint64x2_t vb = vld1q_u64(b + w);
     acc = vaddq_u8(acc, vcntq_u8(vreinterpretq_u8_u64(veorq_u64(va, vb))));
   }
-  return static_cast<int>(vaddvq_u8(acc));
+  // Widening reduction: per-byte counts stay <= 64 (8 passes x 8 bits) but
+  // the 1024-bit delta can reach 1024, so a u8 reduction would wrap mod 256.
+  return static_cast<int>(vaddlvq_u8(acc));
 }
 
 constexpr KernelTable kNeonTable{
