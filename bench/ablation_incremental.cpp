@@ -92,7 +92,7 @@ int main() {
               d.removed.size());
 
   bench::shape("incremental result identical to full rebuild",
-               updated.pairs() == full.pairs());
+               std::ranges::equal(updated.pairs(), full.pairs()));
   bench::shape("incremental does a fraction of the comparisons",
                update_stats.pairs_compared * 5 < full_stats.pairs_compared);
   bench::shape("no existing pairs lost", d.removed.empty());

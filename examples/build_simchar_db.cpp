@@ -11,6 +11,7 @@
 // GNU Unifont hex file — the font the paper itself used. --strategy picks
 // the Step II pair-mining strategy (default: auto); every strategy builds
 // the identical database.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -100,6 +101,6 @@ int main(int argc, char** argv) {
   std::string content{std::istreambuf_iterator<char>{in}, {}};
   const auto reloaded = simchar::SimCharDb::parse(content);
   std::printf("reload check: %zu pairs (%s)\n", reloaded.pair_count(),
-              reloaded.pairs() == db.pairs() ? "identical" : "MISMATCH");
-  return reloaded.pairs() == db.pairs() ? 0 : 2;
+              std::ranges::equal(reloaded.pairs(), db.pairs()) ? "identical" : "MISMATCH");
+  return std::ranges::equal(reloaded.pairs(), db.pairs()) ? 0 : 2;
 }

@@ -7,19 +7,25 @@
 //   policy <domain>                         browser display-policy decisions
 //   serve --refs a,b,c                      resident service over stdin domains
 //   replay                                  closed-loop replay + latency report
+//   build-db <path> --refs a,b,c            serialize the DB artifact (mmap-ready)
 //
 // The homoglyph database is built once per invocation from the system font
-// (or the synthetic font without FreeType).
+// (or the synthetic font without FreeType) — or, with --db-file, memory-
+// mapped from a prebuilt artifact (see build-db) with zero parsing.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/browser_policy.hpp"
 #include "core/shamfinder.hpp"
 #include "core/warning.hpp"
+#include "db/artifact.hpp"
 #include "detect/candidates.hpp"
+#include "detect/skeleton_index.hpp"
 #include "font/freetype_font.hpp"
 #include "font/paper_font.hpp"
 #include "idna/idna.hpp"
@@ -34,17 +40,42 @@ namespace {
 
 using namespace sham;
 
-core::ShamFinder make_finder(const core::ShamFinderConfig& config = {}) {
+font::FontSourcePtr open_font() {
   font::FontSourcePtr font = font::FreeTypeFont::open_system_font();
   if (font == nullptr) font = font::make_paper_font({}).font;
+  return font;
+}
+
+core::ShamFinder make_finder(const core::ShamFinderConfig& config = {}) {
+  const auto font = open_font();
   std::fprintf(stderr, "[db] building from %s ...\n", font->name().c_str());
   return core::ShamFinder::build_from_font(*font, config);
+}
+
+std::shared_ptr<const db::DbArtifact> load_artifact(const std::string& path) {
+  auto artifact =
+      std::make_shared<const db::DbArtifact>(db::DbArtifact::load(path));
+  std::fprintf(stderr,
+               "[db] mapped %s: %zu bytes, generation %llu, %zu reference(s), "
+               "skeleton %s\n",
+               path.c_str(), artifact->file_size(),
+               static_cast<unsigned long long>(artifact->generation()),
+               artifact->references().size(),
+               artifact->has_skeleton() ? "yes" : "no");
+  return artifact;
 }
 
 int usage() {
   std::fprintf(stderr,
                "usage: shamfinder_cli <command> ...\n"
+               "  build-db <out-path>            build the databases and serialize\n"
+               "        [--refs a,b,c]           them (plus a reference-side skeleton\n"
+               "        [--no-panel]             index and the glyph panel) into one\n"
+               "                                 mmap-ready artifact file\n"
                "  check <domain> --refs a,b,c    detect homograph vs references\n"
+               "        [--db-file path]         mmap a build-db artifact instead of\n"
+               "                                 building from the font (refs default\n"
+               "                                 to the artifact's reference list)\n"
                "        [--strategy serial|indexed|parallel|skeleton] [--threads N]\n"
                "        [--repeat N]             run the query N times (shows the\n"
                "                                 engine's index/result cache at work)\n"
@@ -55,13 +86,75 @@ int usage() {
                "  inspect <char|U+XXXX>          character dossier\n"
                "  policy <domain>                browser display decisions\n"
                "  serve --refs a,b,c             read one IDN per stdin line, detect\n"
-               "        [--slots N] [--queue N]  each through the resident server,\n"
-               "        [--policy reject|block]  report per-domain verdicts and the\n"
-               "        [--stats-json]           server stats on EOF\n"
+               "        [--db-file path]         each through the resident server,\n"
+               "        [--slots N] [--queue N]  report per-domain verdicts and the\n"
+               "        [--policy reject|block]  server stats on EOF\n"
+               "        [--stats-json]\n"
                "  replay [--clients N] [--requests N] [--slots N] [--seed N]\n"
-               "        [--no-verify]            synthetic closed-loop replay; prints\n"
+               "        [--no-verify] [--db-file path]\n"
+               "                                 synthetic closed-loop replay; prints\n"
                "                                 the latency/coalescing report JSON\n");
   return 2;
+}
+
+/// build-db <out-path> [--refs a,b,c] [--no-panel]: serialize the full
+/// preprocessing output into one mmap-ready artifact. When references are
+/// given, a reference-side skeleton index is built and embedded so a
+/// loading engine's first skeleton query skips the index build.
+int cmd_build_db(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string out_path = args[0];
+  std::vector<std::string> refs;
+  bool include_panel = true;
+  core::ShamFinderConfig config;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--no-panel") {
+      include_panel = false;
+    } else if (args[i] == "--refs" && i + 1 < args.size()) {
+      for (const auto part : util::split(args[++i], ',')) refs.emplace_back(part);
+    } else {
+      std::fprintf(stderr, "build-db: unknown argument %s\n", args[i].c_str());
+      return 2;
+    }
+  }
+  const auto font = open_font();
+  std::fprintf(stderr, "[db] building from %s ...\n", font->name().c_str());
+  const auto finder = core::ShamFinder::build_from_font(*font, config);
+
+  db::WriteRequest request;
+  request.simchar = &finder.simchar();
+  request.homoglyph = &finder.db();
+
+  db::SkeletonFlat skeleton;
+  if (!refs.empty()) {
+    const detect::SkeletonIndex index{
+        finder.db(), std::span<const std::string>{refs},
+        {.max_bucket_occupancy = config.engine.skeleton_bucket_cap}};
+    skeleton = index.to_flat();
+    request.references = refs;
+    request.reference_fingerprint =
+        detect::label_set_fingerprint(std::span<const std::string>{refs});
+    request.skeleton = &skeleton;
+  }
+
+  std::optional<simchar::RepertoirePanel> panel;
+  if (include_panel) {
+    panel = simchar::render_repertoire_panel(*font, config.build);
+    request.panel = &panel->panel;
+    request.glyph_cps = panel->cps;
+    request.glyph_popcounts = panel->popcounts;
+  }
+
+  db::write_db_file(out_path, request);
+  const auto artifact = db::DbArtifact::load(out_path);
+  std::printf("wrote %s: %zu bytes, generation %llu, %zu pair(s), "
+              "%zu reference(s), skeleton %s, glyph panel %s\n",
+              out_path.c_str(), artifact.file_size(),
+              static_cast<unsigned long long>(artifact.generation()),
+              finder.simchar().pairs().size(), artifact.references().size(),
+              artifact.has_skeleton() ? "yes" : "no",
+              artifact.has_glyph_panel() ? "yes" : "no");
+  return 0;
 }
 
 std::optional<unicode::U32String> label_of(const std::string& domain) {
@@ -87,8 +180,11 @@ int cmd_check(const std::vector<std::string>& raw_args) {
   std::vector<std::string> refs;
   core::ShamFinderConfig config;
   std::size_t repeat = 1;
+  std::string db_file;
   for (std::size_t i = 1; i + 1 < args.size(); ++i) {
-    if (args[i] == "--repeat") {
+    if (args[i] == "--db-file") {
+      db_file = args[i + 1];
+    } else if (args[i] == "--repeat") {
       const auto& value = args[i + 1];
       if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos ||
           std::stoul(value) == 0) {
@@ -132,21 +228,39 @@ int cmd_check(const std::vector<std::string>& raw_args) {
       config.engine.threads = std::stoul(value);
     }
   }
-  if (refs.empty()) {
-    std::fprintf(stderr, "check: need --refs name1,name2,...\n");
-    return 2;
-  }
   const auto label = label_of(args[0]);
   if (!label) {
     std::fprintf(stderr, "check: cannot decode %s\n", args[0].c_str());
     return 2;
   }
-  const auto finder = make_finder(config);
+  // Either mmap a prebuilt artifact (zero-parse cold start; the engine
+  // arrives with the artifact's reference-side skeleton index pre-seeded)
+  // or build from the font. Both paths run the same detect() entry point.
+  std::optional<core::ShamFinder> finder;
+  std::optional<detect::Engine> engine;
+  if (!db_file.empty()) {
+    const auto artifact = load_artifact(db_file);
+    if (refs.empty()) refs = artifact->references();
+    engine.emplace(detect::Engine::from_db_artifact(artifact, config.engine));
+  } else {
+    finder.emplace(make_finder(config));
+  }
+  if (refs.empty()) {
+    std::fprintf(stderr, "check: need --refs name1,name2,... "
+                 "(or a --db-file with embedded references)\n");
+    return 2;
+  }
   std::vector<detect::IdnEntry> idns{{idna::to_a_label(*label), *label}};
   detect::DetectionStats stats;
   std::vector<detect::Match> matches;
   for (std::size_t iteration = 0; iteration < repeat; ++iteration) {
-    matches = finder.find_homographs(refs, idns, &stats);
+    if (engine) {
+      auto response = engine->detect({.references = refs, .idns = idns});
+      matches = std::move(response.matches);
+      stats = response.stats;
+    } else {
+      matches = finder->find_homographs(refs, idns, &stats);
+    }
     const char* served = stats.result_cache_hits != 0  ? "result memo"
                          : stats.index_cache_hits != 0 ? "cached index"
                          : stats.index_cache_updates != 0
@@ -156,8 +270,7 @@ int cmd_check(const std::vector<std::string>& raw_args) {
                  "[detect #%zu] %s%s, %zu thread(s), %zu shard(s), %.3f ms "
                  "(%s; build %.3f ms, gen %llu)\n",
                  iteration + 1,
-                 std::string{detect::strategy_name(finder.engine_options().strategy)}
-                     .c_str(),
+                 std::string{detect::strategy_name(config.engine.strategy)}.c_str(),
                  stats.inverted_join ? "/inverted" : "", stats.threads_used,
                  stats.shards_used, stats.seconds * 1e3, served,
                  (stats.index_build_seconds + stats.skeleton_build_seconds) * 1e3,
@@ -273,9 +386,12 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::vector<std::string> refs;
   serve::ServerOptions options;
   bool stats_json = false;
+  std::string db_file;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--stats-json") {
       stats_json = true;
+    } else if (args[i] == "--db-file" && i + 1 < args.size()) {
+      db_file = args[++i];
     } else if (args[i] == "--refs" && i + 1 < args.size()) {
       for (const auto part : util::split(args[++i], ',')) refs.emplace_back(part);
     } else if (args[i] == "--slots" && i + 1 < args.size()) {
@@ -303,12 +419,29 @@ int cmd_serve(const std::vector<std::string>& args) {
       return 2;
     }
   }
+  // The server borrows its database: either the font-built one inside the
+  // facade, or a view-mode database reading a mapped artifact in place
+  // (the artifact shared_ptr and the view database must outlive the
+  // server, hence the optionals at this scope).
+  std::optional<core::ShamFinder> finder;
+  std::shared_ptr<const db::DbArtifact> artifact;
+  std::optional<homoglyph::HomoglyphDb> view_db;
+  detect::EngineOptions engine_options;
+  if (!db_file.empty()) {
+    artifact = load_artifact(db_file);
+    view_db.emplace(artifact->homoglyph());
+    if (refs.empty()) refs = artifact->references();
+  } else {
+    finder.emplace(make_finder());
+    engine_options = finder->engine_options();
+  }
   if (refs.empty()) {
-    std::fprintf(stderr, "serve: need --refs name1,name2,...\n");
+    std::fprintf(stderr, "serve: need --refs name1,name2,... "
+                 "(or a --db-file with embedded references)\n");
     return 2;
   }
-  const auto finder = make_finder();
-  serve::DetectionServer server{finder.db(), finder.engine_options(), options};
+  const homoglyph::HomoglyphDb& db = view_db ? *view_db : finder->db();
+  serve::DetectionServer server{db, engine_options, options};
   std::fprintf(stderr, "[serve] %zu slot(s), queue %zu, %s; reading domains "
                "from stdin ...\n",
                server.options().slots, server.options().queue_capacity,
@@ -357,6 +490,7 @@ int cmd_replay(const std::vector<std::string>& args) {
   serve::ReplayConfig config;
   serve::ServerOptions options;
   options.queue_capacity = 128;
+  std::string db_file;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const auto need = [&](std::size_t* out, const char* what) {
       if (i + 1 >= args.size() || !parse_count(args[++i], out)) {
@@ -367,6 +501,8 @@ int cmd_replay(const std::vector<std::string>& args) {
     };
     if (args[i] == "--no-verify") {
       config.verify = false;
+    } else if (args[i] == "--db-file" && i + 1 < args.size()) {
+      db_file = args[++i];
     } else if (args[i] == "--clients") {
       if (!need(&config.clients, "--clients")) return 2;
     } else if (args[i] == "--requests") {
@@ -382,11 +518,21 @@ int cmd_replay(const std::vector<std::string>& args) {
       return 2;
     }
   }
-  const auto finder = make_finder();
-  const auto workload =
-      serve::make_replay_workload(finder.db(), 16, 12, 2, 2000, config.seed);
-  serve::DetectionServer server{finder.db(), finder.engine_options(), options};
-  const auto report = serve::run_replay(server, finder.db(), workload, config);
+  std::optional<core::ShamFinder> finder;
+  std::shared_ptr<const db::DbArtifact> artifact;
+  std::optional<homoglyph::HomoglyphDb> view_db;
+  detect::EngineOptions engine_options;
+  if (!db_file.empty()) {
+    artifact = load_artifact(db_file);
+    view_db.emplace(artifact->homoglyph());
+  } else {
+    finder.emplace(make_finder());
+    engine_options = finder->engine_options();
+  }
+  const homoglyph::HomoglyphDb& db = view_db ? *view_db : finder->db();
+  const auto workload = serve::make_replay_workload(db, 16, 12, 2, 2000, config.seed);
+  serve::DetectionServer server{db, engine_options, options};
+  const auto report = serve::run_replay(server, db, workload, config);
   std::printf("%s\n", report.to_json(2).c_str());
   return report.verified ? 0 : 1;
 }
@@ -399,12 +545,21 @@ int main(int argc, char** argv) {
   std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
 
-  if (command == "check") return cmd_check(args);
-  if (command == "candidates") return cmd_candidates(args);
-  if (command == "revert") return cmd_revert(args);
-  if (command == "inspect") return cmd_inspect(args);
-  if (command == "policy") return cmd_policy(args);
-  if (command == "serve") return cmd_serve(args);
-  if (command == "replay") return cmd_replay(args);
+  // Corrupt/missing artifacts (and other environmental failures) surface
+  // as exceptions with a diagnostic naming the failing check — print it,
+  // don't terminate().
+  try {
+    if (command == "build-db") return cmd_build_db(args);
+    if (command == "check") return cmd_check(args);
+    if (command == "candidates") return cmd_candidates(args);
+    if (command == "revert") return cmd_revert(args);
+    if (command == "inspect") return cmd_inspect(args);
+    if (command == "policy") return cmd_policy(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "replay") return cmd_replay(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", command.c_str(), e.what());
+    return 2;
+  }
   return usage();
 }

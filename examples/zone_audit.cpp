@@ -2,15 +2,20 @@
 // extract its IDNs, and report homographs of a reference list — what a
 // registrar or registry could run daily over new registrations.
 //
-//   $ ./examples/zone_audit [zone-file]
+//   $ ./examples/zone_audit [zone-file] [--db-file artifact]
 //
-// Without an argument, a small demonstration zone is audited.
+// Without an argument, a small demonstration zone is audited. With
+// --db-file, the homoglyph database is memory-mapped from a prebuilt
+// artifact (shamfinder_cli build-db) instead of being rebuilt from the
+// font — the zero-parse cold-start path the measure driver exercises.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "core/shamfinder.hpp"
 #include "core/warning.hpp"
+#include "db/artifact.hpp"
+#include "detect/engine.hpp"
 #include "dns/zone_file.hpp"
 #include "font/freetype_font.hpp"
 #include "font/paper_font.hpp"
@@ -33,11 +38,22 @@ facebook        IN NS a.ns.facebook.com.
 int main(int argc, char** argv) {
   using namespace sham;
 
+  std::string zone_path;
+  std::string db_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--db-file" && i + 1 < argc) {
+      db_file = argv[++i];
+    } else {
+      zone_path = arg;
+    }
+  }
+
   std::string zone_text;
-  if (argc > 1) {
-    std::ifstream in{argv[1]};
+  if (!zone_path.empty()) {
+    std::ifstream in{zone_path};
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", zone_path.c_str());
       return 1;
     }
     std::ostringstream buf;
@@ -55,16 +71,26 @@ int main(int argc, char** argv) {
   std::vector<std::string> registered;
   for (const auto& owner : zone.owners()) registered.push_back(owner.str());
 
-  font::FontSourcePtr font = font::FreeTypeFont::open_system_font();
-  if (font == nullptr) font = font::make_paper_font({}).font;
-  const auto finder = core::ShamFinder::build_from_font(*font);
-
   const auto idns = core::ShamFinder::extract_idns(registered, "com");
   std::printf("IDNs under .com: %zu\n\n", idns.size());
 
-  const std::vector<std::string> references{"google", "amazon", "facebook",
-                                            "wikipedia", "paypal"};
-  const auto matches = finder.find_homographs(references, idns);
+  std::vector<std::string> references{"google", "amazon", "facebook",
+                                      "wikipedia", "paypal"};
+  std::vector<detect::Match> matches;
+  if (!db_file.empty()) {
+    const auto engine = detect::Engine::from_db_file(db_file);
+    std::printf("database mapped from %s (generation %llu)\n", db_file.c_str(),
+                static_cast<unsigned long long>(engine.artifact()->generation()));
+    if (!engine.artifact()->references().empty()) {
+      references = engine.artifact()->references();
+    }
+    matches = engine.detect({.references = references, .idns = idns}).matches;
+  } else {
+    font::FontSourcePtr font = font::FreeTypeFont::open_system_font();
+    if (font == nullptr) font = font::make_paper_font({}).font;
+    const auto finder = core::ShamFinder::build_from_font(*font);
+    matches = finder.find_homographs(references, idns);
+  }
   std::printf("homographs of the reference list: %zu\n\n", matches.size());
   for (const auto& match : matches) {
     const auto warning = core::make_warning(match, references[match.reference_index],

@@ -1,0 +1,50 @@
+#include "db/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace sham::db {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw std::runtime_error{"db artifact: " + path + ": " + what + ": " +
+                           std::strerror(errno)};
+}
+
+}  // namespace
+
+std::shared_ptr<const MappedFile> MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail(path, "open failed");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail(path, "fstat failed");
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    throw std::runtime_error{"db artifact: " + path + ": empty file"};
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int saved = errno;
+  ::close(fd);  // the mapping holds its own reference
+  if (data == MAP_FAILED) {
+    errno = saved;
+    fail(path, "mmap failed");
+  }
+  return std::shared_ptr<const MappedFile>{new MappedFile{data, size}};
+}
+
+MappedFile::~MappedFile() { ::munmap(data_, size_); }
+
+}  // namespace sham::db

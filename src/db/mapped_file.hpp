@@ -1,0 +1,36 @@
+// Read-only memory mapping of one file (the DB-artifact load path).
+// POSIX-only, like util::ThreadPool's affinity code — the project targets
+// Linux/macOS. The mapping is immutable and shared: DbArtifact hands the
+// MappedFile out as the shared_ptr keepalive behind every adopted view.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace sham::db {
+
+class MappedFile {
+ public:
+  /// Map `path` read-only. Throws std::runtime_error (with the errno text)
+  /// when the file cannot be opened, stat'd, or mapped; empty files are
+  /// rejected here so callers never hold a zero-length mapping.
+  static std::shared_ptr<const MappedFile> open(const std::string& path);
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return static_cast<const std::byte*>(data_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  MappedFile(void* data, std::size_t size) noexcept : data_{data}, size_{size} {}
+
+  void* data_;
+  std::size_t size_;
+};
+
+}  // namespace sham::db

@@ -8,6 +8,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "db/artifact.hpp"
 #include "detect/skeleton_index.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -128,9 +129,9 @@ void scan_references_skeleton(const HomographDetector& detector,
   std::vector<DiffChar> diffs;
   for (std::size_t r = begin; r < end; ++r) {
     const auto& ref = references[r];
-    const auto* bucket = index.probe(index.hashes_of(ref));
-    if (bucket == nullptr) continue;
-    for (const auto x : *bucket) {
+    const auto bucket = index.probe(index.hashes_of(ref));
+    if (bucket.empty()) continue;
+    for (const auto x : bucket) {
       ++out.length_bucket_hits;  // candidates examined, as under kIndexed
       ++out.skeleton_candidates;
       out.char_comparisons += ref.size();
@@ -157,9 +158,9 @@ void scan_idns_skeleton(const HomographDetector& detector,
                         std::size_t begin, std::size_t end, ShardResult& out) {
   std::vector<DiffChar> diffs;
   for (std::size_t x = begin; x < end; ++x) {
-    const auto* bucket = index.probe(index.hashes_of(idns[x].unicode));
-    if (bucket == nullptr) continue;
-    for (const auto r : *bucket) {
+    const auto bucket = index.probe(index.hashes_of(idns[x].unicode));
+    if (bucket.empty()) continue;
+    for (const auto r : bucket) {
       ++out.length_bucket_hits;
       ++out.skeleton_candidates;
       out.char_comparisons += references[r].size();
@@ -254,6 +255,38 @@ Engine::Engine(const homoglyph::HomoglyphDb& db, EngineOptions options)
 Engine::~Engine() = default;
 Engine::Engine(Engine&&) noexcept = default;
 Engine& Engine::operator=(Engine&&) noexcept = default;
+
+Engine Engine::from_db_file(const std::string& path, EngineOptions options) {
+  return from_db_artifact(
+      std::make_shared<const db::DbArtifact>(db::DbArtifact::load(path)), options);
+}
+
+Engine Engine::from_db_artifact(std::shared_ptr<const db::DbArtifact> artifact,
+                                EngineOptions options) {
+  if (artifact == nullptr) {
+    throw std::invalid_argument{"Engine::from_db_artifact: null artifact"};
+  }
+  // The view database lives on the heap so db_ survives Engine moves.
+  auto db = std::make_unique<const homoglyph::HomoglyphDb>(artifact->homoglyph());
+  Engine engine{*db, options};
+  engine.owned_db_ = std::move(db);
+  // Seed the reference-side skeleton slot from the artifact's SKEL
+  // section: the first kSkeleton detect() against the serialized
+  // reference list (same fingerprint, same generation) probes the mapped
+  // index instead of building one. adopt_view re-validates the flat
+  // arrays structurally (the checksummed file could still be hostile).
+  if (engine.cache_ != nullptr && artifact->has_skeleton()) {
+    auto index = std::make_shared<const SkeletonIndex>(SkeletonIndex::adopt_view(
+        *engine.owned_db_, artifact->skeleton(), artifact->backing()));
+    auto& slot = engine.cache_->ref;
+    slot.valid = true;
+    slot.fingerprint = artifact->reference_fingerprint();
+    slot.skeleton_generation = artifact->generation();
+    slot.skeleton = std::move(index);
+  }
+  engine.artifact_ = std::move(artifact);
+  return engine;
+}
 
 std::string_view strategy_name(Strategy strategy) noexcept {
   switch (strategy) {
@@ -398,7 +431,16 @@ DetectResponse Engine::run(std::span<const RefString> references,
                                     cache_->idn.skeleton != nullptr;
         const bool idn_stable =
             cache_->last_idn_seen && cache_->last_idn_fingerprint == idn_fp;
-        inverted = !idn_index_warm && !idn_stable && smaller_ref_side;
+        // A warm reference-side index (e.g. seeded from a DB artifact whose
+        // SKEL section indexes the reference list) beats the size rule, but
+        // never outranks a warm or stable IDN side — the stability promotion
+        // (see CacheState) must still win for repeated IDN snapshots.
+        const bool ref_index_warm = cache_->ref.valid &&
+                                    cache_->ref.fingerprint == ref_fp &&
+                                    cache_->ref.skeleton != nullptr &&
+                                    cache_->ref.skeleton_generation == generation;
+        inverted = !idn_index_warm && !idn_stable &&
+                   (ref_index_warm || smaller_ref_side);
       }
     }
   }

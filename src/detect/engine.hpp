@@ -63,6 +63,10 @@
 #include "homoglyph/homoglyph_db.hpp"
 #include "unicode/codepoint.hpp"
 
+namespace sham::db {
+class DbArtifact;
+}  // namespace sham::db
+
 namespace sham::detect {
 
 enum class Strategy {
@@ -171,6 +175,26 @@ class Engine {
   Engine(Engine&&) noexcept;
   Engine& operator=(Engine&&) noexcept;
 
+  /// Zero-parse cold start: mmap a DB artifact (db::write_db_file) and
+  /// run against its view-mode homoglyph database — the engine owns both
+  /// the mapping and the adopted database, so no external lifetime to
+  /// manage. When the artifact carries a reference-side skeleton index,
+  /// the engine's cache is pre-seeded with it (keyed by the artifact's
+  /// reference fingerprint and generation stamp), so the first
+  /// Strategy::kSkeleton call against the artifact's reference list skips
+  /// the index build entirely. Throws std::runtime_error on a corrupt or
+  /// incompatible artifact.
+  static Engine from_db_file(const std::string& path, EngineOptions options = {});
+  static Engine from_db_artifact(std::shared_ptr<const db::DbArtifact> artifact,
+                                 EngineOptions options = {});
+
+  /// The loaded artifact (null for database-backed engines) — exposes the
+  /// serialized reference list so callers can probe with the exact set
+  /// the pre-seeded index covers.
+  [[nodiscard]] const db::DbArtifact* artifact() const noexcept {
+    return artifact_.get();
+  }
+
   [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
 
   /// Run Algorithm 1 under the requested strategy. Applies
@@ -192,6 +216,10 @@ class Engine {
   /// Heap slot so the Engine stays movable (the mutex lives inside);
   /// null when options_.cache is false.
   std::unique_ptr<CacheState> cache_;
+  /// Set only by from_db_artifact: the mapping keepalive and the heap-
+  /// allocated view database db_ points at (stable across moves).
+  std::shared_ptr<const db::DbArtifact> artifact_;
+  std::unique_ptr<const homoglyph::HomoglyphDb> owned_db_;
 };
 
 }  // namespace sham::detect

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <stdexcept>
+#include <string>
 #include <type_traits>
 
 #include "kernels/kernels.hpp"
@@ -168,13 +170,15 @@ void SkeletonIndex::build(std::span<const Label> labels) {
     const auto& label = label_of(labels[y]);
     auto& bucket = buckets_[entry_hashes_[y]];
     if (bucket.entries.empty()) ++non_empty_buckets_;
-    bucket.entries.push_back(y);  // ascending: y is monotonic
+    bucket.entries.push_back(static_cast<std::uint32_t>(y));  // ascending
 
     uniq.clear();
     for (const auto c : label) uniq.push_back(to_cp(c));
     std::sort(uniq.begin(), uniq.end());
     uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
-    for (const auto cp : uniq) entries_by_cp_[cp].push_back(y);
+    for (const auto cp : uniq) {
+      entries_by_cp_[cp].push_back(static_cast<std::uint32_t>(y));
+    }
   }
   if (max_bucket_occupancy_ > 0) {
     for (auto& [h, bucket] : buckets_) refresh_split(bucket);
@@ -182,9 +186,51 @@ void SkeletonIndex::build(std::span<const Label> labels) {
 }
 
 template <typename Label>
+void SkeletonIndex::materialize(std::span<const Label> labels) {
+  if (!view_) return;
+  // Rebuild the owned representation from the stored hashes — build()'s
+  // pass 2 without any rehashing. `labels` must be the list the flat index
+  // was built over (the rehash_changed contract already requires this).
+  const auto flat = flat_;
+  view_ = false;
+  const std::size_t n = flat.entry_hashes.size();
+  entry_hashes_.assign(flat.entry_hashes.begin(), flat.entry_hashes.end());
+  entry_h2_.assign(flat.entry_h2.begin(), flat.entry_h2.end());
+  hash_mask_ = flat.hash_mask;
+  max_bucket_occupancy_ = static_cast<std::size_t>(flat.max_bucket_occupancy);
+  buckets_.clear();
+  entries_by_cp_.clear();
+  non_empty_buckets_ = 0;
+  split_buckets_ = 0;
+  buckets_.reserve(n);
+
+  std::vector<unicode::CodePoint> uniq;
+  for (std::size_t y = 0; y < n; ++y) {
+    auto& bucket = buckets_[entry_hashes_[y]];
+    if (bucket.entries.empty()) ++non_empty_buckets_;
+    bucket.entries.push_back(static_cast<std::uint32_t>(y));
+
+    const auto& label = label_of(labels[y]);
+    uniq.clear();
+    for (const auto c : label) uniq.push_back(to_cp(c));
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    for (const auto cp : uniq) {
+      entries_by_cp_[cp].push_back(static_cast<std::uint32_t>(y));
+    }
+  }
+  if (max_bucket_occupancy_ > 0) {
+    for (auto& [h, bucket] : buckets_) refresh_split(bucket);
+  }
+  flat_ = {};
+  backing_.reset();
+}
+
+template <typename Label>
 std::size_t SkeletonIndex::rehash_impl(std::span<const Label> labels,
                                        std::span<const unicode::CodePoint> changed) {
-  std::vector<std::size_t> affected;
+  if (view_) materialize(labels);  // copy-on-write before the first mutation
+  std::vector<std::uint32_t> affected;
   for (const auto cp : changed) {
     const auto it = entries_by_cp_.find(cp);
     if (it == entries_by_cp_.end()) continue;
@@ -285,10 +331,160 @@ std::size_t SkeletonIndex::rehash_changed(std::span<const unicode::U32String> la
   return rehash_impl(labels, changed);
 }
 
+db::SkeletonFlat SkeletonIndex::to_flat() const {
+  db::SkeletonFlat flat;
+  if (view_) {
+    // Already flat: copy the mapped arrays verbatim.
+    flat.hash_mask = flat_.hash_mask;
+    flat.max_bucket_occupancy = flat_.max_bucket_occupancy;
+    flat.non_empty_buckets = flat_.non_empty_buckets;
+    flat.split_buckets = flat_.split_buckets;
+    flat.entry_hashes.assign(flat_.entry_hashes.begin(), flat_.entry_hashes.end());
+    flat.entry_h2.assign(flat_.entry_h2.begin(), flat_.entry_h2.end());
+    flat.bucket_hashes.assign(flat_.bucket_hashes.begin(), flat_.bucket_hashes.end());
+    flat.bucket_offsets.assign(flat_.bucket_offsets.begin(), flat_.bucket_offsets.end());
+    flat.bucket_entries.assign(flat_.bucket_entries.begin(), flat_.bucket_entries.end());
+    flat.bucket_child_start.assign(flat_.bucket_child_start.begin(),
+                                   flat_.bucket_child_start.end());
+    flat.child_h2.assign(flat_.child_h2.begin(), flat_.child_h2.end());
+    flat.child_offsets.assign(flat_.child_offsets.begin(), flat_.child_offsets.end());
+    flat.child_entries.assign(flat_.child_entries.begin(), flat_.child_entries.end());
+    return flat;
+  }
+
+  flat.hash_mask = hash_mask_;
+  flat.max_bucket_occupancy = static_cast<std::uint64_t>(max_bucket_occupancy_);
+  flat.non_empty_buckets = static_cast<std::uint64_t>(non_empty_buckets_);
+  flat.split_buckets = static_cast<std::uint64_t>(split_buckets_);
+  flat.entry_hashes = entry_hashes_;
+  flat.entry_h2 = entry_h2_;
+
+  // Deterministic layout: buckets ascending by hash (empty buckets left by
+  // rehash_changed are dropped — view_bucket treats absence as a miss),
+  // split children ascending by secondary hash.
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(buckets_.size());
+  for (const auto& [h, bucket] : buckets_) {
+    if (!bucket.entries.empty()) hashes.push_back(h);
+  }
+  std::sort(hashes.begin(), hashes.end());
+
+  flat.bucket_hashes = hashes;
+  flat.bucket_offsets.reserve(hashes.size() + 1);
+  flat.bucket_child_start.reserve(hashes.size() + 1);
+  flat.bucket_offsets.push_back(0);
+  flat.bucket_child_start.push_back(0);
+  flat.child_offsets.push_back(0);
+  std::vector<std::uint64_t> child_hashes;
+  for (const auto h : hashes) {
+    const auto& bucket = buckets_.at(h);
+    flat.bucket_entries.insert(flat.bucket_entries.end(), bucket.entries.begin(),
+                               bucket.entries.end());
+    flat.bucket_offsets.push_back(static_cast<std::uint32_t>(flat.bucket_entries.size()));
+    if (bucket.split) {
+      child_hashes.clear();
+      child_hashes.reserve(bucket.children.size());
+      for (const auto& [h2, child] : bucket.children) child_hashes.push_back(h2);
+      std::sort(child_hashes.begin(), child_hashes.end());
+      for (const auto h2 : child_hashes) {
+        const auto& child = bucket.children.at(h2);
+        flat.child_h2.push_back(h2);
+        flat.child_entries.insert(flat.child_entries.end(), child.begin(), child.end());
+        flat.child_offsets.push_back(static_cast<std::uint32_t>(flat.child_entries.size()));
+      }
+    }
+    flat.bucket_child_start.push_back(static_cast<std::uint32_t>(flat.child_h2.size()));
+  }
+  return flat;
+}
+
+SkeletonIndex SkeletonIndex::adopt_view(const homoglyph::HomoglyphDb& db,
+                                        const db::SkeletonFlatView& flat,
+                                        std::shared_ptr<const void> backing) {
+  const auto bad = [](const char* what) {
+    throw std::runtime_error(std::string{"SkeletonIndex: flat view "} + what);
+  };
+  const std::size_t n = flat.entry_hashes.size();
+  const std::size_t buckets = flat.bucket_hashes.size();
+  if (!flat.entry_h2.empty() && flat.entry_h2.size() != n) {
+    bad("entry_h2 size mismatch");
+  }
+  if (flat.max_bucket_occupancy > 0 && n > 0 && flat.entry_h2.empty()) {
+    bad("missing secondary hashes under an occupancy cap");
+  }
+  if (flat.bucket_offsets.size() != buckets + 1 ||
+      flat.bucket_child_start.size() != buckets + 1) {
+    bad("bucket offset table size mismatch");
+  }
+  if (!std::is_sorted(flat.bucket_hashes.begin(), flat.bucket_hashes.end()) ||
+      std::adjacent_find(flat.bucket_hashes.begin(), flat.bucket_hashes.end()) !=
+          flat.bucket_hashes.end()) {
+    bad("bucket hashes not strictly ascending");
+  }
+  if (!std::is_sorted(flat.bucket_offsets.begin(), flat.bucket_offsets.end()) ||
+      flat.bucket_offsets.front() != 0 ||
+      flat.bucket_offsets.back() != flat.bucket_entries.size()) {
+    bad("bucket offsets inconsistent");
+  }
+  if (!std::is_sorted(flat.bucket_child_start.begin(), flat.bucket_child_start.end()) ||
+      flat.bucket_child_start.front() != 0 ||
+      flat.bucket_child_start.back() != flat.child_h2.size()) {
+    bad("bucket child table inconsistent");
+  }
+  if (flat.child_offsets.size() != flat.child_h2.size() + 1 ||
+      !std::is_sorted(flat.child_offsets.begin(), flat.child_offsets.end()) ||
+      flat.child_offsets.front() != 0 ||
+      flat.child_offsets.back() != flat.child_entries.size()) {
+    bad("child offsets inconsistent");
+  }
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const auto first = flat.child_h2.begin() + flat.bucket_child_start[b];
+    const auto last = flat.child_h2.begin() + flat.bucket_child_start[b + 1];
+    if (!std::is_sorted(first, last) || std::adjacent_find(first, last) != last) {
+      bad("child hashes not ascending within a bucket");
+    }
+  }
+  for (const auto x : flat.bucket_entries) {
+    if (x >= n) bad("bucket entry out of range");
+  }
+  for (const auto x : flat.child_entries) {
+    if (x >= n) bad("child entry out of range");
+  }
+
+  SkeletonIndex index;
+  index.db_ = &db;
+  index.hash_mask_ = flat.hash_mask;
+  index.max_bucket_occupancy_ = static_cast<std::size_t>(flat.max_bucket_occupancy);
+  index.non_empty_buckets_ = static_cast<std::size_t>(flat.non_empty_buckets);
+  index.split_buckets_ = static_cast<std::size_t>(flat.split_buckets);
+  index.view_ = true;
+  index.flat_ = flat;
+  index.backing_ = std::move(backing);
+  return index;
+}
+
 std::vector<std::uint64_t> SkeletonIndex::occupancy_histogram(
     std::size_t max_slots) const {
   std::vector<std::uint64_t> histogram(max_slots, 0);
   if (max_slots == 0) return histogram;
+  if (view_) {
+    for (std::size_t b = 0; b < flat_.bucket_hashes.size(); ++b) {
+      const std::size_t size = flat_.bucket_offsets[b + 1] - flat_.bucket_offsets[b];
+      if (size == 0) continue;
+      const auto child_begin = flat_.bucket_child_start[b];
+      const auto child_end = flat_.bucket_child_start[b + 1];
+      if (child_begin != child_end) {
+        for (auto c = child_begin; c != child_end; ++c) {
+          const std::size_t child_size = flat_.child_offsets[c + 1] - flat_.child_offsets[c];
+          if (child_size == 0) continue;
+          ++histogram[std::min(child_size - 1, max_slots - 1)];
+        }
+        continue;
+      }
+      ++histogram[std::min(size - 1, max_slots - 1)];
+    }
+    return histogram;
+  }
   for (const auto& entry : buckets_) {
     // Vacated buckets (rehash_changed moved every entry out) stay in the
     // table; size() - 1 would underflow for them.

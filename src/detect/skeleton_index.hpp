@@ -32,13 +32,16 @@
 // leave empty buckets behind (probe treats them as misses).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "db/format.hpp"
 #include "detect/detector.hpp"
 #include "homoglyph/homoglyph_db.hpp"
 #include "unicode/codepoint.hpp"
@@ -91,27 +94,52 @@ class SkeletonIndex {
   [[nodiscard]] SkeletonHashes hashes_of(std::string_view reference) const;
   [[nodiscard]] SkeletonHashes hashes_of(const unicode::U32String& reference) const;
 
-  /// Entry indices bucketed under `hash`, ascending; nullptr when empty.
+  /// Entry indices bucketed under `hash`, ascending; empty span on a miss.
   /// For a split bucket this is the full union of its children (legacy
   /// probe — never misses, just unbounded). The bucket over-approximates
-  /// (closure + collisions): exact-verify every entry.
-  [[nodiscard]] const std::vector<std::size_t>* probe(std::uint64_t hash) const {
+  /// (closure + collisions): exact-verify every entry. Returned by value
+  /// so the owned and memory-mapped (view) storage modes share one shape.
+  [[nodiscard]] std::span<const std::uint32_t> probe(std::uint64_t hash) const {
+    if (view_) {
+      const auto b = view_bucket(hash);
+      if (b == kNoBucket) return {};
+      return flat_.bucket_entries.subspan(
+          flat_.bucket_offsets[b], flat_.bucket_offsets[b + 1] - flat_.bucket_offsets[b]);
+    }
     const auto it = buckets_.find(hash);
-    return it == buckets_.end() || it->second.entries.empty() ? nullptr
-                                                              : &it->second.entries;
+    return it == buckets_.end() ? std::span<const std::uint32_t>{}
+                                : std::span<const std::uint32_t>{it->second.entries};
   }
 
   /// Split-aware probe: on a split bucket only the child keyed by the
   /// secondary hash is returned, so occupancy stays under the cap even
   /// when thousands of labels share one primary hash.
-  [[nodiscard]] const std::vector<std::size_t>* probe(SkeletonHashes hashes) const {
+  [[nodiscard]] std::span<const std::uint32_t> probe(SkeletonHashes hashes) const {
+    if (view_) {
+      const auto b = view_bucket(hashes.primary);
+      if (b == kNoBucket) return {};
+      const auto child_begin = flat_.bucket_child_start[b];
+      const auto child_end = flat_.bucket_child_start[b + 1];
+      if (child_begin == child_end) {
+        return flat_.bucket_entries.subspan(
+            flat_.bucket_offsets[b],
+            flat_.bucket_offsets[b + 1] - flat_.bucket_offsets[b]);
+      }
+      const auto first = flat_.child_h2.begin() + child_begin;
+      const auto last = flat_.child_h2.begin() + child_end;
+      const auto it = std::lower_bound(first, last, hashes.secondary);
+      if (it == last || *it != hashes.secondary) return {};
+      const auto c = static_cast<std::size_t>(it - flat_.child_h2.begin());
+      return flat_.child_entries.subspan(
+          flat_.child_offsets[c], flat_.child_offsets[c + 1] - flat_.child_offsets[c]);
+    }
     const auto it = buckets_.find(hashes.primary);
-    if (it == buckets_.end() || it->second.entries.empty()) return nullptr;
-    if (!it->second.split) return &it->second.entries;
+    if (it == buckets_.end() || it->second.entries.empty()) return {};
+    if (!it->second.split) return it->second.entries;
     const auto child = it->second.children.find(hashes.secondary);
-    return child == it->second.children.end() || child->second.empty()
-               ? nullptr
-               : &child->second;
+    return child == it->second.children.end()
+               ? std::span<const std::uint32_t>{}
+               : std::span<const std::uint32_t>{child->second};
   }
 
   /// Number of primary buckets currently split into secondary children.
@@ -123,10 +151,33 @@ class SkeletonIndex {
   /// buckets in the table; they don't count).
   [[nodiscard]] std::size_t bucket_count() const noexcept { return non_empty_buckets_; }
 
-  [[nodiscard]] std::size_t entry_count() const noexcept { return entry_hashes_.size(); }
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return view_ ? flat_.entry_hashes.size() : entry_hashes_.size();
+  }
 
   /// Current skeleton hash of entry `i` (what its bucket is keyed by).
-  [[nodiscard]] std::uint64_t entry_hash(std::size_t i) const { return entry_hashes_[i]; }
+  [[nodiscard]] std::uint64_t entry_hash(std::size_t i) const {
+    return view_ ? flat_.entry_hashes[i] : entry_hashes_[i];
+  }
+
+  // --- DB-artifact (de)serialization ------------------------------------
+
+  /// Flatten into the artifact's sorted-array layout (db/format.hpp SKEL
+  /// section). Deterministic: buckets by hash, children by secondary hash.
+  [[nodiscard]] db::SkeletonFlat to_flat() const;
+
+  /// Adopt a mapped flat index in place (zero parsing; probes binary-search
+  /// the bucket table). `db` must be the database the index was built
+  /// against — same canonical map, same generation — and must outlive the
+  /// index; `backing` keeps the mapped arrays alive. The first
+  /// rehash_changed() call materializes an owned copy (copy-on-write).
+  /// Throws std::runtime_error on structurally inconsistent flat data.
+  static SkeletonIndex adopt_view(const homoglyph::HomoglyphDb& db,
+                                  const db::SkeletonFlatView& flat,
+                                  std::shared_ptr<const void> backing);
+
+  /// True when the index reads adopted (e.g. memory-mapped) storage.
+  [[nodiscard]] bool is_view() const noexcept { return view_; }
 
   /// Recompute the hashes of exactly the entries whose label contains a
   /// code point in `changed` (sorted or not; the set the database reports
@@ -152,10 +203,14 @@ class SkeletonIndex {
   /// `entries` is always the full ascending union (serves the legacy
   /// probe); when `split`, `children` partitions it by secondary hash.
   struct Bucket {
-    std::vector<std::size_t> entries;
+    std::vector<std::uint32_t> entries;
     bool split = false;
-    std::unordered_map<std::uint64_t, std::vector<std::size_t>> children;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> children;
   };
+
+  static constexpr std::size_t kNoBucket = static_cast<std::size_t>(-1);
+
+  SkeletonIndex() = default;  // adopt_view scaffolding
 
   template <typename String>
   [[nodiscard]] std::uint64_t hash_impl(const String& label) const;
@@ -169,9 +224,22 @@ class SkeletonIndex {
   /// Re-derive a bucket's split state from its current entries (called on
   /// every bucket rehash_changed touched, and after build).
   void refresh_split(Bucket& bucket);
+  /// Copy-on-write: rebuild owned buckets/postings from the flat arrays
+  /// (no rehash — hashes are stored) before the first mutation.
+  template <typename Label>
+  void materialize(std::span<const Label> labels);
+  /// Binary search the flat bucket table; kNoBucket on a miss or an empty
+  /// bucket union.
+  [[nodiscard]] std::size_t view_bucket(std::uint64_t hash) const {
+    const auto it =
+        std::lower_bound(flat_.bucket_hashes.begin(), flat_.bucket_hashes.end(), hash);
+    if (it == flat_.bucket_hashes.end() || *it != hash) return kNoBucket;
+    const auto b = static_cast<std::size_t>(it - flat_.bucket_hashes.begin());
+    return flat_.bucket_offsets[b] == flat_.bucket_offsets[b + 1] ? kNoBucket : b;
+  }
 
-  const homoglyph::HomoglyphDb* db_;
-  std::uint64_t hash_mask_;
+  const homoglyph::HomoglyphDb* db_ = nullptr;
+  std::uint64_t hash_mask_ = ~0ULL;
   std::size_t max_bucket_occupancy_ = 0;
   std::unordered_map<std::uint64_t, Bucket> buckets_;
   std::size_t non_empty_buckets_ = 0;
@@ -183,7 +251,13 @@ class SkeletonIndex {
   /// Raw code point -> entries whose label contains it (deduplicated,
   /// ascending). Keys are raw code points, not canonical representatives,
   /// so the postings stay valid across database updates.
-  std::unordered_map<unicode::CodePoint, std::vector<std::size_t>> entries_by_cp_;
+  std::unordered_map<unicode::CodePoint, std::vector<std::uint32_t>> entries_by_cp_;
+
+  /// View mode: probes binary-search these mapped arrays instead of the
+  /// hash map (empty until adopt_view; cleared by materialize()).
+  bool view_ = false;
+  db::SkeletonFlatView flat_;
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace sham::detect

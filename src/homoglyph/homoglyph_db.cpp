@@ -132,8 +132,134 @@ void HomoglyphDb::merge_components(unicode::CodePoint a, unicode::CodePoint b,
   }
 }
 
+void HomoglyphDb::materialize() {
+  if (!view_) return;
+  // Rebuild the owned hash-map representation from the flat arrays, then
+  // finalize() — which recomputes the identical canonical map (union by
+  // smallest representative is deterministic) and restarts the change log
+  // at the current generation, exactly like a freshly parsed database.
+  pair_source_.clear();
+  pair_source_.reserve(v_pair_keys_.size());
+  for (std::size_t i = 0; i < v_pair_keys_.size(); ++i) {
+    pair_source_.emplace(v_pair_keys_[i], static_cast<Source>(v_pair_sources_[i]));
+  }
+  adjacency_.clear();
+  adjacency_.reserve(v_adj_cps_.size());
+  for (std::size_t i = 0; i < v_adj_cps_.size(); ++i) {
+    adjacency_.emplace(v_adj_cps_[i],
+                       std::vector<unicode::CodePoint>{
+                           v_adj_data_.begin() + v_adj_offsets_[i],
+                           v_adj_data_.begin() + v_adj_offsets_[i + 1]});
+  }
+  view_ = false;
+  backing_.reset();
+  v_pair_keys_ = {};
+  v_pair_sources_ = {};
+  v_adj_cps_ = {};
+  v_adj_offsets_ = {};
+  v_adj_data_ = {};
+  v_canon_keys_ = {};
+  v_canon_reps_ = {};
+  finalize();
+}
+
+HomoglyphDb::Flat HomoglyphDb::to_flat() const {
+  Flat flat;
+  flat.generation = generation_;
+  flat.canonical_classes = static_cast<std::uint32_t>(canonical_classes_);
+  flat.config_flags = (config_.use_uc ? DbConfigFlags::kUseUc : 0) |
+                      (config_.use_simchar ? DbConfigFlags::kUseSimChar : 0) |
+                      (config_.idna_only ? DbConfigFlags::kIdnaOnly : 0);
+  if (view_) {
+    flat.pair_keys.assign(v_pair_keys_.begin(), v_pair_keys_.end());
+    flat.pair_sources.assign(v_pair_sources_.begin(), v_pair_sources_.end());
+    flat.adj_cps.assign(v_adj_cps_.begin(), v_adj_cps_.end());
+    flat.adj_offsets.assign(v_adj_offsets_.begin(), v_adj_offsets_.end());
+    flat.adj_data.assign(v_adj_data_.begin(), v_adj_data_.end());
+    flat.canon_keys.assign(v_canon_keys_.begin(), v_canon_keys_.end());
+    flat.canon_reps.assign(v_canon_reps_.begin(), v_canon_reps_.end());
+    return flat;
+  }
+
+  std::vector<std::pair<std::uint64_t, Source>> pairs{pair_source_.begin(),
+                                                      pair_source_.end()};
+  std::sort(pairs.begin(), pairs.end());
+  flat.pair_keys.reserve(pairs.size());
+  flat.pair_sources.reserve(pairs.size());
+  for (const auto& [k, s] : pairs) {
+    flat.pair_keys.push_back(k);
+    flat.pair_sources.push_back(static_cast<std::uint8_t>(s));
+  }
+
+  std::vector<unicode::CodePoint> cps;
+  cps.reserve(adjacency_.size());
+  for (const auto& [cp, neighbours] : adjacency_) cps.push_back(cp);
+  std::sort(cps.begin(), cps.end());
+  flat.adj_cps.reserve(cps.size());
+  flat.adj_offsets.reserve(cps.size() + 1);
+  for (const auto cp : cps) {
+    flat.adj_cps.push_back(cp);
+    flat.adj_offsets.push_back(static_cast<std::uint32_t>(flat.adj_data.size()));
+    const auto& neighbours = adjacency_.at(cp);
+    flat.adj_data.insert(flat.adj_data.end(), neighbours.begin(), neighbours.end());
+  }
+  flat.adj_offsets.push_back(static_cast<std::uint32_t>(flat.adj_data.size()));
+
+  std::vector<std::pair<unicode::CodePoint, unicode::CodePoint>> canon{
+      canonical_.begin(), canonical_.end()};
+  std::sort(canon.begin(), canon.end());
+  flat.canon_keys.reserve(canon.size());
+  flat.canon_reps.reserve(canon.size());
+  for (const auto& [cp, rep] : canon) {
+    flat.canon_keys.push_back(cp);
+    flat.canon_reps.push_back(rep);
+  }
+  return flat;
+}
+
+HomoglyphDb HomoglyphDb::adopt_view(const FlatView& flat,
+                                    std::shared_ptr<const void> backing) {
+  if (flat.pair_sources.size() != flat.pair_keys.size() ||
+      flat.adj_offsets.size() != flat.adj_cps.size() + 1 ||
+      (!flat.adj_offsets.empty() && flat.adj_offsets.back() != flat.adj_data.size()) ||
+      flat.canon_reps.size() != flat.canon_keys.size()) {
+    throw std::runtime_error{"HomoglyphDb: flat view shape mismatch"};
+  }
+  HomoglyphDb db;
+  db.view_ = true;
+  db.backing_ = std::move(backing);
+  db.v_pair_keys_ = flat.pair_keys;
+  db.v_pair_sources_ = flat.pair_sources;
+  db.v_adj_cps_ = flat.adj_cps;
+  db.v_adj_offsets_ = flat.adj_offsets;
+  db.v_adj_data_ = flat.adj_data;
+  db.v_canon_keys_ = flat.canon_keys;
+  db.v_canon_reps_ = flat.canon_reps;
+  db.generation_ = flat.generation;
+  db.canonical_classes_ = flat.canonical_classes;
+  db.config_.use_uc = (flat.config_flags & DbConfigFlags::kUseUc) != 0;
+  db.config_.use_simchar = (flat.config_flags & DbConfigFlags::kUseSimChar) != 0;
+  db.config_.idna_only = (flat.config_flags & DbConfigFlags::kIdnaOnly) != 0;
+  // The change log restarts at adoption (same contract as finalize()):
+  // canonical_changes_since(generation()) answers with "nothing changed";
+  // anything older forces the caller's full rebuild.
+  db.change_log_base_ = flat.generation;
+  // The inline canonical() fast path is a dense Latin-1 array in both
+  // modes; fill it from the (sorted) flat map once at adoption.
+  for (unicode::CodePoint cp = 0; cp < kDenseCanonical; ++cp) {
+    db.canonical_latin1_[cp] = cp;
+  }
+  for (std::size_t i = 0; i < flat.canon_keys.size(); ++i) {
+    const auto cp = flat.canon_keys[i];
+    if (cp >= kDenseCanonical) break;  // keys ascending
+    db.canonical_latin1_[cp] = flat.canon_reps[i];
+  }
+  return db;
+}
+
 HomoglyphDb::UpdateResult HomoglyphDb::apply_update(
     std::span<const simchar::HomoglyphPair> pairs, Source source) {
+  materialize();  // copy-on-write: views go owned on the first mutation
   const auto permitted = [&](unicode::CodePoint cp) {
     return !config_.idna_only || unicode::is_idna_permitted(cp);
   };
@@ -232,18 +358,32 @@ HomoglyphDb::HomoglyphDb(const simchar::SimCharDb& simchar_db,
 }
 
 bool HomoglyphDb::are_homoglyphs(unicode::CodePoint a, unicode::CodePoint b) const {
-  return a != b && pair_source_.contains(key(a, b));
+  return a != b && source_of(a, b).has_value();
 }
 
 std::optional<Source> HomoglyphDb::source_of(unicode::CodePoint a,
                                              unicode::CodePoint b) const {
   if (a == b) return std::nullopt;
-  const auto it = pair_source_.find(key(a, b));
+  const auto k = key(a, b);
+  if (view_) {
+    const auto it = std::lower_bound(v_pair_keys_.begin(), v_pair_keys_.end(), k);
+    if (it == v_pair_keys_.end() || *it != k) return std::nullopt;
+    return static_cast<Source>(
+        v_pair_sources_[static_cast<std::size_t>(it - v_pair_keys_.begin())]);
+  }
+  const auto it = pair_source_.find(k);
   if (it == pair_source_.end()) return std::nullopt;
   return it->second;
 }
 
 std::vector<unicode::CodePoint> HomoglyphDb::homoglyphs_of(unicode::CodePoint cp) const {
+  if (view_) {
+    const auto it = std::lower_bound(v_adj_cps_.begin(), v_adj_cps_.end(), cp);
+    if (it == v_adj_cps_.end() || *it != cp) return {};
+    const auto i = static_cast<std::size_t>(it - v_adj_cps_.begin());
+    return {v_adj_data_.begin() + v_adj_offsets_[i],
+            v_adj_data_.begin() + v_adj_offsets_[i + 1]};
+  }
   const auto it = adjacency_.find(cp);
   if (it == adjacency_.end()) return {};
   return it->second;
@@ -255,6 +395,12 @@ std::size_t HomoglyphDb::pair_count(Source source) const {
   // kBoth means "listed in both".
   const auto want = static_cast<std::uint8_t>(source);
   std::size_t n = 0;
+  if (view_) {
+    for (const auto s : v_pair_sources_) {
+      if ((s & want) == want) ++n;
+    }
+    return n;
+  }
   for (const auto& [k, s] : pair_source_) {
     if ((static_cast<std::uint8_t>(s) & want) == want) ++n;
   }
@@ -262,10 +408,17 @@ std::size_t HomoglyphDb::pair_count(Source source) const {
 }
 
 std::string HomoglyphDb::serialize() const {
-  // Deterministic order: sort by key.
-  std::vector<std::pair<std::uint64_t, Source>> items{pair_source_.begin(),
-                                                      pair_source_.end()};
-  std::sort(items.begin(), items.end());
+  // Deterministic order: sort by key (views are key-sorted already).
+  std::vector<std::pair<std::uint64_t, Source>> items;
+  if (view_) {
+    items.reserve(v_pair_keys_.size());
+    for (std::size_t i = 0; i < v_pair_keys_.size(); ++i) {
+      items.emplace_back(v_pair_keys_[i], static_cast<Source>(v_pair_sources_[i]));
+    }
+  } else {
+    items.assign(pair_source_.begin(), pair_source_.end());
+    std::sort(items.begin(), items.end());
+  }
   std::string out;
   out.reserve(items.size() * 24);
   for (const auto& [k, source] : items) {

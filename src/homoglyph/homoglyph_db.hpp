@@ -4,8 +4,10 @@
 // "reverting to original domains" analysis of Section 6.4.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -59,9 +61,16 @@ class HomoglyphDb {
   /// canonical(a) == canonical(b) is a necessary — NOT sufficient —
   /// condition for {a, b} being a listed pair; candidate sets built on it
   /// over-approximate and must be re-verified with source_of()/
-  /// are_homoglyphs(). Code points below U+0100 hit a dense flat array.
+  /// are_homoglyphs(). Code points below U+0100 hit a dense flat array
+  /// (copied out of the artifact at adoption time, so the fast path is
+  /// identical in both storage modes).
   [[nodiscard]] unicode::CodePoint canonical(unicode::CodePoint cp) const noexcept {
     if (cp < kDenseCanonical) return canonical_latin1_[cp];
+    if (view_) {
+      const auto it = std::lower_bound(v_canon_keys_.begin(), v_canon_keys_.end(), cp);
+      if (it == v_canon_keys_.end() || *it != cp) return cp;
+      return v_canon_reps_[static_cast<std::size_t>(it - v_canon_keys_.begin())];
+    }
     const auto it = canonical_.find(cp);
     return it == canonical_.end() ? cp : it->second;
   }
@@ -72,9 +81,13 @@ class HomoglyphDb {
   }
 
   /// Pair counts by provenance (for Table 1-style set arithmetic).
-  [[nodiscard]] std::size_t pair_count() const noexcept { return pair_source_.size(); }
+  [[nodiscard]] std::size_t pair_count() const noexcept {
+    return view_ ? v_pair_keys_.size() : pair_source_.size();
+  }
   [[nodiscard]] std::size_t pair_count(Source source) const;
-  [[nodiscard]] std::size_t character_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t character_count() const noexcept {
+    return view_ ? v_adj_cps_.size() : adjacency_.size();
+  }
 
   // --- Incremental maintenance (Section 4.2: the DB evolves as Unicode
   // adds glyphs) -------------------------------------------------------
@@ -130,6 +143,61 @@ class HomoglyphDb {
   [[nodiscard]] std::string serialize() const;
   static HomoglyphDb parse(std::string_view text);
 
+  // --- Flat (DB-artifact) form -----------------------------------------
+  //
+  // The hash-map representation flattened into sorted arrays: pair keys
+  // ((a << 32) | b, a < b) with per-pair provenance, the adjacency lists
+  // as a CSR over ascending characters, and the union-find canonical map
+  // as parallel key/representative arrays. An adopted view answers every
+  // const query by binary search over these spans — zero parsing; the
+  // first mutating call (apply_update / update_with_new_characters)
+  // materializes a private owned copy first (copy-on-write).
+
+  struct DbConfigFlags {
+    static constexpr std::uint32_t kUseUc = 1u << 0;
+    static constexpr std::uint32_t kUseSimChar = 1u << 1;
+    static constexpr std::uint32_t kIdnaOnly = 1u << 2;
+  };
+
+  struct Flat {
+    std::vector<std::uint64_t> pair_keys;    // ascending
+    std::vector<std::uint8_t> pair_sources;  // parallel to pair_keys
+    std::vector<std::uint32_t> adj_cps;      // ascending, unique
+    std::vector<std::uint32_t> adj_offsets;  // size adj_cps.size() + 1
+    std::vector<std::uint32_t> adj_data;     // sorted within each list
+    std::vector<std::uint32_t> canon_keys;   // ascending
+    std::vector<std::uint32_t> canon_reps;   // parallel to canon_keys
+    std::uint64_t generation = 0;
+    std::uint32_t canonical_classes = 0;
+    std::uint32_t config_flags = 0;
+  };
+
+  struct FlatView {
+    std::span<const std::uint64_t> pair_keys;
+    std::span<const std::uint8_t> pair_sources;
+    std::span<const std::uint32_t> adj_cps;
+    std::span<const std::uint32_t> adj_offsets;
+    std::span<const std::uint32_t> adj_data;
+    std::span<const std::uint32_t> canon_keys;
+    std::span<const std::uint32_t> canon_reps;
+    std::uint64_t generation = 0;
+    std::uint32_t canonical_classes = 0;
+    std::uint32_t config_flags = 0;
+  };
+
+  /// Flatten the current state (either mode) for serialization.
+  [[nodiscard]] Flat to_flat() const;
+
+  /// Adopt immutable flat storage in place. The spans must stay valid for
+  /// as long as `backing` is held. Throws std::runtime_error on shape
+  /// mismatch (the artifact loader validates sizes structurally first).
+  static HomoglyphDb adopt_view(const FlatView& flat,
+                                std::shared_ptr<const void> backing);
+
+  /// True when the db reads adopted (e.g. memory-mapped) storage; the
+  /// next mutating call flips it back to owned via materialize().
+  [[nodiscard]] bool is_view() const noexcept { return view_; }
+
  private:
   static constexpr unicode::CodePoint kDenseCanonical = 0x100;
 
@@ -142,6 +210,10 @@ class HomoglyphDb {
   /// representative moved into `changed` (members of the losing component).
   void merge_components(unicode::CodePoint a, unicode::CodePoint b,
                         std::vector<unicode::CodePoint>& changed);
+  /// Copy-on-write: rebuild the owned hash-map representation from the
+  /// flat view and drop the backing reference. Preserves generation();
+  /// resets the change log (exactly like a fresh finalize()).
+  void materialize();
 
   std::unordered_map<std::uint64_t, Source> pair_source_;
   std::unordered_map<unicode::CodePoint, std::vector<unicode::CodePoint>> adjacency_;
@@ -160,6 +232,19 @@ class HomoglyphDb {
   /// log (a full rebuild invalidates incremental bookkeeping).
   std::uint64_t change_log_base_ = 0;
   std::vector<std::vector<unicode::CodePoint>> canonical_change_log_;
+
+  /// View mode: const queries binary-search these spans instead of the
+  /// hash maps (which stay empty until materialize()). `backing_` owns the
+  /// storage — typically the mmap'd DB artifact.
+  bool view_ = false;
+  std::shared_ptr<const void> backing_;
+  std::span<const std::uint64_t> v_pair_keys_;
+  std::span<const std::uint8_t> v_pair_sources_;
+  std::span<const std::uint32_t> v_adj_cps_;
+  std::span<const std::uint32_t> v_adj_offsets_;
+  std::span<const std::uint32_t> v_adj_data_;
+  std::span<const std::uint32_t> v_canon_keys_;
+  std::span<const std::uint32_t> v_canon_reps_;
 };
 
 }  // namespace sham::homoglyph

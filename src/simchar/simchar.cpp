@@ -103,37 +103,105 @@ SimCharDb SimCharDb::build(const font::FontSource& font, const BuildOptions& opt
   return SimCharDb{std::move(pairs)};
 }
 
-SimCharDb::SimCharDb(std::vector<HomoglyphPair> pairs) : pairs_{std::move(pairs)} {
-  for (auto& p : pairs_) {
+SimCharDb::SimCharDb(std::vector<HomoglyphPair> pairs)
+    : owned_pairs_{std::move(pairs)} {
+  for (auto& p : owned_pairs_) {
     if (p.a == p.b) throw std::invalid_argument{"SimCharDb: reflexive pair"};
     if (p.a > p.b) std::swap(p.a, p.b);
   }
-  std::sort(pairs_.begin(), pairs_.end());
-  pairs_.erase(std::unique(pairs_.begin(), pairs_.end(),
-                           [](const HomoglyphPair& x, const HomoglyphPair& y) {
-                             return x.a == y.a && x.b == y.b;
-                           }),
-               pairs_.end());
+  std::sort(owned_pairs_.begin(), owned_pairs_.end());
+  owned_pairs_.erase(std::unique(owned_pairs_.begin(), owned_pairs_.end(),
+                                 [](const HomoglyphPair& x, const HomoglyphPair& y) {
+                                   return x.a == y.a && x.b == y.b;
+                                 }),
+                     owned_pairs_.end());
   index();
 }
 
+SimCharDb& SimCharDb::operator=(const SimCharDb& other) {
+  if (this == &other) return *this;
+  if (other.is_view()) {
+    // View copies share the immutable backing storage — no deep copy.
+    owned_pairs_.clear();
+    owned_chars_.clear();
+    owned_offsets_.clear();
+    owned_postings_.clear();
+    pairs_ = other.pairs_;
+    chars_ = other.chars_;
+    offsets_ = other.offsets_;
+    postings_ = other.postings_;
+    backing_ = other.backing_;
+    return *this;
+  }
+  owned_pairs_ = other.owned_pairs_;
+  owned_chars_ = other.owned_chars_;
+  owned_offsets_ = other.owned_offsets_;
+  owned_postings_ = other.owned_postings_;
+  backing_.reset();
+  rebind();
+  return *this;
+}
+
+void SimCharDb::rebind() noexcept {
+  pairs_ = owned_pairs_;
+  chars_ = owned_chars_;
+  offsets_ = owned_offsets_;
+  postings_ = owned_postings_;
+}
+
 void SimCharDb::index() {
-  by_char_.clear();
-  for (std::size_t i = 0; i < pairs_.size(); ++i) {
-    by_char_[pairs_[i].a].push_back(i);
-    by_char_[pairs_[i].b].push_back(i);
+  // CSR posting index: one (cp, partner, pair) triple per pair endpoint,
+  // sorted by (cp, partner) — each character's postings therefore come out
+  // partner-sorted, so delta_of can binary-search them (hot in the detect
+  // verify path) and homoglyphs_of is ascending without a per-query sort.
+  struct Entry {
+    unicode::CodePoint cp;
+    unicode::CodePoint partner;
+    std::uint32_t pair;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(2 * owned_pairs_.size());
+  for (std::size_t i = 0; i < owned_pairs_.size(); ++i) {
+    const auto& p = owned_pairs_[i];
+    entries.push_back({p.a, p.b, static_cast<std::uint32_t>(i)});
+    entries.push_back({p.b, p.a, static_cast<std::uint32_t>(i)});
   }
-  // Sort each posting list by partner code point so delta_of can binary-
-  // search it (hot in the detect verify path) and homoglyphs_of comes out
-  // ascending without a per-query sort.
-  for (auto& [cp, postings] : by_char_) {
-    std::sort(postings.begin(), postings.end(),
-              [&, c = cp](std::size_t x, std::size_t y) {
-                const auto px = pairs_[x].a == c ? pairs_[x].b : pairs_[x].a;
-                const auto py = pairs_[y].a == c ? pairs_[y].b : pairs_[y].a;
-                return px < py;
-              });
+  std::sort(entries.begin(), entries.end(), [](const Entry& x, const Entry& y) {
+    return x.cp != y.cp ? x.cp < y.cp : x.partner < y.partner;
+  });
+
+  owned_chars_.clear();
+  owned_offsets_.clear();
+  owned_postings_.clear();
+  owned_postings_.reserve(entries.size());
+  for (const auto& e : entries) {
+    if (owned_chars_.empty() || owned_chars_.back() != e.cp) {
+      owned_chars_.push_back(e.cp);
+      owned_offsets_.push_back(static_cast<std::uint32_t>(owned_postings_.size()));
+    }
+    owned_postings_.push_back(e.pair);
   }
+  owned_offsets_.push_back(static_cast<std::uint32_t>(owned_postings_.size()));
+  rebind();
+}
+
+SimCharDb::Flat SimCharDb::flat() const noexcept {
+  return {pairs_, chars_, offsets_, postings_};
+}
+
+SimCharDb SimCharDb::adopt_view(const Flat& flat, std::shared_ptr<const void> backing) {
+  if (flat.offsets.size() != flat.chars.size() + 1 ||
+      flat.postings.size() != 2 * flat.pairs.size() ||
+      (!flat.offsets.empty() && flat.offsets.back() != flat.postings.size())) {
+    throw std::runtime_error{"SimCharDb: flat view shape mismatch"};
+  }
+  SimCharDb db;
+  db.pairs_ = flat.pairs;
+  db.chars_ = flat.chars;
+  db.offsets_ = flat.offsets;
+  db.postings_ = flat.postings;
+  db.backing_ = std::move(backing);
+  return db;
 }
 
 bool SimCharDb::are_homoglyphs(unicode::CodePoint a, unicode::CodePoint b) const {
@@ -143,17 +211,18 @@ bool SimCharDb::are_homoglyphs(unicode::CodePoint a, unicode::CodePoint b) const
 std::optional<int> SimCharDb::delta_of(unicode::CodePoint a, unicode::CodePoint b) const {
   if (a == b) return std::nullopt;
   if (a > b) std::swap(a, b);
-  const auto it = by_char_.find(a);
-  if (it == by_char_.end()) return std::nullopt;
+  const auto slot = std::lower_bound(chars_.begin(), chars_.end(), a);
+  if (slot == chars_.end() || *slot != a) return std::nullopt;
+  const auto c = static_cast<std::size_t>(slot - chars_.begin());
   // Postings are sorted by partner code point (see index()), so the pair
   // {a, b} — stored canonically as (a, b) with a < b — is a binary search
   // away. Any posting whose partner is b must have a as its smaller member.
-  const auto partner = [&](std::size_t idx) {
+  const auto partner = [&](std::uint32_t idx) {
     return pairs_[idx].a == a ? pairs_[idx].b : pairs_[idx].a;
   };
-  const auto& postings = it->second;
+  const auto postings = postings_.subspan(offsets_[c], offsets_[c + 1] - offsets_[c]);
   const auto lo = std::lower_bound(postings.begin(), postings.end(), b,
-                                   [&](std::size_t idx, unicode::CodePoint value) {
+                                   [&](std::uint32_t idx, unicode::CodePoint value) {
                                      return partner(idx) < value;
                                    });
   if (lo == postings.end() || partner(*lo) != b) return std::nullopt;
@@ -162,26 +231,22 @@ std::optional<int> SimCharDb::delta_of(unicode::CodePoint a, unicode::CodePoint 
 
 std::vector<unicode::CodePoint> SimCharDb::homoglyphs_of(unicode::CodePoint cp) const {
   std::vector<unicode::CodePoint> out;
-  const auto it = by_char_.find(cp);
-  if (it == by_char_.end()) return out;
-  out.reserve(it->second.size());
+  const auto slot = std::lower_bound(chars_.begin(), chars_.end(), cp);
+  if (slot == chars_.end() || *slot != cp) return out;
+  const auto c = static_cast<std::size_t>(slot - chars_.begin());
+  out.reserve(offsets_[c + 1] - offsets_[c]);
   // Postings are partner-sorted and pairs are unique, so the output is
   // already ascending and duplicate-free.
-  for (const auto idx : it->second) {
+  for (std::uint32_t i = offsets_[c]; i < offsets_[c + 1]; ++i) {
+    const auto idx = postings_[i];
     out.push_back(pairs_[idx].a == cp ? pairs_[idx].b : pairs_[idx].a);
   }
   return out;
 }
 
 std::vector<unicode::CodePoint> SimCharDb::characters() const {
-  std::vector<unicode::CodePoint> out;
-  out.reserve(by_char_.size());
-  for (const auto& [cp, idxs] : by_char_) out.push_back(cp);
-  std::sort(out.begin(), out.end());
-  return out;
+  return {chars_.begin(), chars_.end()};
 }
-
-std::size_t SimCharDb::character_count() const { return by_char_.size(); }
 
 std::string SimCharDb::serialize() const {
   std::string out;
@@ -198,7 +263,7 @@ std::string SimCharDb::serialize() const {
 }
 
 SimCharDb SimCharDb::merge(const SimCharDb& a, const SimCharDb& b) {
-  std::vector<HomoglyphPair> pairs = a.pairs_;
+  std::vector<HomoglyphPair> pairs{a.pairs_.begin(), a.pairs_.end()};
   pairs.insert(pairs.end(), b.pairs_.begin(), b.pairs_.end());
   // The constructor sorts by (a, b, delta) and keeps the first of each
   // (a, b) — i.e. the smaller recorded ∆ wins on conflict.
@@ -254,6 +319,24 @@ SimCharDb update_with_new_characters(const SimCharDb& existing,
 
   if (stats != nullptr) *stats = local_stats;
   return SimCharDb::merge(existing, SimCharDb{std::move(new_pairs)});
+}
+
+RepertoirePanel render_repertoire_panel(const font::FontSource& font,
+                                        const BuildOptions& options) {
+  BuildStats stats;
+  util::ThreadPool pool{options.threads};
+  const auto glyphs = render_repertoire(font, options, pool, stats);
+
+  RepertoirePanel out;
+  out.cps.reserve(glyphs.size());
+  out.popcounts.reserve(glyphs.size());
+  out.panel.reset(glyphs.size());
+  for (std::size_t i = 0; i < glyphs.size(); ++i) {
+    out.cps.push_back(glyphs[i].cp);
+    out.popcounts.push_back(glyphs[i].popcount);
+    out.panel.set_glyph(i, glyphs[i].glyph.words().data());
+  }
+  return out;
 }
 
 DbDiff diff(const SimCharDb& before, const SimCharDb& after) {

@@ -16,10 +16,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "font/font_source.hpp"
@@ -57,6 +58,14 @@ struct BuildStats {
 };
 
 /// The built homoglyph database (value type; cheap queries).
+///
+/// Storage comes in two modes sharing one query path:
+///   owned  — the pair list and its CSR posting index live in vectors
+///            (every constructor and build() produce this);
+///   view   — pairs and index are immutable spans into storage somebody
+///            else owns (the mmap'd DB artifact; see adopt_view). A view
+///            answers every const query with zero parsing or allocation;
+///            `backing` keeps the mapping alive for the db's lifetime.
 class SimCharDb {
  public:
   /// Run the three-step construction against `font`.
@@ -65,6 +74,35 @@ class SimCharDb {
 
   SimCharDb() = default;
   explicit SimCharDb(std::vector<HomoglyphPair> pairs);
+
+  SimCharDb(const SimCharDb& other) { *this = other; }
+  SimCharDb& operator=(const SimCharDb& other);
+  SimCharDb(SimCharDb&&) noexcept = default;
+  SimCharDb& operator=(SimCharDb&&) noexcept = default;
+
+  /// The flat shape serialized into (and adopted from) the DB artifact:
+  /// the canonical pair array plus the CSR posting index —
+  /// postings[offsets[i] .. offsets[i+1]) are the pair indices touching
+  /// chars[i], sorted by partner code point.
+  struct Flat {
+    std::span<const HomoglyphPair> pairs;
+    std::span<const std::uint32_t> chars;     // ascending, unique
+    std::span<const std::uint32_t> offsets;   // size chars.size() + 1
+    std::span<const std::uint32_t> postings;  // size 2 * pairs.size()
+  };
+
+  /// Spans over the current storage (either mode) — what the artifact
+  /// writer serializes. Valid until the db is mutated or destroyed.
+  [[nodiscard]] Flat flat() const noexcept;
+
+  /// Adopt immutable flat storage in place (zero-copy load path). The
+  /// spans must satisfy the Flat invariants — the loader has already
+  /// structurally validated them — and must stay valid for as long as
+  /// `backing` is held. Throws std::runtime_error on shape mismatch.
+  static SimCharDb adopt_view(const Flat& flat, std::shared_ptr<const void> backing);
+
+  /// True when the db reads adopted (e.g. memory-mapped) storage.
+  [[nodiscard]] bool is_view() const noexcept { return backing_ != nullptr; }
 
   /// True if {a, b} is listed (order-insensitive; reflexive pairs are not
   /// stored, so are_homoglyphs(x, x) is false).
@@ -78,14 +116,14 @@ class SimCharDb {
   [[nodiscard]] std::vector<unicode::CodePoint> homoglyphs_of(unicode::CodePoint cp) const;
 
   /// All pairs, canonical order.
-  [[nodiscard]] const std::vector<HomoglyphPair>& pairs() const noexcept { return pairs_; }
+  [[nodiscard]] std::span<const HomoglyphPair> pairs() const noexcept { return pairs_; }
 
   /// Every character participating in at least one pair ("# characters"
   /// in the paper's Table 1).
   [[nodiscard]] std::vector<unicode::CodePoint> characters() const;
 
   [[nodiscard]] std::size_t pair_count() const noexcept { return pairs_.size(); }
-  [[nodiscard]] std::size_t character_count() const;
+  [[nodiscard]] std::size_t character_count() const noexcept { return chars_.size(); }
 
   /// Text serialization: one "U+XXXX U+YYYY <delta>" line per pair.
   [[nodiscard]] std::string serialize() const;
@@ -96,10 +134,34 @@ class SimCharDb {
 
  private:
   void index();
+  /// Point the query spans at the owned vectors (owned mode only).
+  void rebind() noexcept;
 
-  std::vector<HomoglyphPair> pairs_;
-  std::unordered_map<unicode::CodePoint, std::vector<std::size_t>> by_char_;
+  std::vector<HomoglyphPair> owned_pairs_;
+  std::vector<std::uint32_t> owned_chars_;
+  std::vector<std::uint32_t> owned_offsets_;
+  std::vector<std::uint32_t> owned_postings_;
+  /// The query path reads only these spans; owned mode points them at the
+  /// vectors above, view mode into `backing_`-owned storage.
+  std::span<const HomoglyphPair> pairs_;
+  std::span<const std::uint32_t> chars_;
+  std::span<const std::uint32_t> offsets_;
+  std::span<const std::uint32_t> postings_;
+  std::shared_ptr<const void> backing_;
 };
+
+/// Step I output in the kernels' word-major shape: the rendered repertoire
+/// as one GlyphPanel (column i = cps[i]), with per-glyph ink counts. This
+/// is what the DB artifact serializes so future incremental updates (and
+/// the batched ∆ kernels) can read glyph rows straight from the mapping.
+struct RepertoirePanel {
+  std::vector<unicode::CodePoint> cps;  // font coverage order
+  std::vector<std::int32_t> popcounts;
+  kernels::GlyphPanel panel;
+};
+
+[[nodiscard]] RepertoirePanel render_repertoire_panel(const font::FontSource& font,
+                                                      const BuildOptions& options = {});
 
 /// Incremental maintenance (Section 4.2 of the paper: "we would need to
 /// update SimChar when the Unicode standard adds a new set of glyphs" —

@@ -1,0 +1,570 @@
+// The DB artifact (db/format.hpp, db/artifact.hpp): write -> mmap ->
+// adopt round trips, loader hardening against corrupt input, in-place
+// glyph-panel adoption for the SIMD kernels, and copy-on-write when a
+// view-mode structure is mutated.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "db/artifact.hpp"
+#include "db/format.hpp"
+#include "detect/engine.hpp"
+#include "detect/skeleton_index.hpp"
+#include "font/synthetic_font.hpp"
+#include "kernels/kernels.hpp"
+#include "simchar/simchar.hpp"
+#include "util/rng.hpp"
+
+namespace sham {
+namespace {
+
+using unicode::CodePoint;
+using unicode::U32String;
+
+// --- Shared fixture data --------------------------------------------------
+
+simchar::SimCharDb small_simchar() {
+  return simchar::SimCharDb{{
+      {'o', 0x043E, 0},
+      {'o', 0x0585, 2},
+      {'e', 0x00E9, 3},
+      {'a', 0x0430, 1},
+      {'i', 0x0131, 2},
+      {0x043E, 0x04E7, 4},
+  }};
+}
+
+homoglyph::HomoglyphDb small_db() {
+  homoglyph::DbConfig config;
+  config.use_uc = false;
+  return homoglyph::HomoglyphDb{small_simchar(), unicode::ConfusablesDb::embedded(),
+                                config};
+}
+
+struct Workload {
+  std::vector<std::string> refs;
+  std::vector<detect::IdnEntry> idns;
+};
+
+Workload small_workload(std::uint64_t seed, std::size_t ref_count = 40,
+                        std::size_t idn_count = 400) {
+  Workload w;
+  util::Rng rng{seed};
+  for (std::size_t i = 0; i < ref_count; ++i) {
+    std::string name;
+    const std::size_t n = 3 + rng.below(8);
+    for (std::size_t j = 0; j < n; ++j) name += static_cast<char>('a' + rng.below(26));
+    w.refs.push_back(name);
+  }
+  const CodePoint subs[] = {0x043E, 0x0585, 0x00E9, 0x0430, 0x0131, 0x04E7, 'x'};
+  for (std::size_t i = 0; i < idn_count; ++i) {
+    const auto& ref = w.refs[rng.below(w.refs.size())];
+    U32String label;
+    for (const char c : ref) label.push_back(static_cast<unsigned char>(c));
+    const std::size_t muts = 1 + rng.below(2);
+    for (std::size_t m = 0; m < muts; ++m) {
+      label[rng.below(label.size())] = subs[rng.below(std::size(subs))];
+    }
+    w.idns.push_back({"", label});
+  }
+  return w;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "sham_" + name + ".artifact";
+}
+
+/// Write the small databases (plus a reference skeleton index) to a fresh
+/// artifact file and return its path.
+std::string write_small_artifact(const std::string& name,
+                                 const simchar::SimCharDb& sim,
+                                 const homoglyph::HomoglyphDb& db,
+                                 std::span<const std::string> refs) {
+  const auto path = temp_path(name);
+  db::WriteRequest request;
+  request.simchar = &sim;
+  request.homoglyph = &db;
+  db::SkeletonFlat skeleton;
+  if (!refs.empty()) {
+    const detect::SkeletonIndex index{db, refs, {.max_bucket_occupancy = 4}};
+    skeleton = index.to_flat();
+    request.references = refs;
+    request.reference_fingerprint = detect::label_set_fingerprint(refs);
+    request.skeleton = &skeleton;
+  }
+  db::write_db_file(path, request);
+  return path;
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>{in}, {}};
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// --- Format basics --------------------------------------------------------
+
+TEST(DbFormat, HeaderIsOneCacheLineAndMagicSpellsShamdb) {
+  static_assert(sizeof(db::FileHeader) == 64);
+  static_assert(sizeof(db::SectionEntry) == 32);
+  char magic[9] = {};
+  std::memcpy(magic, &db::kMagic, 8);
+  EXPECT_STREQ(magic, "SHAMDB1");
+}
+
+TEST(DbFormat, Fnv1a64MatchesKnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(db::fnv1a64("", 0), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(db::fnv1a64("a", 1), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(db::fnv1a64("foobar", 6), 0x85944171f73967e8ULL);
+}
+
+TEST(DbFormat, SpanReaderRejectsOverflowingCounts) {
+  alignas(8) const std::byte buf[16] = {};
+  db::SpanReader reader{buf, sizeof(buf), "test"};
+  // A count chosen so count * sizeof(T) wraps a 64-bit size_t; the divide-
+  // based bound check must still reject it.
+  EXPECT_THROW((void)reader.array<std::uint64_t>(~0ULL / 4), std::runtime_error);
+}
+
+// --- Round trip: databases ------------------------------------------------
+
+TEST(DbArtifact, SimCharRoundTripsByteIdentically) {
+  const auto sim = small_simchar();
+  const auto db = small_db();
+  const auto path = write_small_artifact("simchar_rt", sim, db, {});
+  const auto artifact = db::DbArtifact::load(path);
+
+  const auto view = artifact.simchar();
+  EXPECT_TRUE(view.is_view());
+  EXPECT_FALSE(sim.is_view());
+  EXPECT_TRUE(std::ranges::equal(view.pairs(), sim.pairs()));
+  EXPECT_EQ(view.serialize(), sim.serialize());
+  EXPECT_EQ(view.characters(), sim.characters());
+  for (const auto& p : sim.pairs()) {
+    EXPECT_TRUE(view.are_homoglyphs(p.a, p.b));
+    EXPECT_TRUE(view.are_homoglyphs(p.b, p.a));
+    EXPECT_EQ(view.delta_of(p.a, p.b), sim.delta_of(p.a, p.b));
+    EXPECT_EQ(view.homoglyphs_of(p.a), sim.homoglyphs_of(p.a));
+  }
+  EXPECT_FALSE(view.are_homoglyphs('q', 'w'));
+  std::remove(path.c_str());
+}
+
+TEST(DbArtifact, HomoglyphDbRoundTripsByteIdentically) {
+  const auto sim = small_simchar();
+  const auto db = small_db();
+  const auto path = write_small_artifact("hgdb_rt", sim, db, {});
+  const auto artifact = db::DbArtifact::load(path);
+
+  const auto view = artifact.homoglyph();
+  EXPECT_TRUE(view.is_view());
+  EXPECT_EQ(view.serialize(), db.serialize());
+  EXPECT_EQ(view.pair_count(), db.pair_count());
+  EXPECT_EQ(view.character_count(), db.character_count());
+  EXPECT_EQ(view.canonical_class_count(), db.canonical_class_count());
+  EXPECT_EQ(view.generation(), db.generation());
+  EXPECT_EQ(artifact.generation(), db.generation());
+  // canonical() must agree everywhere it matters: the latin1 fast path,
+  // every mapped character, and unmapped code points.
+  for (CodePoint cp = 0; cp < 0x500; ++cp) {
+    EXPECT_EQ(view.canonical(cp), db.canonical(cp)) << "cp=" << cp;
+  }
+  for (const auto& p : sim.pairs()) {
+    EXPECT_EQ(view.source_of(p.a, p.b), db.source_of(p.a, p.b));
+    EXPECT_EQ(view.homoglyphs_of(p.a), db.homoglyphs_of(p.a));
+  }
+  EXPECT_EQ(view.revert_to_ascii(U32String{0x043E, 'k'}),
+            db.revert_to_ascii(U32String{0x043E, 'k'}));
+  std::remove(path.c_str());
+}
+
+TEST(DbArtifact, ReferencesAndFingerprintRoundTrip) {
+  const auto sim = small_simchar();
+  const auto db = small_db();
+  const std::vector<std::string> refs{"google", "amazon", "facebook"};
+  const auto path = write_small_artifact("refs_rt", sim, db, refs);
+  const auto artifact = db::DbArtifact::load(path);
+  EXPECT_EQ(artifact.references(), refs);
+  EXPECT_EQ(artifact.reference_fingerprint(),
+            detect::label_set_fingerprint(std::span<const std::string>{refs}));
+  EXPECT_TRUE(artifact.has_skeleton());
+  std::remove(path.c_str());
+}
+
+// --- Round trip: skeleton index -------------------------------------------
+
+TEST(DbArtifact, AdoptedSkeletonProbesIdenticallyToFreshBuild) {
+  const auto db = small_db();
+  const auto w = small_workload(42);
+  const auto path =
+      write_small_artifact("skel_rt", small_simchar(), db, w.refs);
+  const auto artifact = db::DbArtifact::load(path);
+
+  const detect::SkeletonIndex fresh{
+      db, std::span<const std::string>{w.refs}, {.max_bucket_occupancy = 4}};
+  const auto adopted =
+      detect::SkeletonIndex::adopt_view(db, artifact.skeleton(), artifact.backing());
+  EXPECT_TRUE(adopted.is_view());
+  EXPECT_EQ(adopted.entry_count(), fresh.entry_count());
+  EXPECT_EQ(adopted.bucket_count(), fresh.bucket_count());
+  EXPECT_EQ(adopted.split_bucket_count(), fresh.split_bucket_count());
+  EXPECT_EQ(adopted.occupancy_histogram(), fresh.occupancy_histogram());
+  // Probe with every reference and every IDN: identical candidate sets,
+  // through both the whole-bucket and the split-aware probe.
+  for (const auto& ref : w.refs) {
+    const auto a = adopted.probe(adopted.hash_of(ref));
+    const auto b = fresh.probe(fresh.hash_of(ref));
+    EXPECT_TRUE(std::ranges::equal(a, b)) << ref;
+    const auto a2 = adopted.probe(adopted.hashes_of(ref));
+    const auto b2 = fresh.probe(fresh.hashes_of(ref));
+    EXPECT_TRUE(std::ranges::equal(a2, b2)) << ref;
+  }
+  for (const auto& idn : w.idns) {
+    const auto a = adopted.probe(adopted.hashes_of(idn.unicode));
+    const auto b = fresh.probe(fresh.hashes_of(idn.unicode));
+    EXPECT_TRUE(std::ranges::equal(a, b));
+  }
+  std::remove(path.c_str());
+}
+
+// --- Round trip: detect() across strategies, levels, cache states ---------
+
+TEST(DbArtifact, DetectByteIdenticalAcrossStrategiesLevelsAndCacheStates) {
+  const auto db = small_db();
+  const auto w = small_workload(7);
+  const auto path =
+      write_small_artifact("detect_rt", small_simchar(), db, w.refs);
+
+  const detect::Engine in_process{db};
+  const auto baseline = in_process.detect(
+      {.references = w.refs, .idns = w.idns, .strategy = detect::Strategy::kSerial});
+  ASSERT_FALSE(baseline.matches.empty());
+
+  const detect::Strategy strategies[] = {
+      detect::Strategy::kSerial, detect::Strategy::kIndexed,
+      detect::Strategy::kParallel, detect::Strategy::kSkeleton};
+  for (const auto level : kernels::supported_levels()) {
+    const kernels::ScopedKernelLevel pin{level};
+    ASSERT_TRUE(pin.forced());
+    const auto engine = detect::Engine::from_db_file(path);
+    for (const auto strategy : strategies) {
+      // Cold then warm: the response memo and cached indexes must not
+      // change the bytes.
+      for (int pass = 0; pass < 2; ++pass) {
+        const auto r = engine.detect(
+            {.references = w.refs, .idns = w.idns, .strategy = strategy});
+        EXPECT_EQ(r.matches, baseline.matches)
+            << "level=" << kernels::level_name(level)
+            << " strategy=" << detect::strategy_name(strategy) << " pass=" << pass;
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DbArtifact, EngineCacheIsPreSeededWithTheArtifactSkeleton) {
+  const auto db = small_db();
+  const auto w = small_workload(11);
+  const auto path =
+      write_small_artifact("seed_rt", small_simchar(), db, w.refs);
+  const auto engine = detect::Engine::from_db_file(path);
+  ASSERT_NE(engine.artifact(), nullptr);
+  // First skeleton query against the artifact's own reference list: the
+  // pre-seeded index is a cache hit — no skeleton build at all.
+  const auto r = engine.detect({.references = engine.artifact()->references(),
+                                .idns = w.idns,
+                                .strategy = detect::Strategy::kSkeleton,
+                                .join = detect::SkeletonJoin::kReferenceIndex});
+  EXPECT_EQ(r.stats.index_cache_hits, 1u);
+  EXPECT_EQ(r.stats.index_cache_rebuilds, 0u);
+  EXPECT_EQ(r.stats.skeleton_build_seconds, 0.0);
+  const detect::Engine fresh{db};
+  const auto serial = fresh.detect(
+      {.references = w.refs, .idns = w.idns, .strategy = detect::Strategy::kSerial});
+  EXPECT_EQ(r.matches, serial.matches);
+  std::remove(path.c_str());
+}
+
+// --- Glyph panel: mapped rows feed the kernels directly -------------------
+
+TEST(DbArtifact, GlyphPanelRowsAreAlignedInPlaceAndKernelReadable) {
+  font::SyntheticFontBuilder b{515};
+  b.cover_range(0x0430, 0x0450, 60);
+  b.plant_cluster('o', {{0x043E, 1}, {0x0585, 3}});
+  const auto font = b.build();
+  const auto rendered = simchar::render_repertoire_panel(*font);
+  ASSERT_GT(rendered.cps.size(), 0u);
+
+  const auto sim = small_simchar();
+  const auto db = small_db();
+  const auto path = temp_path("panel_rt");
+  {
+    db::WriteRequest request;
+    request.simchar = &sim;
+    request.homoglyph = &db;
+    request.panel = &rendered.panel;
+    request.glyph_cps = rendered.cps;
+    request.glyph_popcounts = rendered.popcounts;
+    db::write_db_file(path, request);
+  }
+  const auto artifact = db::DbArtifact::load(path);
+  ASSERT_TRUE(artifact.has_glyph_panel());
+  const auto mapped = artifact.glyph_panel();
+  EXPECT_TRUE(mapped.is_view());
+  EXPECT_EQ(mapped.size(), rendered.panel.size());
+  EXPECT_EQ(mapped.stride(), rendered.panel.stride());
+  EXPECT_TRUE(std::ranges::equal(artifact.glyph_cps(), rendered.cps));
+  EXPECT_TRUE(std::ranges::equal(artifact.glyph_popcounts(), rendered.popcounts));
+  // The whole point of the GPAN layout: every mapped word row sits on a
+  // cache line, bytes identical to the in-memory panel (pad included).
+  for (std::size_t row = 0; row < kernels::kGlyphWords; ++row) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(mapped.word_row(row)) %
+                  kernels::kPanelAlign,
+              0u);
+    EXPECT_EQ(std::memcmp(mapped.word_row(row), rendered.panel.word_row(row),
+                          mapped.stride() * sizeof(std::uint64_t)),
+              0);
+  }
+  // The batched ∆ kernel streams the mapped rows directly, at every
+  // dispatch level the host supports.
+  alignas(64) std::uint64_t query[kernels::kGlyphWords];
+  for (std::size_t w = 0; w < kernels::kGlyphWords; ++w) {
+    query[w] = mapped.word_row(w)[0];
+  }
+  std::vector<std::int32_t> from_mapped(mapped.size());
+  std::vector<std::int32_t> from_owned(mapped.size());
+  for (const auto level : kernels::supported_levels()) {
+    const kernels::ScopedKernelLevel pin{level};
+    kernels::delta_batch_u1024(query, mapped, 0, mapped.size(), from_mapped.data());
+    kernels::delta_batch_u1024(query, rendered.panel, 0, rendered.panel.size(),
+                               from_owned.data());
+    EXPECT_EQ(from_mapped, from_owned) << kernels::level_name(level);
+    EXPECT_EQ(from_mapped[0], 0);
+  }
+  std::remove(path.c_str());
+}
+
+// --- Copy-on-write on mutation --------------------------------------------
+
+TEST(DbArtifact, ViewHomoglyphDbMaterializesOnUpdate) {
+  const auto owned = small_db();
+  const auto path = write_small_artifact("cow_db", small_simchar(), owned, {});
+  const auto artifact = db::DbArtifact::load(path);
+
+  auto view = artifact.homoglyph();
+  ASSERT_TRUE(view.is_view());
+  auto reference = small_db();
+  const simchar::HomoglyphPair extra[] = {{'k', 'x', 1}, {0x0431, 'b', 2}};
+  const auto view_result = view.apply_update(extra);
+  const auto ref_result = reference.apply_update(extra);
+  EXPECT_FALSE(view.is_view());
+  EXPECT_EQ(view_result.pairs_added, ref_result.pairs_added);
+  EXPECT_EQ(view_result.canonical_changed, ref_result.canonical_changed);
+  EXPECT_EQ(view.serialize(), reference.serialize());
+  EXPECT_EQ(view.generation(), reference.generation());
+  for (CodePoint cp = 0; cp < 0x500; ++cp) {
+    EXPECT_EQ(view.canonical(cp), reference.canonical(cp)) << "cp=" << cp;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DbArtifact, ViewSkeletonIndexMaterializesOnRehash) {
+  auto db = small_db();
+  const auto w = small_workload(99);
+  const auto path = write_small_artifact("cow_skel", small_simchar(), db, w.refs);
+  const auto artifact = db::DbArtifact::load(path);
+
+  auto adopted =
+      detect::SkeletonIndex::adopt_view(db, artifact.skeleton(), artifact.backing());
+  detect::SkeletonIndex fresh{
+      db, std::span<const std::string>{w.refs}, {.max_bucket_occupancy = 4}};
+  ASSERT_TRUE(adopted.is_view());
+
+  const simchar::HomoglyphPair extra[] = {{'z', 0x0436, 2}};
+  const auto update = db.apply_update(extra);
+  const std::span<const std::string> labels{w.refs};
+  const auto adopted_touched = adopted.rehash_changed(labels, update.canonical_changed);
+  const auto fresh_touched = fresh.rehash_changed(labels, update.canonical_changed);
+  EXPECT_FALSE(adopted.is_view());
+  EXPECT_EQ(adopted_touched, fresh_touched);
+  for (const auto& ref : w.refs) {
+    EXPECT_TRUE(std::ranges::equal(adopted.probe(adopted.hashes_of(ref)),
+                                   fresh.probe(fresh.hashes_of(ref))))
+        << ref;
+  }
+  std::remove(path.c_str());
+}
+
+// --- Loader hardening ------------------------------------------------------
+
+class DbCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = small_db();
+    w_ = small_workload(1234);
+    path_ = write_small_artifact("corrupt", small_simchar(), db_, w_.refs);
+    bytes_ = slurp(path_);
+    ASSERT_GT(bytes_.size(), 256u);
+    const auto engine = detect::Engine::from_db_file(path_);
+    baseline_ = engine.detect({.references = w_.refs, .idns = w_.idns}).matches;
+    ASSERT_FALSE(baseline_.empty());
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove(mutated_path().c_str());
+  }
+
+  std::string mutated_path() const { return path_ + ".mut"; }
+
+  /// Write `bytes` and expect the loader to reject them with a
+  /// std::runtime_error carrying a non-empty diagnostic.
+  void expect_rejected(const std::vector<char>& bytes, const std::string& what) {
+    spit(mutated_path(), bytes);
+    try {
+      (void)db::DbArtifact::load(mutated_path());
+      FAIL() << what << ": corrupt artifact loaded successfully";
+    } catch (const std::runtime_error& e) {
+      EXPECT_GT(std::strlen(e.what()), 0u) << what;
+    }
+  }
+
+  /// Patch 8 bytes at `offset` and recompute both header checksums so only
+  /// the targeted validation can fire.
+  std::vector<char> patched_header(std::size_t offset, std::uint64_t value,
+                                   std::size_t width = 8) const {
+    auto bytes = bytes_;
+    std::memcpy(bytes.data() + offset, &value, width);
+    const auto checksum = db::fnv1a64(bytes.data(), 56);
+    std::memcpy(bytes.data() + 56, &checksum, 8);
+    return bytes;
+  }
+
+  homoglyph::HomoglyphDb db_;
+  Workload w_;
+  std::string path_;
+  std::vector<char> bytes_;
+  std::vector<detect::Match> baseline_;
+};
+
+TEST_F(DbCorruption, RejectsWrongMagicEndianVersionAndHeaderShape) {
+  expect_rejected(patched_header(0, 0x0031424D414853ULL), "magic");
+  expect_rejected(patched_header(8, 0x04030201, 4), "endianness");
+  expect_rejected(patched_header(12, db::kFormatVersion + 1, 4), "version");
+  expect_rejected(patched_header(24, bytes_.size() + 64), "file_size");
+  expect_rejected(patched_header(36, 128, 4), "header_bytes");
+  // A plain header bit flip without a checksum fix-up.
+  auto flipped = bytes_;
+  flipped[17] = static_cast<char>(flipped[17] ^ 0x01);
+  expect_rejected(flipped, "header checksum");
+}
+
+TEST_F(DbCorruption, RejectsMisalignedAndOutOfBoundsSections) {
+  // Section entry 0 starts at byte 64; offset field at +8, size at +16.
+  const auto patch_section = [&](std::size_t field_offset, std::uint64_t value) {
+    auto bytes = bytes_;
+    std::memcpy(bytes.data() + 64 + field_offset, &value, 8);
+    std::uint32_t section_count = 0;
+    std::memcpy(&section_count, bytes.data() + 32, 4);
+    const auto table_checksum =
+        db::fnv1a64(bytes.data() + 64, section_count * sizeof(db::SectionEntry));
+    std::memcpy(bytes.data() + 40, &table_checksum, 8);
+    const auto checksum = db::fnv1a64(bytes.data(), 56);
+    std::memcpy(bytes.data() + 56, &checksum, 8);
+    return bytes;
+  };
+  std::uint64_t offset0 = 0;
+  std::memcpy(&offset0, bytes_.data() + 64 + 8, 8);
+  expect_rejected(patch_section(8, offset0 + 1), "misaligned section offset");
+  expect_rejected(patch_section(8, bytes_.size() + 64), "out-of-bounds offset");
+  expect_rejected(patch_section(16, ~0ULL - 32), "overflowing section size");
+  // Flipping a section-table byte without recomputing the table checksum.
+  auto table_flip = bytes_;
+  table_flip[64 + 4] = static_cast<char>(table_flip[64 + 4] ^ 0x10);
+  expect_rejected(table_flip, "section table checksum");
+}
+
+TEST_F(DbCorruption, RejectsEveryTruncation) {
+  const std::size_t sizes[] = {0,  1,  13, 63,
+                               64, sizeof(db::FileHeader) + 16,
+                               bytes_.size() / 2, bytes_.size() - 1};
+  for (const auto keep : sizes) {
+    expect_rejected({bytes_.begin(), bytes_.begin() + static_cast<long>(keep)},
+                    "truncated to " + std::to_string(keep));
+  }
+}
+
+TEST_F(DbCorruption, BitFlipFuzzNeverYieldsUbOrSilentlyWrongResults) {
+  // Flip one random bit anywhere in the file: the load must either throw
+  // (any checksummed byte — header, table, payload) or, when the flip
+  // lands in an unread alignment gap between sections, produce results
+  // byte-identical to the pristine artifact. Nothing else is acceptable.
+  util::Rng rng{20260808};
+  std::size_t rejected = 0;
+  std::size_t harmless = 0;
+  for (int i = 0; i < 120; ++i) {
+    auto bytes = bytes_;
+    const std::size_t byte_at = rng.below(bytes.size());
+    bytes[byte_at] = static_cast<char>(bytes[byte_at] ^ (1u << rng.below(8)));
+    spit(mutated_path(), bytes);
+    try {
+      const auto engine = detect::Engine::from_db_file(mutated_path());
+      const auto r = engine.detect({.references = w_.refs, .idns = w_.idns});
+      EXPECT_EQ(r.matches, baseline_) << "byte " << byte_at;
+      ++harmless;
+    } catch (const std::runtime_error&) {
+      ++rejected;
+    }
+  }
+  // The file is overwhelmingly checksummed payload; the fuzz loop must
+  // actually have exercised the rejection path.
+  EXPECT_GT(rejected, 60u);
+  EXPECT_EQ(rejected + harmless, 120u);
+}
+
+TEST_F(DbCorruption, RejectsArtifactsMissingMandatorySections) {
+  // Keep the header but declare zero sections: mandatory SIMC/HGDB absent.
+  auto bytes = patched_header(32, 0, 4);
+  std::uint64_t zero = 0;
+  std::memcpy(bytes.data() + 40, &zero, 8);  // empty table hashes as empty
+  const auto table_checksum = db::fnv1a64(bytes.data() + 64, 0);
+  std::memcpy(bytes.data() + 40, &table_checksum, 8);
+  const auto checksum = db::fnv1a64(bytes.data(), 56);
+  std::memcpy(bytes.data() + 56, &checksum, 8);
+  expect_rejected(bytes, "missing mandatory sections");
+}
+
+TEST(DbArtifactErrors, LoadOfMissingAndEmptyFilesThrows) {
+  EXPECT_THROW((void)db::DbArtifact::load(temp_path("nonexistent")),
+               std::runtime_error);
+  const auto path = temp_path("empty");
+  { std::ofstream out{path, std::ios::trunc}; }
+  EXPECT_THROW((void)db::DbArtifact::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(DbArtifactErrors, WriterRejectsMalformedRequests) {
+  const auto sim = small_simchar();
+  const auto db = small_db();
+  const auto path = temp_path("invalid_req");
+  db::WriteRequest no_simchar;
+  no_simchar.homoglyph = &db;
+  EXPECT_THROW(db::write_db_file(path, no_simchar), std::invalid_argument);
+  db::WriteRequest no_db;
+  no_db.simchar = &sim;
+  EXPECT_THROW(db::write_db_file(path, no_db), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sham

@@ -443,9 +443,9 @@ TEST(SkeletonIndex, CollisionBucketsAreVerifiedExactly) {
   std::vector<Match> matches;
   std::vector<DiffChar> diffs;
   for (std::size_t r = 0; r < w.refs.size(); ++r) {
-    const auto* bucket = index.probe(index.hash_of(w.refs[r]));
-    if (bucket == nullptr) continue;
-    for (const auto x : *bucket) {
+    const auto bucket = index.probe(index.hash_of(w.refs[r]));
+    if (bucket.empty()) continue;
+    for (const auto x : bucket) {
       if (detector.match_pair(w.refs[r], w.idns[x].unicode, &diffs)) {
         matches.push_back({r, x, diffs});
       }
@@ -789,7 +789,7 @@ TEST(SkeletonIndex, OccupancyHistogramGuardsEmptyBuckets) {
   const simchar::HomoglyphPair added[] = {{'a', 'b', 1}};
   const auto update = db.apply_update(added);
   EXPECT_EQ(index.rehash_changed(labels, update.canonical_changed), 1u);
-  EXPECT_EQ(index.probe(hash_b), nullptr);
+  EXPECT_TRUE(index.probe(hash_b).empty());
   EXPECT_NE(index.entry_hash(0), hash_b);
   EXPECT_EQ(index.bucket_count(), 2u);
 
@@ -901,13 +901,13 @@ TEST(SkeletonIndex, OversizedBucketsSplitBySecondaryHash) {
   // canonical stream equals the probe's (here: the label itself), and the
   // legacy hash probe still sees the full union.
   for (std::size_t i = 0; i < labels.size(); ++i) {
-    const auto* child = capped.probe(capped.hashes_of(labels[i]));
-    ASSERT_NE(child, nullptr) << labels[i];
-    EXPECT_NE(std::find(child->begin(), child->end(), i), child->end());
-    EXPECT_LE(child->size(), 3u);  // far below the 12-entry parent
-    const auto* whole = capped.probe(capped.hash_of(labels[i]));
-    ASSERT_NE(whole, nullptr);
-    EXPECT_GE(whole->size(), child->size());
+    const auto child = capped.probe(capped.hashes_of(labels[i]));
+    ASSERT_FALSE(child.empty()) << labels[i];
+    EXPECT_NE(std::find(child.begin(), child.end(), i), child.end());
+    EXPECT_LE(child.size(), 3u);  // far below the 12-entry parent
+    const auto whole = capped.probe(capped.hash_of(labels[i]));
+    ASSERT_FALSE(whole.empty());
+    EXPECT_GE(whole.size(), child.size());
   }
 }
 
@@ -953,9 +953,9 @@ TEST(SkeletonIndex, SplitStateSurvivesIncrementalRehash) {
   const simchar::HomoglyphPair added[] = {{'a', 'b', 1}};
   const auto update = db.apply_update(added);
   EXPECT_EQ(index.rehash_changed(labels, update.canonical_changed), 6u);
-  const auto* merged = index.probe(index.hashes_of(labels[0]));
-  ASSERT_NE(merged, nullptr);
-  EXPECT_EQ(merged->size(), 7u);  // all labels, one canonical stream
+  const auto merged = index.probe(index.hashes_of(labels[0]));
+  ASSERT_FALSE(merged.empty());
+  EXPECT_EQ(merged.size(), 7u);  // all labels, one canonical stream
 }
 
 // --- Uniform DetectRequest boundary validation ------------------------------

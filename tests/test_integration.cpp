@@ -1,6 +1,7 @@
 // End-to-end integration tests: the full Figure 1 pipeline over a
 // generated ecosystem, database portability through serialization, and
 // cross-component consistency (detector vs candidate generator vs revert).
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include <unordered_set>
@@ -71,7 +72,7 @@ TEST(Integration, SimCharSurvivesSerialization) {
   // behaves identically.
   const auto text = env().simchar.serialize();
   const auto reloaded = simchar::SimCharDb::parse(text);
-  ASSERT_EQ(reloaded.pairs(), env().simchar.pairs());
+  ASSERT_TRUE(std::ranges::equal(reloaded.pairs(), env().simchar.pairs()));
 
   const core::ShamFinder original{env().simchar, *env().uc};
   const core::ShamFinder round_tripped{reloaded, *env().uc};

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 
+#include "db/artifact.hpp"
 #include "detect/detector.hpp"
 #include "detect/engine.hpp"
 #include "detect/skeleton_index.hpp"
@@ -44,7 +46,7 @@ TEST_P(ThresholdSweep, PrunedEqualsNaiveAtEveryTheta) {
   naive.use_bucket_pruning = false;
   const auto a = simchar::SimCharDb::build(*property_font(), pruned);
   const auto b = simchar::SimCharDb::build(*property_font(), naive);
-  EXPECT_EQ(a.pairs(), b.pairs());
+  EXPECT_TRUE(std::ranges::equal(a.pairs(), b.pairs()));
 }
 
 TEST_P(ThresholdSweep, DbGrowsMonotonicallyWithTheta) {
@@ -153,6 +155,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DetectorInvariance, ::testing::Values(21, 22, 23
 /// non-transitive triples a~b, b~c with {a, c} unlisted) are common; plus
 /// random reference/IDN workloads drawn over the same alphabet.
 struct RandomSkeletonWorkload {
+  simchar::SimCharDb sim;  // the SimChar side of db (the artifact writer needs it)
   homoglyph::HomoglyphDb db;
   std::vector<std::string> refs;
   std::vector<detect::IdnEntry> idns;
@@ -178,8 +181,8 @@ RandomSkeletonWorkload random_skeleton_workload(std::uint64_t seed) {
   }
   homoglyph::DbConfig config;
   config.use_uc = false;  // keep the pair graph exactly the random one
-  w.db = homoglyph::HomoglyphDb{simchar::SimCharDb{std::move(pairs)},
-                                unicode::ConfusablesDb::embedded(), config};
+  w.sim = simchar::SimCharDb{std::move(pairs)};
+  w.db = homoglyph::HomoglyphDb{w.sim, unicode::ConfusablesDb::embedded(), config};
 
   for (int i = 0; i < 30; ++i) {
     std::string ref;
@@ -235,9 +238,9 @@ TEST_P(SkeletonEquivalence, CollisionBucketsStayExactOnRandomizedDbs) {
   std::vector<detect::Match> matches;
   std::vector<detect::DiffChar> diffs;
   for (std::size_t r = 0; r < w.refs.size(); ++r) {
-    const auto* bucket = index.probe(index.hash_of(w.refs[r]));
-    if (bucket == nullptr) continue;
-    for (const auto x : *bucket) {
+    const auto bucket = index.probe(index.hash_of(w.refs[r]));
+    if (bucket.empty()) continue;
+    for (const auto x : bucket) {
       if (detector.match_pair(w.refs[r], w.idns[x].unicode, &diffs)) {
         matches.push_back({r, x, diffs});
       }
@@ -323,6 +326,60 @@ TEST_P(CacheInvalidationProperty, WarmEngineTracksFreshSerialBaseline) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheInvalidationProperty,
                          ::testing::Values(301, 302, 303, 304, 305));
 
+// --- DB-artifact round trip on randomized databases -------------------------
+
+/// build -> serialize -> mmap-load -> detect() must be byte-identical to
+/// the in-process serial baseline under every strategy, every kernel
+/// dispatch level the host supports, and both cache states (cold and
+/// warm), on randomized pair graphs and workloads.
+class DbRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DbRoundTripProperty, MappedDetectTracksSerialBaselineEverywhere) {
+  const auto w = random_skeleton_workload(GetParam());
+  const auto path = ::testing::TempDir() + "sham_roundtrip_" +
+                    std::to_string(GetParam()) + ".artifact";
+  {
+    db::WriteRequest request;
+    request.simchar = &w.sim;
+    request.homoglyph = &w.db;
+    const detect::SkeletonIndex index{
+        w.db, std::span<const std::string>{w.refs}, {.max_bucket_occupancy = 4}};
+    const auto skeleton = index.to_flat();
+    request.references = w.refs;
+    request.reference_fingerprint =
+        detect::label_set_fingerprint(std::span<const std::string>{w.refs});
+    request.skeleton = &skeleton;
+    db::write_db_file(path, request);
+  }
+  const detect::Engine in_process{w.db};
+  const auto baseline = in_process.detect(
+      {.references = w.refs, .idns = w.idns, .strategy = detect::Strategy::kSerial});
+
+  const detect::Strategy strategies[] = {
+      detect::Strategy::kSerial, detect::Strategy::kIndexed,
+      detect::Strategy::kParallel, detect::Strategy::kSkeleton};
+  for (const auto level : kernels::supported_levels()) {
+    const kernels::ScopedKernelLevel pin{level};
+    ASSERT_TRUE(pin.forced());
+    const auto engine = detect::Engine::from_db_file(path);
+    EXPECT_EQ(engine.artifact()->references(), w.refs);
+    for (const auto strategy : strategies) {
+      for (int pass = 0; pass < 2; ++pass) {  // cold, then warm caches
+        const auto r = engine.detect(
+            {.references = w.refs, .idns = w.idns, .strategy = strategy});
+        EXPECT_EQ(r.matches, baseline.matches)
+            << "seed=" << GetParam() << " level=" << kernels::level_name(level)
+            << " strategy=" << detect::strategy_name(strategy)
+            << " pass=" << pass;
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbRoundTripProperty,
+                         ::testing::Values(501, 502, 503, 504, 505));
+
 // --- Serialization closure -------------------------------------------------
 
 class SerializationSweep : public ::testing::TestWithParam<int> {};
@@ -331,7 +388,7 @@ TEST_P(SerializationSweep, SimCharSerializeParseIsIdentityAtEveryTheta) {
   simchar::BuildOptions options;
   options.threshold = GetParam();
   const auto db = simchar::SimCharDb::build(*property_font(), options);
-  EXPECT_EQ(simchar::SimCharDb::parse(db.serialize()).pairs(), db.pairs());
+  EXPECT_TRUE(std::ranges::equal(simchar::SimCharDb::parse(db.serialize()).pairs(), db.pairs()));
 }
 
 INSTANTIATE_TEST_SUITE_P(Thetas, SerializationSweep, ::testing::Values(0, 2, 4, 8));

@@ -1,5 +1,6 @@
 // Incremental-maintenance tests: merge, diff, and the Section 4.2 update
 // path (new Unicode characters added without a full pairwise rebuild).
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include "font/synthetic_font.hpp"
@@ -28,8 +29,8 @@ TEST(Merge, SmallerDeltaWinsOnConflict) {
 
 TEST(Merge, WithEmpty) {
   SimCharDb a{{{'a', 0x0430, 1}}};
-  EXPECT_EQ(SimCharDb::merge(a, SimCharDb{}).pairs(), a.pairs());
-  EXPECT_EQ(SimCharDb::merge(SimCharDb{}, a).pairs(), a.pairs());
+  EXPECT_TRUE(std::ranges::equal(SimCharDb::merge(a, SimCharDb{}).pairs(), a.pairs()));
+  EXPECT_TRUE(std::ranges::equal(SimCharDb::merge(SimCharDb{}, a).pairs(), a.pairs()));
 }
 
 TEST(Diff, AddedAndRemoved) {
@@ -88,7 +89,7 @@ TEST(Update, MatchesFullRebuild) {
   const auto updated =
       update_with_new_characters(existing, *v.new_font, v.added, {}, &update_stats);
   const auto full = SimCharDb::build(*v.new_font);
-  EXPECT_EQ(updated.pairs(), full.pairs());
+  EXPECT_TRUE(std::ranges::equal(updated.pairs(), full.pairs()));
 }
 
 TEST(Update, FindsNewHomoglyphPairs) {
@@ -129,7 +130,7 @@ TEST(Update, EmptyAdditionChangesNothing) {
   const auto v = make_versioned(408);
   const auto existing = SimCharDb::build(*v.old_font);
   const auto updated = update_with_new_characters(existing, *v.old_font, {});
-  EXPECT_EQ(updated.pairs(), existing.pairs());
+  EXPECT_TRUE(std::ranges::equal(updated.pairs(), existing.pairs()));
 }
 
 TEST(Update, PrunedMatchesUnpruned) {
@@ -141,7 +142,7 @@ TEST(Update, PrunedMatchesUnpruned) {
   naive.use_bucket_pruning = false;
   const auto a = update_with_new_characters(existing, *v.new_font, v.added, pruned);
   const auto b = update_with_new_characters(existing, *v.new_font, v.added, naive);
-  EXPECT_EQ(a.pairs(), b.pairs());
+  EXPECT_TRUE(std::ranges::equal(a.pairs(), b.pairs()));
 }
 
 TEST(Update, StepThreeMatchesFullBuildAtTheSparseCutoff) {
@@ -171,7 +172,7 @@ TEST(Update, StepThreeMatchesFullBuildAtTheSparseCutoff) {
     const auto updated =
         update_with_new_characters(existing, *new_font, added, at_cutoff);
     const auto full = SimCharDb::build(*new_font, at_cutoff);
-    EXPECT_EQ(updated.pairs(), full.pairs());
+    EXPECT_TRUE(std::ranges::equal(updated.pairs(), full.pairs()));
     EXPECT_TRUE(updated.are_homoglyphs(0x0E47, 0x0E48));   // at cutoff: kept
     EXPECT_FALSE(updated.are_homoglyphs(0x0E47, 0x0E49));  // sparse member: erased
   }
@@ -182,7 +183,8 @@ TEST(Update, StepThreeMatchesFullBuildAtTheSparseCutoff) {
     const auto existing = SimCharDb::build(*old_font, above_cutoff);
     const auto updated =
         update_with_new_characters(existing, *new_font, added, above_cutoff);
-    EXPECT_EQ(updated.pairs(), SimCharDb::build(*new_font, above_cutoff).pairs());
+    EXPECT_TRUE(std::ranges::equal(updated.pairs(),
+                                   SimCharDb::build(*new_font, above_cutoff).pairs()));
     EXPECT_FALSE(updated.are_homoglyphs(0x0E47, 0x0E48));  // now below cutoff
   }
 }

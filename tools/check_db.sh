@@ -1,0 +1,60 @@
+#!/bin/sh
+# End-to-end check of the memory-mapped DB artifact: build the tree, run
+# the artifact test suite and the db_load smoke (round-trip byte-identity
+# plus corruption fuzzing), then drive the CLI the way a user would —
+# build-db, check --db-file vs the font-built path, and a corrupt-artifact
+# rejection probe.
+#
+#   $ tools/check_db.sh                 # uses ./build (configures if absent)
+#   $ BUILD_DIR=build-asan tools/check_db.sh
+set -e
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target test_db db_load shamfinder_cli -j >/dev/null
+
+echo "=== artifact test suite ==="
+"$BUILD_DIR"/tests/test_db --gtest_brief=1
+
+echo "=== db_load smoke (round trip + corruption fuzz) ==="
+"$BUILD_DIR"/bench/db_load --smoke
+
+echo "=== CLI: build-db -> check --db-file vs font-built check ==="
+ARTIFACT=$(mktemp -u /tmp/sham_check_db.XXXXXX.artifact)
+trap 'rm -f "$ARTIFACT" "$ARTIFACT.corrupt"' EXIT
+
+"$BUILD_DIR"/examples/shamfinder_cli build-db "$ARTIFACT" \
+  --refs google,amazon,facebook,wikipedia,paypal
+
+# The two paths must agree verdict-for-verdict (stdout carries the
+# warnings; stderr the build/load chatter). `check` exits 1 on a detected
+# homograph, 0 on clean — both are expected outcomes here.
+for domain in xn--ggle-55da.com xn--amazn-uce.com wikipedia.com; do
+  built=$("$BUILD_DIR"/examples/shamfinder_cli check "$domain" \
+    --refs google,amazon,facebook,wikipedia,paypal 2>/dev/null) || true
+  mapped=$("$BUILD_DIR"/examples/shamfinder_cli check "$domain" \
+    --db-file "$ARTIFACT" 2>/dev/null) || true
+  if [ "$built" != "$mapped" ]; then
+    echo "MISMATCH for $domain:"
+    echo "--- font-built ---"; echo "$built"
+    echo "--- db-file ---"; echo "$mapped"
+    exit 1
+  fi
+  echo "    $domain: identical verdict"
+done
+
+echo "=== corrupt artifact rejected with a diagnostic ==="
+cp "$ARTIFACT" "$ARTIFACT.corrupt"
+# Flip one byte in the middle of the file (payload region).
+size=$(wc -c < "$ARTIFACT.corrupt")
+printf '\377' | dd of="$ARTIFACT.corrupt" bs=1 seek=$((size / 2)) conv=notrunc 2>/dev/null
+if "$BUILD_DIR"/examples/shamfinder_cli check wikipedia.com \
+    --db-file "$ARTIFACT.corrupt" 2>/dev/null; then
+  echo "corrupt artifact was accepted"
+  exit 1
+fi
+echo "    rejected (non-zero exit)"
+
+echo "db artifact end-to-end: PASS"
