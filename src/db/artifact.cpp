@@ -8,6 +8,11 @@
 #include <stdexcept>
 #include <utility>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "db/mapped_file.hpp"
 
 namespace sham::db {
@@ -204,8 +209,10 @@ void write_db_file(const std::string& path, const WriteRequest& request) {
       fnv1a64(table.data(), table.size() * sizeof(SectionEntry));
   header.header_checksum = fnv1a64(&header, sizeof(FileHeader) - sizeof(std::uint64_t));
 
-  // Write to a sibling temp file and rename into place so readers never
-  // map a half-written artifact.
+  // Write to a sibling temp file, fsync it, and rename into place:
+  // concurrent readers never map a half-written artifact, and a crash or
+  // power loss after the rename cannot land the new name on unwritten data
+  // (rename alone does not order the data against the metadata).
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
@@ -225,15 +232,39 @@ void write_db_file(const std::string& path, const WriteRequest& request) {
                 static_cast<std::streamsize>(payload.size()));
       pos = table[s].offset + table[s].size;
     }
-    if (!out) {
+    out.close();
+    if (out.fail()) {
       std::remove(tmp.c_str());
       throw std::runtime_error{"write_db_file: short write to " + tmp};
     }
   }
+#ifndef _WIN32
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0 || ::fsync(fd) != 0) {
+      if (fd >= 0) ::close(fd);
+      std::remove(tmp.c_str());
+      throw std::runtime_error{"write_db_file: cannot fsync " + tmp};
+    }
+    ::close(fd);
+  }
+#endif
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw std::runtime_error{"write_db_file: cannot rename " + tmp + " to " + path};
   }
+#ifndef _WIN32
+  // Best-effort directory sync so the rename itself is durable; some
+  // filesystems refuse fsync on a directory fd, which is not an error the
+  // (already readable) artifact should fail on.
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+#endif
 }
 
 // --- Loader ---------------------------------------------------------------
@@ -315,6 +346,14 @@ homoglyph::HomoglyphDb::FlatView parse_homoglyph(SpanReader r,
 
 std::vector<std::string> parse_references(SpanReader r) {
   const auto count = r.scalar<std::uint64_t>();
+  // `count + 1` must not wrap: with count == UINT64_MAX the sum is 0, the
+  // array bound check passes on an empty span, and offsets.back() below
+  // reads out of bounds. Every real count also needs 8 offset bytes per
+  // label inside the section, so anything the wrap check passes is then
+  // bounded by the array call itself.
+  if (count == std::numeric_limits<std::uint64_t>::max()) {
+    r.fail("reference count overflow");
+  }
   const auto offsets = r.array<std::uint64_t>(count + 1);
   const auto blob = r.array<std::uint8_t>(offsets.back());
   if (r.remaining() != 0) r.fail("trailing bytes");
@@ -400,6 +439,9 @@ DbArtifact DbArtifact::load(const std::string& path) {
 
   bool seen_simchar = false;
   bool seen_homoglyph = false;
+  bool seen_references = false;
+  bool seen_skeleton = false;
+  bool seen_panel = false;
   for (std::uint32_t s = 0; s < header.section_count; ++s) {
     SectionEntry entry;
     std::memcpy(&entry, table_base + s * sizeof(SectionEntry), sizeof(entry));
@@ -427,13 +469,19 @@ DbArtifact DbArtifact::load(const std::string& path) {
         artifact.homoglyph_ = parse_homoglyph(std::move(reader), header.generation);
         break;
       case kSecReferences:
+        if (seen_references) corrupt(path, "duplicate REFS section");
+        seen_references = true;
         artifact.references_ = parse_references(std::move(reader));
         break;
       case kSecSkeleton:
+        if (seen_skeleton) corrupt(path, "duplicate SKEL section");
+        seen_skeleton = true;
         artifact.skeleton_ = parse_skeleton(std::move(reader));
         artifact.has_skeleton_ = true;
         break;
       case kSecGlyphPanel: {
+        if (seen_panel) corrupt(path, "duplicate GPAN section");
+        seen_panel = true;
         const auto count = reader.scalar<std::uint64_t>();
         const auto stride = reader.scalar<std::uint64_t>();
         artifact.glyph_cps_ =
@@ -469,6 +517,23 @@ DbArtifact DbArtifact::load(const std::string& path) {
   }
   if (!seen_simchar || !seen_homoglyph) {
     corrupt(path, "missing mandatory SIMC/HGDB section");
+  }
+  // Cross-section trust checks. Checksums only prove self-consistency (an
+  // attacker computes them like anyone else), so the SKEL section must be
+  // pinned to the REFS labels it indexes: entries are indexes into the
+  // reference list, and a skeleton larger than the list would hand detect()
+  // out-of-bounds reference indexes, not just wrong answers. Likewise a
+  // fingerprint stamped with no labels describes nothing.
+  if (artifact.has_skeleton_) {
+    if (artifact.references_.empty()) {
+      corrupt(path, "SKEL section without the REFS labels it indexes");
+    }
+    if (artifact.skeleton_.entry_hashes.size() != artifact.references_.size()) {
+      corrupt(path, "skeleton entry count disagrees with the reference list");
+    }
+  }
+  if (artifact.references_.empty() && header.reference_fingerprint != 0) {
+    corrupt(path, "reference fingerprint stamped without a REFS section");
   }
   return artifact;
 }

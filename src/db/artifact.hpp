@@ -5,8 +5,9 @@
 //                                    plus optional reference labels, a
 //                                    reference-side skeleton index in its
 //                                    flat form, and the rendered glyph
-//                                    panel. Atomic: writes path + ".tmp"
-//                                    and renames over the target.
+//                                    panel. Atomic and crash-durable:
+//                                    writes path + ".tmp", fsyncs it, and
+//                                    renames over the target.
 //   DbArtifact::load(path)         — maps the file, verifies header and
 //                                    per-section checksums, structurally
 //                                    validates every index array (offsets
@@ -68,7 +69,9 @@ class DbArtifact {
   /// Map and validate `path`. Throws std::runtime_error with a diagnostic
   /// naming the failing check on any corruption (wrong magic/endianness/
   /// version, truncation, checksum mismatch, misaligned or out-of-bounds
-  /// section, structurally inconsistent index arrays).
+  /// section, duplicate sections, structurally inconsistent index arrays,
+  /// or a SKEL section whose entry count disagrees with the REFS labels
+  /// it indexes — skeleton entries are indexes into that list).
   static DbArtifact load(const std::string& path);
 
   DbArtifact(DbArtifact&&) noexcept = default;

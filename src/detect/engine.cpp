@@ -266,6 +266,21 @@ Engine Engine::from_db_artifact(std::shared_ptr<const db::DbArtifact> artifact,
   if (artifact == nullptr) {
     throw std::invalid_argument{"Engine::from_db_artifact: null artifact"};
   }
+  // Trust check before anything keys off the header fingerprint: checksums
+  // only prove self-consistency (an attacker computes them like anyone
+  // else), so verify the stamp actually describes the stored labels.
+  // Otherwise a hostile artifact could stamp the fingerprint of one list
+  // while shipping another, and both the pre-seeded cache slot below and
+  // callers defaulting their references to artifact->references() would
+  // silently operate on the wrong list.
+  if (!artifact->references().empty() &&
+      label_set_fingerprint(
+          std::span<const std::string>{artifact->references()}) !=
+          artifact->reference_fingerprint()) {
+    throw std::runtime_error{
+        "Engine::from_db_artifact: reference fingerprint does not match the "
+        "stored labels (corrupt or hostile artifact)"};
+  }
   // The view database lives on the heap so db_ survives Engine moves.
   auto db = std::make_unique<const homoglyph::HomoglyphDb>(artifact->homoglyph());
   Engine engine{*db, options};

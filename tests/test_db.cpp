@@ -450,6 +450,32 @@ class DbCorruption : public ::testing::Test {
     return bytes;
   }
 
+  /// Byte offset of the section-table entry carrying `tag`.
+  std::size_t entry_offset(std::uint32_t tag) const {
+    std::uint32_t section_count = 0;
+    std::memcpy(&section_count, bytes_.data() + 32, 4);
+    for (std::uint32_t s = 0; s < section_count; ++s) {
+      const auto at = 64 + s * sizeof(db::SectionEntry);
+      std::uint32_t t = 0;
+      std::memcpy(&t, bytes_.data() + at, 4);
+      if (t == tag) return at;
+    }
+    ADD_FAILURE() << "section tag not present in the fixture artifact";
+    return 0;
+  }
+
+  /// Recompute the section-table and header checksums after a patch, so the
+  /// file is self-consistent and only the targeted validation can fire.
+  static void reseal(std::vector<char>& bytes) {
+    std::uint32_t section_count = 0;
+    std::memcpy(&section_count, bytes.data() + 32, 4);
+    const auto table_checksum =
+        db::fnv1a64(bytes.data() + 64, section_count * sizeof(db::SectionEntry));
+    std::memcpy(bytes.data() + 40, &table_checksum, 8);
+    const auto checksum = db::fnv1a64(bytes.data(), 56);
+    std::memcpy(bytes.data() + 56, &checksum, 8);
+  }
+
   homoglyph::HomoglyphDb db_;
   Workload w_;
   std::string path_;
@@ -532,6 +558,38 @@ TEST_F(DbCorruption, BitFlipFuzzNeverYieldsUbOrSilentlyWrongResults) {
   EXPECT_EQ(rejected + harmless, 120u);
 }
 
+TEST_F(DbCorruption, RejectsDuplicateSections) {
+  // Retag the SKEL table entry as a second REFS section. Checksums stay
+  // self-consistent (they cover whatever bytes are there), so only the
+  // duplicate-section check can reject the file — without it, last-one-wins
+  // would let one REFS list carry another list's header fingerprint.
+  auto bytes = bytes_;
+  const auto at = entry_offset(db::kSecSkeleton);
+  const std::uint32_t refs_tag = db::kSecReferences;
+  std::memcpy(bytes.data() + at, &refs_tag, 4);
+  reseal(bytes);
+  expect_rejected(bytes, "duplicate REFS section");
+}
+
+TEST_F(DbCorruption, RejectsReferenceCountOverflow) {
+  // The REFS payload leads with the label count; UINT64_MAX makes the
+  // `count + 1` offsets read wrap to an empty span, and offsets.back()
+  // would read out of bounds without the overflow guard.
+  auto bytes = bytes_;
+  const auto at = entry_offset(db::kSecReferences);
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::memcpy(&offset, bytes.data() + at + 8, 8);
+  std::memcpy(&size, bytes.data() + at + 16, 8);
+  const std::uint64_t count = ~0ULL;
+  std::memcpy(bytes.data() + offset, &count, 8);
+  const auto payload_checksum =
+      db::fnv1a64(bytes.data() + offset, static_cast<std::size_t>(size));
+  std::memcpy(bytes.data() + at + 24, &payload_checksum, 8);
+  reseal(bytes);
+  expect_rejected(bytes, "reference count overflow");
+}
+
 TEST_F(DbCorruption, RejectsArtifactsMissingMandatorySections) {
   // Keep the header but declare zero sections: mandatory SIMC/HGDB absent.
   auto bytes = patched_header(32, 0, 4);
@@ -549,6 +607,70 @@ TEST(DbArtifactErrors, LoadOfMissingAndEmptyFilesThrows) {
                std::runtime_error);
   const auto path = temp_path("empty");
   { std::ofstream out{path, std::ios::trunc}; }
+  EXPECT_THROW((void)db::DbArtifact::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// A hostile artifact is self-consistent by construction — checksums and
+// fingerprints are computable by anyone — so the loader must pin the SKEL
+// section to the REFS labels it indexes. Entries are indexes into the
+// reference list: a skeleton larger than the list would hand detect()
+// out-of-bounds reference reads, not just wrong answers.
+TEST(DbArtifactErrors, RejectsSkeletonLargerThanItsReferenceList) {
+  const auto sim = small_simchar();
+  const auto db = small_db();
+  const auto w = small_workload(31);
+  const auto path = temp_path("hostile_skel");
+  const detect::SkeletonIndex index{db, std::span<const std::string>{w.refs},
+                                    {.max_bucket_occupancy = 4}};
+  const auto skeleton = index.to_flat();
+  const std::vector<std::string> short_refs{w.refs.begin(), w.refs.begin() + 3};
+  db::WriteRequest request;
+  request.simchar = &sim;
+  request.homoglyph = &db;
+  request.references = short_refs;
+  request.reference_fingerprint =
+      detect::label_set_fingerprint(std::span<const std::string>{short_refs});
+  request.skeleton = &skeleton;
+  db::write_db_file(path, request);
+  EXPECT_THROW((void)db::DbArtifact::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(DbArtifactErrors, EngineRejectsMismatchedReferenceFingerprint) {
+  const auto sim = small_simchar();
+  const auto db = small_db();
+  const auto w = small_workload(32);
+  const auto path = temp_path("bad_fingerprint");
+  const detect::SkeletonIndex index{db, std::span<const std::string>{w.refs},
+                                    {.max_bucket_occupancy = 4}};
+  const auto skeleton = index.to_flat();
+  db::WriteRequest request;
+  request.simchar = &sim;
+  request.homoglyph = &db;
+  request.references = w.refs;
+  request.reference_fingerprint =
+      detect::label_set_fingerprint(std::span<const std::string>{w.refs}) ^ 1;
+  request.skeleton = &skeleton;
+  db::write_db_file(path, request);
+  // The db layer cannot recompute detect's content hash, so the raw load
+  // succeeds; the engine — whose reference-side cache the fingerprint
+  // keys — is the rejection point.
+  EXPECT_NO_THROW((void)db::DbArtifact::load(path));
+  EXPECT_THROW((void)detect::Engine::from_db_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(DbArtifactErrors, RejectsFingerprintWithoutReferences) {
+  const auto sim = small_simchar();
+  const auto db = small_db();
+  const auto path = write_small_artifact("fp_no_refs", sim, db, {});
+  auto bytes = slurp(path);
+  const std::uint64_t fake = 0xDEADBEEFULL;
+  std::memcpy(bytes.data() + 48, &fake, 8);
+  const auto checksum = db::fnv1a64(bytes.data(), 56);
+  std::memcpy(bytes.data() + 56, &checksum, 8);
+  spit(path, bytes);
   EXPECT_THROW((void)db::DbArtifact::load(path), std::runtime_error);
   std::remove(path.c_str());
 }
