@@ -8,6 +8,8 @@
 //   serve --refs a,b,c                      resident service over stdin domains
 //   replay                                  closed-loop replay + latency report
 //   build-db <path> --refs a,b,c            serialize the DB artifact (mmap-ready)
+//   scale-run --db-file p --zone tld:path   multi-TLD streaming fleet over one
+//                                           shared artifact (JSON report)
 //
 // The homoglyph database is built once per invocation from the system font
 // (or the synthetic font without FreeType) — or, with --db-file, memory-
@@ -29,6 +31,7 @@
 #include "font/freetype_font.hpp"
 #include "font/paper_font.hpp"
 #include "idna/idna.hpp"
+#include "measure/scale_run.hpp"
 #include "serve/replay.hpp"
 #include "serve/server.hpp"
 #include "unicode/blocks.hpp"
@@ -93,7 +96,12 @@ int usage() {
                "  replay [--clients N] [--requests N] [--slots N] [--seed N]\n"
                "        [--no-verify] [--db-file path]\n"
                "                                 synthetic closed-loop replay; prints\n"
-               "                                 the latency/coalescing report JSON\n");
+               "                                 the latency/coalescing report JSON\n"
+               "  scale-run --db-file path       stream registry zones through one\n"
+               "        --zone <tld>:<path>      engine per TLD, all workers mapping\n"
+               "        [--zone ...]             the shared build-db artifact; prints\n"
+               "        [--batch N] [--passes N] the fleet throughput/RSS report as\n"
+               "        [--strategy ...]         JSON (exit 1 if any worker failed)\n");
   return 2;
 }
 
@@ -154,6 +162,59 @@ int cmd_build_db(const std::vector<std::string>& args) {
               finder.simchar().pairs().size(), artifact.references().size(),
               artifact.has_skeleton() ? "yes" : "no",
               artifact.has_glyph_panel() ? "yes" : "no");
+  return 0;
+}
+
+/// scale-run --db-file <path> --zone <tld>:<zone-path> [--zone ...]
+/// [--batch N] [--passes N] [--strategy s]: the multi-TLD streaming fleet
+/// — one engine per zone, every worker mapping the same artifact, zones
+/// streamed in bounded-memory batches. Prints the FleetReport JSON.
+int cmd_scale_run(const std::vector<std::string>& args) {
+  measure::FleetOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--db-file" && i + 1 < args.size()) {
+      options.db_file = args[++i];
+    } else if (args[i] == "--zone" && i + 1 < args.size()) {
+      const std::string spec = args[++i];
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+        std::fprintf(stderr, "scale-run: --zone expects <tld>:<path>, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      options.zones.push_back({spec.substr(0, colon), spec.substr(colon + 1)});
+    } else if (args[i] == "--batch" && i + 1 < args.size()) {
+      options.batch_size = std::stoul(args[++i]);
+    } else if (args[i] == "--passes" && i + 1 < args.size()) {
+      options.passes = std::stoul(args[++i]);
+    } else if (args[i] == "--strategy" && i + 1 < args.size()) {
+      const auto strategy = detect::parse_strategy(args[++i]);
+      if (!strategy) {
+        std::fprintf(stderr, "scale-run: unknown strategy %s\n", args[i].c_str());
+        return 2;
+      }
+      options.strategy = *strategy;
+    } else {
+      std::fprintf(stderr, "scale-run: unknown argument %s\n", args[i].c_str());
+      return 2;
+    }
+  }
+  if (options.db_file.empty() || options.zones.empty()) {
+    std::fprintf(stderr,
+                 "scale-run: --db-file and at least one --zone are required\n");
+    return usage();
+  }
+  const auto report = measure::run_fleet(options);
+  std::printf("%s\n", report.to_json(2).c_str());
+  if (!report.ok()) {
+    for (const auto& z : report.zones) {
+      if (!z.error.empty()) {
+        std::fprintf(stderr, "scale-run: .%s failed: %s\n", z.tld.c_str(),
+                     z.error.c_str());
+      }
+    }
+    return 1;
+  }
   return 0;
 }
 
@@ -550,6 +611,7 @@ int main(int argc, char** argv) {
   // don't terminate().
   try {
     if (command == "build-db") return cmd_build_db(args);
+    if (command == "scale-run") return cmd_scale_run(args);
     if (command == "check") return cmd_check(args);
     if (command == "candidates") return cmd_candidates(args);
     if (command == "revert") return cmd_revert(args);

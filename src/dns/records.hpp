@@ -36,6 +36,8 @@ struct ResourceRecord {
   std::uint16_t priority = 0;  // MX
 
   [[nodiscard]] std::string rdata_str() const;
+
+  [[nodiscard]] bool operator==(const ResourceRecord&) const = default;
 };
 
 }  // namespace sham::dns

@@ -3,172 +3,37 @@
 #include <algorithm>
 #include <fstream>
 
-#include "util/strings.hpp"
+#include "dns/zone_stream.hpp"
 
 namespace sham::dns {
 
-namespace {
-
-struct ParserState {
-  DomainName origin;
-  std::uint32_t default_ttl = 86400;
-  std::string last_owner;
-};
-
-// Resolve an owner/target token against $ORIGIN: "@" means the origin,
-// names without a trailing dot are origin-relative, names with one are
-// absolute.
-std::string resolve_name(std::string_view token, const ParserState& state,
-                         std::size_t line_no) {
-  if (token == "@") {
-    if (state.origin.str().empty()) throw ZoneParseError{line_no, "'@' without $ORIGIN"};
-    return state.origin.str();
-  }
-  std::string name{token};
-  if (!name.empty() && name.back() == '.') {
-    name.pop_back();
-  } else if (!state.origin.str().empty()) {
-    name += '.';
-    name += state.origin.str();
-  }
-  return util::to_lower_ascii(name);
-}
-
-void parse_line(std::string_view raw_line, std::size_t line_no, ParserState& state,
-                const std::function<void(const ResourceRecord&)>& sink) {
-  // Strip comments (zone files quote TXT data; registry zones we model
-  // don't contain quoted semicolons, so a plain scan suffices).
-  auto line = raw_line;
-  if (const auto semi = line.find(';'); semi != std::string_view::npos) {
-    line = line.substr(0, semi);
-  }
-  const bool owner_continuation = !line.empty() && (line[0] == ' ' || line[0] == '\t');
-  const auto tokens = util::split_ws(line);
-  if (tokens.empty()) return;
-
-  if (tokens[0] == "$ORIGIN") {
-    if (tokens.size() != 2) throw ZoneParseError{line_no, "$ORIGIN needs a name"};
-    const auto parsed = DomainName::parse(tokens[1]);
-    if (!parsed) throw ZoneParseError{line_no, "bad $ORIGIN name"};
-    state.origin = *parsed;
-    return;
-  }
-  if (tokens[0] == "$TTL") {
-    if (tokens.size() != 2) throw ZoneParseError{line_no, "$TTL needs a value"};
-    try {
-      state.default_ttl = static_cast<std::uint32_t>(util::parse_u64(tokens[1]));
-    } catch (const std::invalid_argument&) {
-      throw ZoneParseError{line_no, "bad $TTL value"};
-    }
-    return;
-  }
-
-  std::size_t i = 0;
-  std::string owner;
-  if (owner_continuation) {
-    if (state.last_owner.empty()) throw ZoneParseError{line_no, "record without owner"};
-    owner = state.last_owner;
-  } else {
-    owner = resolve_name(tokens[i++], state, line_no);
-    state.last_owner = owner;
-  }
-
-  if (i >= tokens.size()) throw ZoneParseError{line_no, "missing record type"};
-
-  ResourceRecord record;
-  const auto parsed_owner = DomainName::parse(owner);
-  if (!parsed_owner) throw ZoneParseError{line_no, "bad owner name: " + owner};
-  record.owner = *parsed_owner;
-  record.ttl = state.default_ttl;
-
-  // Optional TTL and/or class ("IN") in either order before the type.
-  for (int guard = 0; guard < 2 && i < tokens.size(); ++guard) {
-    const auto token = tokens[i];
-    if (token == "IN") {
-      ++i;
-      continue;
-    }
-    if (!token.empty() && token[0] >= '0' && token[0] <= '9' &&
-        !parse_record_type(token)) {
-      try {
-        record.ttl = static_cast<std::uint32_t>(util::parse_u64(token));
-        ++i;
-        continue;
-      } catch (const std::invalid_argument&) {
-        throw ZoneParseError{line_no, "bad TTL"};
-      }
-    }
-    break;
-  }
-
-  if (i >= tokens.size()) throw ZoneParseError{line_no, "missing record type"};
-  const auto type = parse_record_type(tokens[i]);
-  if (!type) throw ZoneParseError{line_no, "unknown record type: " + std::string{tokens[i]}};
-  record.type = *type;
-  ++i;
-
-  switch (record.type) {
-    case RecordType::kA: {
-      if (i >= tokens.size()) throw ZoneParseError{line_no, "A record needs an address"};
-      const auto addr = Ipv4::parse(tokens[i]);
-      if (!addr) throw ZoneParseError{line_no, "bad IPv4 address"};
-      record.address = *addr;
-      break;
-    }
-    case RecordType::kMx: {
-      if (i + 1 >= tokens.size()) throw ZoneParseError{line_no, "MX needs priority + host"};
-      try {
-        record.priority = static_cast<std::uint16_t>(util::parse_u64(tokens[i]));
-      } catch (const std::invalid_argument&) {
-        throw ZoneParseError{line_no, "bad MX priority"};
-      }
-      record.target = resolve_name(tokens[i + 1], state, line_no);
-      break;
-    }
-    case RecordType::kNs:
-    case RecordType::kCname: {
-      if (i >= tokens.size()) throw ZoneParseError{line_no, "record needs a target"};
-      record.target = resolve_name(tokens[i], state, line_no);
-      break;
-    }
-    case RecordType::kAaaa:
-    case RecordType::kTxt: {
-      if (i >= tokens.size()) throw ZoneParseError{line_no, "record needs rdata"};
-      record.target = std::string{tokens[i]};
-      break;
-    }
-  }
-  sink(record);
-}
-
-}  // namespace
+// All three entry points are thin shells over the incremental
+// ZoneStreamReader core (zone_stream.hpp) — one parser, three feeding
+// disciplines. parse_zone additionally materializes the record list and
+// carries the directive state (the origin/TTL in effect at end of file)
+// out of the reader.
 
 void parse_zone_stream(std::string_view text,
                        const std::function<void(const ResourceRecord&)>& sink) {
-  ParserState state;
-  std::size_t line_no = 0;
-  for (const auto line : util::split(text, '\n')) {
-    ++line_no;
-    parse_line(line, line_no, state, sink);
-  }
+  ZoneStreamReader reader{sink};
+  reader.feed(text);
+  reader.finish();
 }
 
 Zone parse_zone(std::string_view text) {
   Zone zone;
-  ParserState state;
-  std::size_t line_no = 0;
-  bool origin_seen = false;
-  for (const auto line : util::split(text, '\n')) {
-    ++line_no;
-    parse_line(line, line_no, state, [&](const ResourceRecord& r) {
-      zone.records.push_back(r);
-    });
-    if (!origin_seen && !state.origin.str().empty()) {
-      zone.origin = state.origin;
-      origin_seen = true;
-    }
-    zone.default_ttl = state.default_ttl;
+  ZoneStreamReader reader{
+      [&](const ResourceRecord& r) { zone.records.push_back(r); }};
+  reader.feed(text);
+  reader.finish();
+  // The origin/TTL in effect at end of file — a mid-file $ORIGIN change
+  // must be reflected, not latched at the first directive (records are
+  // stored fully qualified, so only the final state is meaningful).
+  // "$ORIGIN ." (the root) leaves the origin empty.
+  if (!reader.origin().empty()) {
+    zone.origin = DomainName::parse_or_throw(reader.origin());
   }
+  zone.default_ttl = reader.default_ttl();
   return zone;
 }
 
@@ -176,18 +41,24 @@ std::size_t parse_zone_file(const std::string& path,
                             const std::function<void(const ResourceRecord&)>& sink) {
   std::ifstream in{path, std::ios::binary};
   if (!in) throw std::runtime_error{"parse_zone_file: cannot open " + path};
-  ParserState state;
-  std::string line;
-  std::size_t line_no = 0;
-  std::size_t records = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    parse_line(line, line_no, state, [&](const ResourceRecord& r) {
-      ++records;
-      sink(r);
-    });
+  ZoneStreamReader reader{sink};
+  char buffer[64 * 1024];
+  while (in.read(buffer, sizeof buffer) || in.gcount() > 0) {
+    reader.feed(std::string_view{buffer, static_cast<std::size_t>(in.gcount())});
   }
-  return records;
+  return reader.finish();
+}
+
+std::string serialize_record(const ResourceRecord& r) {
+  std::string out;
+  out += r.owner.str() + ". " + std::to_string(r.ttl) + " IN " +
+         std::string{record_type_name(r.type)} + " " + r.rdata_str();
+  if (r.type == RecordType::kNs || r.type == RecordType::kCname ||
+      r.type == RecordType::kMx) {
+    out += '.';  // absolute targets
+  }
+  out += '\n';
+  return out;
 }
 
 std::string serialize_zone(const Zone& zone) {
@@ -196,15 +67,7 @@ std::string serialize_zone(const Zone& zone) {
     out += "$ORIGIN " + zone.origin.str() + ".\n";
   }
   out += "$TTL " + std::to_string(zone.default_ttl) + "\n";
-  for (const auto& r : zone.records) {
-    out += r.owner.str() + ". " + std::to_string(r.ttl) + " IN " +
-           std::string{record_type_name(r.type)} + " " + r.rdata_str();
-    if (r.type == RecordType::kNs || r.type == RecordType::kCname ||
-        r.type == RecordType::kMx) {
-      out += '.';  // absolute targets
-    }
-    out += '\n';
-  }
+  for (const auto& r : zone.records) out += serialize_record(r);
   return out;
 }
 

@@ -36,13 +36,23 @@ class ZoneParseError : public std::runtime_error {
   std::size_t line_;
 };
 
-/// Parse zone text; throws ZoneParseError on malformed input.
+/// Parse zone text; throws ZoneParseError on malformed input. The
+/// returned Zone carries the $ORIGIN/$TTL state in effect at end of file
+/// (a mid-file $ORIGIN change is reflected, not latched at the first
+/// directive). Implemented over ZoneStreamReader (zone_stream.hpp), as
+/// are the two streaming variants below.
 [[nodiscard]] Zone parse_zone(std::string_view text);
 
 /// Streaming variant: invoke `sink` per record without materialising the
 /// zone (registry zones are tens of GB in the paper's setting).
 void parse_zone_stream(std::string_view text,
                        const std::function<void(const ResourceRecord&)>& sink);
+
+/// Serialize one record as a master-file line (absolute owner/target,
+/// explicit TTL and class) — the building block of serialize_zone, public
+/// so zone writers can stream records to disk without materialising the
+/// zone text.
+[[nodiscard]] std::string serialize_record(const ResourceRecord& record);
 
 /// Serialize back to master-file text (round-trips with parse_zone).
 [[nodiscard]] std::string serialize_zone(const Zone& zone);

@@ -1,0 +1,216 @@
+#include "dns/zone_stream.hpp"
+
+#include <limits>
+
+#include "util/strings.hpp"
+
+namespace sham::dns {
+
+namespace {
+
+/// Parse a non-negative decimal token, rejecting values above `max` with
+/// a diagnostic naming `what` — registry feeds with corrupted TTL or
+/// priority columns must fail loudly, not wrap modulo 2^32 / 2^16.
+std::uint64_t parse_bounded(std::string_view token, std::uint64_t max,
+                            const char* what, std::size_t line_no) {
+  std::uint64_t value = 0;
+  try {
+    value = util::parse_u64(token);
+  } catch (const std::invalid_argument&) {
+    throw ZoneParseError{line_no, std::string{"bad "} + what + " value: '" +
+                                      std::string{token} + "'"};
+  }
+  if (value > max) {
+    throw ZoneParseError{line_no, std::string{what} + " out of range: " +
+                                      std::string{token} + " (max " +
+                                      std::to_string(max) + ")"};
+  }
+  return value;
+}
+
+}  // namespace
+
+ZoneStreamReader::ZoneStreamReader(Sink sink) : sink_{std::move(sink)} {}
+
+// Resolve an owner/target token against $ORIGIN: "@" means the origin,
+// names without a trailing dot are origin-relative, names with one are
+// absolute. "$ORIGIN ." (the DNS root) makes relative names absolute
+// as-is; the root itself ("@" under it, or a bare ".") is not a
+// registrable name and is rejected with a diagnostic instead of being
+// collapsed to an empty string.
+namespace {
+
+std::string resolve_name(std::string_view token, const std::string& origin,
+                         bool origin_seen, std::size_t line_no) {
+  if (token == "@") {
+    if (!origin_seen) throw ZoneParseError{line_no, "'@' without $ORIGIN"};
+    if (origin.empty()) {
+      throw ZoneParseError{line_no, "'@' under '$ORIGIN .' names the DNS root"};
+    }
+    return origin;
+  }
+  if (token == ".") {
+    throw ZoneParseError{line_no, "the DNS root '.' is not a valid name here"};
+  }
+  std::string name{token};
+  if (!name.empty() && name.back() == '.') {
+    name.pop_back();
+  } else if (origin_seen && !origin.empty()) {
+    name += '.';
+    name += origin;
+  }
+  return util::to_lower_ascii(name);
+}
+
+}  // namespace
+
+void ZoneStreamReader::process_line(std::string_view raw_line) {
+  ++line_no_;
+  const std::size_t line_no = line_no_;
+
+  // CRLF: the terminator was consumed by feed(); a trailing CR belongs to
+  // the line ending, not the last token.
+  auto line = raw_line;
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+  // Strip comments (zone files quote TXT data; registry zones we model
+  // don't contain quoted semicolons, so a plain scan suffices).
+  if (const auto semi = line.find(';'); semi != std::string_view::npos) {
+    line = line.substr(0, semi);
+  }
+  const bool owner_continuation = !line.empty() && (line[0] == ' ' || line[0] == '\t');
+  const auto tokens = util::split_ws(line);
+  if (tokens.empty()) return;
+
+  if (tokens[0] == "$ORIGIN") {
+    if (tokens.size() != 2) throw ZoneParseError{line_no, "$ORIGIN needs a name"};
+    if (tokens[1] == ".") {
+      // The absolute root: relative names below are already fully
+      // qualified. Tracked as the empty origin.
+      origin_.clear();
+      origin_seen_ = true;
+      return;
+    }
+    const auto parsed = DomainName::parse(tokens[1]);
+    if (!parsed) throw ZoneParseError{line_no, "bad $ORIGIN name"};
+    origin_ = parsed->str();
+    origin_seen_ = true;
+    return;
+  }
+  if (tokens[0] == "$TTL") {
+    if (tokens.size() != 2) throw ZoneParseError{line_no, "$TTL needs a value"};
+    default_ttl_ = static_cast<std::uint32_t>(parse_bounded(
+        tokens[1], std::numeric_limits<std::uint32_t>::max(), "$TTL", line_no));
+    return;
+  }
+
+  std::size_t i = 0;
+  std::string owner;
+  if (owner_continuation) {
+    if (last_owner_.empty()) throw ZoneParseError{line_no, "record without owner"};
+    owner = last_owner_;
+  } else {
+    owner = resolve_name(tokens[i++], origin_, origin_seen_, line_no);
+    last_owner_ = owner;
+  }
+
+  if (i >= tokens.size()) throw ZoneParseError{line_no, "missing record type"};
+
+  ResourceRecord record;
+  const auto parsed_owner = DomainName::parse(owner);
+  if (!parsed_owner) throw ZoneParseError{line_no, "bad owner name: " + owner};
+  record.owner = *parsed_owner;
+  record.ttl = default_ttl_;
+
+  // Optional TTL and/or class ("IN") in either order before the type.
+  for (int guard = 0; guard < 2 && i < tokens.size(); ++guard) {
+    const auto token = tokens[i];
+    if (token == "IN") {
+      ++i;
+      continue;
+    }
+    if (!token.empty() && token[0] >= '0' && token[0] <= '9' &&
+        !parse_record_type(token)) {
+      record.ttl = static_cast<std::uint32_t>(parse_bounded(
+          token, std::numeric_limits<std::uint32_t>::max(), "TTL", line_no));
+      ++i;
+      continue;
+    }
+    break;
+  }
+
+  if (i >= tokens.size()) throw ZoneParseError{line_no, "missing record type"};
+  const auto type = parse_record_type(tokens[i]);
+  if (!type) throw ZoneParseError{line_no, "unknown record type: " + std::string{tokens[i]}};
+  record.type = *type;
+  ++i;
+
+  switch (record.type) {
+    case RecordType::kA: {
+      if (i >= tokens.size()) throw ZoneParseError{line_no, "A record needs an address"};
+      const auto addr = Ipv4::parse(tokens[i]);
+      if (!addr) throw ZoneParseError{line_no, "bad IPv4 address"};
+      record.address = *addr;
+      break;
+    }
+    case RecordType::kMx: {
+      if (i + 1 >= tokens.size()) throw ZoneParseError{line_no, "MX needs priority + host"};
+      record.priority = static_cast<std::uint16_t>(parse_bounded(
+          tokens[i], std::numeric_limits<std::uint16_t>::max(), "MX priority",
+          line_no));
+      record.target = resolve_name(tokens[i + 1], origin_, origin_seen_, line_no);
+      break;
+    }
+    case RecordType::kNs:
+    case RecordType::kCname: {
+      if (i >= tokens.size()) throw ZoneParseError{line_no, "record needs a target"};
+      record.target = resolve_name(tokens[i], origin_, origin_seen_, line_no);
+      break;
+    }
+    case RecordType::kAaaa:
+    case RecordType::kTxt: {
+      if (i >= tokens.size()) throw ZoneParseError{line_no, "record needs rdata"};
+      record.target = std::string{tokens[i]};
+      break;
+    }
+  }
+  ++records_;
+  sink_(record);
+}
+
+void ZoneStreamReader::feed(std::string_view chunk) {
+  if (finished_) {
+    throw std::logic_error{"ZoneStreamReader: feed() after finish()"};
+  }
+  while (!chunk.empty()) {
+    const auto newline = chunk.find('\n');
+    if (newline == std::string_view::npos) {
+      pending_.append(chunk);
+      return;
+    }
+    if (pending_.empty()) {
+      // Complete line lives entirely inside this chunk — parse the view
+      // in place, no copy.
+      process_line(chunk.substr(0, newline));
+    } else {
+      pending_.append(chunk.substr(0, newline));
+      process_line(pending_);
+      pending_.clear();
+    }
+    chunk.remove_prefix(newline + 1);
+  }
+}
+
+std::size_t ZoneStreamReader::finish() {
+  if (finished_) {
+    throw std::logic_error{"ZoneStreamReader: finish() called twice"};
+  }
+  finished_ = true;
+  if (!pending_.empty()) {
+    process_line(pending_);
+    pending_.clear();
+  }
+  return records_;
+}
+
+}  // namespace sham::dns

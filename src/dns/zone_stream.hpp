@@ -1,0 +1,73 @@
+// Incremental, chunk-fed zone-file reader — the bounded-memory core every
+// zone entry point (parse_zone, parse_zone_stream, parse_zone_file) is
+// built on. Registry zones run to tens of GB in the paper's setting
+// (141 M .com domains, Section 5.2), so the reader never materializes the
+// file: callers feed() arbitrary byte chunks — split anywhere, including
+// mid-token, mid-comment, or between a CR and its LF — and records are
+// delivered to the sink as soon as their line completes. Parser state
+// ($ORIGIN / $TTL in effect, the previous owner for blank-owner
+// continuation lines, the running line number for diagnostics) carries
+// across chunk boundaries, so a stream cut into 1-byte chunks yields the
+// record sequence of a one-shot parse, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "dns/records.hpp"
+#include "dns/zone_file.hpp"
+
+namespace sham::dns {
+
+class ZoneStreamReader {
+ public:
+  using Sink = std::function<void(const ResourceRecord&)>;
+
+  /// `sink` is invoked once per parsed record, in file order.
+  explicit ZoneStreamReader(Sink sink);
+
+  /// Consume the next chunk of zone text. Chunks may be any size (one
+  /// byte up to the whole file) and may split the text anywhere; CRLF and
+  /// LF line endings are both accepted. Throws ZoneParseError (with the
+  /// absolute line number) on a malformed record; the reader is then in
+  /// an unspecified state and must be discarded.
+  void feed(std::string_view chunk);
+
+  /// Flush a trailing unterminated line (files need not end in a
+  /// newline). Must be called exactly once, after the last feed();
+  /// further feed() calls are rejected. Returns records().
+  std::size_t finish();
+
+  /// Records delivered to the sink so far.
+  [[nodiscard]] std::size_t records() const noexcept { return records_; }
+  /// Lines fully processed so far.
+  [[nodiscard]] std::size_t lines() const noexcept { return line_no_; }
+
+  /// True once a $ORIGIN directive has been seen (including the absolute
+  /// root "$ORIGIN .", whose origin() is the empty string).
+  [[nodiscard]] bool origin_seen() const noexcept { return origin_seen_; }
+  /// The $ORIGIN currently in effect, without its trailing dot; empty
+  /// when unset or when the origin is the DNS root.
+  [[nodiscard]] const std::string& origin() const noexcept { return origin_; }
+  /// The $TTL currently in effect (the zone-file default until the first
+  /// $TTL directive).
+  [[nodiscard]] std::uint32_t default_ttl() const noexcept { return default_ttl_; }
+
+ private:
+  void process_line(std::string_view raw_line);
+
+  Sink sink_;
+  std::string origin_;
+  bool origin_seen_ = false;
+  std::uint32_t default_ttl_ = 86400;
+  std::string last_owner_;
+  /// Partial final line of the previous chunk, awaiting its newline.
+  std::string pending_;
+  std::size_t line_no_ = 0;
+  std::size_t records_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace sham::dns

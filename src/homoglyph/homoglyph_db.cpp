@@ -112,6 +112,11 @@ void HomoglyphDb::merge_components(unicode::CodePoint a, unicode::CodePoint b,
   auto wit = component_members_.find(lo);
   if (wit == component_members_.end()) {
     wit = component_members_.emplace(lo, std::vector<unicode::CodePoint>{lo}).first;
+    // lo is a singleton entering the graph: give it the self-entry
+    // finalize() records for every graph node (canonical(lo) is unchanged
+    // — absence already meant identity — but the serialized canonical map
+    // must match a full rebuild's exactly).
+    canonical_.emplace(lo, lo);
   } else {
     winner_size = wit->second.size();
   }

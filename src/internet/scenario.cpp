@@ -506,21 +506,32 @@ Scenario generate_scenario(const homoglyph::HomoglyphDb& db,
   return scenario;
 }
 
-dns::Zone scenario_to_zone(const Scenario& scenario, int which) {
+dns::Zone scenario_to_zone(const Scenario& scenario, int which,
+                           std::string_view tld) {
   if (which < 0 || which > 2) {
     throw std::invalid_argument{"scenario_to_zone: which must be 0, 1, or 2"};
   }
   dns::Zone zone;
-  zone.origin = dns::DomainName::parse_or_throw("com");
+  zone.origin = dns::DomainName::parse_or_throw(tld);
   zone.default_ttl = 172800;  // registry zones commonly use 2 days
+
+  // World state is keyed by the generated .com names; `relabel` swaps the
+  // TLD on the emitted owner (and in-zone MX target) only.
+  const auto relabel = [&](const dns::DomainName& domain) {
+    if (tld == "com") return domain;
+    const auto without = domain.without_tld();
+    return dns::DomainName::parse_or_throw(std::string{without} + "." +
+                                           std::string{tld});
+  };
 
   const auto emit = [&](std::uint32_t index) {
     const auto domain = dns::DomainName::parse(scenario.domains[index]);
     if (!domain) return;
     const auto* host = scenario.world.lookup(*domain);
+    const auto owner = relabel(*domain);
 
     dns::ResourceRecord ns;
-    ns.owner = *domain;
+    ns.owner = owner;
     ns.type = dns::RecordType::kNs;
     ns.target = host != nullptr && !host->ns_host.empty()
                     ? host->ns_host
@@ -529,7 +540,7 @@ dns::Zone scenario_to_zone(const Scenario& scenario, int which) {
 
     if (host != nullptr && host->has_a) {
       dns::ResourceRecord a;
-      a.owner = *domain;
+      a.owner = owner;
       a.type = dns::RecordType::kA;
       // Deterministic documentation-range address derived from the name.
       const auto h = std::hash<std::string>{}(domain->str());
@@ -538,10 +549,10 @@ dns::Zone scenario_to_zone(const Scenario& scenario, int which) {
     }
     if (host != nullptr && host->has_mx) {
       dns::ResourceRecord mx;
-      mx.owner = *domain;
+      mx.owner = owner;
       mx.type = dns::RecordType::kMx;
       mx.priority = 10;
-      mx.target = "mx." + domain->str();
+      mx.target = "mx." + owner.str();
       zone.records.push_back(mx);
     }
   };

@@ -91,7 +91,14 @@ struct Scenario {
 /// Requires config.build_world (for delegation data); domains without
 /// world state get a generic NS delegation, as registries list every
 /// registered name.
-[[nodiscard]] dns::Zone scenario_to_zone(const Scenario& scenario, int which = 0);
+///
+/// `tld` relabels the zone under another top-level domain (the scenario
+/// generator itself is .com-shaped): owners and in-zone MX targets swap
+/// their ".com" suffix for ".<tld>", so one scenario can fan out into the
+/// multi-TLD fleet of the paper-scale run (Section 6 covers 1,000+ TLDs)
+/// while SLD labels — the part Algorithm 1 compares — stay identical.
+[[nodiscard]] dns::Zone scenario_to_zone(const Scenario& scenario, int which = 0,
+                                         std::string_view tld = "com");
 
 /// The Table 11 case-study homographs planted by every scenario (when the
 /// needed homoglyph pairs exist in the database).

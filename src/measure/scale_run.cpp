@@ -1,0 +1,390 @@
+#include "measure/scale_run.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "core/shamfinder.hpp"
+#include "db/artifact.hpp"
+#include "dns/zone_file.hpp"
+#include "unicode/confusables.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+
+namespace sham::measure {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) { fnv_bytes(h, &v, sizeof v); }
+
+[[nodiscard]] auto diff_tuple(const detect::DiffChar& d) {
+  return std::tuple{d.index, d.idn_char, d.ref_char,
+                    static_cast<std::uint8_t>(d.source)};
+}
+
+bool verdict_less(const Verdict& x, const Verdict& y) {
+  if (x.reference_index != y.reference_index) {
+    return x.reference_index < y.reference_index;
+  }
+  if (x.ace != y.ace) return x.ace < y.ace;
+  return std::lexicographical_compare(
+      x.diffs.begin(), x.diffs.end(), y.diffs.begin(), y.diffs.end(),
+      [](const detect::DiffChar& a, const detect::DiffChar& b) {
+        return diff_tuple(a) < diff_tuple(b);
+      });
+}
+
+/// Sort, dedup, and fingerprint a verdict list — the one canonical form
+/// every detection path is reduced to before comparison.
+DetectionOutcome canonicalize_verdicts(std::vector<Verdict> verdicts) {
+  std::sort(verdicts.begin(), verdicts.end(), verdict_less);
+  verdicts.erase(std::unique(verdicts.begin(), verdicts.end()), verdicts.end());
+
+  std::uint64_t h = kFnvOffset;
+  for (const auto& v : verdicts) {
+    fnv_u64(h, v.reference_index);
+    fnv_u64(h, v.ace.size());
+    fnv_bytes(h, v.ace.data(), v.ace.size());
+    fnv_u64(h, v.diffs.size());
+    for (const auto& d : v.diffs) {
+      fnv_u64(h, d.index);
+      fnv_u64(h, d.idn_char);
+      fnv_u64(h, d.ref_char);
+      fnv_u64(h, static_cast<std::uint8_t>(d.source));
+    }
+  }
+
+  DetectionOutcome out;
+  out.verdicts = std::move(verdicts);
+  out.fingerprint = h;
+  return out;
+}
+
+void append_verdicts(std::vector<Verdict>& out, std::span<const detect::Match> matches,
+                     std::span<const detect::IdnEntry> idns) {
+  for (const auto& m : matches) {
+    Verdict v;
+    v.reference_index = static_cast<std::uint32_t>(m.reference_index);
+    v.ace = idns[m.idn_index].ace;
+    v.diffs = m.diffs;
+    out.push_back(std::move(v));
+  }
+}
+
+}  // namespace
+
+std::size_t resident_kib() {
+  std::ifstream status{"/proc/self/status"};
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) return std::stoul(line.substr(6));
+  }
+  return 0;
+}
+
+ZoneStreamStats stream_zone_idns(
+    const std::string& path, const StreamOptions& options,
+    const std::function<void(std::span<const detect::IdnEntry>)>& on_batch) {
+  const std::size_t cap = std::max<std::size_t>(1, options.batch_size);
+  ZoneStreamStats stats;
+  std::vector<std::string> pending;  // owner names awaiting IDN extraction
+  std::vector<detect::IdnEntry> batch;
+  std::string last_owner;
+
+  const auto deliver = [&] {
+    if (batch.empty()) return;
+    stats.idns += batch.size();
+    ++stats.batches;
+    on_batch(batch);
+    batch.clear();
+  };
+  const auto extract_pending = [&] {
+    auto idns = core::ShamFinder::extract_idns(pending, options.tld);
+    pending.clear();
+    for (auto& entry : idns) {
+      batch.push_back(std::move(entry));
+      if (batch.size() >= cap) deliver();
+    }
+  };
+
+  stats.records = dns::parse_zone_file(path, [&](const dns::ResourceRecord& r) {
+    auto owner = r.owner.str();
+    // Registry zones group a delegation's records under one owner, so a
+    // consecutive-duplicate check deduplicates almost everything; stray
+    // repeats are harmless (verdicts are deduplicated canonically).
+    if (owner == last_owner) return;
+    last_owner = std::move(owner);
+    ++stats.domains;
+    pending.push_back(last_owner);
+    if (pending.size() >= cap) extract_pending();
+  });
+  extract_pending();
+  deliver();
+  return stats;
+}
+
+DetectionOutcome canonicalize_matches(std::span<const detect::Match> matches,
+                                      std::span<const detect::IdnEntry> idns) {
+  std::vector<Verdict> verdicts;
+  verdicts.reserve(matches.size());
+  append_verdicts(verdicts, matches, idns);
+  return canonicalize_verdicts(std::move(verdicts));
+}
+
+DetectionOutcome merge_outcomes(std::vector<DetectionOutcome> parts) {
+  std::vector<Verdict> verdicts;
+  ZoneStreamStats stream;
+  for (auto& part : parts) {
+    verdicts.insert(verdicts.end(), std::make_move_iterator(part.verdicts.begin()),
+                    std::make_move_iterator(part.verdicts.end()));
+    stream.records += part.stream.records;
+    stream.domains += part.stream.domains;
+    stream.idns += part.stream.idns;
+    stream.batches += part.stream.batches;
+  }
+  auto out = canonicalize_verdicts(std::move(verdicts));
+  out.stream = stream;
+  return out;
+}
+
+DetectionOutcome detect_streaming(const detect::Engine& engine,
+                                  std::span<const std::string> references,
+                                  const std::string& zone_path,
+                                  const StreamOptions& options,
+                                  detect::Strategy strategy) {
+  std::vector<Verdict> verdicts;
+  const auto stream =
+      stream_zone_idns(zone_path, options, [&](std::span<const detect::IdnEntry> batch) {
+        const auto r = engine.detect(
+            {.references = references, .idns = batch, .strategy = strategy});
+        append_verdicts(verdicts, r.matches, batch);
+      });
+  auto out = canonicalize_verdicts(std::move(verdicts));
+  out.stream = stream;
+  return out;
+}
+
+DetectionOutcome detect_materialized(const detect::Engine& engine,
+                                     std::span<const std::string> references,
+                                     const std::string& zone_path,
+                                     const StreamOptions& options,
+                                     detect::Strategy strategy) {
+  std::vector<detect::IdnEntry> idns;
+  auto stream =
+      stream_zone_idns(zone_path, options, [&](std::span<const detect::IdnEntry> batch) {
+        idns.insert(idns.end(), batch.begin(), batch.end());
+      });
+  const auto r =
+      engine.detect({.references = references, .idns = idns, .strategy = strategy});
+  auto out = canonicalize_matches(r.matches, idns);
+  out.stream = stream;
+  return out;
+}
+
+// --- GenerationDiffPipeline -----------------------------------------------
+
+GenerationDiffPipeline::GenerationDiffPipeline(const font::FontSource& initial_font,
+                                               std::vector<std::string> references,
+                                               Config config)
+    : config_{std::move(config)},
+      font_{&initial_font},
+      simchar_{simchar::SimCharDb::build(initial_font, config_.build)},
+      db_{simchar_, unicode::ConfusablesDb::embedded(), config_.db},
+      references_{std::move(references)},
+      ref_index_{db_, std::span<const std::string>{references_},
+                 {.max_bucket_occupancy = config_.skeleton_bucket_cap}},
+      engine_{std::make_unique<detect::Engine>(db_, config_.engine)} {}
+
+GenerationDiffPipeline::ApplyResult GenerationDiffPipeline::apply(
+    const DiffBatch& batch) {
+  ApplyResult result;
+  if (batch.font != nullptr) font_ = batch.font;
+  if (!batch.new_characters.empty()) {
+    simchar_ = simchar::update_with_new_characters(simchar_, *font_,
+                                                   batch.new_characters, config_.build);
+    result.db_update = db_.update_with_new_characters(simchar_);
+    if (!result.db_update.canonical_changed.empty()) {
+      result.index_entries_rehashed =
+          ref_index_.rehash_changed(std::span<const std::string>{references_},
+                                    result.db_update.canonical_changed);
+    }
+  }
+  if (!batch.new_registrations.empty()) {
+    auto fresh = core::ShamFinder::extract_idns(batch.new_registrations, config_.tld);
+    result.new_idns = fresh.size();
+    idns_.insert(idns_.end(), std::make_move_iterator(fresh.begin()),
+                 std::make_move_iterator(fresh.end()));
+  }
+  return result;
+}
+
+DetectionOutcome GenerationDiffPipeline::detect(detect::Strategy strategy) const {
+  const auto r = engine_->detect(
+      {.references = references_, .idns = idns_, .strategy = strategy});
+  auto out = canonicalize_matches(r.matches, idns_);
+  out.stream.idns = idns_.size();
+  return out;
+}
+
+DiffEquivalence verify_against_rebuild(const GenerationDiffPipeline& p) {
+  DiffEquivalence eq;
+  const auto& cfg = p.config();
+
+  // From-scratch baseline over the current font: its coverage is day 0
+  // plus every addition applied so far, so a full build over it is what
+  // the incremental path claims to equal.
+  const auto rebuilt_sim = simchar::SimCharDb::build(p.current_font(), cfg.build);
+  const homoglyph::HomoglyphDb rebuilt_db{rebuilt_sim,
+                                          unicode::ConfusablesDb::embedded(), cfg.db};
+
+  const auto a = p.db().to_flat();
+  const auto b = rebuilt_db.to_flat();
+  eq.pairs_identical = a.pair_keys == b.pair_keys && a.pair_sources == b.pair_sources;
+  eq.canonical_identical = a.canon_keys == b.canon_keys &&
+                           a.canon_reps == b.canon_reps &&
+                           a.canonical_classes == b.canonical_classes;
+
+  const detect::SkeletonIndex rebuilt_index{
+      rebuilt_db, p.references(), {.max_bucket_occupancy = cfg.skeleton_bucket_cap}};
+  const auto fa = p.reference_index().to_flat();
+  const auto fb = rebuilt_index.to_flat();
+  eq.skeleton_identical =
+      fa.hash_mask == fb.hash_mask && fa.entry_hashes == fb.entry_hashes &&
+      fa.entry_h2 == fb.entry_h2 && fa.bucket_hashes == fb.bucket_hashes &&
+      fa.bucket_offsets == fb.bucket_offsets &&
+      fa.bucket_entries == fb.bucket_entries &&
+      fa.bucket_child_start == fb.bucket_child_start && fa.child_h2 == fb.child_h2 &&
+      fa.child_offsets == fb.child_offsets && fa.child_entries == fb.child_entries;
+
+  const detect::Engine rebuilt_engine{rebuilt_db, cfg.engine};
+  constexpr detect::Strategy kStrategies[] = {
+      detect::Strategy::kSerial, detect::Strategy::kIndexed,
+      detect::Strategy::kParallel, detect::Strategy::kSkeleton};
+  eq.verdicts_identical = true;
+  for (const auto strategy : kStrategies) {
+    const auto incremental = p.detect(strategy);
+    const auto r = rebuilt_engine.detect(
+        {.references = p.references(), .idns = p.idns(), .strategy = strategy});
+    const auto rebuilt = canonicalize_matches(r.matches, p.idns());
+    eq.verdicts_identical = eq.verdicts_identical &&
+                            incremental.verdicts == rebuilt.verdicts &&
+                            incremental.fingerprint == rebuilt.fingerprint;
+  }
+  return eq;
+}
+
+// --- Fleet ----------------------------------------------------------------
+
+bool FleetReport::ok() const noexcept {
+  return std::all_of(zones.begin(), zones.end(),
+                     [](const FleetZoneResult& z) { return z.error.empty(); });
+}
+
+std::string FleetReport::to_json(int indent) const {
+  util::JsonWriter w{indent};
+  w.begin_object();
+  w.field("bench", "scale_run");
+  w.field("artifact_bytes", static_cast<std::uint64_t>(artifact_bytes));
+  w.field("references", static_cast<std::uint64_t>(references));
+  w.field("rss_before_kib", static_cast<std::uint64_t>(rss_before_kib));
+  w.field("rss_after_kib", static_cast<std::uint64_t>(rss_after_kib));
+  w.field("seconds", seconds);
+  w.field("total_domains", static_cast<std::uint64_t>(total_domains));
+  w.field("total_idns", static_cast<std::uint64_t>(total_idns));
+  w.field("total_matches", static_cast<std::uint64_t>(total_matches));
+  w.field("ok", ok());
+  w.key("zones").begin_array();
+  for (const auto& z : zones) {
+    w.begin_object();
+    w.field("tld", z.tld);
+    w.field("records", static_cast<std::uint64_t>(z.stream.records));
+    w.field("domains", static_cast<std::uint64_t>(z.stream.domains));
+    w.field("idns", static_cast<std::uint64_t>(z.stream.idns));
+    w.field("batches", static_cast<std::uint64_t>(z.stream.batches));
+    w.field("matches", static_cast<std::uint64_t>(z.matches));
+    w.field("verdict_fingerprint", z.verdict_fingerprint);
+    w.field("seconds", z.seconds);
+    w.field("domains_per_second", z.domains_per_second);
+    if (!z.error.empty()) w.field("error", z.error);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+FleetReport run_fleet(const FleetOptions& options) {
+  FleetReport report;
+  report.rss_before_kib = resident_kib();
+  {
+    // Validate the artifact once up front; workers map it again (the page
+    // cache backs every mapping with one set of physical pages).
+    const auto probe = db::DbArtifact::load(options.db_file);
+    if (probe.references().empty()) {
+      throw std::invalid_argument{
+          "run_fleet: artifact carries no reference list (build-db --references)"};
+    }
+    report.artifact_bytes = probe.file_size();
+    report.references = probe.references().size();
+  }
+
+  report.zones.resize(options.zones.size());
+  const std::size_t passes = std::max<std::size_t>(1, options.passes);
+  util::Stopwatch fleet_watch;
+  std::vector<std::thread> workers;
+  workers.reserve(options.zones.size());
+  for (std::size_t i = 0; i < options.zones.size(); ++i) {
+    workers.emplace_back([&options, &report, passes, i] {
+      auto& out = report.zones[i];
+      out.tld = options.zones[i].tld;
+      util::Stopwatch watch;
+      try {
+        const auto engine = detect::Engine::from_db_file(options.db_file);
+        const auto& refs = engine.artifact()->references();
+        const StreamOptions stream{.tld = options.zones[i].tld,
+                                   .batch_size = options.batch_size};
+        for (std::size_t pass = 0; pass < passes; ++pass) {
+          auto outcome = detect_streaming(engine, refs, options.zones[i].zone_path,
+                                          stream, options.strategy);
+          out.stream.records += outcome.stream.records;
+          out.stream.domains += outcome.stream.domains;
+          out.stream.idns += outcome.stream.idns;
+          out.stream.batches += outcome.stream.batches;
+          out.matches = outcome.verdicts.size();
+          out.verdict_fingerprint = outcome.fingerprint;
+        }
+      } catch (const std::exception& e) {
+        out.error = e.what();
+      }
+      out.seconds = watch.seconds();
+      out.domains_per_second =
+          out.seconds > 0.0 ? static_cast<double>(out.stream.domains) / out.seconds
+                            : 0.0;
+    });
+  }
+  for (auto& t : workers) t.join();
+  report.seconds = fleet_watch.seconds();
+  report.rss_after_kib = resident_kib();
+  for (const auto& z : report.zones) {
+    report.total_domains += z.stream.domains;
+    report.total_idns += z.stream.idns;
+    report.total_matches += z.matches;
+  }
+  return report;
+}
+
+}  // namespace sham::measure

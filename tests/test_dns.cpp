@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "dns/domain.hpp"
 #include "dns/langid.hpp"
 #include "dns/records.hpp"
 #include "dns/zone_file.hpp"
+#include "dns/zone_stream.hpp"
+#include "util/rng.hpp"
 
 namespace sham::dns {
 namespace {
@@ -180,6 +185,172 @@ TEST(ZoneFile, StreamingParser) {
       [&](const ResourceRecord&) { ++count; });
   EXPECT_EQ(count, 2u);
 }
+
+// --- Range validation (truncation regressions) ------------------------
+
+TEST(ZoneFile, TtlOverflowRejected) {
+  // 2^32 used to static_cast down to 0 silently; now it is a parse error.
+  EXPECT_THROW(parse_zone("$TTL 4294967296\n"), ZoneParseError);
+  EXPECT_EQ(parse_zone("$TTL 4294967295\n").default_ttl, 4294967295u);
+  EXPECT_THROW(parse_zone("$ORIGIN com.\na 4294967296 IN A 1.2.3.4\n"),
+               ZoneParseError);
+  const auto zone = parse_zone("$ORIGIN com.\na 4294967295 IN A 1.2.3.4\n");
+  EXPECT_EQ(zone.records[0].ttl, 4294967295u);
+  try {
+    static_cast<void>(
+        parse_zone("$ORIGIN com.\nok IN A 1.2.3.4\n$TTL 99999999999\n"));
+    FAIL() << "expected ZoneParseError";
+  } catch (const ZoneParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string{e.what()}.find("out of range"), std::string::npos);
+  }
+}
+
+TEST(ZoneFile, MxPriorityOverflowRejected) {
+  // 65536 used to wrap to priority 0 (best preference!) via static_cast.
+  EXPECT_THROW(parse_zone("$ORIGIN com.\nm IN MX 65536 mx.m.com.\n"),
+               ZoneParseError);
+  const auto zone = parse_zone("$ORIGIN com.\nm IN MX 65535 mx.m.com.\n");
+  EXPECT_EQ(zone.records[0].priority, 65535u);
+}
+
+// --- $ORIGIN semantics ------------------------------------------------
+
+TEST(ZoneFile, MidFileOriginTracked) {
+  const auto zone = parse_zone(
+      "$ORIGIN com.\n"
+      "a IN A 1.2.3.4\n"
+      "$ORIGIN net.\n"
+      "b IN A 1.2.3.5\n"
+      "@ IN NS ns.b.net.\n");
+  EXPECT_EQ(zone.records[0].owner.str(), "a.com");
+  EXPECT_EQ(zone.records[1].owner.str(), "b.net");
+  EXPECT_EQ(zone.records[2].owner.str(), "net");
+  // Zone carries the origin in effect at end of file, not the first one.
+  EXPECT_EQ(zone.origin.str(), "net");
+
+  const auto again = parse_zone(serialize_zone(zone));
+  ASSERT_EQ(again.records.size(), zone.records.size());
+  for (std::size_t i = 0; i < zone.records.size(); ++i) {
+    EXPECT_EQ(again.records[i], zone.records[i]) << "record " << i;
+  }
+}
+
+TEST(ZoneFile, RootOriginSupported) {
+  // "$ORIGIN ." means relative names are already fully qualified.
+  const auto zone = parse_zone(
+      "$ORIGIN .\n"
+      "example.com IN A 1.2.3.4\n"
+      "other.net. IN NS ns.other.net.\n");
+  ASSERT_EQ(zone.records.size(), 2u);
+  EXPECT_EQ(zone.records[0].owner.str(), "example.com");
+  EXPECT_EQ(zone.records[1].owner.str(), "other.net");
+  EXPECT_EQ(zone.origin.str(), "");  // root tracked as the empty origin
+
+  // The root itself is not a registrable owner.
+  EXPECT_THROW(parse_zone("$ORIGIN .\n@ IN A 1.2.3.4\n"), ZoneParseError);
+  EXPECT_THROW(parse_zone("$ORIGIN .\n. IN A 1.2.3.4\n"), ZoneParseError);
+
+  // Round trip: serialize omits the root $ORIGIN; absolute names survive.
+  const auto again = parse_zone(serialize_zone(zone));
+  ASSERT_EQ(again.records.size(), zone.records.size());
+  for (std::size_t i = 0; i < zone.records.size(); ++i) {
+    EXPECT_EQ(again.records[i], zone.records[i]) << "record " << i;
+  }
+}
+
+// --- Incremental reader ------------------------------------------------
+
+TEST(ZoneStream, BasicIncrementalUse) {
+  std::vector<ResourceRecord> records;
+  ZoneStreamReader reader{[&](const ResourceRecord& r) { records.push_back(r); }};
+  reader.feed("$ORIGIN co");
+  reader.feed("m.\n$TTL 360");
+  reader.feed("0\na IN A 1.2.3.4\r\nb IN ");
+  reader.feed("A 1.2.3.5");  // trailing line without newline
+  EXPECT_EQ(reader.finish(), 2u);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].owner.str(), "a.com");
+  EXPECT_EQ(records[1].owner.str(), "b.com");
+  EXPECT_EQ(records[0].ttl, 3600u);
+  EXPECT_EQ(reader.origin(), "com");
+  EXPECT_TRUE(reader.origin_seen());
+  EXPECT_EQ(reader.default_ttl(), 3600u);
+  EXPECT_EQ(reader.lines(), 4u);
+}
+
+TEST(ZoneStream, LifecycleEnforced) {
+  ZoneStreamReader reader{[](const ResourceRecord&) {}};
+  reader.feed("$ORIGIN com.\n");
+  reader.finish();
+  EXPECT_THROW(reader.feed("a IN A 1.2.3.4\n"), std::logic_error);
+  EXPECT_THROW(reader.finish(), std::logic_error);
+}
+
+TEST(ZoneStream, ErrorLineNumberSpansChunks) {
+  ZoneStreamReader reader{[](const ResourceRecord&) {}};
+  reader.feed("$ORIGIN com.\nok IN A 1.2.3.4\n");
+  try {
+    reader.feed("bad IN A not");
+    reader.feed("-an-ip\n");
+    FAIL() << "expected ZoneParseError";
+  } catch (const ZoneParseError& e) {
+    EXPECT_EQ(e.line(), 3u);  // absolute line number across feeds
+  }
+}
+
+// Property: a stream cut into random chunks (1 byte up to the whole file)
+// yields the exact record sequence of a one-shot parse. The input covers
+// CRLF endings, comments, owner-continuation lines, mid-file directives,
+// and a trailing unterminated line — everything that can straddle a
+// chunk boundary.
+class ZoneChunkProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ZoneChunkProperty, ChunkingInvariant) {
+  const std::string text =
+      "; registry feed header\r\n"
+      "$ORIGIN com.\n"
+      "$TTL 7200\r\n"
+      "google IN NS ns1.google.com. ; delegations\r\n"
+      "       IN NS ns2.google.com.\n"
+      "xn--ggle-55da 300 IN A 142.250.1.1\r\n"
+      "mail IN MX 10 mx.mail.com.\n"
+      "$ORIGIN net.\r\n"
+      "\r\n"
+      "b IN A 1.2.3.5 ; comment\n"
+      "  IN AAAA ::1\n"
+      "@ IN NS ns.b.net.\r\n"
+      "tail IN A 9.9.9.9";  // no trailing newline
+
+  const auto expected = parse_zone(text);
+  ASSERT_EQ(expected.records.size(), 8u);
+
+  util::Rng rng{GetParam()};
+  for (int round = 0; round < 64; ++round) {
+    std::vector<ResourceRecord> records;
+    ZoneStreamReader reader{
+        [&](const ResourceRecord& r) { records.push_back(r); }};
+    std::string_view rest = text;
+    while (!rest.empty()) {
+      const auto take =
+          static_cast<std::size_t>(1 + rng.below(rest.size()));
+      reader.feed(rest.substr(0, take));
+      rest.remove_prefix(take);
+    }
+    reader.finish();
+
+    ASSERT_EQ(records.size(), expected.records.size()) << "round " << round;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ(records[i], expected.records[i])
+          << "round " << round << " record " << i;
+    }
+    EXPECT_EQ(reader.origin(), expected.origin.str());
+    EXPECT_EQ(reader.default_ttl(), expected.default_ttl);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZoneChunkProperty,
+                         ::testing::Values(1u, 77u, 515u, 8191u, 20260808u));
 
 // --- Language identification -----------------------------------------
 

@@ -1,0 +1,246 @@
+// Paper-scale streaming pipeline tests (measure/scale_run.hpp): bounded
+// zone streaming, streamed-vs-materialised verdict identity, and the
+// generation-diff ingestion loop proven state-identical to a rebuild.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dns/zone_file.hpp"
+#include "font/synthetic_font.hpp"
+#include "homoglyph/homoglyph_db.hpp"
+#include "idna/idna.hpp"
+#include "measure/scale_run.hpp"
+#include "unicode/confusables.hpp"
+#include "util/rng.hpp"
+
+namespace sham::measure {
+namespace {
+
+using unicode::CodePoint;
+
+// RAII temp zone file under the build tree's cwd.
+class TempZone {
+ public:
+  TempZone(std::string name, const std::string& text) : path_{std::move(name)} {
+    std::ofstream out{path_, std::ios::trunc};
+    out << text;
+  }
+  ~TempZone() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// The test_simchar_update versioned-font shape: the new font adds ӧ plus
+// the digit '0' to the 'o' cluster — '0' becomes the component's new
+// canonical representative, forcing reference-index rehashing.
+struct VersionedFonts {
+  std::shared_ptr<font::SyntheticFont> old_font;
+  std::shared_ptr<font::SyntheticFont> new_font;
+  std::vector<CodePoint> added;
+};
+
+VersionedFonts make_versioned(std::uint64_t seed) {
+  VersionedFonts v;
+  font::SyntheticFontBuilder old_builder{seed};
+  old_builder.cover_range(0x0430, 0x045F);
+  old_builder.plant_cluster('o', {{0x043E, 0}, {0x0585, 2}});
+  old_builder.plant_cluster('a', {{0x0251, 1}});
+  v.old_font = old_builder.build();
+
+  font::SyntheticFontBuilder new_builder{seed};
+  new_builder.cover_range(0x0430, 0x045F);
+  new_builder.plant_cluster('o', {{0x043E, 0}, {0x0585, 2}, {0x04E7, 3}, {0x30, 2}});
+  new_builder.plant_cluster('a', {{0x0251, 1}});
+  new_builder.cover_range(0x0531 + 0x30, 0x0586, 10, false);
+  v.new_font = new_builder.build();
+
+  for (const auto cp : v.new_font->coverage()) {
+    if (!v.old_font->glyph(cp).has_value()) v.added.push_back(cp);
+  }
+  return v;
+}
+
+const std::vector<std::string> kRefs = {"oooo", "oaoa", "aooa", "ooao", "aaoo"};
+
+// Homograph registrations of random references: "<ace>.<tld>", IDNs only.
+std::vector<std::string> make_registrations(const homoglyph::HomoglyphDb& db,
+                                            std::size_t count, util::Rng& rng,
+                                            const std::string& tld) {
+  std::vector<std::string> out;
+  for (std::size_t attempts = 0; out.size() < count && attempts < count * 64;
+       ++attempts) {
+    const auto& ref = kRefs[rng.below(kRefs.size())];
+    unicode::U32String label;
+    for (const char c : ref) label.push_back(static_cast<unsigned char>(c));
+    const std::size_t at = rng.below(label.size());
+    const auto subs = db.homoglyphs_of(label[at]);
+    if (subs.empty()) continue;
+    label[at] = subs[rng.below(subs.size())];
+    auto ace = idna::to_a_label(label);
+    if (!ace.starts_with("xn--")) continue;
+    out.push_back(std::move(ace) + "." + tld);
+  }
+  return out;
+}
+
+std::string registrations_as_zone(std::span<const std::string> names) {
+  std::string text = "$TTL 300\n";
+  for (const auto& name : names) {
+    text += name + ". IN NS ns1.hoster.net.\n";
+    text += name + ". IN A 203.0.113.7\n";  // duplicate owner, dedup target
+  }
+  return text;
+}
+
+TEST(ResidentKib, Reports) { EXPECT_GT(resident_kib(), 0u); }
+
+TEST(StreamZone, BatchesDedupAndFilter) {
+  const unicode::U32String guugle{'g', 0x043E, 0x043E, 'g', 'l', 'e'};
+  const auto ace = idna::to_a_label(guugle);
+  ASSERT_TRUE(ace.starts_with("xn--"));
+  const std::string text =
+      "$ORIGIN com.\n"
+      + ace + " IN NS ns1.x.net.\n"
+      + ace + " IN A 1.2.3.4\n"           // same owner: one domain, one IDN
+      "plain IN NS ns1.x.net.\n"          // ASCII: counted, not an IDN
+      + ace + ".net. IN NS ns1.x.net.\n"  // wrong TLD: not extracted
+      "other IN A 1.2.3.5\n";
+  const TempZone zone{"test_scale_stream.zone", text};
+
+  std::vector<std::string> seen;
+  std::size_t largest_batch = 0;
+  const auto stats = stream_zone_idns(
+      zone.path(), {.tld = "com", .batch_size = 1},
+      [&](std::span<const detect::IdnEntry> batch) {
+        largest_batch = std::max(largest_batch, batch.size());
+        for (const auto& e : batch) seen.push_back(e.ace);
+      });
+  EXPECT_EQ(stats.records, 5u);
+  EXPECT_EQ(stats.domains, 4u);  // ace.com, plain.com, ace.net, other.com
+  EXPECT_EQ(stats.idns, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_LE(largest_batch, 1u);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], ace);
+}
+
+TEST(StreamZone, MissingFileThrows) {
+  EXPECT_THROW(stream_zone_idns("/nonexistent/zone.db", {},
+                                [](std::span<const detect::IdnEntry>) {}),
+               std::runtime_error);
+}
+
+TEST(MergeOutcomes, SortsAndDeduplicates) {
+  DetectionOutcome a;
+  a.verdicts = {{1, "xn--b", {}}, {0, "xn--a", {}}};
+  DetectionOutcome b;
+  b.verdicts = {{0, "xn--a", {}}};  // duplicate of a's second verdict
+  b.stream.idns = 3;
+  auto merged = merge_outcomes({a, b});
+  ASSERT_EQ(merged.verdicts.size(), 2u);
+  EXPECT_EQ(merged.verdicts[0].reference_index, 0u);
+  EXPECT_EQ(merged.verdicts[0].ace, "xn--a");
+  EXPECT_EQ(merged.verdicts[1].ace, "xn--b");
+  EXPECT_EQ(merged.stream.idns, 3u);
+
+  // Part order must not change the canonical outcome.
+  const auto flipped = merge_outcomes({b, a});
+  EXPECT_EQ(flipped.verdicts, merged.verdicts);
+  EXPECT_EQ(flipped.fingerprint, merged.fingerprint);
+  EXPECT_NE(merged.fingerprint, 0u);
+}
+
+TEST(StreamVsMaterialized, ByteIdenticalAtEveryBatchSize) {
+  const auto fonts = make_versioned(99);
+  const auto sim = simchar::SimCharDb::build(*fonts.new_font, {});
+  const homoglyph::HomoglyphDb db{sim, unicode::ConfusablesDb::embedded(), {}};
+  const detect::Engine engine{db};
+
+  util::Rng rng{4242};
+  const auto regs = make_registrations(db, 40, rng, "com");
+  ASSERT_FALSE(regs.empty());
+  const TempZone zone{"test_scale_identity.zone", registrations_as_zone(regs)};
+
+  const auto baseline = detect_materialized(engine, kRefs, zone.path(),
+                                            {.tld = "com", .batch_size = 4096},
+                                            detect::Strategy::kSerial);
+  ASSERT_FALSE(baseline.verdicts.empty());
+
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{7}, std::size_t{4096}}) {
+    for (const auto strategy :
+         {detect::Strategy::kSerial, detect::Strategy::kIndexed,
+          detect::Strategy::kParallel, detect::Strategy::kSkeleton}) {
+      const auto streamed = detect_streaming(
+          engine, kRefs, zone.path(), {.tld = "com", .batch_size = batch}, strategy);
+      EXPECT_EQ(streamed.verdicts, baseline.verdicts)
+          << "batch " << batch << " strategy " << static_cast<int>(strategy);
+      EXPECT_EQ(streamed.fingerprint, baseline.fingerprint);
+      EXPECT_EQ(streamed.stream.idns, baseline.stream.idns);
+    }
+  }
+}
+
+TEST(GenerationDiff, DailyFeedMatchesFullRebuild) {
+  const auto fonts = make_versioned(515);
+  GenerationDiffPipeline pipeline{*fonts.old_font, kRefs};
+  util::Rng rng{515};
+
+  // Day 0: registrations only (old font's database).
+  DiffBatch day0;
+  day0.new_registrations = make_registrations(pipeline.db(), 12, rng, "com");
+  const auto r0 = pipeline.apply(day0);
+  EXPECT_EQ(r0.db_update.pairs_added, 0u);
+  EXPECT_GT(r0.new_idns, 0u);
+
+  // Day 1: the font update lands — new characters join the 'o' component
+  // and '0' takes over as its canonical representative.
+  DiffBatch day1;
+  day1.font = fonts.new_font.get();
+  day1.new_characters = fonts.added;
+  const auto r1 = pipeline.apply(day1);
+  EXPECT_GT(r1.db_update.pairs_added, 0u);
+  EXPECT_FALSE(r1.db_update.canonical_changed.empty());
+  EXPECT_GT(r1.index_entries_rehashed, 0u);
+
+  // Days 2-3: more registrations against the grown database.
+  for (const std::uint64_t day : {2u, 3u}) {
+    DiffBatch batch;
+    batch.new_registrations =
+        make_registrations(pipeline.db(), 12, rng, "com");
+    const auto r = pipeline.apply(batch);
+    EXPECT_GT(r.new_idns, 0u) << "day " << day;
+  }
+
+  // The accumulated incremental state must be indistinguishable from a
+  // from-scratch rebuild over the current font — flat pair set, canonical
+  // map, skeleton buckets, and detect() verdicts across all strategies.
+  const auto eq = verify_against_rebuild(pipeline);
+  EXPECT_TRUE(eq.pairs_identical);
+  EXPECT_TRUE(eq.canonical_identical);
+  EXPECT_TRUE(eq.skeleton_identical);
+  EXPECT_TRUE(eq.verdicts_identical);
+  EXPECT_TRUE(eq.ok());
+
+  const auto outcome = pipeline.detect(detect::Strategy::kSkeleton);
+  EXPECT_FALSE(outcome.verdicts.empty());
+}
+
+TEST(GenerationDiff, NoOpBatchKeepsStateIdentical) {
+  const auto fonts = make_versioned(7);
+  GenerationDiffPipeline pipeline{*fonts.old_font, kRefs};
+  const auto before = pipeline.db().generation();
+  const auto r = pipeline.apply({});
+  EXPECT_EQ(r.db_update.pairs_added, 0u);
+  EXPECT_EQ(r.index_entries_rehashed, 0u);
+  EXPECT_EQ(r.new_idns, 0u);
+  EXPECT_TRUE(verify_against_rebuild(pipeline).ok());
+  EXPECT_EQ(pipeline.db().generation(), before);
+}
+
+}  // namespace
+}  // namespace sham::measure
