@@ -12,7 +12,18 @@
 //   * generation-diff ingestion — daily batches of new Unicode characters
 //     and new registrations folded in incrementally
 //     (simchar::update_with_new_characters, HomoglyphDb, SkeletonIndex::
-//     rehash_changed), proven state-identical to a full rebuild.
+//     rehash_changed), proven state-identical to a full rebuild;
+//   * streaming zone generation — internet::ZoneTextStream synthesizes the
+//     master-file text chunk-by-chunk, byte-identical to the zone files
+//     written from the materialized scenario;
+//   * intra-zone sharding — detection workers pulling batches off one
+//     generated stream; verdict fingerprints must be identical at 1/2/8
+//     shards (throughput scaling is recorded, and marked hardware_skipped
+//     on single-core hosts);
+//   * bounded-RSS ladder — full generate-and-detect runs at 2e6 and 1e7
+//     domains; the peak resident set at 1e7 must stay within a fixed
+//     slack (kGenRssSlackKib) of the 2e6 run, i.e. independent of the
+//     population size.
 //
 // Results are persisted as BENCH_scale.json. `scale_run --smoke` is the
 // seconds-scale correctness pass registered as the `scale_smoke` ctest
@@ -21,6 +32,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -181,6 +193,87 @@ void remove_zone_set(const ZoneSet& set) {
   for (const auto& z : set.zones) std::remove(z.zone_path.c_str());
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  return {std::istreambuf_iterator<char>{in}, {}};
+}
+
+/// The streamed generator must reproduce the zone files written from the
+/// materialized scenario byte-for-byte (same config, same which/TLD map
+/// as make_zones).
+bool genstream_identity(const homoglyph::HomoglyphDb& db,
+                        const internet::ScenarioConfig& config,
+                        const ZoneSet& set, bool print) {
+  const std::pair<std::string, int> tlds[] = {{"com", 0}, {"net", 1}, {"org", 2}};
+  bool ok = true;
+  for (std::size_t i = 0; i < set.zones.size(); ++i) {
+    const auto& [tld, which] = tlds[i];
+    const auto streamed =
+        internet::generate_zone_text(db, config, {.which = which, .tld = tld});
+    const bool same = streamed == read_file(set.zones[i].zone_path);
+    if (print) {
+      std::printf("  genstream .%s (which=%d): %zu bytes  [%s]\n", tld.c_str(),
+                  which, streamed.size(), same ? "identical" : "MISMATCH");
+    }
+    ok = ok && same;
+  }
+  return ok;
+}
+
+/// One synthetic generate-and-detect fleet run (never touches disk).
+struct GenRun {
+  std::size_t domains = 0;
+  std::size_t shards = 1;
+  std::size_t rss_before_kib = 0;
+  std::size_t rss_peak_kib = 0;
+  std::size_t rss_after_kib = 0;
+  double seconds = 0.0;
+  double domains_per_second = 0.0;
+  std::uint64_t fingerprint = 0;
+  std::size_t matches = 0;
+  bool ok = false;
+};
+
+GenRun run_generated_fleet(const std::string& artifact,
+                           internet::ScenarioConfig config, std::size_t domains,
+                           std::size_t shards) {
+  // Same seed/reference config as the artifact's reference list, so the
+  // planted attacks target names the fleet actually detects against.
+  config.total_domains = domains;
+  measure::FleetOptions options;
+  options.db_file = artifact;
+  measure::FleetZone zone;
+  zone.tld = "com";
+  zone.scenario = config;
+  zone.which = 2;
+  options.zones = {zone};
+  options.shards = shards;
+
+  GenRun run;
+  run.domains = domains;
+  run.shards = shards;
+  run.rss_before_kib = measure::resident_kib();
+  const auto report = measure::run_fleet(options);
+  run.rss_after_kib = measure::resident_kib();
+  if (!report.ok() || report.zones.empty()) return run;
+  const auto& z = report.zones.front();
+  run.rss_peak_kib = z.rss_peak_kib;
+  run.seconds = z.seconds;
+  run.domains_per_second = z.domains_per_second;
+  run.fingerprint = z.verdict_fingerprint;
+  run.matches = z.matches;
+  run.ok = true;
+  return run;
+}
+
+/// Peak-RSS slack allowed between the 2e6- and 1e7-domain generated runs:
+/// the pipeline's working set is a constant (generator head + chunk ring +
+/// batch queue + per-shard verdict vectors), so the ceiling must not move
+/// with the population. 256 MiB absorbs allocator noise and verdict
+/// accumulation without masking an O(N) regression (materializing 1e7
+/// domains would cost GiBs).
+constexpr std::size_t kGenRssSlackKib = 256 * 1024;
+
 /// Streaming vs materialized verdict identity for one zone, across batch
 /// sizes and against an independent in-process engine.
 bool verdict_identity(const detect::Engine& mapped, const detect::Engine& in_process,
@@ -252,6 +345,24 @@ int run_smoke() {
               fleet.zones.size(), fleet.total_idns, fleet.total_matches,
               fleet_ok ? "OK" : "MISMATCH");
   ok = ok && fleet_ok;
+
+  // Streamed generator byte-identical to the written zone files.
+  ok = genstream_identity(env.db_union, config, set, true) && ok;
+
+  // Generated sharded fleet: fingerprint-invariant at 1/2/4 shards.
+  std::vector<GenRun> shard_runs;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    shard_runs.push_back(run_generated_fleet(artifact, config, 20'000, shards));
+  }
+  bool shard_ok = true;
+  for (const auto& r : shard_runs) {
+    shard_ok = shard_ok && r.ok && r.matches > 0 &&
+               r.fingerprint == shard_runs.front().fingerprint;
+  }
+  std::printf("  generated fleet 20k domains, shards 1/2/4: %zu matches  [%s]\n",
+              shard_runs.front().matches,
+              shard_ok ? "fingerprints identical" : "MISMATCH");
+  ok = ok && shard_ok;
 
   // Generation-diff ingestion equivalent to a full rebuild.
   const auto diff = run_diff_feed(24, 515);
@@ -347,6 +458,58 @@ int run_full() {
               fleet.rss_before_kib, fleet.rss_after_kib, fleet.zones.size(),
               fleet.artifact_bytes / 1024);
 
+  // --- Streamed generator vs the written zone files ---------------------
+  bench::header("Streaming zone generation");
+  const bool genstream_identical = genstream_identity(env.db_union, config, set, true);
+
+  // --- Shard sweep over a 1e6-domain generated zone ---------------------
+  // Fingerprint identity is enforced everywhere; the speedup criterion is
+  // only meaningful with cores to scale onto.
+  const std::size_t cores = std::thread::hardware_concurrency();
+  std::vector<GenRun> shard_runs;
+  bool shard_identical = true;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    shard_runs.push_back(run_generated_fleet(artifact, config, 1'000'000, shards));
+    const auto& r = shard_runs.back();
+    shard_identical = shard_identical && r.ok && r.matches > 0 &&
+                      r.fingerprint == shard_runs.front().fingerprint;
+    std::printf("shard sweep 1e6 domains x%zu shards: %.0f domains/s, "
+                "%zu matches, peak RSS %zu KiB  [%s]\n",
+                shards, r.domains_per_second, r.matches, r.rss_peak_kib,
+                r.fingerprint == shard_runs.front().fingerprint ? "identical"
+                                                                : "MISMATCH");
+  }
+  const bool shard_speedup =
+      shard_runs.back().domains_per_second >
+      shard_runs.front().domains_per_second * 1.2;
+  const char* shard_speedup_criterion =
+      cores < 2 ? "hardware_skipped" : (shard_speedup ? "met" : "FAILED");
+  std::printf("shard speedup (8 vs 1): %.2fx on %zu core(s)  [%s]\n",
+              shard_runs.back().domains_per_second /
+                  std::max(1.0, shard_runs.front().domains_per_second),
+              cores, shard_speedup_criterion);
+
+  // --- Bounded-RSS ladder: 2e6 then 1e7 generated domains ---------------
+  bench::header("Bounded-RSS generate-and-detect ladder");
+  std::vector<GenRun> ladder;
+  for (const std::size_t domains : {std::size_t{2'000'000}, std::size_t{10'000'000}}) {
+    ladder.push_back(run_generated_fleet(artifact, config, domains, 1));
+    const auto& r = ladder.back();
+    std::printf("generated %zu domains: %.1fs at %.0f domains/s, %zu matches, "
+                "RSS %zu -> peak %zu -> %zu KiB\n",
+                r.domains, r.seconds, r.domains_per_second, r.matches,
+                r.rss_before_kib, r.rss_peak_kib, r.rss_after_kib);
+  }
+  // The ceiling must not move with the population: the 1e7 peak stays
+  // within kGenRssSlackKib of the 2e6 peak (5x the domains, ~flat RSS).
+  const bool gen_rss_bounded =
+      ladder[0].ok && ladder[1].ok &&
+      ladder[1].rss_peak_kib <= ladder[0].rss_peak_kib + kGenRssSlackKib;
+  std::printf("peak-RSS delta 1e7 vs 2e6: %lld KiB (slack %zu KiB)  [%s]\n",
+              static_cast<long long>(ladder[1].rss_peak_kib) -
+                  static_cast<long long>(ladder[0].rss_peak_kib),
+              kGenRssSlackKib, gen_rss_bounded ? "bounded" : "FAILED");
+
   // --- Generation-diff ingestion ----------------------------------------
   const auto diff = run_diff_feed(200, 20260808);
   std::printf("diff feed: %zu days, %zu pairs added, %zu index entries rehashed, "
@@ -364,6 +527,37 @@ int run_full() {
     w.field("rss_criterion", rss_bounded ? "met" : "FAILED");
     w.field("verdicts_identical_criterion", identical ? "met" : "FAILED");
     w.field("fleet_identical_criterion", fleet_identical ? "met" : "FAILED");
+    w.field("genstream_identity_criterion",
+            genstream_identical ? "met" : "FAILED");
+    w.field("shard_fingerprint_criterion", shard_identical ? "met" : "FAILED");
+    w.field("shard_speedup_criterion", shard_speedup_criterion);
+    w.field("cores", static_cast<std::uint64_t>(cores));
+    w.key("shard_throughput").begin_array();
+    for (const auto& r : shard_runs) {
+      w.begin_object();
+      w.field("shards", static_cast<std::uint64_t>(r.shards));
+      w.field("domains", static_cast<std::uint64_t>(r.domains));
+      w.field("domains_per_second", r.domains_per_second);
+      w.field("rss_peak_kib", static_cast<std::uint64_t>(r.rss_peak_kib));
+      w.end_object();
+    }
+    w.end_array();
+    w.key("genstream_runs").begin_array();
+    for (const auto& r : ladder) {
+      w.begin_object();
+      w.field("domains", static_cast<std::uint64_t>(r.domains));
+      w.field("seconds", r.seconds);
+      w.field("domains_per_second", r.domains_per_second);
+      w.field("matches", static_cast<std::uint64_t>(r.matches));
+      w.field("rss_before_kib", static_cast<std::uint64_t>(r.rss_before_kib));
+      w.field("rss_peak_kib", static_cast<std::uint64_t>(r.rss_peak_kib));
+      w.field("rss_after_kib", static_cast<std::uint64_t>(r.rss_after_kib));
+      w.end_object();
+    }
+    w.end_array();
+    w.field("genstream_rss_slack_kib",
+            static_cast<std::uint64_t>(kGenRssSlackKib));
+    w.field("genstream_rss_criterion", gen_rss_bounded ? "met" : "FAILED");
     w.field("diff_rebuild_criterion", diff.equivalence.ok() ? "met" : "FAILED");
     w.field("diff_days", static_cast<std::uint64_t>(diff.days));
     w.field("diff_pairs_added", static_cast<std::uint64_t>(diff.pairs_added));
@@ -387,6 +581,11 @@ int run_full() {
                rss_bounded);
   bench::shape("fleet workers byte-identical over one shared artifact",
                fleet_identical);
+  bench::shape("streamed generator byte-identical to written zone files",
+               genstream_identical);
+  bench::shape("sharded verdict fingerprints identical at 1/2/8 shards",
+               shard_identical);
+  bench::shape("1e7-domain generated run peak RSS flat vs 2e6", gen_rss_bounded);
   bench::shape("incremental diff state identical to full rebuild",
                diff.equivalence.ok());
   return 0;

@@ -101,7 +101,12 @@ int usage() {
                "        --zone <tld>:<path>      engine per TLD, all workers mapping\n"
                "        [--zone ...]             the shared build-db artifact; prints\n"
                "        [--batch N] [--passes N] the fleet throughput/RSS report as\n"
-               "        [--strategy ...]         JSON (exit 1 if any worker failed)\n");
+               "        [--strategy ...]         JSON (exit 1 if any worker failed)\n"
+               "        [--domains N]            synthesize N-domain zones on the fly\n"
+               "        [--tlds com,net]         instead of reading --zone files\n"
+               "        [--seed N] [--shards N]  (seeded generator; N detection\n"
+               "        [--chunk-bytes N]        shards per zone; generator chunk)\n"
+               "        [--progress N]           stderr progress line every N domains\n");
   return 2;
 }
 
@@ -166,11 +171,20 @@ int cmd_build_db(const std::vector<std::string>& args) {
 }
 
 /// scale-run --db-file <path> --zone <tld>:<zone-path> [--zone ...]
-/// [--batch N] [--passes N] [--strategy s]: the multi-TLD streaming fleet
-/// — one engine per zone, every worker mapping the same artifact, zones
-/// streamed in bounded-memory batches. Prints the FleetReport JSON.
+/// [--batch N] [--passes N] [--strategy s] [--domains N] [--tlds a,b]
+/// [--seed N] [--shards N] [--chunk-bytes N] [--progress N]: the multi-TLD
+/// streaming fleet — one engine per zone, every worker mapping the same
+/// artifact, zones streamed in bounded-memory batches. `--domains N`
+/// replaces on-disk zones with seed-deterministic synthetic zones
+/// generated on the fly (never materialized); `--progress N` reports
+/// domains streamed and the current resident set every N owner names.
+/// Prints the FleetReport JSON.
 int cmd_scale_run(const std::vector<std::string>& args) {
   measure::FleetOptions options;
+  std::size_t domains = 0;
+  std::uint64_t seed = 2019;
+  std::size_t chunk_bytes = 256 * 1024;
+  std::vector<std::string> tlds = {"com"};
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--db-file" && i + 1 < args.size()) {
       options.db_file = args[++i];
@@ -187,6 +201,19 @@ int cmd_scale_run(const std::vector<std::string>& args) {
       options.batch_size = std::stoul(args[++i]);
     } else if (args[i] == "--passes" && i + 1 < args.size()) {
       options.passes = std::stoul(args[++i]);
+    } else if (args[i] == "--domains" && i + 1 < args.size()) {
+      domains = std::stoul(args[++i]);
+    } else if (args[i] == "--tlds" && i + 1 < args.size()) {
+      tlds.clear();
+      for (const auto part : util::split(args[++i], ',')) tlds.emplace_back(part);
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      seed = std::stoull(args[++i]);
+    } else if (args[i] == "--shards" && i + 1 < args.size()) {
+      options.shards = std::stoul(args[++i]);
+    } else if (args[i] == "--chunk-bytes" && i + 1 < args.size()) {
+      chunk_bytes = std::stoul(args[++i]);
+    } else if (args[i] == "--progress" && i + 1 < args.size()) {
+      options.progress_interval = std::stoul(args[++i]);
     } else if (args[i] == "--strategy" && i + 1 < args.size()) {
       const auto strategy = detect::parse_strategy(args[++i]);
       if (!strategy) {
@@ -199,10 +226,32 @@ int cmd_scale_run(const std::vector<std::string>& args) {
       return 2;
     }
   }
+  if (domains > 0) {
+    // Synthetic fleet: one generated zone per TLD (which=2, the union
+    // list, so every one of the N population indexes is streamed).
+    for (const auto& tld : tlds) {
+      measure::FleetZone zone;
+      zone.tld = tld;
+      zone.scenario.seed = seed;
+      zone.scenario.total_domains = domains;
+      zone.which = 2;
+      zone.chunk_bytes = chunk_bytes;
+      options.zones.push_back(std::move(zone));
+    }
+  }
   if (options.db_file.empty() || options.zones.empty()) {
     std::fprintf(stderr,
-                 "scale-run: --db-file and at least one --zone are required\n");
+                 "scale-run: --db-file and at least one --zone or --domains "
+                 "are required\n");
     return usage();
+  }
+  if (options.progress_interval > 0) {
+    options.on_progress = [](const std::string& tld,
+                             const measure::StreamProgress& p) {
+      std::fprintf(stderr,
+                   "[scale-run] .%s: %zu domains, %zu IDNs, RSS %zu KiB\n",
+                   tld.c_str(), p.domains, p.idns, p.rss_kib);
+    };
   }
   const auto report = measure::run_fleet(options);
   std::printf("%s\n", report.to_json(2).c_str());

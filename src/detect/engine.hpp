@@ -197,6 +197,12 @@ class Engine {
 
   [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
 
+  /// The homoglyph database this engine detects with (the adopted
+  /// artifact view for from_db_file engines). Const queries are
+  /// thread-safe; synthetic-zone generators draw substitution characters
+  /// from the same database the fleet detects with.
+  [[nodiscard]] const homoglyph::HomoglyphDb& db() const noexcept { return *db_; }
+
   /// Run Algorithm 1 under the requested strategy. Applies
   /// validate_request() first (std::invalid_argument on malformed input,
   /// identically across strategies); empty references or IDNs then

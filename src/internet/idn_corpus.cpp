@@ -94,11 +94,10 @@ struct LanguageSpec {
 
 }  // namespace
 
-std::vector<IdnSample> make_idn_corpus(std::size_t count, std::uint64_t seed,
-                                       const LanguageMix& mix) {
+IdnSample make_idn_sample(util::Rng& rng, const LanguageMix& mix) {
   const double used =
       mix.chinese + mix.korean + mix.japanese + mix.german + mix.turkish;
-  if (used > 1.0) throw std::invalid_argument{"make_idn_corpus: weights exceed 1"};
+  if (used > 1.0) throw std::invalid_argument{"make_idn_sample: weights exceed 1"};
   const double rest = (1.0 - used) / 6.0;
 
   static const auto german = +[](util::Rng& rng) {
@@ -128,13 +127,7 @@ std::vector<IdnSample> make_idn_corpus(std::size_t count, std::uint64_t seed,
       {dns::Language::kGreek, rest, &greek_label},
   };
 
-  util::Rng rng{seed};
-  std::vector<IdnSample> out;
-  out.reserve(count);
-  std::unordered_set<std::string> seen;
-  std::size_t guard = 0;
-
-  while (out.size() < count) {
+  while (true) {
     // Sample a language by weight.
     double u = rng.uniform();
     const LanguageSpec* chosen = &specs[std::size(specs) - 1];
@@ -153,6 +146,20 @@ std::vector<IdnSample> make_idn_corpus(std::size_t count, std::uint64_t seed,
     } catch (const std::invalid_argument&) {
       continue;  // over-long label; resample
     }
+    return sample;
+  }
+}
+
+std::vector<IdnSample> make_idn_corpus(std::size_t count, std::uint64_t seed,
+                                       const LanguageMix& mix) {
+  util::Rng rng{seed};
+  std::vector<IdnSample> out;
+  out.reserve(count);
+  std::unordered_set<std::string> seen;
+  std::size_t guard = 0;
+
+  while (out.size() < count) {
+    auto sample = make_idn_sample(rng, mix);
     if (seen.insert(sample.ace).second) {
       out.push_back(std::move(sample));
       guard = 0;

@@ -29,6 +29,12 @@ struct LanguageMix {
   // Remainder split across French/Spanish/Russian/Arabic/Thai/other.
 };
 
+/// Draw one benign IDN sample from `rng`: a weighted language pick, then
+/// a label in that script, retried until it IDNA-encodes. This is the
+/// unit make_idn_corpus loops over, exposed so index-addressed generators
+/// (internet::ScenarioCore) can produce sample i without samples 0..i-1.
+[[nodiscard]] IdnSample make_idn_sample(util::Rng& rng, const LanguageMix& mix = {});
+
 /// Generate `count` benign IDN labels with the given mix; deterministic in
 /// `seed`. Labels are unique in ACE form.
 [[nodiscard]] std::vector<IdnSample> make_idn_corpus(std::size_t count,

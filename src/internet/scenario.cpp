@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "idna/idna.hpp"
 #include "internet/brands.hpp"
+#include "internet/scenario_core.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -24,6 +26,24 @@ constexpr std::uint8_t kSymantec = static_cast<std::uint8_t>(BlacklistFeed::kSym
 /// Scaled count helper: paper_value × attack_scale, rounded.
 std::size_t scaled(double paper_value, double scale) {
   return static_cast<std::size_t>(paper_value * scale + 0.5);
+}
+
+/// Independent generator for one index of a frozen stream: every
+/// index-addressed quantity (filler label, membership bits, benign
+/// sample, benign host) is drawn from its own Rng so the population can
+/// be enumerated in any order, or not at all, without state.
+util::Rng index_rng(std::uint64_t stream_seed, std::uint64_t index) noexcept {
+  std::uint64_t s = index;
+  return util::Rng{stream_seed ^ util::splitmix64(s)};
+}
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
 
 /// Provenance classes an attack substitution can be drawn from.
@@ -119,20 +139,17 @@ const std::vector<CaseStudySpec>& table11_case_studies() {
   return specs;
 }
 
-Scenario generate_scenario(const homoglyph::HomoglyphDb& db,
-                           const ScenarioConfig& config) {
+ScenarioCore build_scenario_core(const homoglyph::HomoglyphDb& db,
+                                 const ScenarioConfig& config) {
   if (config.total_domains == 0) {
     throw std::invalid_argument{"generate_scenario: total_domains == 0"};
   }
-  Scenario scenario;
-  scenario.config = config;
+  ScenarioCore core;
+  core.config = config;
   util::Rng rng{config.seed};
 
   // --- Reference list (Alexa stand-in).
-  scenario.references = make_reference_list(config.reference_count, rng.next());
-
-  std::unordered_set<std::string> used_names;  // SLD labels, uniqueness
-  for (const auto& ref : scenario.references) used_names.insert(ref);
+  core.references = make_reference_list(config.reference_count, rng.next());
 
   // ---------------------------------------------------------------------
   // Planted attacks. Counts follow the paper's absolute numbers scaled by
@@ -161,7 +178,7 @@ Scenario generate_scenario(const homoglyph::HomoglyphDb& db,
   const auto& cases = table11_case_studies();
 
   // Remaining attacks target references by a popularity-skewed draw.
-  util::ZipfSampler ref_zipf{scenario.references.size(), 0.9};
+  util::ZipfSampler ref_zipf{core.references.size(), 0.9};
 
   // Provenance queue: shuffled multiset of planned provenances.
   std::vector<Provenance> provenance_queue;
@@ -216,7 +233,7 @@ Scenario generate_scenario(const homoglyph::HomoglyphDb& db,
     attack.provenance = *db.source_of(cs.from, cs.to);
     attack.substitutions = 1;
     if (attack_aces.insert(attack.ace).second) {
-      scenario.attacks.push_back(std::move(attack));
+      core.attacks.push_back(std::move(attack));
     }
   }
 
@@ -229,9 +246,9 @@ Scenario generate_scenario(const homoglyph::HomoglyphDb& db,
     return Provenance::kSimOnly;
   };
   for (const auto& p : plan) {
-    for (std::size_t i = 0; i < p.count && scenario.attacks.size() < want_total; ++i) {
+    for (std::size_t i = 0; i < p.count && core.attacks.size() < want_total; ++i) {
       auto attack = plant_attack(p.name, next_provenance());
-      if (attack) scenario.attacks.push_back(*std::move(attack));
+      if (attack) core.attacks.push_back(*std::move(attack));
     }
   }
   std::unordered_set<std::string> planned_targets;
@@ -242,76 +259,47 @@ Scenario generate_scenario(const homoglyph::HomoglyphDb& db,
   const std::size_t per_target_cap = std::max<std::size_t>(1, scaled(60, as));
   std::unordered_map<std::string, std::size_t> per_target;
   std::size_t stall_guard = 0;
-  while (scenario.attacks.size() < want_total && stall_guard < want_total * 8 + 64) {
+  while (core.attacks.size() < want_total && stall_guard < want_total * 8 + 64) {
     ++stall_guard;
-    const auto& target = scenario.references[ref_zipf.sample(rng)];
+    const auto& target = core.references[ref_zipf.sample(rng)];
     if (target.size() < 4) continue;
     if (planned_targets.contains(target)) continue;
     if (per_target[target] >= per_target_cap) continue;
     auto attack = plant_attack(target, next_provenance());
     if (attack) {
       ++per_target[target];
-      scenario.attacks.push_back(*std::move(attack));
+      core.attacks.push_back(*std::move(attack));
     }
   }
-  if (scenario.attacks.size() < want_total) {
-    util::log_warn("scenario: planted " + std::to_string(scenario.attacks.size()) +
+  if (core.attacks.size() < want_total) {
+    util::log_warn("scenario: planted " + std::to_string(core.attacks.size()) +
                    " of " + std::to_string(want_total) + " planned attacks");
   }
-  for (const auto& attack : scenario.attacks) used_names.insert(attack.ace);
 
   // ---------------------------------------------------------------------
-  // Benign IDNs fill the IDN budget.
+  // Benign IDNs fill the IDN budget; the samples themselves are
+  // index-addressed (benign_idn_at), only the count and seeds live here.
   const auto idn_budget =
       static_cast<std::size_t>(config.idn_fraction * static_cast<double>(config.total_domains));
-  const std::size_t benign_idn_count =
-      idn_budget > scenario.attacks.size() ? idn_budget - scenario.attacks.size() : 0;
-  scenario.benign_idns = make_idn_corpus(benign_idn_count, rng.next());
+  core.benign_count =
+      idn_budget > core.attacks.size() ? idn_budget - core.attacks.size() : 0;
 
-  // ---------------------------------------------------------------------
-  // Assemble the union population: references, attacks, benign IDNs, and
-  // ASCII backdrop filler.
-  auto add_domain = [&](const std::string& sld) {
-    scenario.domains.push_back(sld + ".com");
-  };
-  for (const auto& ref : scenario.references) add_domain(ref);
-  for (const auto& attack : scenario.attacks) add_domain(attack.ace);
-  for (const auto& idn : scenario.benign_idns) add_domain(idn.ace);
+  // Freeze the per-stream seeds for every index-addressed tail. Drawn
+  // before the (conditional) world build so build_world does not shift
+  // the population content.
+  core.benign_seed = rng.next();
+  core.filler_seed = rng.next();
+  core.membership_seed = rng.next();
+  core.benign_host_seed = rng.next();
 
-  util::Rng backdrop_rng = rng.fork(0xBACD);
-  std::size_t filler_guard = 0;
-  while (scenario.domains.size() < config.total_domains) {
-    auto label = synthetic_label(backdrop_rng);
-    // Suffix densifies the namespace so large populations stay unique.
-    if (backdrop_rng.bernoulli(0.6)) {
-      label += '-';
-      label += std::to_string(backdrop_rng.below(100000));
-    }
-    if (used_names.insert(label).second) {
-      add_domain(label);
-      filler_guard = 0;
-    } else if (++filler_guard > 1000) {
-      throw std::runtime_error{"generate_scenario: backdrop name space exhausted"};
-    }
-  }
-
-  // Source lists: independent coverage draws; every domain lands in at
-  // least one source so the union equals the population (Table 6).
-  for (std::uint32_t i = 0; i < scenario.domains.size(); ++i) {
-    const bool in_zone = backdrop_rng.bernoulli(config.zone_coverage);
-    const bool in_dl = backdrop_rng.bernoulli(config.domainlists_coverage);
-    if (in_zone || !in_dl) scenario.zone_index.push_back(i);
-    if (in_dl || !in_zone) scenario.domainlists_index.push_back(i);
-  }
-
-  if (!config.build_world) return scenario;
+  if (!config.build_world) return core;
 
   // ---------------------------------------------------------------------
   // World state. Attack funnel follows Tables 10-14:
   //   3,280 detected; 2,294 with NS; 1,909 with A; port scan: 1,642 on 80,
   //   700 on 443, 695 on both (1,647 live); live classification 348/345/
   //   338/281/222/113; redirects 178/125/35; blacklists per provenance.
-  const std::size_t n_attacks = scenario.attacks.size();
+  const std::size_t n_attacks = core.attacks.size();
   std::vector<std::size_t> order(n_attacks);
   for (std::size_t i = 0; i < n_attacks; ++i) order[i] = i;
   util::Rng funnel_rng = rng.fork(0xF00D);
@@ -365,7 +353,7 @@ Scenario generate_scenario(const homoglyph::HomoglyphDb& db,
   std::vector<std::pair<std::string, RedirectKind>> redirect_targets;
 
   for (const auto idx : order) {
-    const auto& attack = scenario.attacks[idx];
+    const auto& attack = core.attacks[idx];
     HostState s;
     s.ns_host = "ns1.hosting-" + std::to_string(funnel_rng.below(5000)) + ".net";
     const std::size_t position = cursor++;
@@ -433,14 +421,14 @@ Scenario generate_scenario(const homoglyph::HomoglyphDb& db,
     s.dns_resolutions = funnel_rng.below(5000);
     s.web_link = funnel_rng.bernoulli(0.08);
     s.sns_link = funnel_rng.bernoulli(0.04);
-    scenario.world.add_domain(dns::DomainName::parse_or_throw(attack.ace + ".com"), s);
+    core.head_world.add_domain(dns::DomainName::parse_or_throw(attack.ace + ".com"), s);
   }
 
   // Register the redirect landing hosts; malicious landings are on the
   // community blacklist so evidence-based Table 13 inference can find them.
   for (const auto& [target, kind] : redirect_targets) {
     const auto domain = dns::DomainName::parse(target);
-    if (!domain || scenario.world.is_registered(*domain)) continue;
+    if (!domain || core.head_world.is_registered(*domain)) continue;
     HostState s;
     s.has_ns = true;
     s.has_a = true;
@@ -448,7 +436,7 @@ Scenario generate_scenario(const homoglyph::HomoglyphDb& db,
     s.ns_host = "ns1.hosting-" + std::to_string(funnel_rng.below(5000)) + ".net";
     s.website = WebsiteKind::kNormal;
     if (kind == RedirectKind::kMalicious) s.blacklists |= kHpHosts;
-    scenario.world.add_domain(*domain, s);
+    core.head_world.add_domain(*domain, s);
   }
 
   // Overwrite case-study host state with the Table 11 rows.
@@ -464,8 +452,8 @@ Scenario generate_scenario(const homoglyph::HomoglyphDb& db,
       continue;
     }
     const auto domain = dns::DomainName::parse(ace + ".com");
-    if (!domain || !scenario.world.is_registered(*domain)) continue;
-    auto& s = scenario.world.state_for_update(*domain);
+    if (!domain || !core.head_world.is_registered(*domain)) continue;
+    auto& s = core.head_world.state_for_update(*domain);
     s.has_ns = true;
     s.has_a = true;
     s.port80_open = true;
@@ -492,17 +480,128 @@ Scenario generate_scenario(const homoglyph::HomoglyphDb& db,
     }
   }
 
-  // Benign world state: references (popular) and a sample of the rest.
+  // Reference sites are popular benign hosts.
   util::Rng benign_rng = rng.fork(0xBE9);
-  for (std::size_t i = 0; i < scenario.references.size(); ++i) {
-    scenario.world.add_domain(
-        dns::DomainName::parse_or_throw(scenario.references[i] + ".com"),
+  for (std::size_t i = 0; i < core.references.size(); ++i) {
+    core.head_world.add_domain(
+        dns::DomainName::parse_or_throw(core.references[i] + ".com"),
         benign_host_state(benign_rng, true, i));
   }
-  for (const auto& idn : scenario.benign_idns) {
-    scenario.world.add_domain(dns::DomainName::parse_or_throw(idn.ace + ".com"),
-                              benign_host_state(benign_rng, false, 0));
+  return core;
+}
+
+IdnSample benign_idn_at(const ScenarioCore& core, std::size_t index) {
+  auto rng = index_rng(core.benign_seed, index);
+  return make_idn_sample(rng);
+}
+
+HostState benign_host_for(const ScenarioCore& core, std::string_view ace) {
+  util::Rng rng{core.benign_host_seed ^ fnv1a64(ace)};
+  return benign_host_state(rng, false, 0);
+}
+
+std::string filler_label_at(const ScenarioCore& core, std::size_t index) {
+  auto rng = index_rng(core.filler_seed, index);
+  auto label = synthetic_label(rng);
+  // The decimal index suffix makes filler labels unique by construction
+  // (see the header); no cross-path uniqueness set is required.
+  label += '-';
+  label += std::to_string(index);
+  return label;
+}
+
+SourceMembership membership_at(const ScenarioCore& core, std::size_t index) {
+  auto rng = index_rng(core.membership_seed, index);
+  const bool in_zone = rng.bernoulli(core.config.zone_coverage);
+  const bool in_dl = rng.bernoulli(core.config.domainlists_coverage);
+  return {.zone = in_zone || !in_dl, .domainlists = in_dl || !in_zone};
+}
+
+void append_domain_records(const dns::DomainName& domain, const HostState* host,
+                           std::string_view tld,
+                           std::vector<dns::ResourceRecord>& out) {
+  // World state is keyed by the generated .com names; the relabel swaps
+  // the TLD on the emitted owner (and in-zone MX target) only.
+  const auto owner =
+      tld == "com" ? domain
+                   : dns::DomainName::parse_or_throw(
+                         std::string{domain.without_tld()} + "." + std::string{tld});
+
+  dns::ResourceRecord ns;
+  ns.owner = owner;
+  ns.type = dns::RecordType::kNs;
+  ns.target = host != nullptr && !host->ns_host.empty() ? host->ns_host
+                                                        : "ns1.registrar-default.net";
+  if (host == nullptr || host->has_ns) out.push_back(std::move(ns));
+
+  if (host != nullptr && host->has_a) {
+    dns::ResourceRecord a;
+    a.owner = owner;
+    a.type = dns::RecordType::kA;
+    // Deterministic documentation-range address derived from the name.
+    const auto h = std::hash<std::string>{}(domain.str());
+    a.address = dns::Ipv4{0xCB007100u | static_cast<std::uint32_t>(h % 250)};
+    out.push_back(std::move(a));
   }
+  if (host != nullptr && host->has_mx) {
+    dns::ResourceRecord mx;
+    mx.owner = owner;
+    mx.type = dns::RecordType::kMx;
+    mx.priority = 10;
+    mx.target = "mx." + owner.str();
+    out.push_back(std::move(mx));
+  }
+}
+
+Scenario generate_scenario(const homoglyph::HomoglyphDb& db,
+                           const ScenarioConfig& config) {
+  auto core = build_scenario_core(db, config);
+
+  Scenario scenario;
+  scenario.config = core.config;
+  scenario.benign_idns.reserve(core.benign_count);
+  for (std::size_t i = 0; i < core.benign_count; ++i) {
+    scenario.benign_idns.push_back(benign_idn_at(core, i));
+  }
+
+  // ---------------------------------------------------------------------
+  // Assemble the union population: references, attacks, benign IDNs, and
+  // index-addressed ASCII backdrop filler.
+  const std::size_t population = core.population();
+  scenario.domains.reserve(population);
+  auto add_domain = [&](const std::string& sld) {
+    scenario.domains.push_back(sld + ".com");
+  };
+  for (const auto& ref : core.references) add_domain(ref);
+  for (const auto& attack : core.attacks) add_domain(attack.ace);
+  for (const auto& idn : scenario.benign_idns) add_domain(idn.ace);
+  for (std::size_t i = scenario.domains.size(); i < population; ++i) {
+    add_domain(filler_label_at(core, i));
+  }
+
+  // Source lists: independent coverage draws; every domain lands in at
+  // least one source so the union equals the population (Table 6).
+  for (std::uint32_t i = 0; i < scenario.domains.size(); ++i) {
+    const auto m = membership_at(core, i);
+    if (m.zone) scenario.zone_index.push_back(i);
+    if (m.domainlists) scenario.domainlists_index.push_back(i);
+  }
+
+  if (config.build_world) {
+    // Benign IDN registrations ride on the head world keep-first: an ACE
+    // already registered (an attack or an earlier duplicate benign
+    // sample) keeps its state, so world content is order-independent —
+    // the property the streaming generator relies on.
+    scenario.world = std::move(core.head_world);
+    for (const auto& idn : scenario.benign_idns) {
+      const auto domain = dns::DomainName::parse_or_throw(idn.ace + ".com");
+      if (scenario.world.is_registered(domain)) continue;
+      scenario.world.add_domain(domain, benign_host_for(core, idn.ace));
+    }
+  }
+
+  scenario.references = std::move(core.references);
+  scenario.attacks = std::move(core.attacks);
   return scenario;
 }
 
@@ -515,46 +614,11 @@ dns::Zone scenario_to_zone(const Scenario& scenario, int which,
   zone.origin = dns::DomainName::parse_or_throw(tld);
   zone.default_ttl = 172800;  // registry zones commonly use 2 days
 
-  // World state is keyed by the generated .com names; `relabel` swaps the
-  // TLD on the emitted owner (and in-zone MX target) only.
-  const auto relabel = [&](const dns::DomainName& domain) {
-    if (tld == "com") return domain;
-    const auto without = domain.without_tld();
-    return dns::DomainName::parse_or_throw(std::string{without} + "." +
-                                           std::string{tld});
-  };
-
   const auto emit = [&](std::uint32_t index) {
     const auto domain = dns::DomainName::parse(scenario.domains[index]);
     if (!domain) return;
     const auto* host = scenario.world.lookup(*domain);
-    const auto owner = relabel(*domain);
-
-    dns::ResourceRecord ns;
-    ns.owner = owner;
-    ns.type = dns::RecordType::kNs;
-    ns.target = host != nullptr && !host->ns_host.empty()
-                    ? host->ns_host
-                    : "ns1.registrar-default.net";
-    if (host == nullptr || host->has_ns) zone.records.push_back(ns);
-
-    if (host != nullptr && host->has_a) {
-      dns::ResourceRecord a;
-      a.owner = owner;
-      a.type = dns::RecordType::kA;
-      // Deterministic documentation-range address derived from the name.
-      const auto h = std::hash<std::string>{}(domain->str());
-      a.address = dns::Ipv4{0xCB007100u | static_cast<std::uint32_t>(h % 250)};
-      zone.records.push_back(a);
-    }
-    if (host != nullptr && host->has_mx) {
-      dns::ResourceRecord mx;
-      mx.owner = owner;
-      mx.type = dns::RecordType::kMx;
-      mx.priority = 10;
-      mx.target = "mx." + owner.str();
-      zone.records.push_back(mx);
-    }
+    append_domain_records(*domain, host, tld, zone.records);
   };
 
   if (which == 0) {

@@ -1,7 +1,11 @@
 #include "measure/scale_run.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
 #include <fstream>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <tuple>
@@ -10,6 +14,7 @@
 #include "core/shamfinder.hpp"
 #include "db/artifact.hpp"
 #include "dns/zone_file.hpp"
+#include "dns/zone_stream.hpp"
 #include "unicode/confusables.hpp"
 #include "util/json.hpp"
 #include "util/stopwatch.hpp"
@@ -85,6 +90,127 @@ void append_verdicts(std::vector<Verdict>& out, std::span<const detect::Match> m
   }
 }
 
+/// Bounded MPSC/SPMC hand-off buffer: push blocks while full (the
+/// backpressure that keeps producer memory bounded), pop blocks while
+/// empty. close() drains remaining items to the consumers; abort() drops
+/// everything and unblocks both sides (failure propagation).
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_{std::max<std::size_t>(1, capacity)} {}
+
+  /// False when the queue was aborted (a consumer failed).
+  bool push(T item) {
+    std::unique_lock lock{mutex_};
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || aborted_; });
+    if (aborted_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// False when closed-and-drained or aborted.
+  bool pop(T& out) {
+    std::unique_lock lock{mutex_};
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_ || aborted_; });
+    if (aborted_ || items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    std::lock_guard lock{mutex_};
+    closed_ = true;
+    not_empty_.notify_all();
+  }
+
+  void abort() {
+    std::lock_guard lock{mutex_};
+    aborted_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  bool closed_ = false;
+  bool aborted_ = false;
+};
+
+/// Owner-name -> IdnEntry batching shared by the disk and generated
+/// streams: consecutive-owner dedup, bounded pending/batch buffers, and
+/// the periodic progress callback.
+class IdnBatcher {
+ public:
+  IdnBatcher(std::string tld, const StreamOptions& options,
+             const std::function<void(std::span<const detect::IdnEntry>)>& on_batch)
+      : tld_{std::move(tld)},
+        options_{&options},
+        on_batch_{&on_batch},
+        cap_{std::max<std::size_t>(1, options.batch_size)} {}
+
+  void record(const dns::ResourceRecord& r) {
+    ++stats_.records;
+    auto owner = r.owner.str();
+    // Registry zones group a delegation's records under one owner, so a
+    // consecutive-duplicate check deduplicates almost everything; stray
+    // repeats are harmless (verdicts are deduplicated canonically).
+    if (owner == last_owner_) return;
+    last_owner_ = std::move(owner);
+    ++stats_.domains;
+    pending_.push_back(last_owner_);
+    if (pending_.size() >= cap_) extract_pending();
+    if (options_->progress_interval != 0 && options_->on_progress &&
+        stats_.domains % options_->progress_interval == 0) {
+      // idns includes the extracted-but-undelivered tail so the progress
+      // line doesn't lag by a whole batch.
+      options_->on_progress({stats_.domains, stats_.idns + batch_.size(),
+                             stats_.records, resident_kib()});
+    }
+  }
+
+  /// Flush; call exactly once, after the last record.
+  ZoneStreamStats finish() {
+    extract_pending();
+    deliver();
+    return stats_;
+  }
+
+ private:
+  void deliver() {
+    if (batch_.empty()) return;
+    stats_.idns += batch_.size();
+    ++stats_.batches;
+    (*on_batch_)(batch_);
+    batch_.clear();
+  }
+
+  void extract_pending() {
+    auto idns = core::ShamFinder::extract_idns(pending_, tld_);
+    pending_.clear();
+    for (auto& entry : idns) {
+      batch_.push_back(std::move(entry));
+      if (batch_.size() >= cap_) deliver();
+    }
+  }
+
+  std::string tld_;
+  const StreamOptions* options_;
+  const std::function<void(std::span<const detect::IdnEntry>)>* on_batch_;
+  std::size_t cap_;
+  ZoneStreamStats stats_;
+  std::vector<std::string> pending_;  // owner names awaiting IDN extraction
+  std::vector<detect::IdnEntry> batch_;
+  std::string last_owner_;
+};
+
 }  // namespace
 
 std::size_t resident_kib() {
@@ -99,42 +225,142 @@ std::size_t resident_kib() {
 ZoneStreamStats stream_zone_idns(
     const std::string& path, const StreamOptions& options,
     const std::function<void(std::span<const detect::IdnEntry>)>& on_batch) {
-  const std::size_t cap = std::max<std::size_t>(1, options.batch_size);
-  ZoneStreamStats stats;
-  std::vector<std::string> pending;  // owner names awaiting IDN extraction
-  std::vector<detect::IdnEntry> batch;
-  std::string last_owner;
+  IdnBatcher batcher{options.tld, options, on_batch};
+  dns::parse_zone_file(path,
+                       [&](const dns::ResourceRecord& r) { batcher.record(r); });
+  return batcher.finish();
+}
 
-  const auto deliver = [&] {
-    if (batch.empty()) return;
-    stats.idns += batch.size();
-    ++stats.batches;
-    on_batch(batch);
-    batch.clear();
-  };
-  const auto extract_pending = [&] {
-    auto idns = core::ShamFinder::extract_idns(pending, options.tld);
-    pending.clear();
-    for (auto& entry : idns) {
-      batch.push_back(std::move(entry));
-      if (batch.size() >= cap) deliver();
+ZoneStreamStats stream_generated_idns(
+    const homoglyph::HomoglyphDb& db, const GenStream& gen,
+    const StreamOptions& options,
+    const std::function<void(std::span<const detect::IdnEntry>)>& on_batch) {
+  BoundedQueue<std::string> ring{gen.ring_chunks};
+  std::exception_ptr generator_error;  // written before abort(), read after join
+
+  std::thread generator{[&] {
+    try {
+      internet::ZoneTextStream stream{db, gen.scenario, gen.zone};
+      std::string chunk;
+      while (stream.next_chunk(chunk)) {
+        if (!ring.push(std::move(chunk))) return;  // consumer aborted
+        chunk.clear();
+      }
+      ring.close();
+    } catch (...) {
+      generator_error = std::current_exception();
+      ring.abort();
     }
-  };
+  }};
 
-  stats.records = dns::parse_zone_file(path, [&](const dns::ResourceRecord& r) {
-    auto owner = r.owner.str();
-    // Registry zones group a delegation's records under one owner, so a
-    // consecutive-duplicate check deduplicates almost everything; stray
-    // repeats are harmless (verdicts are deduplicated canonically).
-    if (owner == last_owner) return;
-    last_owner = std::move(owner);
-    ++stats.domains;
-    pending.push_back(last_owner);
-    if (pending.size() >= cap) extract_pending();
-  });
-  extract_pending();
-  deliver();
+  ZoneStreamStats stats;
+  std::exception_ptr consumer_error;
+  try {
+    IdnBatcher batcher{gen.zone.tld, options, on_batch};
+    dns::ZoneStreamReader reader{
+        [&](const dns::ResourceRecord& r) { batcher.record(r); }};
+    std::string chunk;
+    while (ring.pop(chunk)) reader.feed(chunk);
+    reader.finish();
+    stats = batcher.finish();
+  } catch (...) {
+    consumer_error = std::current_exception();
+    ring.abort();  // unblock the generator if it is waiting on a full ring
+  }
+  generator.join();
+  // Generator failures win: an aborted ring starves the consumer, whose
+  // secondary error (truncated parse) would mask the root cause.
+  if (generator_error) std::rethrow_exception(generator_error);
+  if (consumer_error) std::rethrow_exception(consumer_error);
   return stats;
+}
+
+DetectionOutcome detect_sharded(const detect::Engine& engine,
+                                std::span<const std::string> references,
+                                detect::Strategy strategy,
+                                const ShardOptions& shard,
+                                const BatchProducer& produce) {
+  if (shard.shards <= 1) {
+    // Inline: detect on the producing thread, no queue.
+    std::vector<Verdict> verdicts;
+    const auto stream = produce([&](std::span<const detect::IdnEntry> batch) {
+      const auto r = engine.detect(
+          {.references = references, .idns = batch, .strategy = strategy});
+      append_verdicts(verdicts, r.matches, batch);
+    });
+    auto out = canonicalize_verdicts(std::move(verdicts));
+    out.stream = stream;
+    return out;
+  }
+
+  BoundedQueue<std::vector<detect::IdnEntry>> queue{shard.queue_batches};
+  std::vector<std::vector<Verdict>> per_shard(shard.shards);
+  std::mutex error_mutex;
+  std::exception_ptr worker_error;
+
+  std::vector<std::thread> workers;
+  workers.reserve(shard.shards);
+  for (std::size_t k = 0; k < shard.shards; ++k) {
+    workers.emplace_back([&, k] {
+      std::vector<detect::IdnEntry> batch;
+      try {
+        while (queue.pop(batch)) {
+          const auto r = engine.detect(
+              {.references = references, .idns = batch, .strategy = strategy});
+          append_verdicts(per_shard[k], r.matches, batch);
+        }
+      } catch (...) {
+        {
+          std::lock_guard lock{error_mutex};
+          if (!worker_error) worker_error = std::current_exception();
+        }
+        queue.abort();  // unblocks the producer and the sibling shards
+      }
+    });
+  }
+
+  ZoneStreamStats stream;
+  std::exception_ptr produce_error;
+  try {
+    stream = produce([&](std::span<const detect::IdnEntry> batch) {
+      if (!queue.push(std::vector<detect::IdnEntry>{batch.begin(), batch.end()})) {
+        throw std::runtime_error{"detect_sharded: shard worker failed"};
+      }
+    });
+  } catch (...) {
+    produce_error = std::current_exception();
+    queue.abort();
+  }
+  queue.close();
+  for (auto& t : workers) t.join();
+  // A worker failure caused any push-side runtime_error; report the root.
+  if (worker_error) std::rethrow_exception(worker_error);
+  if (produce_error) std::rethrow_exception(produce_error);
+
+  std::size_t total = 0;
+  for (const auto& part : per_shard) total += part.size();
+  std::vector<Verdict> verdicts;
+  verdicts.reserve(total);
+  for (auto& part : per_shard) {
+    verdicts.insert(verdicts.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+  }
+  auto out = canonicalize_verdicts(std::move(verdicts));
+  out.stream = stream;
+  return out;
+}
+
+DetectionOutcome detect_generated(const detect::Engine& engine,
+                                  std::span<const std::string> references,
+                                  const homoglyph::HomoglyphDb& db,
+                                  const GenStream& gen, const StreamOptions& options,
+                                  const ShardOptions& shard,
+                                  detect::Strategy strategy) {
+  return detect_sharded(
+      engine, references, strategy, shard,
+      [&](const std::function<void(std::span<const detect::IdnEntry>)>& sink) {
+        return stream_generated_idns(db, gen, options, sink);
+      });
 }
 
 DetectionOutcome canonicalize_matches(std::span<const detect::Match> matches,
@@ -297,9 +523,9 @@ bool FleetReport::ok() const noexcept {
 std::string FleetReport::to_json(int indent) const {
   util::JsonWriter w{indent};
   w.begin_object();
-  w.field("bench", "scale_run");
   w.field("artifact_bytes", static_cast<std::uint64_t>(artifact_bytes));
   w.field("references", static_cast<std::uint64_t>(references));
+  w.field("shards", static_cast<std::uint64_t>(shards));
   w.field("rss_before_kib", static_cast<std::uint64_t>(rss_before_kib));
   w.field("rss_after_kib", static_cast<std::uint64_t>(rss_after_kib));
   w.field("seconds", seconds);
@@ -317,8 +543,10 @@ std::string FleetReport::to_json(int indent) const {
     w.field("batches", static_cast<std::uint64_t>(z.stream.batches));
     w.field("matches", static_cast<std::uint64_t>(z.matches));
     w.field("verdict_fingerprint", z.verdict_fingerprint);
+    w.field("setup_seconds", z.setup_seconds);
     w.field("seconds", z.seconds);
     w.field("domains_per_second", z.domains_per_second);
+    w.field("rss_peak_kib", static_cast<std::uint64_t>(z.rss_peak_kib));
     if (!z.error.empty()) w.field("error", z.error);
     w.end_object();
   }
@@ -342,6 +570,7 @@ FleetReport run_fleet(const FleetOptions& options) {
     report.references = probe.references().size();
   }
 
+  report.shards = std::max<std::size_t>(1, options.shards);
   report.zones.resize(options.zones.size());
   const std::size_t passes = std::max<std::size_t>(1, options.passes);
   util::Stopwatch fleet_watch;
@@ -350,16 +579,46 @@ FleetReport run_fleet(const FleetOptions& options) {
   for (std::size_t i = 0; i < options.zones.size(); ++i) {
     workers.emplace_back([&options, &report, passes, i] {
       auto& out = report.zones[i];
-      out.tld = options.zones[i].tld;
-      util::Stopwatch watch;
+      const auto& zone = options.zones[i];
+      out.tld = zone.tld;
       try {
+        util::Stopwatch setup_watch;
         const auto engine = detect::Engine::from_db_file(options.db_file);
         const auto& refs = engine.artifact()->references();
-        const StreamOptions stream{.tld = options.zones[i].tld,
-                                   .batch_size = options.batch_size};
+        out.setup_seconds = setup_watch.seconds();
+
+        StreamOptions stream{.tld = zone.tld, .batch_size = options.batch_size};
+        // Progress doubles as the peak-RSS sampler; keep a sampling
+        // cadence even when the caller asked for no progress output.
+        stream.progress_interval = options.progress_interval != 0
+                                       ? options.progress_interval
+                                       : std::size_t{262'144};
+        stream.on_progress = [&options, &out](const StreamProgress& p) {
+          out.rss_peak_kib = std::max(out.rss_peak_kib, p.rss_kib);
+          if (options.on_progress) options.on_progress(out.tld, p);
+        };
+        const ShardOptions shard{.shards = std::max<std::size_t>(1, options.shards),
+                                 .queue_batches = options.queue_batches};
+
+        // Timed from here: the worker's own work span, not fleet launch
+        // or artifact-mapping skew.
+        util::Stopwatch work_watch;
         for (std::size_t pass = 0; pass < passes; ++pass) {
-          auto outcome = detect_streaming(engine, refs, options.zones[i].zone_path,
-                                          stream, options.strategy);
+          DetectionOutcome outcome;
+          if (zone.zone_path.empty()) {
+            GenStream gen;
+            gen.scenario = zone.scenario;
+            gen.zone = {.which = zone.which,
+                        .tld = zone.tld,
+                        .chunk_bytes = zone.chunk_bytes};
+            outcome = detect_generated(engine, refs, engine.db(), gen, stream,
+                                       shard, options.strategy);
+          } else {
+            outcome = detect_sharded(
+                engine, refs, options.strategy, shard,
+                [&](const std::function<void(std::span<const detect::IdnEntry>)>&
+                        sink) { return stream_zone_idns(zone.zone_path, stream, sink); });
+          }
           out.stream.records += outcome.stream.records;
           out.stream.domains += outcome.stream.domains;
           out.stream.idns += outcome.stream.idns;
@@ -367,10 +626,11 @@ FleetReport run_fleet(const FleetOptions& options) {
           out.matches = outcome.verdicts.size();
           out.verdict_fingerprint = outcome.fingerprint;
         }
+        out.seconds = work_watch.seconds();
       } catch (const std::exception& e) {
         out.error = e.what();
       }
-      out.seconds = watch.seconds();
+      out.rss_peak_kib = std::max(out.rss_peak_kib, resident_kib());
       out.domains_per_second =
           out.seconds > 0.0 ? static_cast<double>(out.stream.domains) / out.seconds
                             : 0.0;

@@ -38,6 +38,8 @@
 #include "detect/skeleton_index.hpp"
 #include "font/font_source.hpp"
 #include "homoglyph/homoglyph_db.hpp"
+#include "internet/scenario.hpp"
+#include "internet/zone_gen.hpp"
 #include "simchar/simchar.hpp"
 
 namespace sham::measure {
@@ -48,10 +50,22 @@ namespace sham::measure {
 
 // --- Step 1+2 streaming ---------------------------------------------------
 
+/// Periodic progress snapshot of a running stream (long runs are
+/// observable: domains seen so far and the current resident set).
+struct StreamProgress {
+  std::size_t domains = 0;
+  std::size_t idns = 0;
+  std::size_t records = 0;
+  std::size_t rss_kib = 0;  // VmRSS at the snapshot
+};
+
 struct StreamOptions {
   std::string tld = "com";
   /// IDN entries per on_batch delivery (the bounded working set).
   std::size_t batch_size = 4096;
+  /// Owner names between on_progress callbacks (0 = no callbacks).
+  std::size_t progress_interval = 0;
+  std::function<void(const StreamProgress&)> on_progress;
 };
 
 struct ZoneStreamStats {
@@ -114,6 +128,67 @@ struct DetectionOutcome {
                                                    const std::string& zone_path,
                                                    const StreamOptions& options,
                                                    detect::Strategy strategy);
+
+// --- Intra-zone sharding --------------------------------------------------
+
+/// Produce side of a sharded run: invoked with a batch sink, drives the
+/// whole stream through it, returns the stream totals. stream_zone_idns
+/// and stream_generated_idns both curry into this shape.
+using BatchProducer = std::function<ZoneStreamStats(
+    const std::function<void(std::span<const detect::IdnEntry>)>&)>;
+
+struct ShardOptions {
+  /// Detection workers pulling batches off the stream. <= 1 runs inline
+  /// on the producing thread (no queue, no threads).
+  std::size_t shards = 1;
+  /// Bounded producer->worker batch queue: the producer blocks once this
+  /// many batches are in flight (backpressure keeps memory bounded by
+  /// queue_batches x batch_size entries).
+  std::size_t queue_batches = 16;
+};
+
+/// Run one stream through N detection shards over a shared const engine.
+/// Per-shard verdicts merge through the canonical sort/dedup/fingerprint,
+/// so the outcome is identical at any shard count, batch size, or
+/// interleaving — the invariance tests/test_scale.cpp proves. Worker
+/// exceptions abort the queue (unblocking the producer) and rethrow.
+[[nodiscard]] DetectionOutcome detect_sharded(const detect::Engine& engine,
+                                              std::span<const std::string> references,
+                                              detect::Strategy strategy,
+                                              const ShardOptions& shard,
+                                              const BatchProducer& produce);
+
+// --- Streaming zone generation (produce side) -----------------------------
+
+/// A synthetic zone generated on the fly: scenario config + zone options
+/// (which/tld/chunk size) + the bounded generator->parser chunk ring.
+struct GenStream {
+  internet::ScenarioConfig scenario;
+  internet::ZoneGenOptions zone;
+  /// Text chunks buffered between the generator thread and the parsing
+  /// thread; the generator blocks when the ring is full (backpressure).
+  std::size_t ring_chunks = 8;
+};
+
+/// Generate-and-extract without touching disk: a generator thread streams
+/// internet::ZoneTextStream chunks through a bounded ring into
+/// dns::ZoneStreamReader on the calling thread, which batches IdnEntry
+/// like stream_zone_idns. IDN extraction uses gen.zone.tld (options.tld
+/// is ignored). Memory is bounded by the generator head + ring + batch.
+ZoneStreamStats stream_generated_idns(
+    const homoglyph::HomoglyphDb& db, const GenStream& gen,
+    const StreamOptions& options,
+    const std::function<void(std::span<const detect::IdnEntry>)>& on_batch);
+
+/// Full generate-and-detect pipeline: generator thread -> chunk ring ->
+/// parser -> batch queue -> shard workers -> canonical merge.
+[[nodiscard]] DetectionOutcome detect_generated(const detect::Engine& engine,
+                                                std::span<const std::string> references,
+                                                const homoglyph::HomoglyphDb& db,
+                                                const GenStream& gen,
+                                                const StreamOptions& options,
+                                                const ShardOptions& shard,
+                                                detect::Strategy strategy);
 
 // --- Generation-diff ingestion (Section 4.2 as a daily feed) --------------
 
@@ -213,7 +288,12 @@ struct DiffEquivalence {
 
 struct FleetZone {
   std::string tld;
+  /// Zone file on disk; empty = synthetic (the worker generates the zone
+  /// on the fly from `scenario`/`which` over the engine's own database).
   std::string zone_path;
+  internet::ScenarioConfig scenario;  // synthetic zones only
+  int which = 2;                      // source list for synthetic zones
+  std::size_t chunk_bytes = 256 * 1024;  // generator chunk size
 };
 
 struct FleetOptions {
@@ -225,6 +305,13 @@ struct FleetOptions {
   detect::Strategy strategy = detect::Strategy::kSkeleton;
   /// Steady-load repetitions of each zone per worker.
   std::size_t passes = 1;
+  /// Intra-zone detection shards per worker (detect_sharded).
+  std::size_t shards = 1;
+  std::size_t queue_batches = 16;
+  /// Owner names between progress callbacks (0 = a default cadence used
+  /// only for internal peak-RSS sampling).
+  std::size_t progress_interval = 0;
+  std::function<void(const std::string& tld, const StreamProgress&)> on_progress;
 };
 
 struct FleetZoneResult {
@@ -232,8 +319,10 @@ struct FleetZoneResult {
   ZoneStreamStats stream;            // totals over all passes
   std::size_t matches = 0;           // canonical verdict count (one pass)
   std::uint64_t verdict_fingerprint = 0;
-  double seconds = 0.0;              // wall clock of this worker
+  double setup_seconds = 0.0;        // artifact map + engine construction
+  double seconds = 0.0;              // this worker's own work span
   double domains_per_second = 0.0;
+  std::size_t rss_peak_kib = 0;      // max VmRSS sampled during the run
   std::string error;                 // nonempty when the worker failed
 };
 
@@ -241,6 +330,7 @@ struct FleetReport {
   std::vector<FleetZoneResult> zones;
   std::size_t artifact_bytes = 0;
   std::size_t references = 0;
+  std::size_t shards = 1;
   std::size_t rss_before_kib = 0;
   std::size_t rss_after_kib = 0;
   double seconds = 0.0;  // wall clock of the whole fleet

@@ -3,15 +3,22 @@
 // generation-diff ingestion loop proven state-identical to a rebuild.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "db/artifact.hpp"
+#include "detect/skeleton_index.hpp"
 #include "dns/zone_file.hpp"
 #include "font/synthetic_font.hpp"
 #include "homoglyph/homoglyph_db.hpp"
 #include "idna/idna.hpp"
+#include "internet/scenario.hpp"
+#include "internet/zone_gen.hpp"
+#include "measure/environment.hpp"
 #include "measure/scale_run.hpp"
 #include "unicode/confusables.hpp"
 #include "util/rng.hpp"
@@ -228,6 +235,239 @@ TEST(GenerationDiff, DailyFeedMatchesFullRebuild) {
 
   const auto outcome = pipeline.detect(detect::Strategy::kSkeleton);
   EXPECT_FALSE(outcome.verdicts.empty());
+}
+
+// --- Intra-zone sharding + generated streams ------------------------------
+
+// Small engine over the versioned fonts, pinned together so the database
+// outlives the engine.
+struct ShardRig {
+  VersionedFonts fonts = make_versioned(99);
+  simchar::SimCharDb sim = simchar::SimCharDb::build(*fonts.new_font, {});
+  homoglyph::HomoglyphDb db{sim, unicode::ConfusablesDb::embedded(), {}};
+  detect::Engine engine{db};
+};
+
+BatchProducer zone_producer(std::string path, StreamOptions options) {
+  return [path = std::move(path), options = std::move(options)](
+             const std::function<void(std::span<const detect::IdnEntry>)>& sink) {
+    return stream_zone_idns(path, options, sink);
+  };
+}
+
+// The paper-scale environment at reduced font coverage: cheap enough for a
+// unit test, rich enough that generated scenarios contain real homographs.
+const Environment& env() {
+  static const auto instance = [] {
+    EnvironmentConfig config;
+    config.font_scale = 0.1;
+    return Environment::create(config);
+  }();
+  return instance;
+}
+
+internet::ScenarioConfig gen_config(std::uint64_t seed = 77) {
+  internet::ScenarioConfig config;
+  config.seed = seed;
+  config.total_domains = 4'000;
+  config.reference_count = 150;
+  config.attack_scale = 0.05;
+  config.idn_fraction = 0.04;
+  return config;
+}
+
+TEST(DetectSharded, InvariantAcrossShardCountsAndBatchSizes) {
+  const ShardRig rig;
+  util::Rng rng{4242};
+  const auto regs = make_registrations(rig.db, 60, rng, "com");
+  ASSERT_FALSE(regs.empty());
+  const TempZone zone{"test_scale_shard.zone", registrations_as_zone(regs)};
+
+  const auto baseline =
+      detect_materialized(rig.engine, kRefs, zone.path(), {.tld = "com"},
+                          detect::Strategy::kSerial);
+  ASSERT_FALSE(baseline.verdicts.empty());
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{64}}) {
+      const auto out = detect_sharded(
+          rig.engine, kRefs, detect::Strategy::kSkeleton,
+          {.shards = shards, .queue_batches = 2},
+          zone_producer(zone.path(), {.tld = "com", .batch_size = batch}));
+      EXPECT_EQ(out.verdicts, baseline.verdicts)
+          << "shards " << shards << " batch " << batch;
+      EXPECT_EQ(out.fingerprint, baseline.fingerprint);
+      EXPECT_EQ(out.stream.idns, baseline.stream.idns);
+    }
+  }
+}
+
+TEST(DetectSharded, ProducerExceptionPropagates) {
+  const ShardRig rig;
+  EXPECT_THROW(
+      (void)detect_sharded(
+          rig.engine, kRefs, detect::Strategy::kSkeleton, {.shards = 4},
+          [](const std::function<void(std::span<const detect::IdnEntry>)>&)
+              -> ZoneStreamStats {
+            throw std::runtime_error{"producer failed mid-stream"};
+          }),
+      std::runtime_error);
+}
+
+TEST(DetectSharded, WorkerExceptionUnblocksProducer) {
+  // An empty reference label makes every shard worker's detect() throw
+  // std::invalid_argument on its first batch. With a one-batch queue and
+  // single-entry batches the producer must be unblocked by the abort (a
+  // deadlock here fails via the test timeout) and the worker's exception
+  // must win over the producer's push failure.
+  const ShardRig rig;
+  util::Rng rng{7};
+  const auto regs = make_registrations(rig.db, 40, rng, "com");
+  ASSERT_GT(regs.size(), 8u);
+  const TempZone zone{"test_scale_badref.zone", registrations_as_zone(regs)};
+  const std::vector<std::string> bad_refs = {""};
+  EXPECT_THROW(
+      (void)detect_sharded(
+          rig.engine, bad_refs, detect::Strategy::kSkeleton,
+          {.shards = 4, .queue_batches = 1},
+          zone_producer(zone.path(), {.tld = "com", .batch_size = 1})),
+      std::invalid_argument);
+}
+
+TEST(DetectGenerated, MatchesStreamedFileAtEveryShardCount) {
+  // The generated pipeline (generator thread -> chunk ring -> parser ->
+  // shard workers) must produce the exact outcome of streaming the same
+  // text from disk, at every shard count.
+  const auto config = gen_config();
+  const auto scenario = internet::generate_scenario(env().db_union, config);
+  const detect::Engine engine{env().db_union};
+  const auto text =
+      internet::generate_zone_text(env().db_union, config, {.which = 2});
+  const TempZone zone{"test_scale_gen.zone", text};
+
+  const StreamOptions options{.tld = "com", .batch_size = 512};
+  const auto baseline = detect_streaming(engine, scenario.references, zone.path(),
+                                         options, detect::Strategy::kSkeleton);
+  ASSERT_FALSE(baseline.verdicts.empty());
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    GenStream gen;
+    gen.scenario = config;
+    gen.zone = {.which = 2, .tld = "com", .chunk_bytes = 32 * 1024};
+    gen.ring_chunks = 4;
+    const auto out =
+        detect_generated(engine, scenario.references, env().db_union, gen,
+                         options, {.shards = shards}, detect::Strategy::kSkeleton);
+    EXPECT_EQ(out.verdicts, baseline.verdicts) << "shards " << shards;
+    EXPECT_EQ(out.fingerprint, baseline.fingerprint);
+    EXPECT_EQ(out.stream.domains, baseline.stream.domains);
+    EXPECT_EQ(out.stream.idns, baseline.stream.idns);
+  }
+}
+
+TEST(StreamGenerated, ProgressCallbackIsMonotone) {
+  const auto config = gen_config();
+  std::vector<std::size_t> domains_seen;
+  StreamOptions options{.tld = "com", .batch_size = 256,
+                        .progress_interval = 500};
+  options.on_progress = [&](const StreamProgress& p) {
+    domains_seen.push_back(p.domains);
+    EXPECT_GT(p.rss_kib, 0u);
+  };
+  GenStream gen;
+  gen.scenario = config;
+  gen.zone = {.which = 2, .tld = "com"};
+  const auto stats = stream_generated_idns(
+      env().db_union, gen, options, [](std::span<const detect::IdnEntry>) {});
+  // stream domains counts distinct record owners — population members whose
+  // host emits no records (no NS/A/MX) never reach the parser.
+  EXPECT_LE(stats.domains, config.total_domains);
+  EXPECT_GE(stats.domains, config.total_domains * 9 / 10);
+  ASSERT_GE(domains_seen.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(domains_seen.begin(), domains_seen.end()));
+}
+
+TEST(Fleet, SyntheticZoneShardInvariant) {
+  // A synthetic FleetZone (empty zone_path) generates its zone on the fly
+  // from the artifact's own database. The verdict fingerprint must be
+  // identical at 1/2/8 shards and equal to the in-process streamed
+  // baseline over the same generated text; per-zone timing and peak-RSS
+  // fields must be populated.
+  const auto config = gen_config();
+  const auto scenario = internet::generate_scenario(env().db_union, config);
+
+  const std::string artifact = "test_scale_fleet.artifact";
+  {
+    db::WriteRequest request;
+    request.simchar = &env().simchar;
+    request.homoglyph = &env().db_union;
+    const detect::SkeletonIndex index{env().db_union, scenario.references,
+                                      {.max_bucket_occupancy = 64}};
+    const auto flat = index.to_flat();
+    request.references = scenario.references;
+    request.reference_fingerprint =
+        detect::label_set_fingerprint(scenario.references);
+    request.skeleton = &flat;
+    db::write_db_file(artifact, request);
+  }
+
+  const detect::Engine in_process{env().db_union};
+  const auto text =
+      internet::generate_zone_text(env().db_union, config, {.which = 2});
+  const TempZone zone{"test_scale_fleet.zone", text};
+  const auto baseline =
+      detect_streaming(in_process, scenario.references, zone.path(),
+                       {.tld = "com", .batch_size = 512},
+                       detect::Strategy::kSkeleton);
+  ASSERT_FALSE(baseline.verdicts.empty());
+
+  std::vector<std::uint64_t> fingerprints;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    FleetOptions options;
+    options.db_file = artifact;
+    FleetZone synthetic;
+    synthetic.tld = "com";
+    synthetic.scenario = config;
+    synthetic.which = 2;
+    synthetic.chunk_bytes = 64 * 1024;
+    options.zones = {synthetic};
+    options.batch_size = 512;
+    options.shards = shards;
+    bool progressed = false;
+    options.progress_interval = 1'000;
+    options.on_progress = [&](const std::string& tld, const StreamProgress&) {
+      EXPECT_EQ(tld, "com");
+      progressed = true;
+    };
+
+    const auto report = run_fleet(options);
+    ASSERT_TRUE(report.ok()) << "shards " << shards;
+    EXPECT_EQ(report.shards, shards);
+    ASSERT_EQ(report.zones.size(), 1u);
+    const auto& z = report.zones.front();
+    EXPECT_TRUE(z.error.empty());
+    // Same generated text as the on-disk baseline => same owner count.
+    EXPECT_EQ(z.stream.domains, baseline.stream.domains);
+    EXPECT_GT(z.matches, 0u);
+    EXPECT_GT(z.seconds, 0.0);
+    EXPECT_GT(z.setup_seconds, 0.0);
+    EXPECT_GT(z.rss_peak_kib, 0u);
+    EXPECT_TRUE(progressed);
+    fingerprints.push_back(z.verdict_fingerprint);
+
+    const auto json = report.to_json();
+    EXPECT_NE(json.find("\"setup_seconds\""), std::string::npos);
+    EXPECT_NE(json.find("\"rss_peak_kib\""), std::string::npos);
+    EXPECT_NE(json.find("\"shards\""), std::string::npos);
+    // The duplicated "bench" key inside the fleet object is gone.
+    EXPECT_EQ(json.find("\"bench\""), std::string::npos);
+  }
+  std::remove(artifact.c_str());
+
+  ASSERT_EQ(fingerprints.size(), 3u);
+  EXPECT_EQ(fingerprints[0], baseline.fingerprint);
+  EXPECT_EQ(fingerprints[1], fingerprints[0]);
+  EXPECT_EQ(fingerprints[2], fingerprints[0]);
 }
 
 TEST(GenerationDiff, NoOpBatchKeepsStateIdentical) {

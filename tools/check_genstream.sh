@@ -1,0 +1,71 @@
+#!/bin/sh
+# End-to-end check of the streaming zone generator and the sharded
+# detection pipeline: build the tree, run the generator-equivalence suite
+# (ZoneTextStream byte-identical to the materialize-then-serialize path at
+# every chunk size) and the shard-equivalence suite (verdict fingerprints
+# identical at 1/2/8 shards), then drive the CLI the way a user would —
+# build-db, a 1e6-domain synthetic scale-run at 1 and 4 shards whose
+# fingerprints must agree, and a bounded-RSS assertion on the streamed run
+# (peak resident set within a fixed slack of the pre-run baseline: the
+# pipeline never materializes the zone).
+#
+#   $ tools/check_genstream.sh             # uses ./build (configures if absent)
+#   $ BUILD_DIR=build-asan tools/check_genstream.sh
+set -e
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+# Peak-RSS slack over the pre-run baseline for the 1e6-domain streamed
+# run, KiB. The working set is engine + chunk ring + batch queue + verdict
+# vectors — a constant; materializing 1e6 domains would cost ~100 MiB+.
+RSS_SLACK_KIB="${RSS_SLACK_KIB:-262144}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target test_zone_gen test_scale shamfinder_cli -j >/dev/null
+
+echo "=== generator-equivalence suite (streamed == materialized) ==="
+"$BUILD_DIR"/tests/test_zone_gen --gtest_brief=1
+
+echo "=== shard-equivalence suite (fingerprints at 1/2/8 shards) ==="
+"$BUILD_DIR"/tests/test_scale --gtest_brief=1 \
+  --gtest_filter='DetectSharded.*:DetectGenerated.*:StreamGenerated.*:Fleet.*'
+
+echo "=== CLI: build-db -> synthetic 1e6-domain scale-run, 1 vs 4 shards ==="
+TMP=$(mktemp -d /tmp/sham_check_genstream.XXXXXX)
+trap 'rm -rf "$TMP"' EXIT
+REFS=google,amazon,facebook,wikipedia,paypal
+
+"$BUILD_DIR"/examples/shamfinder_cli build-db "$TMP/db.artifact" --refs "$REFS"
+
+for shards in 1 4; do
+  "$BUILD_DIR"/examples/shamfinder_cli scale-run --db-file "$TMP/db.artifact" \
+    --domains 1000000 --seed 7 --shards "$shards" \
+    > "$TMP/report_$shards.json"
+  grep -q '"ok": true' "$TMP/report_$shards.json" || {
+    echo "fleet report not ok at $shards shard(s):"
+    cat "$TMP/report_$shards.json"; exit 1
+  }
+done
+
+fp1=$(grep -o '"verdict_fingerprint": [0-9]*' "$TMP/report_1.json")
+fp4=$(grep -o '"verdict_fingerprint": [0-9]*' "$TMP/report_4.json")
+[ -n "$fp1" ] || { echo "no fingerprint in the 1-shard report"; exit 1; }
+if [ "$fp1" != "$fp4" ]; then
+  echo "shard-count changed the verdict fingerprint: $fp1 vs $fp4"
+  exit 1
+fi
+matches=$(grep -o '"total_matches": [0-9]*' "$TMP/report_1.json" | grep -o '[0-9]*')
+[ "$matches" -gt 0 ] || { echo "synthetic fleet found no homographs"; exit 1; }
+echo "    1e6 domains, $matches matches, fingerprints identical at 1 and 4 shards"
+
+echo "=== bounded-RSS assertion on the streamed run ==="
+rss_before=$(grep -o '"rss_before_kib": [0-9]*' "$TMP/report_1.json" | grep -o '[0-9]*')
+rss_peak=$(grep -o '"rss_peak_kib": [0-9]*' "$TMP/report_1.json" | grep -o '[0-9]*' | sort -n | tail -1)
+delta=$((rss_peak - rss_before))
+if [ "$delta" -gt "$RSS_SLACK_KIB" ]; then
+  echo "streamed 1e6-domain run grew RSS by ${delta} KiB (> ${RSS_SLACK_KIB})"
+  exit 1
+fi
+echo "    peak RSS ${rss_peak} KiB, +${delta} KiB over baseline (slack ${RSS_SLACK_KIB})"
+
+echo "generated streaming pipeline end-to-end: PASS"
